@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction harness.
+
+.PHONY: install test bench examples audit-demo reports clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# The full deliverable run: logs captured alongside the repo.
+reports:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+examples:
+	python examples/quickstart.py
+	python examples/ttl_change_latency.py
+	python examples/renumbering_pitfall.py
+	python examples/crawl_ttls.py
+	python examples/ddos_resilience.py
+	python examples/operator_audit.py
+
+clean:
+	rm -rf .pytest_cache benchmarks/output build src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

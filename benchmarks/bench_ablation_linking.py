@@ -1,0 +1,83 @@
+"""Ablation: the NS/A linking design choice behind Figure 6.
+
+The §4.2 finding — in-bailiwick A records die with their covering NS set
+— is a resolver implementation choice, not a protocol rule.  This ablation
+flips exactly that knob (``link_inbailiwick_glue``) on otherwise identical
+resolvers and shows the renumbering switch time moving from the NS TTL
+(60 min) to the A TTL (120 min), matching the analytical model.
+"""
+
+from benchmarks.conftest import SEED, write_report
+from repro.analysis.tables import Table
+from repro.core.effective_ttl import DelegationConfig, effective_switch_time
+from repro.core.worlds import build_cachetest_world
+from repro.dns.message import Rcode
+from repro.dns.rdtypes import RdataType
+from repro.net.topology import Region
+from repro.resolver.policy import ResolverPolicy
+from repro.resolver.recursive import RecursiveResolver
+
+POLICIES = {
+    "linked (default)": ResolverPolicy.child_centric(),
+    "unlinked": ResolverPolicy.unlinked(),
+    "sticky": ResolverPolicy.sticky_resolver(),
+}
+
+CONFIG = DelegationConfig(
+    parent_ns_ttl=3600, child_ns_ttl=3600,
+    parent_glue_ttl=7200, child_address_ttl=7200, in_bailiwick=True,
+)
+
+
+def _observed_switch_minutes(policy: ResolverPolicy) -> float:
+    """Drive one resolver through the renumbering experiment and report
+    when it first answers from the new server."""
+    ct = build_cachetest_world(SEED, in_bailiwick=True)
+    resolver = RecursiveResolver(
+        endpoint=ct.world.topology.endpoint_in_region(Region.EU),
+        network=ct.world.network,
+        root_hints=ct.world.hints,
+        policy=policy,
+    )
+    renumbered = False
+    for minute in range(0, 241, 10):
+        now = minute * 60.0
+        if not renumbered and now >= 540.0:
+            ct.renumber()
+            renumbered = True
+        out = resolver.resolve("probe.sub.cachetest.net.", RdataType.AAAA, now=now)
+        if out.rcode != Rcode.NOERROR or not out.answers:
+            continue
+        if str(out.answers[-1].rdatas[0]) == ct.new_answer:
+            return float(minute)
+    return float("inf")
+
+
+def bench_ablation_linking(benchmark):
+    def run():
+        return {label: _observed_switch_minutes(policy)
+                for label, policy in POLICIES.items()}
+
+    observed = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        ["policy", "analytic switch", "simulated switch"],
+        title="Ablation: in-bailiwick NS/A linking vs renumbering switch time",
+    )
+    for label, policy in POLICIES.items():
+        analytic = effective_switch_time(CONFIG, policy)
+        analytic_str = f"{analytic // 60} min" if analytic is not None else "never"
+        simulated = observed[label]
+        simulated_str = f"{simulated:.0f} min" if simulated != float("inf") else "never"
+        table.add_row(label, analytic_str, simulated_str)
+    report = table.render()
+    report += (
+        "\n\nThe simulation lands on the analytic prediction: linking moves "
+        "the effective address lifetime from min(NS,A)=3600s to A=7200s, "
+        "and sticky resolvers never switch — the three behaviours visible "
+        "in Figure 6."
+    )
+    write_report("ablation_linking", report)
+
+    assert observed["linked (default)"] <= 70.0
+    assert 110.0 <= observed["unlinked"] <= 140.0
+    assert observed["sticky"] == float("inf")

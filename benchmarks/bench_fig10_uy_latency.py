@@ -1,0 +1,63 @@
+"""Figure 10 — RTTs for .uy NS queries before and after the TTL change.
+
+Paper: raising the child NS TTL from 300 s to 86400 s cut the median RTT
+(28.7 ms → 8 ms; 75th percentile 183 ms → 21 ms), with every region
+improving (Figure 10b).
+"""
+
+from benchmarks.conftest import write_report
+from repro.analysis.cdf import ECDF
+from repro.analysis.latencystats import regional_summaries
+from repro.analysis.tables import Table, paper_vs_measured, render_cdf
+
+
+def bench_fig10(benchmark, uy_natural_run):
+    run = uy_natural_run
+
+    def analyze():
+        return (
+            ECDF(run.before.rtts_ms()),
+            ECDF(run.after.rtts_ms()),
+            regional_summaries(run.rtts_by_region("before")),
+            regional_summaries(run.rtts_by_region("after")),
+        )
+
+    before, after, reg_before, reg_after = benchmark(analyze)
+    from repro.analysis.tables import render_cdf_plot
+
+    samples = {"TTL 300s (before)": before.values, "TTL 86400s (after)": after.values}
+    report = render_cdf(
+        samples,
+        title="Figure 10a: .uy NS query RTT, before vs after the TTL change (ms)",
+        unit="ms",
+    )
+    report += "\n\n" + render_cdf_plot(samples, title="Figure 10a (plot, ms)")
+    regional = Table(
+        ["region", "median before", "median after", "improved"],
+        title="Figure 10b: median RTT per region (ms)",
+    )
+    for region in sorted(reg_before, key=lambda r: r.name):
+        if region not in reg_after:
+            continue
+        regional.add_row(
+            region.name,
+            f"{reg_before[region].median:.1f}",
+            f"{reg_after[region].median:.1f}",
+            "yes" if reg_after[region].median < reg_before[region].median else "no",
+        )
+    report += "\n\n" + regional.render()
+    report += "\n\n" + paper_vs_measured(
+        "Figure 10 calibration",
+        [
+            ("median RTT before -> after", "28.7 ms -> 8 ms",
+             f"{before.median:.1f} ms -> {after.median:.1f} ms"),
+            ("p75 before -> after", "183 ms -> 21 ms",
+             f"{before.quantile(0.75):.1f} ms -> {after.quantile(0.75):.1f} ms"),
+            ("p95 before -> after", "450 ms -> 200 ms",
+             f"{before.quantile(0.95):.1f} ms -> {after.quantile(0.95):.1f} ms"),
+            ("regions improving", "all", "see Figure 10b table"),
+        ],
+    )
+    write_report("fig10_uy_latency", report)
+
+    assert after.median < before.median / 2

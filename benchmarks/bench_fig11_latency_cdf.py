@@ -1,0 +1,47 @@
+"""Figure 11 — client latency distributions under different TTLs.
+
+Paper: unique names — TTL60 median 49.28 ms vs TTL86400 9.68 ms; shared
+names — 35.59 ms vs 7.38 ms; anycast median 29.95 ms.  Caching beats
+anycast at the median; anycast helps the tail (75 %ile 106/67/24 ms for
+TTL60/anycast/TTL86400).
+"""
+
+from benchmarks.conftest import write_report
+from repro.analysis.cdf import ECDF
+from repro.analysis.tables import paper_vs_measured, render_cdf
+
+
+def bench_fig11(benchmark, controlled_runs):
+    def analyze():
+        return {label: ECDF(run.rtts_ms()) for label, run in controlled_runs.items()}
+
+    cdfs = benchmark(analyze)
+    from repro.analysis.tables import render_cdf_plot
+
+    samples = {label: cdf.values for label, cdf in cdfs.items()}
+    report = render_cdf(
+        samples,
+        title="Figure 11: client latency by TTL configuration (ms)",
+        unit="ms",
+    )
+    report += "\n\n" + render_cdf_plot(samples, title="Figure 11 (plot, ms)")
+    report += "\n\n" + paper_vs_measured(
+        "Figure 11 calibration",
+        [
+            ("median unique: TTL60 vs TTL86400", "49.3 vs 9.7 ms",
+             f"{cdfs['TTL60-u'].median:.1f} vs {cdfs['TTL86400-u'].median:.1f} ms"),
+            ("median shared: TTL60 vs TTL86400", "35.6 vs 7.4 ms",
+             f"{cdfs['TTL60-s'].median:.1f} vs {cdfs['TTL86400-s'].median:.1f} ms"),
+            ("median anycast (TTL60)", "30.0 ms", f"{cdfs['TTL60-anycast'].median:.1f} ms"),
+            ("ordering at median", "TTL86400 < anycast < TTL60",
+             "TTL86400 < anycast < TTL60"
+             if cdfs["TTL86400-s"].median < cdfs["TTL60-anycast"].median < cdfs["TTL60-s"].median
+             else "MISMATCH"),
+            ("anycast helps the tail (p95 vs TTL60-s)", "yes",
+             "yes" if cdfs["TTL60-anycast"].quantile(0.95) < cdfs["TTL60-s"].quantile(0.95)
+             else "no"),
+        ],
+    )
+    write_report("fig11_latency_cdf", report)
+
+    assert cdfs["TTL86400-s"].median < cdfs["TTL60-anycast"].median < cdfs["TTL60-s"].median

@@ -1,0 +1,52 @@
+"""Figure 1 — CDF of TTLs observed for .uy-NS and a.nic.uy-A queries.
+
+Paper: 90 % of .uy-NS answers are below the child's 300 s; 88 % of
+a.nic.uy-A below 120 s; ~10 % follow the root's 2-day TTLs; ~2-3 % show
+the full 172800 s.
+"""
+
+from benchmarks.conftest import PROBES, SEED, write_report
+from repro.analysis.tables import paper_vs_measured, render_cdf
+from repro.core.scenarios import scenario_anicuy_a, scenario_uy_ns
+
+
+def bench_fig1(benchmark):
+    def run():
+        return (
+            scenario_uy_ns(SEED, probes=PROBES, duration=7200),
+            scenario_anicuy_a(SEED, probes=PROBES, duration=10800),
+        )
+
+    ns_run, a_run = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.analysis.tables import render_cdf_plot
+
+    samples = {".uy-NS": ns_run.results.ttls(), "a.nic.uy-A": a_run.results.ttls()}
+    report = render_cdf(
+        samples,
+        title="Figure 1: TTLs from VPs for .uy-NS and a.nic.uy-A queries",
+        unit="s",
+    )
+    report += "\n\n" + render_cdf_plot(samples, title="Figure 1 (plot)")
+    ns_cdf = ns_run.ttl_cdf()
+    a_cdf = a_run.ttl_cdf()
+    report += "\n\n" + paper_vs_measured(
+        "Figure 1 calibration",
+        [
+            ("fraction .uy-NS <= 300s", "90%", f"{ns_cdf.fraction_below(300) * 100:.1f}%"),
+            ("fraction a.nic.uy-A <= 120s", "88%", f"{a_cdf.fraction_below(120) * 100:.1f}%"),
+            (
+                "fraction .uy-NS at full 172800s",
+                "2.9%",
+                f"{ns_cdf.fraction_at(172800) * 100:.1f}%",
+            ),
+            (
+                "fraction a.nic.uy-A at full 172800s",
+                "2.2%",
+                f"{a_cdf.fraction_at(172800) * 100:.1f}%",
+            ),
+        ],
+    )
+    write_report("fig1_uy_ttl_cdf", report)
+
+    assert ns_cdf.fraction_below(300) > 0.75
+    assert a_cdf.fraction_below(120) > 0.75

@@ -1,0 +1,28 @@
+"""Figure 5 — TTLs and domains for the in-bailiwick experiment.
+
+Paper: the cachetest.net hierarchy: .net delegates cachetest.net at
+172800 s with glue; the child uses 3600 s; sub.cachetest.net is delegated
+at NS 3600 s with A (glue) 7200 s; wildcard AAAA answers carry 60 s.
+This bench regenerates the configuration and dumps the zones.
+"""
+
+from benchmarks.conftest import SEED, write_report
+from repro.core.worlds import build_cachetest_world
+from repro.dns.rdtypes import RdataType
+
+
+def bench_fig5(benchmark):
+    ct = benchmark(build_cachetest_world, SEED, True)
+    world = ct.world
+    lines = ["Figure 5: in-bailiwick experiment configuration", ""]
+    for origin in (".", "net.", "cachetest.net.", "sub.cachetest.net."):
+        zone = world.zones[origin] if origin != "." else world.root_zone
+        lines.append(zone.to_text())
+        lines.append("")
+    report = "\n".join(lines)
+    write_report("fig5_setup", report)
+
+    cachetest = world.zone("cachetest.net.")
+    assert cachetest.get("sub.cachetest.net.", RdataType.NS).ttl == 3600
+    assert cachetest.get("ns1.sub.cachetest.net.", RdataType.A).ttl == 7200
+    assert ct.sub_zone_old.get("*.sub.cachetest.net.", RdataType.AAAA).ttl == 60

@@ -1,0 +1,40 @@
+"""Figure 6 — timeseries of answers for the in-bailiwick experiment.
+
+Paper: renumber at t=9 min; resolvers keep the cached (old) server until
+the NS TTL expires at 60 min, when ~90 % switch — even though the A record
+(7200 s) is still valid — and all but ~2.25 % sticky by 120 min.
+"""
+
+from benchmarks.conftest import write_report
+from repro.analysis.tables import paper_vs_measured, render_timeseries
+
+
+def bench_fig6(benchmark, bailiwick_runs):
+    run = bailiwick_runs["in"]
+    series = benchmark(lambda: run.results.answer_timeseries(600.0))
+    labeled = {
+        ("old" if key == run.old_label else "new"): bins
+        for key, bins in series.items()
+    }
+    report = render_timeseries(
+        labeled, bin_seconds=600.0,
+        title="Figure 6: answers by server, in-bailiwick renumbering",
+    )
+    switched = run.switched_by_round
+    report += "\n\n" + paper_vs_measured(
+        "Figure 6 calibration",
+        [
+            ("new-server fraction before renumber", "0%",
+             f"{switched.get(0, 0) * 100:.0f}%"),
+            ("new-server fraction at t=50m (A still valid)", "small",
+             f"{switched.get(5, 0) * 100:.0f}%"),
+            ("new-server fraction just after NS expiry (t=70m)", "~90%",
+             f"{switched.get(7, 0) * 100:.0f}%"),
+            ("residual old-server share after 120m (sticky)", "~2.25%",
+             f"{(1 - switched.get(13, 1)) * 100:.1f}%"),
+        ],
+    )
+    write_report("fig6_inbailiwick_ts", report)
+
+    assert switched.get(7, 0) > 0.8
+    assert switched.get(5, 1) < 0.3

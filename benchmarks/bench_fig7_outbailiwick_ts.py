@@ -1,0 +1,38 @@
+"""Figure 7 — timeseries of answers for the out-of-bailiwick experiment.
+
+Paper: with no glue linking, resolvers trust the cached A record for its
+full 7200 s: the switch happens at 120 min, not 60; a larger sticky share
+(OpenDNS-like parent-centric holds) remains on the old server.
+"""
+
+from benchmarks.conftest import write_report
+from repro.analysis.tables import paper_vs_measured, render_timeseries
+
+
+def bench_fig7(benchmark, bailiwick_runs):
+    run = bailiwick_runs["out"]
+    series = benchmark(lambda: run.results.answer_timeseries(600.0))
+    labeled = {
+        ("old" if key == run.old_label else "new"): bins
+        for key, bins in series.items()
+    }
+    report = render_timeseries(
+        labeled, bin_seconds=600.0,
+        title="Figure 7: answers by server, out-of-bailiwick renumbering",
+    )
+    switched = run.switched_by_round
+    report += "\n\n" + paper_vs_measured(
+        "Figure 7 calibration",
+        [
+            ("new-server fraction at t=110m (A TTL still valid)", "~0%",
+             f"{switched.get(11, 0) * 100:.0f}%"),
+            ("new-server fraction just after A expiry (t=130m)", "most",
+             f"{switched.get(13, 0) * 100:.0f}%"),
+            ("sticky share (parent-centric holds)", "17.8% of VPs",
+             f"{len(run.sticky_vp_ids) / max(1, len(run.results.vp_ids())) * 100:.1f}%"),
+        ],
+    )
+    write_report("fig7_outbailiwick_ts", report)
+
+    assert switched.get(11, 0) < 0.2
+    assert switched.get(13, 0) > 0.6

@@ -1,0 +1,36 @@
+"""Figure 8 — responses from the new server for matched VPs.
+
+Paper: VPs that were sticky in the out-of-bailiwick run, when matched into
+the in-bailiwick run, mostly behave as expected (retrieve most responses
+from the new server) — the same VP behaves differently depending on zone
+configuration.
+"""
+
+from benchmarks.conftest import PROBES, SEED, write_report
+from repro.analysis.tables import paper_vs_measured, render_cdf
+from repro.core.scenarios import scenario_matched_sticky
+
+
+def bench_fig8(benchmark):
+    out_run, in_run, ratios = benchmark.pedantic(
+        scenario_matched_sticky, args=(SEED,), kwargs={"probes": PROBES},
+        rounds=1, iterations=1,
+    )
+    report = render_cdf(
+        {"new-server response ratio": ratios},
+        title="Figure 8: new-server response ratio, out-of-bailiwick-sticky "
+        "VPs re-observed in-bailiwick",
+    )
+    mostly_new = sum(1 for r in ratios if r > 0.5) / len(ratios) if ratios else 0.0
+    report += "\n\n" + paper_vs_measured(
+        "Figure 8 calibration",
+        [
+            ("matched sticky VPs", "1395 of 1642", f"{len(ratios)} of {len(out_run.sticky_vp_ids)}"),
+            ("matched VPs mostly answered by new server in-bailiwick",
+             "most", f"{mostly_new * 100:.0f}%"),
+        ],
+    )
+    write_report("fig8_matched_vps", report)
+
+    assert ratios
+    assert mostly_new > 0.5

@@ -1,0 +1,116 @@
+"""Performance microbenchmarks for the substrate itself.
+
+Not a paper artifact: these keep the simulator fast enough that the
+paper-scale experiments stay cheap.  pytest-benchmark's statistics make
+regressions visible (each op should stay comfortably in the µs range).
+"""
+
+import random
+
+from repro.dns.message import Message, Section
+from repro.dns.name import Name
+from repro.dns.rdtypes import A, NS, RdataType
+from repro.dns.record import ResourceRecord, RRset
+from repro.dns.zone import Zone
+from repro.resolver.cache import Cache, Credibility
+
+
+def _sample_response() -> Message:
+    query = Message.make_query("www.example.com", RdataType.A, id=0x1234)
+    response = query.make_response(authoritative=True)
+    response.add(
+        Section.ANSWER,
+        ResourceRecord(Name("www.example.com"), RdataType.A, 300, A("192.0.2.1")),
+    )
+    response.add(
+        Section.AUTHORITY,
+        ResourceRecord(Name("example.com"), RdataType.NS, 3600, NS(Name("ns1.example.com"))),
+    )
+    response.add(
+        Section.ADDITIONAL,
+        ResourceRecord(Name("ns1.example.com"), RdataType.A, 7200, A("192.0.2.53")),
+    )
+    return response
+
+
+def bench_perf_message_encode(benchmark):
+    response = _sample_response()
+    blob = benchmark(response.to_wire)
+    assert len(blob) > 12
+
+
+def bench_perf_message_decode(benchmark):
+    blob = _sample_response().to_wire()
+    decoded = benchmark(Message.from_wire, blob)
+    assert decoded.answer
+
+
+def bench_perf_name_parse(benchmark):
+    name = benchmark(Name, "some.fairly.deep.name.example.com")
+    assert len(name) == 6
+
+
+def bench_perf_cache_put_get(benchmark):
+    cache = Cache()
+    rrset = RRset(Name("srv.example.com"), RdataType.A, 300, [A("192.0.2.1")])
+
+    def put_get():
+        cache.put(rrset, Credibility.AUTH_ANSWER, now=0.0)
+        return cache.get(Name("srv.example.com"), RdataType.A, now=1.0)
+
+    entry = benchmark(put_get)
+    assert entry is not None
+
+
+def bench_perf_big_zone_lookup(benchmark):
+    """Lookup cost in a TLD-sized zone (50k delegations)."""
+    zone = Zone("big.", default_ttl=3600)
+    zone.add_soa("ns.big.")
+    for index in range(50_000):
+        zone.add(f"d{index}.big.", RdataType.NS, NS("ns.hosting.example."), ttl=3600)
+    rng = random.Random(1)
+
+    def lookup():
+        index = rng.randrange(50_000)
+        return zone.lookup(f"www.d{index}.big.", RdataType.A)
+
+    result = benchmark(lookup)
+    assert result.status.name == "DELEGATION"
+
+
+def bench_perf_full_resolution(benchmark):
+    """A complete cold-cache root→TLD→child resolution."""
+    from tests.conftest import build_mini_world
+    from repro.net.topology import Region
+    from repro.resolver.recursive import RecursiveResolver
+
+    world = build_mini_world()
+
+    def resolve_cold():
+        resolver = RecursiveResolver(
+            endpoint=world.topology.endpoint_in_region(Region.EU),
+            network=world.network,
+            root_hints=world.hints,
+        )
+        return resolver.resolve("www.example.tld.", RdataType.A, now=0.0)
+
+    out = benchmark(resolve_cold)
+    assert out.rcode.name == "NOERROR"
+
+
+def bench_perf_warm_resolution(benchmark):
+    """Cache-hit path: what the §6.2 latency numbers are made of."""
+    from tests.conftest import build_mini_world
+    from repro.net.topology import Region
+    from repro.resolver.recursive import RecursiveResolver
+
+    world = build_mini_world()
+    resolver = RecursiveResolver(
+        endpoint=world.topology.endpoint_in_region(Region.EU),
+        network=world.network,
+        root_hints=world.hints,
+    )
+    resolver.resolve("www.example.tld.", RdataType.A, now=0.0)
+
+    out = benchmark(resolver.resolve, "www.example.tld.", RdataType.A, 1.0)
+    assert out.cache_hit

@@ -1,0 +1,36 @@
+"""Table 1 — a.nic.cl TTL values in parent and child.
+
+Paper: three different TTLs for the same infrastructure — 172800 s at the
+root (authority + additional), 3600 s for the NS and 43200 s for the A at
+the child, with ★ marking authoritative answers.
+"""
+
+from benchmarks.conftest import SEED, write_report
+from repro.analysis.tables import Table
+from repro.core.scenarios import scenario_table1_cl
+
+
+def bench_table1(benchmark):
+    rows = benchmark(scenario_table1_cl, SEED)
+    table = Table(
+        ["Q / Type", "Server", "Response", "TTL", "Sec.", "AA"],
+        title="Table 1: a.nic.cl TTL values in parent and child (* = authoritative)",
+    )
+    for row in rows:
+        table.add_row(
+            row.query,
+            row.server,
+            row.response,
+            row.ttl,
+            row.section,
+            "*" if row.authoritative else "",
+        )
+    report = table.render()
+    report += (
+        "\n\npaper: root serves NS/A/AAAA at 172800 s; child serves NS at "
+        "3600 s (AA) and A/AAAA at 43200 s (AA)."
+    )
+    write_report("table1_cl", report)
+
+    ttls = {row.ttl for row in rows}
+    assert {172800, 3600, 43200} <= ttls

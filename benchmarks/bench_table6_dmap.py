@@ -1,0 +1,37 @@
+"""Table 6 — .nl domains classified by DMap content category.
+
+Paper: 1.2M placeholder (landing pages), 148k e-commerce, 127k parking.
+"""
+
+from benchmarks.conftest import write_report
+from repro.analysis.tables import Table
+from repro.crawler.dmap import CATEGORY_MEANING, ContentCategory, dmap_classify
+
+PAPER_SHARES = {
+    ContentCategory.PLACEHOLDER: 1199152 / 1475267,
+    ContentCategory.ECOMMERCE: 148564 / 1475267,
+    ContentCategory.PARKING: 127551 / 1475267,
+}
+
+
+def bench_table6(benchmark, crawl_result):
+    report_data = benchmark(dmap_classify, crawl_result)
+    table = Table(
+        ["category", "#", "share (paper)", "meaning"],
+        title="Table 6: .nl classified domains by DMap",
+    )
+    total = max(1, report_data.total_classified)
+    for category in ContentCategory:
+        count = report_data.category_counts.get(category, 0)
+        table.add_row(
+            category.value,
+            count,
+            f"{count / total * 100:.1f}% ({PAPER_SHARES[category] * 100:.1f}%)",
+            CATEGORY_MEANING[category],
+        )
+    table.add_row("Total", total, "", "")
+    write_report("table6_dmap", table.render())
+
+    counts = report_data.category_counts
+    assert counts[ContentCategory.PLACEHOLDER] > counts[ContentCategory.ECOMMERCE]
+    assert counts[ContentCategory.PLACEHOLDER] > counts[ContentCategory.PARKING]

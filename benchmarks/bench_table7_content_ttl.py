@@ -1,0 +1,38 @@
+"""Table 7 — median TTLs (hours) per .nl content category.
+
+Paper: NS 4/24/4 h (ecommerce/parking/placeholder), A 1 h everywhere,
+AAAA 0.1/1/4 h, MX 1 h everywhere, DNSKEY 1/24/4 h.
+"""
+
+from benchmarks.conftest import write_report
+from repro.analysis.tables import Table
+from repro.crawler.dmap import ContentCategory, dmap_classify
+
+PAPER_MEDIANS = {
+    "NS": {"ecommerce": 4.0, "parking": 24.0, "placeholder": 4.0},
+    "A": {"ecommerce": 1.0, "parking": 1.0, "placeholder": 1.0},
+    "AAAA": {"ecommerce": 0.1, "parking": 1.0, "placeholder": 4.0},
+    "MX": {"ecommerce": 1.0, "parking": 1.0, "placeholder": 1.0},
+    "DNSKEY": {"ecommerce": 1.0, "parking": 24.0, "placeholder": 4.0},
+}
+
+
+def bench_table7(benchmark, crawl_result):
+    report_data = benchmark(dmap_classify, crawl_result)
+    table = Table(
+        ["record", "ecommerce (paper)", "parking (paper)", "placeholder (paper)"],
+        title="Table 7: median TTL values (hours) for .nl domains",
+    )
+    medians = report_data.median_ttl_hours
+    for rtype in ("NS", "A", "AAAA", "MX", "DNSKEY"):
+        cells = []
+        for category in (ContentCategory.ECOMMERCE, ContentCategory.PARKING,
+                         ContentCategory.PLACEHOLDER):
+            measured = medians.get(category, {}).get(rtype)
+            paper = PAPER_MEDIANS[rtype][category.value]
+            cells.append(f"{measured:.1f} ({paper})" if measured else f"- ({paper})")
+        table.add_row(rtype, *cells)
+    write_report("table7_content_ttl", table.render())
+
+    assert medians[ContentCategory.PARKING]["NS"] == 24.0
+    assert medians[ContentCategory.PLACEHOLDER]["A"] == 1.0

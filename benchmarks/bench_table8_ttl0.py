@@ -1,0 +1,27 @@
+"""Table 8 — domains with TTL = 0 s, per record type and list.
+
+Paper: a small number of domains disable caching entirely (Alexa 4524 NS,
+896 A of 1M; Root none); the paper recommends against it.
+"""
+
+from benchmarks.conftest import write_report
+from repro.analysis.tables import Table
+from repro.crawler.report import ttl_zero_census
+
+
+def bench_table8(benchmark, crawl_result):
+    census = benchmark(ttl_zero_census, crawl_result)
+    lists = list(census)
+    table = Table(["record", *lists], title="Table 8: domains with TTL=0s")
+    for rtype in ("NS", "A", "AAAA", "MX", "DNSKEY", "unique"):
+        table.add_row(rtype, *[census[name].get(rtype, 0) for name in lists])
+    report = table.render()
+    report += (
+        "\n\npaper: TTL=0 exists but is rare (fractions of a percent); the "
+        "root has none."
+    )
+    write_report("table8_ttl0", report)
+
+    assert all(v == 0 for v in census["Root"].values())
+    total_zero = sum(census["Alexa"][t] for t in ("NS", "A", "AAAA", "MX"))
+    assert total_zero > 0

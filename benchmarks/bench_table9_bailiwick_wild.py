@@ -1,0 +1,35 @@
+"""Table 9 — bailiwick configuration in the wild.
+
+Paper: of NS-responding domains, out-of-bailiwick-only shares are 95.0 %
+(Alexa), 95.7 % (Majestic), 90.1 % (Umbrella), 99.7 % (.nl) and 48.7 %
+(root); Umbrella is dominated by CNAME responses to NS queries.
+"""
+
+from benchmarks.conftest import write_report
+from repro.analysis.tables import Table
+from repro.crawler.report import bailiwick_census
+
+PAPER_OUT_PERCENT = {
+    "Alexa": 95.0, "Majestic": 95.7, "Umbrella": 90.1, ".nl": 99.7, "Root": 48.7,
+}
+
+
+def bench_table9(benchmark, crawl_result):
+    census = benchmark(bailiwick_census, crawl_result)
+    lists = list(census)
+    table = Table(["", *lists], title="Table 9: bailiwick distribution in the wild")
+    table.add_row("responsive", *[census[n].responsive for n in lists])
+    table.add_row("CNAME", *[census[n].cname for n in lists])
+    table.add_row("SOA", *[census[n].soa for n in lists])
+    table.add_row("respond NS", *[census[n].respond_ns for n in lists])
+    table.add_row("out only", *[census[n].out_only for n in lists])
+    table.add_row(
+        "percent out (paper)",
+        *[f"{census[n].percent_out:.1f} ({PAPER_OUT_PERCENT[n]})" for n in lists],
+    )
+    table.add_row("in only", *[census[n].in_only for n in lists])
+    table.add_row("mixed", *[census[n].mixed for n in lists])
+    write_report("table9_bailiwick_wild", table.render())
+
+    for name, paper in PAPER_OUT_PERCENT.items():
+        assert abs(census[name].percent_out - paper) < 12.0

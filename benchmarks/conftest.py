@@ -1,0 +1,76 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  Rendered
+reports are written to ``benchmarks/output/<id>.txt`` (and printed, visible
+with ``pytest -s``), so a bench run leaves the full paper-vs-measured
+record on disk.  Expensive simulations shared by several benches (the
+crawl, the bailiwick campaigns, the controlled TTL experiments) run once
+per session via fixtures; those benches then time their aggregation step.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Default scales: large enough for stable shapes, small enough that the
+#: whole harness finishes in a few minutes.
+PROBES = 250
+CRAWL_SCALE = 0.002
+SEED = 20191021  # the paper's presentation date
+
+
+def write_report(name: str, text: str) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[report written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def crawl_result():
+    """One crawl of all five lists, shared by the Table 5/8/9, Figure 9 and
+    Table 6/7 benches."""
+    from repro.crawler import Crawler, build_crawl_universe
+
+    universe = build_crawl_universe(scale=CRAWL_SCALE, seed=SEED)
+    return Crawler(universe).crawl()
+
+
+@pytest.fixture(scope="session")
+def bailiwick_runs():
+    """The §4 campaigns (both bailiwick configurations), shared by the
+    Table 3/4 and Figure 6/7 benches."""
+    from repro.core.scenarios import scenario_bailiwick
+
+    return {
+        "in": scenario_bailiwick(seed=SEED, in_bailiwick=True, probes=PROBES),
+        "out": scenario_bailiwick(seed=SEED, in_bailiwick=False, probes=PROBES),
+    }
+
+
+@pytest.fixture(scope="session")
+def controlled_runs():
+    """The §6.2 experiments, shared by Table 10 and Figure 11."""
+    from repro.core.scenarios import scenario_controlled_ttl
+
+    return scenario_controlled_ttl(seed=SEED, probes=PROBES)
+
+
+@pytest.fixture(scope="session")
+def uy_natural_run():
+    """The §5.3 natural experiment, shared by Figure 10a/10b."""
+    from repro.core.scenarios import scenario_uy_natural
+
+    return scenario_uy_natural(seed=SEED, probes=PROBES)
+
+
+@pytest.fixture(scope="session")
+def nl_passive_run():
+    """The §3.4 passive study, shared by Figures 3 and 4."""
+    from repro.core.scenarios import scenario_nl_passive
+
+    return scenario_nl_passive(seed=SEED, resolvers=300, domain_count=200)

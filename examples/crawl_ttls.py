@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Crawl TTLs in a synthetic wild: the paper's §5.1 pipeline, small scale.
+
+Generates scaled-down Alexa/Majestic/Umbrella/.nl/root populations, hosts
+them on simulated authoritatives, crawls parent and child TTLs for six
+record types, and prints the headline observations (Figure 9 / Table 9).
+
+Run:  python examples/crawl_ttls.py
+"""
+
+from repro.crawler import Crawler, build_crawl_universe
+from repro.crawler.report import bailiwick_census, record_counts, ttl_cdf_by_type
+
+
+def main() -> None:
+    print("Generating five synthetic top lists and hosting them...")
+    universe = build_crawl_universe(scale=0.001, seed=11)
+    print(f"  {len(universe.domains)} domains across {len(universe.lists)} lists")
+
+    crawler = Crawler(universe)
+    result = crawler.crawl()
+    print(f"  crawled with {crawler.queries_sent} direct queries "
+          "(parent + child, no shared recursives)\n")
+
+    print("== Response ratios and record counts (paper Table 5) ==")
+    for name, block in record_counts(result).items():
+        ns_ratio = block.unique_ratio("NS")
+        shared = f", NS shared-hosting ratio {ns_ratio:.1f}" if ns_ratio else ""
+        print(f"  {name:9s}: {block.responsive}/{block.domains} responsive "
+              f"({block.ratio:.2f}){shared}")
+
+    print("\n== TTL distributions (paper Figure 9) ==")
+    cdfs = ttl_cdf_by_type(result)
+    for name in ("Alexa", "Umbrella", "Root"):
+        per_type = cdfs[name]
+        parts = [
+            f"{rtype} median {int(per_type[rtype].median)}s"
+            for rtype in ("NS", "A") if rtype in per_type
+        ]
+        print(f"  {name:9s}: " + ", ".join(parts))
+    print("  (NS and DNSKEY live longest; A/AAAA shortest; Umbrella shortest of all)")
+
+    print("\n== Bailiwick configuration (paper Table 9) ==")
+    for name, census in bailiwick_census(result).items():
+        print(f"  {name:9s}: {census.percent_out:5.1f}% out-of-bailiwick-only "
+              f"({census.respond_ns} NS responders, {census.cname} CNAME, "
+              f"{census.soa} SOA)")
+    print("\nPopular domains are overwhelmingly out-of-bailiwick; the root is an")
+    print("even split — which is why §4's two experiments both matter in practice.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The renumbering pitfall: how long does an old server keep your traffic?
+
+Reproduces the paper's §4 controlled experiments at example scale.  A zone
+operator renumbers their authoritative server (new machine, new address,
+parent glue updated within seconds).  How long do resolvers keep sending
+queries to the *old* machine?
+
+- in-bailiwick server (glue): most resolvers drop the still-valid address
+  when the NS set expires -> switch at the NS TTL (60 min);
+- out-of-bailiwick server: the address record lives out its own TTL ->
+  switch at the A TTL (120 min);
+- sticky / parent-centric resolvers: much later, or never.
+
+Run:  python examples/renumbering_pitfall.py
+"""
+
+from repro.core.effective_ttl import DelegationConfig, effective_switch_time
+from repro.core.scenarios import scenario_bailiwick
+from repro.resolver.policy import ResolverPolicy
+
+
+def show_timeseries(run, label: str) -> None:
+    print(f"\n{label}: fraction of answers from the NEW server, per 10-min round")
+    rounds = sorted(run.switched_by_round)
+    for round_index in rounds:
+        fraction = run.switched_by_round[round_index]
+        bar = "#" * int(fraction * 40)
+        print(f"  t={round_index * 10:4d}m |{bar:<40s}| {fraction * 100:5.1f}%")
+
+
+def main() -> None:
+    print("== Analytical prediction (repro.core.effective_ttl) ==")
+    config_in = DelegationConfig(
+        parent_ns_ttl=3600, child_ns_ttl=3600,
+        parent_glue_ttl=7200, child_address_ttl=7200, in_bailiwick=True,
+    )
+    config_out = DelegationConfig(
+        parent_ns_ttl=3600, child_ns_ttl=3600,
+        parent_glue_ttl=None, child_address_ttl=7200, in_bailiwick=False,
+    )
+    for config, label in ((config_in, "in-bailiwick"), (config_out, "out-of-bailiwick")):
+        for policy, policy_label in (
+            (ResolverPolicy.child_centric(), "typical resolver"),
+            (ResolverPolicy.unlinked(), "unlinked resolver"),
+            (ResolverPolicy.sticky_resolver(), "sticky resolver"),
+        ):
+            switch = effective_switch_time(config, policy)
+            rendered = f"{switch // 60} min" if switch is not None else "never"
+            print(f"  {label:17s} + {policy_label:17s}: switches after {rendered}")
+
+    print("\n== Simulated measurement (paper Figures 6 and 7) ==")
+    print("NS TTL 3600 s, server A TTL 7200 s, renumber at t=9 min.")
+    in_run = scenario_bailiwick(seed=3, in_bailiwick=True, probes=120)
+    out_run = scenario_bailiwick(seed=3, in_bailiwick=False, probes=120)
+    show_timeseries(in_run, "IN-BAILIWICK (glue ties A to NS: switch at 60m)")
+    show_timeseries(out_run, "OUT-OF-BAILIWICK (A trusted fully: switch at 120m)")
+
+    sticky_share = len(out_run.sticky_vp_ids) / max(1, len(out_run.results.vp_ids()))
+    print(f"\nsticky VPs out-of-bailiwick: {sticky_share * 100:.1f}% "
+          "(parent-centric resolvers pinned the 2-day .com glue — paper §4.4)")
+    print("\nOperational takeaway (paper §6.3): for in-bailiwick servers, set the")
+    print("A/AAAA TTL at or below the NS TTL — that is how resolvers treat it anyway.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The .uy natural experiment: how a TTL change moves user latency.
+
+Reproduces the paper's §5.3 result at example scale: Uruguay's ccTLD
+raised its child NS TTL from 300 s to one day after seeing the authors'
+data, and median query latency collapsed because the record stopped
+falling out of resolver caches.
+
+Run:  python examples/ttl_change_latency.py
+"""
+
+from repro.analysis.cdf import ECDF
+from repro.analysis.latencystats import improvement_factor, regional_summaries
+from repro.core.scenarios import scenario_uy_natural
+
+
+def main() -> None:
+    print("Measuring NS .uy from an Atlas-like population, every 10 minutes")
+    print("for 2 hours, before (TTL 300 s) and after (TTL 86400 s)...\n")
+    run = scenario_uy_natural(seed=7, probes=200, duration=7200)
+
+    before = ECDF(run.before.rtts_ms())
+    after = ECDF(run.after.rtts_ms())
+    print(f"{'':12s} {'median':>9s} {'p75':>9s} {'p95':>9s} {'p99':>9s}")
+    for label, cdf in (("TTL 300s", before), ("TTL 86400s", after)):
+        print(
+            f"{label:12s} {cdf.median:8.1f}ms {cdf.quantile(0.75):8.1f}ms "
+            f"{cdf.quantile(0.95):8.1f}ms {cdf.quantile(0.99):8.1f}ms"
+        )
+    print(f"\nmedian improvement factor: "
+          f"{improvement_factor(before.values, after.values):.1f}x")
+    print("(paper: 28.7 ms -> 8 ms at the median; 183 -> 21 ms at p75)")
+
+    print("\nPer region (paper Figure 10b — every region improves):")
+    reg_before = regional_summaries(run.rtts_by_region("before"))
+    reg_after = regional_summaries(run.rtts_by_region("after"))
+    for region in sorted(reg_before, key=lambda r: r.name):
+        if region not in reg_after:
+            continue
+        print(
+            f"  {region.name}: {reg_before[region].median:7.1f} ms -> "
+            f"{reg_after[region].median:6.1f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

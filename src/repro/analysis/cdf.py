@@ -1,0 +1,93 @@
+"""Empirical cumulative distribution functions.
+
+Every TTL and latency figure in the paper is a CDF; :class:`ECDF` provides
+the quantile and fraction-below views those figures plot, plus a compact
+sampler used by the text renderers.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+
+class ECDF:
+    """An empirical CDF over a sample of numbers."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values = sorted(float(v) for v in values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return self._values
+
+    def fraction_below(self, x: float) -> float:
+        """P(X <= x) — the y-value of the CDF at x."""
+        if not self._values:
+            raise ValueError("empty ECDF")
+        return bisect.bisect_right(self._values, x) / len(self._values)
+
+    def fraction_strictly_below(self, x: float) -> float:
+        """P(X < x)."""
+        if not self._values:
+            raise ValueError("empty ECDF")
+        return bisect.bisect_left(self._values, x) / len(self._values)
+
+    def fraction_at(self, x: float) -> float:
+        """P(X == x) — spotting spikes like the 21599 s capping plateau."""
+        return self.fraction_below(x) - self.fraction_strictly_below(x)
+
+    def quantile(self, q: float) -> float:
+        """The q-th quantile, 0 <= q <= 1 (nearest-rank)."""
+        if not self._values:
+            raise ValueError("empty ECDF")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if q == 0.0:
+            return self._values[0]
+        rank = max(0, min(len(self._values) - 1, int(q * len(self._values) + 0.5) - 1))
+        return self._values[rank]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def min(self) -> float:
+        if not self._values:
+            raise ValueError("empty ECDF")
+        return self._values[0]
+
+    @property
+    def max(self) -> float:
+        if not self._values:
+            raise ValueError("empty ECDF")
+        return self._values[-1]
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError("empty ECDF")
+        return sum(self._values) / len(self._values)
+
+    def points(self, max_points: int = 200) -> list[tuple[float, float]]:
+        """(x, P(X<=x)) pairs, downsampled for plotting/rendering."""
+        if not self._values:
+            return []
+        n = len(self._values)
+        step = max(1, n // max_points)
+        pts = [
+            (self._values[i], (i + 1) / n) for i in range(0, n, step)
+        ]
+        if pts[-1][0] != self._values[-1]:
+            pts.append((self._values[-1], 1.0))
+        return pts
+
+    def describe(self, quantiles: Sequence[float] = (0.25, 0.5, 0.75, 0.95, 0.99)) -> dict[str, float]:
+        out = {"n": float(len(self._values)), "mean": self.mean, "min": self.min, "max": self.max}
+        for q in quantiles:
+            out[f"p{int(q * 100)}"] = self.quantile(q)
+        return out

@@ -1,0 +1,69 @@
+"""Query interarrival analysis (paper §3.4, Figures 3 and 4).
+
+Operates on the (resolver, qname) → sorted timestamps grouping produced by
+:meth:`repro.server.querylog.QueryLog.by_group`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: The paper filters queries closer than 2 s as retransmissions (Fig. 3).
+RETRANSMISSION_THRESHOLD = 2.0
+
+
+def interarrivals(timestamps: Sequence[float]) -> list[float]:
+    """Successive gaps within one group's sorted timestamps."""
+    return [b - a for a, b in zip(timestamps, timestamps[1:])]
+
+
+def filter_retransmissions(
+    timestamps: Sequence[float], threshold: float = RETRANSMISSION_THRESHOLD
+) -> list[float]:
+    """Drop queries arriving within ``threshold`` of the previous one."""
+    kept: list[float] = []
+    for timestamp in timestamps:
+        if kept and timestamp - kept[-1] <= threshold:
+            continue
+        kept.append(timestamp)
+    return kept
+
+
+def queries_per_group(
+    groups: dict[tuple[str, object], list[float]],
+    filter_retrans: bool = False,
+) -> list[int]:
+    """Query counts per group — the x-axis of Figure 3."""
+    counts: list[int] = []
+    for timestamps in groups.values():
+        if filter_retrans:
+            counts.append(len(filter_retransmissions(timestamps)))
+        else:
+            counts.append(len(timestamps))
+    return counts
+
+
+def min_interarrival_per_group(
+    groups: dict[tuple[str, object], list[float]],
+) -> list[float]:
+    """Minimum interarrival per multi-query group — Figure 4's sample."""
+    minima: list[float] = []
+    for timestamps in groups.values():
+        gaps = interarrivals(timestamps)
+        if gaps:
+            minima.append(min(gaps))
+    return minima
+
+
+def hourly_bumps(minima: Iterable[float], hour: float = 3600.0, tolerance: float = 0.05) -> dict[int, int]:
+    """Count minima near multiples of one hour (the Figure 4 "bumps").
+
+    Returns {multiple: count} for multiples 1..24; a gap g counts toward
+    multiple k when |g - k*hour| <= tolerance * hour.
+    """
+    bumps: dict[int, int] = {}
+    for gap in minima:
+        k = round(gap / hour)
+        if 1 <= k <= 24 and abs(gap - k * hour) <= tolerance * hour:
+            bumps[k] = bumps.get(k, 0) + 1
+    return bumps

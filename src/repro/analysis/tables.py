@@ -1,0 +1,182 @@
+"""Text renderers for the benchmark harness.
+
+The harness prints the same rows and series the paper's tables and figures
+report; these helpers render aligned ASCII tables, CDF sketches, and
+timeseries bars so a bench run is readable on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.cdf import ECDF
+
+
+class Table:
+    """A fixed-column ASCII table."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.headers))
+        lines.append("-+-".join("-" * width for width in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_cdf(
+    samples: dict[str, Iterable[float]],
+    title: str = "",
+    xlabel: str = "value",
+    markers: Sequence[float] = (0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99),
+    unit: str = "",
+) -> str:
+    """Render one or more CDFs as a quantile table (the 'figure')."""
+    table = Table(
+        ["series", "n", *[f"p{int(q * 100)}" for q in markers]],
+        title=title or f"CDF of {xlabel}",
+    )
+    for label, values in samples.items():
+        cdf = ECDF(values)
+        if len(cdf) == 0:
+            table.add_row(label, 0, *["-"] * len(markers))
+            continue
+        cells = [f"{cdf.quantile(q):.4g}{unit}" for q in markers]
+        table.add_row(label, len(cdf), *cells)
+    return table.render()
+
+
+def render_cdf_plot(
+    samples: dict[str, Iterable[float]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+) -> str:
+    """Draw one or more CDF step curves as an ASCII plot.
+
+    X is the value axis (log-scaled by default, like the paper's TTL
+    figures), Y is the cumulative fraction.  Each series gets a marker
+    character; overlapping cells show the later series.
+    """
+    import math
+
+    cdfs = {label: ECDF(values) for label, values in samples.items()}
+    cdfs = {label: cdf for label, cdf in cdfs.items() if len(cdf)}
+    if not cdfs:
+        return (title or "CDF") + "\n(no data)"
+
+    lo = min(cdf.min for cdf in cdfs.values())
+    hi = max(cdf.max for cdf in cdfs.values())
+    if log_x:
+        lo = max(lo, 1e-9)
+        hi = max(hi, lo * 1.0001)
+
+    def x_of(column: int) -> float:
+        fraction = column / max(1, width - 1)
+        if log_x:
+            return math.exp(
+                math.log(lo) + fraction * (math.log(hi) - math.log(lo))
+            )
+        return lo + fraction * (hi - lo)
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "#*+@%o"
+    for marker, (label, cdf) in zip(markers, cdfs.items()):
+        for column in range(width):
+            y = cdf.fraction_below(x_of(column))
+            row = height - 1 - min(height - 1, int(y * (height - 1) + 0.5))
+            grid[row][column] = marker
+
+    lines = [title or "CDF"]
+    lines.append(
+        "  ".join(f"{m}={label}" for m, label in zip(markers, cdfs))
+    )
+    for row_index, row in enumerate(grid):
+        y_label = 1.0 - row_index / (height - 1)
+        lines.append(f"{y_label:4.2f} |{''.join(row)}|")
+    left = f"{lo:.3g}"
+    right = f"{hi:.3g}"
+    lines.append("     +" + "-" * width + "+")
+    lines.append(
+        "      " + left + " " * max(1, width - len(left) - len(right)) + right
+        + ("  (log x)" if log_x else "")
+    )
+    return "\n".join(lines)
+
+
+def render_timeseries(
+    series: dict[str, dict[int, int]],
+    bin_seconds: float = 600.0,
+    title: str = "",
+    max_width: int = 40,
+) -> str:
+    """Render per-bin counts for multiple series as horizontal bars.
+
+    This is the text rendering of the paper's Figure 6/7: one row per time
+    bin, one bar segment per series (e.g. old vs new server).
+    """
+    if not series:
+        return (title or "timeseries") + "\n(no data)"
+    all_bins = sorted({b for bins in series.values() for b in bins})
+    peak = max(
+        (count for bins in series.values() for count in bins.values()), default=1
+    )
+    labels = list(series)
+    lines = [title or "timeseries"]
+    legend = "  ".join(
+        f"{symbol}={label}" for symbol, label in zip("#*+@%", labels)
+    )
+    lines.append(f"bins of {bin_seconds:.0f}s; {legend}")
+    for bin_index in all_bins:
+        t_minutes = bin_index * bin_seconds / 60.0
+        segments = []
+        counts = []
+        for symbol, label in zip("#*+@%", labels):
+            count = series[label].get(bin_index, 0)
+            width = int(round(count / peak * max_width))
+            segments.append(symbol * width)
+            counts.append(f"{label}:{count}")
+        lines.append(f"t={t_minutes:6.0f}m |{''.join(segments):<{max_width}}| " + " ".join(counts))
+    return "\n".join(lines)
+
+
+def fraction(value: float) -> str:
+    """Render a fraction as a percentage string."""
+    return f"{value * 100:.1f}%"
+
+
+def paper_vs_measured(
+    title: str,
+    rows: list[tuple[str, object, object]],
+) -> str:
+    """The EXPERIMENTS.md-style comparison block: metric, paper, ours."""
+    table = Table(["metric", "paper", "measured"], title=title)
+    for metric, paper, measured in rows:
+        table.add_row(metric, paper, measured)
+    return table.render()

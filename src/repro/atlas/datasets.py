@@ -1,0 +1,97 @@
+"""Dataset export/import: JSON-lines serialization of measurement results.
+
+The paper publishes its RIPE Atlas measurement datasets ([43]); this
+module gives the reproduction the same property — any :class:`ResultSet`
+can be written to a JSON-lines file and reloaded bit-identically, so
+expensive simulation runs can be archived and re-analyzed without
+re-running.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Union
+
+from repro.atlas.results import MeasurementResult, ResultSet
+from repro.dns.message import Rcode
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataType
+from repro.net.topology import Region
+
+PathLike = Union[str, pathlib.Path]
+
+#: Format marker written into every row; bump when fields change.
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: MeasurementResult) -> dict:
+    return {
+        "v": SCHEMA_VERSION,
+        "probe_id": result.probe_id,
+        "vp_id": result.vp_id,
+        "resolver": result.resolver_address,
+        "region": result.region.name,
+        "asn": result.asn,
+        "round": result.round_index,
+        "ts": result.timestamp,
+        "qname": str(result.qname),
+        "qtype": result.qtype.name,
+        "rcode": result.rcode.name,
+        "ttl": result.ttl,
+        "answers": list(result.answers),
+        "rtt": result.rtt,
+        "cache_hit": result.cache_hit,
+        "served_stale": result.served_stale,
+    }
+
+
+def result_from_dict(row: dict) -> MeasurementResult:
+    version = row.get("v", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported dataset schema version {version}")
+    return MeasurementResult(
+        probe_id=row["probe_id"],
+        vp_id=row["vp_id"],
+        resolver_address=row["resolver"],
+        region=Region[row["region"]],
+        asn=row["asn"],
+        round_index=row["round"],
+        timestamp=row["ts"],
+        qname=Name(row["qname"]),
+        qtype=RdataType[row["qtype"]],
+        rcode=Rcode[row["rcode"]],
+        ttl=row["ttl"],
+        answers=tuple(row["answers"]),
+        rtt=row["rtt"],
+        cache_hit=row["cache_hit"],
+        served_stale=row["served_stale"],
+    )
+
+
+def save_results(results: Union[ResultSet, Iterable[MeasurementResult]],
+                 path: PathLike) -> int:
+    """Write results as JSON lines; returns the number of rows written."""
+    rows = list(results)
+    target = pathlib.Path(path)
+    with target.open("w", encoding="ascii") as handle:
+        for result in rows:
+            handle.write(json.dumps(result_to_dict(result), sort_keys=True))
+            handle.write("\n")
+    return len(rows)
+
+
+def load_results(path: PathLike) -> ResultSet:
+    """Read a JSON-lines dataset back into a :class:`ResultSet`."""
+    source = pathlib.Path(path)
+    results = []
+    with source.open("r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                results.append(result_from_dict(json.loads(line)))
+            except (KeyError, ValueError) as exc:
+                raise ValueError(f"{source}:{line_number}: {exc}") from exc
+    return ResultSet(results)

@@ -1,0 +1,134 @@
+"""Periodic DNS measurements from every vantage point.
+
+A :class:`MeasurementSpec` mirrors a RIPE Atlas DNS measurement: a query
+(name may contain the ``PROBEID`` placeholder, as the paper's §4
+experiments use to defeat caching), an interval, and a duration.  The
+scheduler issues one query per VP per round, with a stable per-VP start
+offset inside the interval (Atlas spreads probes' queries in time), and
+fires scheduled world *events* (renumbering, TTL changes, taking servers
+down) between queries in global time order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.dns.message import Rcode
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataType
+from repro.atlas.probe import VantagePoint
+from repro.atlas.results import MeasurementResult, ResultSet
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """One Atlas-style recurring DNS measurement."""
+
+    qname: str
+    qtype: RdataType
+    interval: float = 600.0
+    duration: float = 7200.0
+    start: float = 0.0
+    #: Spread each VP's queries by a stable random offset within the
+    #: interval (True matches Atlas scheduling).
+    jitter: bool = True
+    description: str = ""
+
+    def rounds(self) -> int:
+        return int(self.duration // self.interval)
+
+    def qname_for(self, probe_id: int) -> Name:
+        """Substitute the PROBEID placeholder (paper §4.2)."""
+        return Name(self.qname.replace("PROBEID", f"p{probe_id}"))
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """A world mutation fired at a fixed virtual time during a run."""
+
+    at: float
+    action: Callable[[], None]
+    label: str = ""
+
+
+@dataclass
+class Measurement:
+    """Runs a spec against a set of vantage points."""
+
+    spec: MeasurementSpec
+    vantage_points: list[VantagePoint]
+    events: list[ScheduledEvent] = field(default_factory=list)
+    seed: int = 0
+
+    def schedule(self, at: float, action: Callable[[], None], label: str = "") -> None:
+        self.events.append(ScheduledEvent(at=at, action=action, label=label))
+
+    def run(self) -> ResultSet:
+        """Execute every round; returns the collected results."""
+        rng = random.Random(self.seed ^ 0x3EA5)
+        offsets = {
+            vp.vp_id: (rng.uniform(0.0, self.spec.interval) if self.spec.jitter else 0.0)
+            for vp in self.vantage_points
+        }
+        # Build the full (time, vp, round) schedule, then run in time order
+        # so cache warm-up across VPs sharing a resolver is realistic.
+        schedule: list[tuple[float, int, VantagePoint]] = []
+        for round_index in range(self.spec.rounds()):
+            round_start = self.spec.start + round_index * self.spec.interval
+            for vp in self.vantage_points:
+                schedule.append((round_start + offsets[vp.vp_id], round_index, vp))
+        schedule.sort(key=lambda item: item[0])
+
+        pending_events = sorted(self.events, key=lambda event: event.at)
+        event_index = 0
+        results: list[MeasurementResult] = []
+        for timestamp, round_index, vp in schedule:
+            while event_index < len(pending_events) and (
+                pending_events[event_index].at <= timestamp
+            ):
+                pending_events[event_index].action()
+                event_index += 1
+            qname = self.spec.qname_for(vp.probe.probe_id)
+            answer = vp.stub.query(qname, self.spec.qtype, timestamp)
+            results.append(
+                MeasurementResult(
+                    probe_id=vp.probe.probe_id,
+                    vp_id=vp.vp_id,
+                    resolver_address=vp.resolver_address,
+                    region=vp.probe.region,
+                    asn=vp.probe.asn,
+                    round_index=round_index,
+                    timestamp=timestamp,
+                    qname=qname,
+                    qtype=self.spec.qtype,
+                    rcode=answer.rcode,
+                    ttl=answer.ttl(),
+                    answers=tuple(
+                        str(rdata)
+                        for rrset in answer.answers
+                        for rdata in rrset.rdatas
+                    ),
+                    rtt=answer.rtt,
+                    cache_hit=answer.cache_hit,
+                    served_stale=answer.served_stale,
+                )
+            )
+        # Fire any events scheduled after the last query (end-of-run state).
+        while event_index < len(pending_events):
+            pending_events[event_index].action()
+            event_index += 1
+        return ResultSet(results, spec=self.spec)
+
+
+def run_once(
+    vantage_points: list[VantagePoint],
+    qname: str,
+    qtype: RdataType,
+    at: float = 0.0,
+) -> ResultSet:
+    """One-shot measurement from every VP (no rounds, no jitter)."""
+    spec = MeasurementSpec(qname=qname, qtype=qtype, interval=1.0, duration=1.0, start=at, jitter=False)
+    measurement = Measurement(spec=spec, vantage_points=vantage_points)
+    return measurement.run()

@@ -1,0 +1,59 @@
+"""Probes and vantage points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.topology import Endpoint
+from repro.resolver.stub import StubResolver
+
+
+@dataclass
+class Probe:
+    """One measurement device with one or more configured resolvers."""
+
+    probe_id: int
+    endpoint: Endpoint
+    stubs: list[StubResolver]
+
+    @property
+    def region(self):
+        return self.endpoint.region
+
+    @property
+    def asn(self) -> int:
+        return self.endpoint.asn
+
+    def vantage_points(self) -> list["VantagePoint"]:
+        return [
+            VantagePoint(self, stub, slot) for slot, stub in enumerate(self.stubs)
+        ]
+
+
+@dataclass
+class VantagePoint:
+    """A (probe, resolver) pair — the paper's measurement unit (§3.2).
+
+    "Many Atlas probes have multiple recursive resolvers ... so we treat
+    each combination of probe and unique recursive resolver as a VP."
+
+    ``vp_id`` is built from the probe id and the resolver *slot* (not the
+    resolver's address) so the same logical VP keeps its identity across
+    experiments run in freshly built worlds — the paper's Figure 8 matches
+    VPs between the out-of-bailiwick and in-bailiwick campaigns this way.
+    """
+
+    probe: Probe
+    stub: StubResolver
+    slot: int = 0
+
+    @property
+    def vp_id(self) -> str:
+        return f"{self.probe.probe_id}#{self.slot}"
+
+    @property
+    def resolver_address(self) -> str:
+        return self.stub.resolver.address
+
+    def __repr__(self) -> str:
+        return f"VantagePoint({self.vp_id})"

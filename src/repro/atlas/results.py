@@ -1,0 +1,163 @@
+"""Measurement result records and dataset summaries.
+
+A :class:`ResultSet` applies the same hygiene the paper does: responses
+that time out, return unexpected rcodes, or carry answers other than the
+expected ones (hijacked probes, §3.2) are *discarded*; per-experiment
+summaries report probes/VPs/queries/valid/discarded exactly like Table 2
+and Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.dns.message import Rcode
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataType
+from repro.net.topology import Region
+
+
+@dataclass(frozen=True)
+class MeasurementResult:
+    """One query from one VP in one round."""
+
+    probe_id: int
+    vp_id: str
+    resolver_address: str
+    region: Region
+    asn: int
+    round_index: int
+    timestamp: float
+    qname: Name
+    qtype: RdataType
+    rcode: Rcode
+    ttl: Optional[int]
+    answers: tuple[str, ...]
+    rtt: float
+    cache_hit: bool = False
+    served_stale: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.rcode == Rcode.NOERROR and bool(self.answers)
+
+
+@dataclass
+class ResultSet:
+    """All results of one measurement, with validity filtering."""
+
+    results: list[MeasurementResult]
+    spec: object = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[MeasurementResult]:
+        return iter(self.results)
+
+    # -- filtering -----------------------------------------------------------
+    def valid(
+        self, expect: Optional[Callable[[MeasurementResult], bool]] = None
+    ) -> "ResultSet":
+        """Responses with NOERROR and a non-empty expected answer."""
+        keep = [
+            result
+            for result in self.results
+            if result.ok and (expect is None or expect(result))
+        ]
+        return ResultSet(keep, spec=self.spec)
+
+    def discarded(
+        self, expect: Optional[Callable[[MeasurementResult], bool]] = None
+    ) -> "ResultSet":
+        valid_ids = {id(result) for result in self.valid(expect).results}
+        return ResultSet(
+            [result for result in self.results if id(result) not in valid_ids],
+            spec=self.spec,
+        )
+
+    def filtered(self, predicate: Callable[[MeasurementResult], bool]) -> "ResultSet":
+        return ResultSet([r for r in self.results if predicate(r)], spec=self.spec)
+
+    def for_round(self, round_index: int) -> "ResultSet":
+        return self.filtered(lambda r: r.round_index == round_index)
+
+    # -- extraction -----------------------------------------------------------
+    def ttls(self) -> list[int]:
+        return [result.ttl for result in self.results if result.ttl is not None]
+
+    def rtts(self) -> list[float]:
+        return [result.rtt for result in self.results]
+
+    def rtts_ms(self) -> list[float]:
+        return [result.rtt * 1000.0 for result in self.results]
+
+    def vp_ids(self) -> set[str]:
+        return {result.vp_id for result in self.results}
+
+    def probe_ids(self) -> set[int]:
+        return {result.probe_id for result in self.results}
+
+    def resolver_addresses(self) -> set[str]:
+        return {result.resolver_address for result in self.results}
+
+    def regions(self) -> set[Region]:
+        return {result.region for result in self.results}
+
+    # -- grouping -----------------------------------------------------------
+    def by_vp(self) -> dict[str, list[MeasurementResult]]:
+        grouped: dict[str, list[MeasurementResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.vp_id, []).append(result)
+        for rows in grouped.values():
+            rows.sort(key=lambda r: r.timestamp)
+        return grouped
+
+    def by_region(self) -> dict[Region, list[MeasurementResult]]:
+        grouped: dict[Region, list[MeasurementResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.region, []).append(result)
+        return grouped
+
+    def by_answer(self) -> dict[tuple[str, ...], int]:
+        """How many responses carried each answer set (Figure 6/7 series)."""
+        counts: dict[tuple[str, ...], int] = {}
+        for result in self.results:
+            counts[result.answers] = counts.get(result.answers, 0) + 1
+        return counts
+
+    def answer_timeseries(
+        self, bin_seconds: float = 600.0
+    ) -> dict[str, dict[int, int]]:
+        """Per-answer counts in time bins — the Figure 6/7 bar series."""
+        series: dict[str, dict[int, int]] = {}
+        for result in self.results:
+            if not result.answers:
+                continue
+            key = result.answers[-1]
+            bins = series.setdefault(key, {})
+            index = int(result.timestamp // bin_seconds)
+            bins[index] = bins.get(index, 0) + 1
+        return series
+
+    # -- summaries -------------------------------------------------------------
+    def summary(
+        self, expect: Optional[Callable[[MeasurementResult], bool]] = None
+    ) -> dict[str, int]:
+        """The Table 2/Table 3 bookkeeping for this dataset."""
+        valid = self.valid(expect)
+        timeouts = sum(1 for r in self.results if r.rcode == Rcode.SERVFAIL)
+        return {
+            "probes": len(self.probe_ids()),
+            "probes_valid": len(valid.probe_ids()),
+            "probes_discarded": len(self.probe_ids()) - len(valid.probe_ids()),
+            "vps": len(self.vp_ids()),
+            "queries": len(self.results),
+            "timeouts": timeouts,
+            "responses": len(self.results) - timeouts,
+            "responses_valid": len(valid),
+            "responses_discarded": len(self.results) - timeouts - len(valid),
+            "resolvers": len(self.resolver_addresses()),
+            "ases": len({r.asn for r in self.results}),
+        }

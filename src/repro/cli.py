@@ -1,0 +1,373 @@
+"""Command-line interface: operator-facing tools built on the library.
+
+Subcommands::
+
+    python -m repro.cli recommend   --kind registry --no-parent-control
+    python -m repro.cli effective   --parent-ns 172800 --child-ns 300 ...
+    python -m repro.cli hitrate     --rate-per-hour 12 --ttl 300 3600 86400
+    python -m repro.cli demo-uy     [--probes 150]
+    python -m repro.cli crawl       [--scale 0.001] [--seed 0]
+
+Everything prints plain text; there is no network access — the "demo" and
+"crawl" subcommands run the simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.hitrate import analytic_hit_rate, diminishing_returns_ttl
+from repro.analysis.tables import Table
+from repro.core.effective_ttl import DelegationConfig, effective_record_ttl
+from repro.core.recommendations import OperatorKind, ZoneSituation, recommend
+from repro.resolver.policy import ResolverPolicy
+
+_KINDS = {
+    "general": OperatorKind.GENERAL_ZONE,
+    "registry": OperatorKind.TLD_REGISTRY,
+    "load-balanced": OperatorKind.LOAD_BALANCED,
+    "ddos-protected": OperatorKind.DDOS_PROTECTED,
+}
+
+_POLICIES = {
+    "child": ResolverPolicy.child_centric,
+    "parent": ResolverPolicy.parent_centric,
+    "capping": ResolverPolicy.capping,
+    "sticky": ResolverPolicy.sticky_resolver,
+    "unlinked": ResolverPolicy.unlinked,
+    "validating": ResolverPolicy.validating,
+}
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    situation = ZoneSituation(
+        kind=_KINDS[args.kind],
+        uses_cdn_load_balancing=args.load_balancing,
+        uses_dns_ddos_mitigation=args.ddos_mitigation,
+        servers_in_bailiwick=not args.out_of_bailiwick,
+        controls_parent_ttl=not args.no_parent_control,
+        planned_changes_lead_time=args.lead_time,
+    )
+    print(recommend(situation).describe())
+    return 0
+
+
+def _cmd_effective(args: argparse.Namespace) -> int:
+    config = DelegationConfig(
+        parent_ns_ttl=args.parent_ns,
+        child_ns_ttl=args.child_ns,
+        parent_glue_ttl=None if args.out_of_bailiwick else args.parent_glue,
+        child_address_ttl=args.child_address,
+        in_bailiwick=not args.out_of_bailiwick,
+    )
+    table = Table(
+        ["resolver policy", "effective NS TTL", "effective A TTL",
+         "controller", "renumber switch"],
+        title="Effective TTLs by resolver behaviour",
+    )
+    for label in args.policies:
+        policy = _POLICIES[label]()
+        effective = effective_record_ttl(config, policy)
+        switch = (
+            f"{effective.switch_time}s" if effective.switch_time is not None else "never"
+        )
+        table.add_row(
+            label,
+            f"{effective.ns_ttl}s",
+            f"{effective.address_ttl}s" if effective.address_ttl is not None else "-",
+            effective.controller,
+            switch,
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_hitrate(args: argparse.Namespace) -> int:
+    rate = args.rate_per_hour / 3600.0
+    table = Table(
+        ["TTL (s)", "hit rate", "expected latency"],
+        title=f"Cache hit rate at {args.rate_per_hour} queries/hour "
+        "(Jung et al. model)",
+    )
+    for ttl in args.ttl:
+        hit = analytic_hit_rate(rate, ttl)
+        latency = hit * args.hit_ms + (1 - hit) * args.miss_ms
+        table.add_row(ttl, f"{hit * 100:.1f}%", f"{latency:.1f} ms")
+    print(table.render())
+    knee = diminishing_returns_ttl(rate)
+    print(f"\n90% of the caching benefit is reached at TTL ~{knee:.0f}s.")
+    return 0
+
+
+def _cmd_demo_uy(args: argparse.Namespace) -> int:
+    from repro.analysis.cdf import ECDF
+    from repro.core.scenarios import scenario_uy_natural
+
+    print("Running the .uy natural experiment (paper §5.3)...")
+    run = scenario_uy_natural(seed=args.seed, probes=args.probes, duration=3600)
+    before = ECDF(run.before.rtts_ms())
+    after = ECDF(run.after.rtts_ms())
+    table = Table(["configuration", "median", "p75", "p95"], title=".uy NS query RTT")
+    table.add_row("TTL 300s", f"{before.median:.1f} ms",
+                  f"{before.quantile(0.75):.1f} ms", f"{before.quantile(0.95):.1f} ms")
+    table.add_row("TTL 86400s", f"{after.median:.1f} ms",
+                  f"{after.quantile(0.75):.1f} ms", f"{after.quantile(0.95):.1f} ms")
+    print(table.render())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Re-analyze an archived measurement dataset (JSON lines)."""
+    from repro.analysis.cdf import ECDF
+    from repro.analysis.centricity import classify_active_ttls
+    from repro.atlas.datasets import load_results
+
+    results = load_results(args.dataset)
+    valid = results.valid()
+    summary = results.summary()
+    table = Table(["metric", "value"], title=f"Dataset: {args.dataset}")
+    for key in ("probes", "vps", "queries", "responses_valid",
+                "responses_discarded", "resolvers", "ases"):
+        table.add_row(key, summary[key])
+    print(table.render())
+
+    ttls = valid.ttls()
+    if ttls:
+        cdf = ECDF(ttls)
+        print(f"\nTTLs: n={len(cdf)} median={cdf.median:.0f}s "
+              f"p90={cdf.quantile(0.9):.0f}s max={cdf.max:.0f}s")
+    rtts = valid.rtts_ms()
+    if rtts:
+        cdf = ECDF(rtts)
+        print(f"RTTs: median={cdf.median:.1f}ms p75={cdf.quantile(0.75):.1f}ms "
+              f"p95={cdf.quantile(0.95):.1f}ms")
+    if args.parent_ttl is not None and args.child_ttl is not None and ttls:
+        breakdown = classify_active_ttls(
+            ttls, parent_ttl=args.parent_ttl, child_ttl=args.child_ttl
+        )
+        print(
+            f"centricity: child {breakdown.child_fraction * 100:.1f}% / "
+            f"parent {breakdown.parent_fraction * 100:.1f}% / "
+            f"capped {breakdown.capped_fraction * 100:.1f}%"
+        )
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core.audit import audit_zone, render_report
+    from repro.dns.zonefile import parse_zone
+
+    with open(args.zonefile, "r", encoding="ascii") as handle:
+        zone = parse_zone(handle.read(), origin=args.origin)
+    parent = None
+    if args.parent_zonefile:
+        with open(args.parent_zonefile, "r", encoding="ascii") as handle:
+            parent = parse_zone(handle.read(), origin=args.parent_origin)
+    findings = audit_zone(zone, parent)
+    print(render_report(findings))
+    return 1 if any(f.severity.value == "error" for f in findings) else 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    from repro.crawler import Crawler, build_crawl_universe
+    from repro.crawler.report import bailiwick_census, record_counts
+
+    print(f"Building a scale={args.scale} universe (seed {args.seed})...")
+    universe = build_crawl_universe(scale=args.scale, seed=args.seed)
+    result = Crawler(universe).crawl()
+    table = Table(
+        ["list", "domains", "responsive", "NS-responders", "% out-of-bailiwick"],
+        title="Crawl summary (paper Tables 5 and 9)",
+    )
+    counts = record_counts(result)
+    census = bailiwick_census(result)
+    for name in counts:
+        table.add_row(
+            name,
+            counts[name].domains,
+            counts[name].responsive,
+            census[name].respond_ns,
+            f"{census[name].percent_out:.1f}%",
+        )
+    print(table.render())
+    return 0
+
+
+_ARTIFACT_RUNNERS = {}
+
+
+def _artifact(name):
+    def register(func):
+        _ARTIFACT_RUNNERS[name] = func
+        return func
+
+    return register
+
+
+@_artifact("table1")
+def _run_table1(args) -> str:
+    from repro.analysis.tables import Table
+    from repro.core.scenarios import scenario_table1_cl
+
+    rows = scenario_table1_cl(args.seed)
+    table = Table(["Q / Type", "Server", "Response", "TTL", "Sec.", "AA"],
+                  title="Table 1: a.nic.cl TTLs")
+    for row in rows:
+        table.add_row(row.query, row.server, row.response, row.ttl,
+                      row.section, "*" if row.authoritative else "")
+    return table.render()
+
+
+@_artifact("fig1")
+def _run_fig1(args) -> str:
+    from repro.analysis.tables import render_cdf
+    from repro.core.scenarios import scenario_anicuy_a, scenario_uy_ns
+
+    ns_run = scenario_uy_ns(args.seed, probes=args.probes, duration=3600)
+    a_run = scenario_anicuy_a(args.seed, probes=args.probes, duration=3600)
+    return render_cdf(
+        {".uy-NS": ns_run.results.ttls(), "a.nic.uy-A": a_run.results.ttls()},
+        title="Figure 1: observed TTLs", unit="s",
+    )
+
+
+@_artifact("fig6")
+def _run_fig6(args) -> str:
+    from repro.analysis.tables import render_timeseries
+    from repro.core.scenarios import scenario_bailiwick
+
+    run = scenario_bailiwick(args.seed, in_bailiwick=True, probes=args.probes)
+    series = {
+        ("old" if key == run.old_label else "new"): bins
+        for key, bins in run.results.answer_timeseries(600.0).items()
+    }
+    return render_timeseries(series, 600.0, title="Figure 6: in-bailiwick renumbering")
+
+
+@_artifact("fig7")
+def _run_fig7(args) -> str:
+    from repro.analysis.tables import render_timeseries
+    from repro.core.scenarios import scenario_bailiwick
+
+    run = scenario_bailiwick(args.seed, in_bailiwick=False, probes=args.probes)
+    series = {
+        ("old" if key == run.old_label else "new"): bins
+        for key, bins in run.results.answer_timeseries(600.0).items()
+    }
+    return render_timeseries(series, 600.0, title="Figure 7: out-of-bailiwick renumbering")
+
+
+@_artifact("fig10")
+def _run_fig10(args) -> str:
+    from repro.analysis.cdf import ECDF
+    from repro.core.scenarios import scenario_uy_natural
+
+    run = scenario_uy_natural(args.seed, probes=args.probes, duration=3600)
+    before = ECDF(run.before.rtts_ms())
+    after = ECDF(run.after.rtts_ms())
+    return (
+        "Figure 10: .uy latency\n"
+        f"TTL 300s:   median {before.median:.1f} ms, p75 {before.quantile(0.75):.1f} ms\n"
+        f"TTL 86400s: median {after.median:.1f} ms, p75 {after.quantile(0.75):.1f} ms"
+    )
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    runner = _ARTIFACT_RUNNERS.get(args.artifact)
+    if runner is None:
+        print(f"unknown artifact {args.artifact!r}; available: "
+              + ", ".join(sorted(_ARTIFACT_RUNNERS)), file=sys.stderr)
+        print("(the full set of artifacts lives in benchmarks/ — run "
+              "`pytest benchmarks/ --benchmark-only`)", file=sys.stderr)
+        return 2
+    print(runner(args))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tools from the 'Cache Me If You Can' reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("recommend", help="§6.3 TTL guidance for a zone")
+    rec.add_argument("--kind", choices=sorted(_KINDS), default="general")
+    rec.add_argument("--load-balancing", action="store_true")
+    rec.add_argument("--ddos-mitigation", action="store_true")
+    rec.add_argument("--out-of-bailiwick", action="store_true")
+    rec.add_argument("--no-parent-control", action="store_true")
+    rec.add_argument("--lead-time", type=int, default=None,
+                     help="seconds of notice before planned changes")
+    rec.set_defaults(func=_cmd_recommend)
+
+    eff = sub.add_parser("effective", help="effective TTLs for a delegation")
+    eff.add_argument("--parent-ns", type=int, required=True)
+    eff.add_argument("--child-ns", type=int, required=True)
+    eff.add_argument("--parent-glue", type=int, default=None)
+    eff.add_argument("--child-address", type=int, default=None)
+    eff.add_argument("--out-of-bailiwick", action="store_true")
+    eff.add_argument("--policies", nargs="+", choices=sorted(_POLICIES),
+                     default=["child", "parent", "capping", "sticky"])
+    eff.set_defaults(func=_cmd_effective)
+
+    hit = sub.add_parser("hitrate", help="hit rate / latency vs TTL")
+    hit.add_argument("--rate-per-hour", type=float, default=12.0)
+    hit.add_argument("--ttl", type=int, nargs="+",
+                     default=[60, 300, 900, 1800, 3600, 28800, 86400])
+    hit.add_argument("--hit-ms", type=float, default=1.0)
+    hit.add_argument("--miss-ms", type=float, default=100.0)
+    hit.set_defaults(func=_cmd_hitrate)
+
+    demo = sub.add_parser("demo-uy", help="run the §5.3 natural experiment")
+    demo.add_argument("--probes", type=int, default=150)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo_uy)
+
+    analyze = sub.add_parser(
+        "analyze", help="re-analyze an archived measurement dataset"
+    )
+    analyze.add_argument("dataset", help="JSON-lines file from repro.atlas.datasets")
+    analyze.add_argument("--parent-ttl", type=int, default=None)
+    analyze.add_argument("--child-ttl", type=int, default=None)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    audit = sub.add_parser("audit", help="lint a zone file against §6.3")
+    audit.add_argument("zonefile", help="path to the child zone's master file")
+    audit.add_argument("--origin", default=None,
+                       help="zone origin if the file has no $ORIGIN")
+    audit.add_argument("--parent-zonefile", default=None,
+                       help="master file with the parent's delegation view")
+    audit.add_argument("--parent-origin", default=None)
+    audit.set_defaults(func=_cmd_audit)
+
+    crawl = sub.add_parser("crawl", help="run the §5.1 crawl pipeline")
+    crawl.add_argument("--scale", type=float, default=0.001)
+    crawl.add_argument("--seed", type=int, default=0)
+    crawl.set_defaults(func=_cmd_crawl)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate one paper artifact at the terminal"
+    )
+    reproduce.add_argument("artifact", help="e.g. table1, fig1, fig6, fig7, fig10")
+    reproduce.add_argument("--probes", type=int, default=120)
+    reproduce.add_argument("--seed", type=int, default=0)
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout closed mid-write (e.g. piped into `head`): exit quietly.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

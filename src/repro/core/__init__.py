@@ -1,0 +1,34 @@
+"""The paper's core: effective-TTL analysis, worlds, and scenarios.
+
+- :mod:`repro.core.effective_ttl` — the analytical model of which TTL wins
+  (the paper's §2 question, "which TTLs matter?"),
+- :mod:`repro.core.worlds` — canonical simulated Internets: the .cl, .uy,
+  google.co, cachetest.net, .nl and controlled-experiment configurations,
+- :mod:`repro.core.scenarios` — one runnable scenario per paper section,
+  producing the data behind every table and figure,
+- :mod:`repro.core.recommendations` — the §6 operator guidance engine.
+"""
+
+from repro.core.effective_ttl import (
+    DelegationConfig,
+    EffectiveTTL,
+    effective_record_ttl,
+    effective_switch_time,
+)
+from repro.core.worlds import World, build_base_world
+from repro.core.recommendations import Recommendation, recommend
+from repro.core.audit import Finding, audit_zone, render_report
+
+__all__ = [
+    "DelegationConfig",
+    "EffectiveTTL",
+    "Finding",
+    "Recommendation",
+    "World",
+    "audit_zone",
+    "build_base_world",
+    "effective_record_ttl",
+    "effective_switch_time",
+    "recommend",
+    "render_report",
+]

@@ -1,0 +1,595 @@
+"""The paper's experiments, one runnable scenario per section.
+
+Every scenario builds its world, runs the measurement, and returns the raw
+datasets plus the derived statistics that the corresponding table or
+figure reports.  Bench targets under ``benchmarks/`` are thin wrappers
+that print these results; tests assert the calibration targets.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.cdf import ECDF
+from repro.analysis.centricity import (
+    CentricityBreakdown,
+    classify_active_ttls,
+    classify_capped_or_child,
+    classify_passive_groups,
+    sticky_vps,
+)
+from repro.atlas.measurement import Measurement, MeasurementSpec
+from repro.atlas.population import AtlasConfig, AtlasPopulation
+from repro.atlas.results import ResultSet
+from repro.core.experiment import make_population
+from repro.core.worlds import (
+    CachetestWorld,
+    ControlledWorld,
+    NlWorld,
+    UyWorld,
+    build_cachetest_world,
+    build_cl_world,
+    build_controlled_world,
+    build_googleco_world,
+    build_nl_world,
+    build_uy_world,
+)
+from repro.dns.message import Message, Section
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataType
+
+# ------------------------------------------------------------------- Table 1
+
+
+@dataclass
+class Table1Row:
+    query: str
+    server: str
+    response: str
+    ttl: int
+    section: str
+    authoritative: bool
+
+
+def scenario_table1_cl(seed: int = 0) -> list[Table1Row]:
+    """Reproduce Table 1: the TTLs seen resolving a.nic.cl."""
+    from repro.net.topology import Region
+
+    world = build_cl_world(seed)
+    client = world.topology.endpoint_in_region(Region.EU, name="table1-client")
+    rows: list[Table1Row] = []
+
+    def ask(server_name: str, qname: str, qtype: RdataType, label: str) -> None:
+        address = world.address_of(server_name)
+        query = Message.make_query(qname, qtype, recursion_desired=False)
+        response, _ = world.network.exchange(client, address, query, now=0.0)
+        for section, heading in (
+            (Section.ANSWER, "Ans."),
+            (Section.AUTHORITY, "Auth."),
+            (Section.ADDITIONAL, "Add."),
+        ):
+            for record in response.section(section):
+                rows.append(
+                    Table1Row(
+                        query=label,
+                        server=server_name,
+                        response=f"{record.name}/{record.rdtype.name}",
+                        ttl=record.ttl,
+                        section=heading,
+                        authoritative=response.flags.aa,
+                    )
+                )
+
+    ask("a.root-servers.net", "cl.", RdataType.NS, ".cl / NS")
+    ask("a.nic.cl", "cl.", RdataType.NS, ".cl / NS")
+    ask("a.nic.cl", "a.nic.cl.", RdataType.A, "a.nic.cl / A")
+    return rows
+
+
+# --------------------------------------------------------- §3.2/§3.3 (T2, F1, F2)
+
+
+@dataclass
+class CentricityRun:
+    """One active centricity measurement campaign."""
+
+    name: str
+    parent_ttl: int
+    child_ttl: int
+    results: ResultSet
+    breakdown: CentricityBreakdown
+    summary: dict[str, int]
+
+    def ttl_cdf(self) -> ECDF:
+        return ECDF(self.results.ttls())
+
+
+def _expected_answer(result) -> bool:
+    return result.ok
+
+
+def scenario_uy_ns(
+    seed: int = 0,
+    probes: int = 300,
+    child_ns_ttl: int = 300,
+    duration: float = 7200.0,
+    interval: float = 600.0,
+) -> CentricityRun:
+    """The .uy-NS campaign (Table 2 col 1; Figure 1): parent 172800 s,
+    child 300 s, queries every 10 min for 2 h."""
+    uy = build_uy_world(seed, child_ns_ttl=child_ns_ttl)
+    population = make_population(uy.world, probes=probes)
+    spec = MeasurementSpec(
+        qname="uy.",
+        qtype=RdataType.NS,
+        interval=interval,
+        duration=duration,
+        description=f".uy-NS (child TTL {child_ns_ttl})",
+    )
+    results = Measurement(spec=spec, vantage_points=population.vantage_points(), seed=seed).run()
+    valid = results.valid(_expected_answer)
+    breakdown = classify_active_ttls(
+        valid.ttls(), parent_ttl=172800, child_ttl=child_ns_ttl
+    )
+    return CentricityRun(
+        name="uy-NS" if child_ns_ttl == 300 else "uy-NS-new",
+        parent_ttl=172800,
+        child_ttl=child_ns_ttl,
+        results=valid,
+        breakdown=breakdown,
+        summary=results.summary(_expected_answer),
+    )
+
+
+def scenario_anicuy_a(
+    seed: int = 0, probes: int = 300, duration: float = 10800.0
+) -> CentricityRun:
+    """The a.nic.uy-A campaign (Table 2 col 2; Figure 1): parent glue
+    172800 s, child A 120 s, every 10 min for 3 h."""
+    uy = build_uy_world(seed)
+    population = make_population(uy.world, probes=probes)
+    spec = MeasurementSpec(
+        qname="a.nic.uy.",
+        qtype=RdataType.A,
+        interval=600.0,
+        duration=duration,
+        description="a.nic.uy-A",
+    )
+    results = Measurement(spec=spec, vantage_points=population.vantage_points(), seed=seed).run()
+    valid = results.valid(_expected_answer)
+    breakdown = classify_active_ttls(valid.ttls(), parent_ttl=172800, child_ttl=120)
+    return CentricityRun(
+        name="a.nic.uy-A",
+        parent_ttl=172800,
+        child_ttl=120,
+        results=valid,
+        breakdown=breakdown,
+        summary=results.summary(_expected_answer),
+    )
+
+
+def scenario_googleco_ns(
+    seed: int = 0, probes: int = 300, duration: float = 3600.0
+) -> CentricityRun:
+    """The google.co-NS campaign (Table 2 col 3; Figure 2): parent 900 s,
+    child 345600 s, every 10 min for 1 h."""
+    world = build_googleco_world(seed)
+    population = make_population(world, probes=probes)
+    spec = MeasurementSpec(
+        qname="google.co.",
+        qtype=RdataType.NS,
+        interval=600.0,
+        duration=duration,
+        description="google.co-NS",
+    )
+    results = Measurement(spec=spec, vantage_points=population.vantage_points(), seed=seed).run()
+    valid = results.valid(_expected_answer)
+    breakdown = classify_capped_or_child(
+        valid.ttls(), parent_ttl=900, child_ttl=345600, cap=21599
+    )
+    return CentricityRun(
+        name="google.co-NS",
+        parent_ttl=900,
+        child_ttl=345600,
+        results=valid,
+        breakdown=breakdown,
+        summary=results.summary(_expected_answer),
+    )
+
+
+# ------------------------------------------------------------ §3.4 (F3, F4)
+
+
+@dataclass
+class NlPassiveRun:
+    world: NlWorld
+    groups: dict[tuple[str, Name], list[float]]
+    breakdown: object
+    queries_per_group: list[int]
+    min_interarrivals: list[float]
+    total_queries: int
+    unique_resolvers: int
+
+
+def scenario_nl_passive(
+    seed: int = 0,
+    resolvers: int = 200,
+    duration: float = 172800.0,
+    domain_count: int = 300,
+    median_rate_per_hour: float = 0.025,
+    rate_sigma: float = 2.2,
+) -> NlPassiveRun:
+    """The passive .nl study (§3.4): a resolver fleet drives two days of
+    client workload; the monitored authoritatives' logs are grouped by
+    (resolver, NS-name) exactly as Figures 3 and 4 require."""
+    from repro.resolver.policy import ResolverPolicy
+    from repro.resolver.recursive import RecursiveResolver
+
+    nl = build_nl_world(seed, domain_count=domain_count)
+    world = nl.world
+    rng = random.Random(seed ^ 0x9A55)
+
+    fleet: list[RecursiveResolver] = []
+    for index in range(resolvers):
+        endpoint = world.topology.create_endpoint(name=f"nl-res-{index}")
+        fleet.append(
+            RecursiveResolver(
+                endpoint=endpoint,
+                network=world.network,
+                root_hints=world.hints,
+                policy=ResolverPolicy.child_centric(),
+            )
+        )
+
+    # Heterogeneous client demand: a heavy-tailed lognormal over per-
+    # resolver rates — most resolvers rarely need .nl (they produce the
+    # paper's 48 % single-query groups), a few are very busy (they produce
+    # the multi-query mass and the hourly re-fetch bumps of Figure 4).
+    events: list[tuple[float, int, str]] = []
+    for index in range(resolvers):
+        rate = rng.lognormvariate(math.log(median_rate_per_hour), rate_sigma) / 3600.0
+        t = rng.expovariate(rate) if rate > 0 else duration
+        while t < duration:
+            domain = f"www.domain{rng.randrange(domain_count)}.nl."
+            events.append((t, index, domain))
+            t += rng.expovariate(rate)
+    events.sort(key=lambda event: event[0])
+
+    for timestamp, index, qname in events:
+        fleet[index].resolve(qname, RdataType.A, timestamp)
+
+    ns_names = {Name(f"{name}.") for name in nl.server_names}
+    groups = {
+        key: stamps
+        for key, stamps in nl.monitored_log_groups().items()
+        if key[1] in ns_names
+    }
+    from repro.analysis.interarrival import (
+        min_interarrival_per_group,
+        queries_per_group,
+    )
+
+    breakdown = classify_passive_groups(groups)
+    return NlPassiveRun(
+        world=nl,
+        groups=groups,
+        breakdown=breakdown,
+        queries_per_group=queries_per_group(groups),
+        min_interarrivals=min_interarrival_per_group(groups),
+        total_queries=sum(
+            len(world.servers[name].query_log or []) for name in nl.monitored
+        ),
+        unique_resolvers=len({resolver for resolver, _ in groups}),
+    )
+
+
+# ----------------------------------------------------- §4 (T3, T4, F6, F7, F8)
+
+
+@dataclass
+class BailiwickRun:
+    world: CachetestWorld
+    results: ResultSet
+    summary: dict[str, int]
+    timeseries: dict[str, dict[int, int]]
+    sticky_vp_ids: set[str]
+    switched_by_round: dict[int, float]  # round -> fraction answered by new
+
+    @property
+    def old_label(self) -> str:
+        return self.world.old_answer
+
+    @property
+    def new_label(self) -> str:
+        return self.world.new_answer
+
+
+def scenario_bailiwick(
+    seed: int = 0,
+    in_bailiwick: bool = True,
+    probes: int = 300,
+    duration: float = 14400.0,
+    interval: float = 600.0,
+    renumber_at: float = 540.0,
+) -> BailiwickRun:
+    """The §4 renumbering experiment (in- or out-of-bailiwick).
+
+    Queries AAAA PROBEID.sub.cachetest.net every 10 minutes for 4 hours
+    from every VP; the server is renumbered at t=9 min (paper §4.2).
+    """
+    ct = build_cachetest_world(seed, in_bailiwick=in_bailiwick)
+    population = make_population(ct.world, probes=probes)
+    spec = MeasurementSpec(
+        qname="PROBEID.sub.cachetest.net.",
+        qtype=RdataType.AAAA,
+        interval=interval,
+        duration=duration,
+        description=f"{'in' if in_bailiwick else 'out-of'}-bailiwick renumbering",
+    )
+    measurement = Measurement(
+        spec=spec, vantage_points=population.vantage_points(), seed=seed
+    )
+    measurement.schedule(renumber_at, ct.renumber, label="renumber")
+    results = measurement.run()
+    valid = results.valid(_expected_answer)
+
+    per_vp: dict[str, list[tuple[float, tuple[str, ...]]]] = {}
+    for result in valid:
+        per_vp.setdefault(result.vp_id, []).append((result.timestamp, result.answers))
+    sticky = sticky_vps(per_vp, ct.old_answer, first_round_end=interval)
+
+    switched: dict[int, float] = {}
+    for round_index in range(spec.rounds()):
+        round_results = valid.for_round(round_index)
+        if len(round_results) == 0:
+            continue
+        new_count = sum(
+            1 for result in round_results if ct.new_answer in result.answers
+        )
+        switched[round_index] = new_count / len(round_results)
+
+    return BailiwickRun(
+        world=ct,
+        results=valid,
+        summary=results.summary(_expected_answer),
+        timeseries=valid.answer_timeseries(bin_seconds=interval),
+        sticky_vp_ids=sticky,
+        switched_by_round=switched,
+    )
+
+
+def scenario_matched_sticky(
+    seed: int = 0, probes: int = 300
+) -> tuple[BailiwickRun, BailiwickRun, list[float]]:
+    """Figure 8: VPs sticky in the out-of-bailiwick run, re-observed in the
+    in-bailiwick run; returns their new-server response ratios there."""
+    out_run = scenario_bailiwick(seed, in_bailiwick=False, probes=probes)
+    in_run = scenario_bailiwick(seed, in_bailiwick=True, probes=probes)
+    in_per_vp: dict[str, list] = {}
+    for result in in_run.results:
+        in_per_vp.setdefault(result.vp_id, []).append(result)
+    ratios: list[float] = []
+    for vp_id in out_run.sticky_vp_ids:
+        rows = in_per_vp.get(vp_id)
+        if not rows:
+            continue
+        new = sum(1 for r in rows if in_run.world.new_answer in r.answers)
+        ratios.append(new / len(rows))
+    return out_run, in_run, ratios
+
+
+@dataclass
+class OpenDnsCaseStudy:
+    """§4.4's confirmation probe of a parent-centric public resolver."""
+
+    responses: int
+    old_answers: int
+    new_answers: int
+    child_ns_queries_seen: int
+
+    @property
+    def old_fraction(self) -> float:
+        return self.old_answers / self.responses if self.responses else 0.0
+
+
+def scenario_opendns_case_study(
+    seed: int = 0,
+    interval: float = 300.0,
+    duration: float = 48600.0,
+) -> OpenDnsCaseStudy:
+    """The §4.4 single-VP probe of an OpenDNS-like resolver.
+
+    The paper queried one OpenDNS resolver every 300 s after renumbering
+    the out-of-bailiwick server and found answers from the *old* server
+    long past every child TTL — because the resolver trusted the .com
+    zone's 2-day NS/glue and never asked the child for NS records.
+    """
+    from repro.resolver.policy import ResolverPolicy
+    from repro.resolver.recursive import RecursiveResolver
+    from repro.net.topology import Region
+
+    ct = build_cachetest_world(seed, in_bailiwick=False)
+    world = ct.world
+    resolver = RecursiveResolver(
+        endpoint=world.topology.endpoint_in_region(Region.EU, "opendns-like"),
+        network=world.network,
+        root_hints=world.hints,
+        policy=ResolverPolicy.parent_centric(),
+    )
+    # Warm the resolver, renumber at t=9min, then probe every 300 s.
+    old = new = responses = 0
+    renumbered = False
+    t = 0.0
+    while t < duration:
+        if not renumbered and t >= 540.0:
+            ct.renumber()
+            renumbered = True
+        out = resolver.resolve("probe.sub.cachetest.net.", RdataType.AAAA, now=t)
+        if out.rcode.name == "NOERROR" and out.answers:
+            responses += 1
+            answer = str(out.answers[-1].rdatas[0])
+            if answer == ct.old_answer:
+                old += 1
+            elif answer == ct.new_answer:
+                new += 1
+        t += interval
+    # "our authoritative servers have received no queries for NS
+    # zurrundedu.com" — verify the same from our logs.
+    ns_queries = 0
+    for server in (ct.old_server, ct.new_server):
+        log = server.query_log
+        if log is not None:
+            ns_queries += sum(
+                1
+                for entry in log
+                if entry.qtype == RdataType.NS
+                and entry.qname == Name("zurrundedu.com.")
+            )
+    return OpenDnsCaseStudy(
+        responses=responses,
+        old_answers=old,
+        new_answers=new,
+        child_ns_queries_seen=ns_queries,
+    )
+
+
+def scenario_zurrundedu_offline(
+    seed: int = 0, probes: int = 200
+) -> tuple[ResultSet, AtlasPopulation]:
+    """§4.4: child servers down; only parent-centric resolvers answer."""
+    ct = build_cachetest_world(seed, in_bailiwick=False)
+    population = make_population(ct.world, probes=probes)
+    ct.take_child_offline()
+    spec = MeasurementSpec(
+        qname="sub.cachetest.net.",
+        qtype=RdataType.NS,
+        interval=600.0,
+        duration=1200.0,
+        description="child authoritatives offline",
+    )
+    results = Measurement(
+        spec=spec, vantage_points=population.vantage_points(), seed=seed
+    ).run()
+    return results, population
+
+
+# ----------------------------------------------------------- §5.3 (Figure 10)
+
+
+@dataclass
+class UyNaturalRun:
+    before: ResultSet
+    after: ResultSet
+
+    def rtts_by_region(self, which: str) -> dict:
+        dataset = self.before if which == "before" else self.after
+        return {
+            region: [r.rtt * 1000.0 for r in rows]
+            for region, rows in dataset.by_region().items()
+        }
+
+
+def scenario_uy_natural(
+    seed: int = 0, probes: int = 300, duration: float = 7200.0
+) -> UyNaturalRun:
+    """Figure 10: .uy NS query RTTs with TTL 300 s vs 86400 s.
+
+    Run as two independent campaigns (before/after the operator's change),
+    as the paper's uy-NS and uy-NS-new measurements were.
+    """
+    before = scenario_uy_ns(seed, probes=probes, child_ns_ttl=300, duration=duration)
+    after = scenario_uy_ns(seed, probes=probes, child_ns_ttl=86400, duration=duration)
+    return UyNaturalRun(before=before.results, after=after.results)
+
+
+# ------------------------------------------------------- §6.2 (Table 10, F11)
+
+
+@dataclass
+class ControlledRun:
+    label: str
+    results: ResultSet
+    auth_queries: int
+    auth_unique_ips: int
+    client_summary: dict[str, int]
+
+    def rtts_ms(self) -> list[float]:
+        return self.results.rtts_ms()
+
+
+def _run_controlled(
+    label: str,
+    seed: int,
+    probes: int,
+    qname: str,
+    zone_attr: str,
+    server_attr: str,
+    duration: float,
+    interval: float = 600.0,
+) -> ControlledRun:
+    world = build_controlled_world(seed)
+    population = make_population(world.world, probes=probes)
+    spec = MeasurementSpec(
+        qname=qname,
+        qtype=RdataType.AAAA,
+        interval=interval,
+        duration=duration,
+        description=label,
+    )
+    results = Measurement(
+        spec=spec, vantage_points=population.vantage_points(), seed=seed
+    ).run()
+    valid = results.valid(_expected_answer)
+    server = getattr(world, server_attr)
+    log = server.query_log
+    assert log is not None
+    zone = getattr(world, zone_attr)
+    relevant = log.filtered(lambda e: e.qname.is_subdomain_of(zone.origin))
+    return ControlledRun(
+        label=label,
+        results=valid,
+        auth_queries=len(relevant),
+        auth_unique_ips=len(relevant.unique_clients()),
+        client_summary=results.summary(_expected_answer),
+    )
+
+
+def scenario_controlled_ttl(
+    seed: int = 0, probes: int = 300, duration: float = 3600.0
+) -> dict[str, ControlledRun]:
+    """Table 10 / Figure 11: the five controlled experiments.
+
+    Unique-QNAME runs use PROBEID names; shared runs a single name; the
+    anycast run uses the 45-site cluster.  Each runs in a fresh world.
+    """
+    runs = {
+        "TTL60-u": _run_controlled(
+            "TTL60-u", seed, probes,
+            "PROBEID.ttl60.mapache-de-madrid.co.",
+            "zone_unicast_60", "unicast_server", duration,
+        ),
+        "TTL86400-u": _run_controlled(
+            "TTL86400-u", seed + 1, probes,
+            "PROBEID.ttl86400.mapache-de-madrid.co.",
+            "zone_unicast_86400", "unicast_server", duration,
+        ),
+        "TTL60-s": _run_controlled(
+            "TTL60-s", seed + 2, probes,
+            "1.ttl60.mapache-de-madrid.co.",
+            "zone_unicast_60", "unicast_server", duration,
+        ),
+        "TTL86400-s": _run_controlled(
+            "TTL86400-s", seed + 3, probes,
+            "2.ttl86400.mapache-de-madrid.co.",
+            "zone_unicast_86400", "unicast_server", duration,
+        ),
+        "TTL60-anycast": _run_controlled(
+            "TTL60-anycast", seed + 4, probes,
+            "4.anycast.mapache-de-madrid.co.",
+            "zone_anycast", "anycast", duration,
+        ),
+    }
+    return runs

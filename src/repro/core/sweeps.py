@@ -1,0 +1,161 @@
+"""Parameter sweeps: generalizing the paper's point comparisons to curves.
+
+The paper compares discrete configurations (TTL 300 s vs 86400 s; attack
+shorter vs longer than the TTL).  These sweeps fill in the curve between
+the points:
+
+- :func:`ttl_latency_sweep` — the .uy experiment as a function of the
+  child NS TTL (generalizes Figure 10a),
+- :func:`ddos_availability_sweep` — answer availability during an
+  authoritative outage as a function of the record TTL (quantifies §6.1's
+  "longer caching is more robust to DDoS attacks" and Moura et al.'s
+  "TTLs must be longer than the attack").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.cdf import ECDF
+from repro.core.scenarios import scenario_uy_ns
+from repro.dns.message import Rcode
+from repro.dns.rdtypes import RdataType
+from repro.net.topology import Region
+from repro.resolver.policy import ResolverPolicy
+from repro.resolver.recursive import RecursiveResolver
+
+
+@dataclass(frozen=True)
+class TtlLatencyPoint:
+    child_ns_ttl: int
+    median_ms: float
+    p75_ms: float
+    p95_ms: float
+    samples: int
+
+
+def ttl_latency_sweep(
+    ttls: Sequence[int] = (60, 300, 1800, 3600, 28800, 86400),
+    probes: int = 150,
+    seed: int = 0,
+    duration: float = 3600.0,
+) -> list[TtlLatencyPoint]:
+    """Median/tail .uy-NS latency as a function of the child NS TTL.
+
+    Each TTL runs as an independent campaign (fresh world and caches), as
+    the paper's before/after measurements did.
+    """
+    points: list[TtlLatencyPoint] = []
+    for ttl in ttls:
+        run = scenario_uy_ns(
+            seed=seed, probes=probes, child_ns_ttl=ttl, duration=duration
+        )
+        cdf = ECDF(run.results.rtts_ms())
+        points.append(
+            TtlLatencyPoint(
+                child_ns_ttl=ttl,
+                median_ms=cdf.median,
+                p75_ms=cdf.quantile(0.75),
+                p95_ms=cdf.quantile(0.95),
+                samples=len(cdf),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class AvailabilityPoint:
+    ttl: int
+    attack_seconds: float
+    availability: float  # fraction of probe slots answered during attack
+    served_stale_fraction: float
+
+
+def ddos_availability_sweep(
+    ttls: Sequence[int] = (60, 300, 1800, 3600, 86400),
+    attack_seconds: float = 3600.0,
+    probe_interval: float = 300.0,
+    seed: int = 0,
+    serve_stale: bool = False,
+) -> list[AvailabilityPoint]:
+    """Answer availability while the zone's authoritatives are down.
+
+    One warmed child-centric resolver is probed every ``probe_interval``
+    during an ``attack_seconds`` outage; availability is the fraction of
+    probes answered (from cache, or stale if ``serve_stale``).  Moura et
+    al.'s finding — reproduced here — is that availability is ~1 while
+    TTL ≥ attack duration and collapses below it.
+    """
+    points: list[AvailabilityPoint] = []
+    policy = ResolverPolicy.child_centric().with_(serve_stale=serve_stale)
+    for ttl in ttls:
+        topology, network, hints, server = _build_outage_world(ttl, seed)
+        resolver = RecursiveResolver(
+            endpoint=topology.endpoint_in_region(Region.EU, "res"),
+            network=network,
+            root_hints=hints,
+            policy=policy,
+        )
+        # Warm the cache just before the attack begins.
+        warm = resolver.resolve("www.shop.example.", RdataType.A, now=0.0)
+        assert warm.rcode == Rcode.NOERROR
+        network.loss.take_down(server.endpoint.address)
+
+        answered = 0
+        stale = 0
+        slots = 0
+        t = probe_interval
+        while t <= attack_seconds:
+            out = resolver.resolve("www.shop.example.", RdataType.A, now=t)
+            slots += 1
+            if out.rcode == Rcode.NOERROR and out.answers:
+                answered += 1
+                stale += out.served_stale
+            t += probe_interval
+        points.append(
+            AvailabilityPoint(
+                ttl=ttl,
+                attack_seconds=attack_seconds,
+                availability=answered / slots if slots else 0.0,
+                served_stale_fraction=stale / slots if slots else 0.0,
+            )
+        )
+    return points
+
+
+def _build_outage_world(ttl: int, seed: int):
+    from repro.dns.rdtypes import A, NS
+    from repro.dns.zone import Zone
+    from repro.net.topology import Topology
+    from repro.net.transport import Network
+    from repro.server.authoritative import AuthoritativeServer
+    from repro.dns.name import Name
+
+    topology = Topology(seed=seed)
+    network = Network(seed=seed)
+
+    root_zone = Zone("", default_ttl=172800)
+    root_zone.add_soa("a.rootsrv.net.")
+    root_zone.add("", RdataType.NS, NS("a.rootsrv.net."), ttl=518400)
+    root_server = AuthoritativeServer(
+        topology.endpoint_in_region(Region.NA, "a.rootsrv.net"), [root_zone]
+    )
+    network.register(root_server)
+    root_zone.add("a.rootsrv.net.", RdataType.A, A(root_server.endpoint.address))
+
+    zone = Zone("shop.example.", default_ttl=ttl)
+    zone.add_soa("ns1.shop.example.")
+    zone.add("shop.example.", RdataType.NS, NS("ns1.shop.example."), ttl=ttl)
+    server = AuthoritativeServer(
+        topology.endpoint_in_region(Region.EU, "ns1.shop.example"), [zone]
+    )
+    network.register(server)
+    zone.add("ns1.shop.example.", RdataType.A, A(server.endpoint.address), ttl=ttl)
+    zone.add("www.shop.example.", RdataType.A, A("203.0.113.10"), ttl=ttl)
+    root_zone.add("shop.example.", RdataType.NS, NS("ns1.shop.example."), ttl=172800)
+    root_zone.add(
+        "ns1.shop.example.", RdataType.A, A(server.endpoint.address), ttl=172800
+    )
+    hints = {Name("a.rootsrv.net."): root_server.endpoint.address}
+    return topology, network, hints, server

@@ -1,0 +1,642 @@
+"""Canonical simulated Internets.
+
+Each builder reproduces one of the paper's measurement targets, with the
+exact TTL configurations the paper reports (Table 1, Table 2, Figure 5).
+A :class:`World` bundles the topology, network fabric, root zone and
+running servers, and offers helpers to add delegations with *independent*
+parent and child TTLs — the core of everything the paper studies.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dns.name import Name, root
+from repro.dns.rdtypes import AAAA, A, NS, RdataType
+from repro.dns.zone import Zone
+from repro.net.clock import SimClock
+from repro.net.latency import LatencyModel
+from repro.net.topology import Endpoint, Region, Topology
+from repro.net.transport import LossModel, Network
+from repro.server.anycast import AnycastCluster
+from repro.server.authoritative import AuthoritativeServer
+
+#: The root zone's delegation TTL — 2 days, as for real TLDs (Table 1).
+ROOT_DELEGATION_TTL = 172800
+
+
+@dataclass
+class World:
+    """A running simulated Internet."""
+
+    seed: int
+    topology: Topology
+    network: Network
+    clock: SimClock
+    root_zone: Zone
+    hints: dict[Name, str]
+    zones: dict[str, Zone] = field(default_factory=dict)
+    servers: dict[str, AuthoritativeServer] = field(default_factory=dict)
+    clusters: dict[str, AnycastCluster] = field(default_factory=dict)
+    _server_addresses: dict[str, str] = field(default_factory=dict)
+
+    # -- infrastructure -----------------------------------------------------
+    def address_of(self, server_name: str) -> str:
+        return self._server_addresses[server_name]
+
+    def add_server(
+        self,
+        name: str,
+        region: Region,
+        zones: Optional[list[Zone]] = None,
+        address: Optional[str] = None,
+    ) -> AuthoritativeServer:
+        """Create, register and remember an authoritative server."""
+        endpoint = self.topology.endpoint_in_region(region, name=name)
+        if address is not None:
+            endpoint = Endpoint(
+                address=address, region=endpoint.region, asn=endpoint.asn, name=name
+            )
+        server = AuthoritativeServer(endpoint, zones or [])
+        self.network.register(server)
+        self.servers[name] = server
+        self._server_addresses[name] = endpoint.address
+        return server
+
+    def add_anycast(
+        self,
+        name: str,
+        site_regions: list[Region],
+        zones: Optional[list[Zone]] = None,
+    ) -> AnycastCluster:
+        """Create an anycast cluster with one site per listed region entry."""
+        sites = [
+            self.topology.endpoint_in_region(region, name=f"{name}-site-{index}")
+            for index, region in enumerate(site_regions)
+        ]
+        service_address = sites[0].address
+        cluster = AnycastCluster(
+            service_address=service_address,
+            sites=sites,
+            latency=self.network.latency,
+            zones=zones or [],
+        )
+        self.network.register(cluster, service_address)
+        self.clusters[name] = cluster
+        self._server_addresses[name] = service_address
+        return cluster
+
+    # -- zone plumbing ----------------------------------------------------------
+    def add_zone(self, zone: Zone) -> Zone:
+        self.zones[str(zone.origin)] = zone
+        return zone
+
+    def zone(self, origin: str) -> Zone:
+        return self.zones[str(Name(origin))]
+
+    def delegate(
+        self,
+        parent: Zone,
+        child_origin: str,
+        server_names: list[str],
+        parent_ns_ttl: int,
+        parent_glue_ttl: Optional[int] = None,
+    ) -> None:
+        """Add NS (and in-bailiwick glue) for ``child_origin`` to ``parent``.
+
+        Glue A records are added only for servers inside the delegated
+        zone, using the servers' registered addresses.  ``parent_glue_ttl``
+        defaults to ``parent_ns_ttl`` (as in real TLD zones).
+        """
+        child = Name(child_origin)
+        glue_ttl = parent_glue_ttl if parent_glue_ttl is not None else parent_ns_ttl
+        for server_name in server_names:
+            parent.add(child, RdataType.NS, NS(Name(server_name)), ttl=parent_ns_ttl)
+            if Name(server_name).is_subdomain_of(child):
+                parent.add(
+                    server_name,
+                    RdataType.A,
+                    A(self.address_of(server_name.rstrip("."))),
+                    ttl=glue_ttl,
+                )
+
+
+def build_base_world(seed: int = 0, loss_rate: float = 0.0) -> World:
+    """Root zone plus two root servers (a/b.root-servers.net)."""
+    topology = Topology(seed=seed)
+    network = Network(
+        latency=LatencyModel(seed=seed),
+        loss=LossModel(rate=loss_rate, seed=seed),
+        seed=seed,
+    )
+    clock = SimClock()
+
+    root_zone = Zone(root, default_ttl=ROOT_DELEGATION_TTL)
+    root_zone.add_soa("a.root-servers.net.", minimum=86400, ttl=86400)
+
+    world = World(
+        seed=seed,
+        topology=topology,
+        network=network,
+        clock=clock,
+        root_zone=root_zone,
+        hints={},
+    )
+    world.add_zone(root_zone)
+
+    hints: dict[Name, str] = {}
+    for index, (letter, region) in enumerate((("a", Region.NA), ("b", Region.EU))):
+        name = f"{letter}.root-servers.net"
+        server = world.add_server(name, region, [root_zone])
+        root_zone.add(root, RdataType.NS, NS(Name(name)), ttl=518400)
+        hints[Name(name)] = server.endpoint.address
+    world.hints = hints
+    return world
+
+
+# --------------------------------------------------------------------------- §3.1
+def build_cl_world(seed: int = 0) -> World:
+    """Chile's .cl as in Table 1: parent 172800 s; child NS 3600 s, A 43200 s."""
+    world = build_base_world(seed)
+    cl = world.add_zone(Zone("cl.", default_ttl=3600))
+    cl.add_soa("a.nic.cl.")
+    server = world.add_server("a.nic.cl", Region.SA, [cl])
+    cl.add("cl.", RdataType.NS, NS(Name("a.nic.cl.")), ttl=3600)
+    cl.add("a.nic.cl.", RdataType.A, A(server.endpoint.address), ttl=43200)
+    cl.add("a.nic.cl.", RdataType.AAAA, AAAA("2001:db8:cc1e::10"), ttl=43200)
+    world.delegate(world.root_zone, "cl.", ["a.nic.cl."], ROOT_DELEGATION_TTL)
+    world.root_zone.add(
+        "a.nic.cl.", RdataType.AAAA, AAAA("2001:db8:cc1e::10"), ttl=ROOT_DELEGATION_TTL
+    )
+    # A second-level domain under .cl for full-resolution walks.
+    example = world.add_zone(Zone("example.cl.", default_ttl=600))
+    example.add_soa("a.nic.cl.")
+    example.add("example.cl.", RdataType.NS, NS(Name("ns.example.cl.")), ttl=600)
+    ns_example = world.add_server("ns.example.cl", Region.SA, [example])
+    example.add("ns.example.cl.", RdataType.A, A(ns_example.endpoint.address), ttl=600)
+    example.add("www.example.cl.", RdataType.A, A("203.0.113.80"), ttl=300)
+    cl.add("example.cl.", RdataType.NS, NS(Name("ns.example.cl.")), ttl=3600)
+    cl.add("ns.example.cl.", RdataType.A, A(ns_example.endpoint.address), ttl=3600)
+    return world
+
+
+# --------------------------------------------------------------------------- §3.2
+@dataclass
+class UyWorld:
+    """The .uy configuration plus the natural-experiment TTL switch."""
+
+    world: World
+    uy_zone: Zone
+    child_ns_ttl: int
+    child_a_ttl: int
+
+    def raise_ns_ttl(self, new_ttl: int = 86400) -> None:
+        """The 2019-03-04 change: child NS TTL 300 s → 1 day (§5.3)."""
+        self.uy_zone.set_ttl("uy.", RdataType.NS, new_ttl)
+        self.child_ns_ttl = new_ttl
+
+
+def build_uy_world(
+    seed: int = 0, child_ns_ttl: int = 300, child_a_ttl: int = 120
+) -> UyWorld:
+    """Uruguay's .uy: parent NS/glue 172800 s, child NS 300 s, A 120 s."""
+    world = build_base_world(seed)
+    uy = world.add_zone(Zone("uy.", default_ttl=child_ns_ttl))
+    uy.add_soa("a.nic.uy.")
+    server = world.add_server("a.nic.uy", Region.SA, [uy])
+    uy.add("uy.", RdataType.NS, NS(Name("a.nic.uy.")), ttl=child_ns_ttl)
+    uy.add("a.nic.uy.", RdataType.A, A(server.endpoint.address), ttl=child_a_ttl)
+    world.delegate(world.root_zone, "uy.", ["a.nic.uy."], ROOT_DELEGATION_TTL)
+    return UyWorld(world=world, uy_zone=uy, child_ns_ttl=child_ns_ttl, child_a_ttl=child_a_ttl)
+
+
+# --------------------------------------------------------------------------- §3.3
+def build_googleco_world(seed: int = 0) -> World:
+    """google.co: parent (.co) NS TTL 900 s; child NS TTL 345600 s; servers
+    ns[1-4].google.com are out of bailiwick (under .com)."""
+    world = build_base_world(seed)
+
+    # .com, hosting google.com which hosts the server names.
+    com = world.add_zone(Zone("com.", default_ttl=ROOT_DELEGATION_TTL))
+    com.add_soa("a.gtld-servers.net.")
+    com_server = world.add_server("a.gtld-servers.net", Region.NA, [com])
+    com.add("com.", RdataType.NS, NS(Name("a.gtld-servers.net.")), ttl=172800)
+    world.delegate(world.root_zone, "com.", ["a.gtld-servers.net."], ROOT_DELEGATION_TTL)
+    world.root_zone.add(
+        "a.gtld-servers.net.",
+        RdataType.A,
+        A(com_server.endpoint.address),
+        ttl=ROOT_DELEGATION_TTL,
+    )
+
+    googlecom = world.add_zone(Zone("google.com.", default_ttl=345600))
+    googlecom.add_soa("ns1.google.com.")
+    google_ns_names = [f"ns{i}.google.com." for i in range(1, 5)]
+    regions = [Region.NA, Region.EU, Region.AS, Region.NA]
+    for ns_name, region in zip(google_ns_names, regions):
+        server = world.add_server(ns_name.rstrip("."), region, [googlecom])
+        googlecom.add(ns_name, RdataType.A, A(server.endpoint.address), ttl=345600)
+        googlecom.add("google.com.", RdataType.NS, NS(Name(ns_name)), ttl=345600)
+    world.delegate(com, "google.com.", google_ns_names, 172800)
+
+    # .co TLD.
+    co = world.add_zone(Zone("co.", default_ttl=900))
+    co.add_soa("ns.cctld.co.")
+    co_server = world.add_server("ns.cctld.co", Region.SA, [co])
+    co.add("co.", RdataType.NS, NS(Name("ns.cctld.co.")), ttl=172800)
+    co.add("ns.cctld.co.", RdataType.A, A(co_server.endpoint.address), ttl=172800)
+    world.delegate(world.root_zone, "co.", ["ns.cctld.co."], ROOT_DELEGATION_TTL)
+
+    # google.co: parent NS TTL 900 s in .co, child NS TTL 345600 s, served
+    # by the (out-of-bailiwick) google.com servers.
+    googleco = world.add_zone(Zone("google.co.", default_ttl=345600))
+    googleco.add_soa("ns1.google.com.")
+    for ns_name in google_ns_names:
+        googleco.add("google.co.", RdataType.NS, NS(Name(ns_name)), ttl=345600)
+        world.servers[ns_name.rstrip(".")].add_zone(googleco)
+    googleco.add("google.co.", RdataType.A, A("203.0.113.100"), ttl=300)
+    world.delegate(co, "google.co.", google_ns_names, 900)
+    return world
+
+
+# ----------------------------------------------------------------------------- §4
+@dataclass
+class CachetestWorld:
+    """The §4 controlled renumbering experiment."""
+
+    world: World
+    in_bailiwick: bool
+    sub_zone_old: Zone
+    sub_zone_new: Zone
+    old_server: AuthoritativeServer
+    new_server: AuthoritativeServer
+    old_answer: str
+    new_answer: str
+    server_host_zone: Optional[Zone] = None  # zurrundedu.com (out-of-bailiwick)
+
+    def renumber(self) -> None:
+        """Point the served-zone server name at the new machine (§4.2).
+
+        For in-bailiwick setups this rewrites the glue in cachetest.net and
+        the sub zone's own copies; for out-of-bailiwick it rewrites the A
+        record inside zurrundedu.com.  The old machine keeps running and
+        keeps answering with the old data — exactly the paper's setup.
+        """
+        new_address = self.new_server.endpoint.address
+        if self.in_bailiwick:
+            # Only the parent's glue changes; the old VM keeps serving its
+            # unmodified zone (the paper's old/new servers intentionally
+            # return different data, §4.2).
+            parent = self.world.zone("cachetest.net.")
+            parent.replace(
+                "ns1.sub.cachetest.net.", RdataType.A, A(new_address), ttl=7200
+            )
+        else:
+            # The experimenter updates the zurrundedu.com zone (served by
+            # both VMs) and the .com glue — "the .com zone supports dynamic
+            # updates and we verify this change is visible in seconds"
+            # (§4.3).  Resolvers holding still-valid cached copies of the
+            # old glue (OpenDNS-like, 2-day TTL) never notice.
+            assert self.server_host_zone is not None
+            self.server_host_zone.replace(
+                "ns1.zurrundedu.com.", RdataType.A, A(new_address), ttl=7200
+            )
+            com = self.world.zone("com.")
+            com.replace("ns1.zurrundedu.com.", RdataType.A, A(new_address), ttl=172800)
+
+    def take_child_offline(self) -> None:
+        """The zurrundedu-offline scenario (§4.4): both sub-zone servers
+        stop answering; only parent-centric resolvers still resolve."""
+        self.world.network.loss.take_down(self.old_server.endpoint.address)
+        self.world.network.loss.take_down(self.new_server.endpoint.address)
+
+
+def build_cachetest_world(seed: int = 0, in_bailiwick: bool = True) -> CachetestWorld:
+    """The cachetest.net hierarchy of Figure 5.
+
+    ``sub.cachetest.net`` is served by one server whose name is either
+    inside the subzone (``ns1.sub.cachetest.net``, glue required) or
+    outside it (``ns1.zurrundedu.com``).  NS TTL 3600 s, server A TTL
+    7200 s, measurement answers (wildcard AAAA) TTL 60 s.
+    """
+    world = build_base_world(seed)
+
+    # .net with cachetest.net delegated at the default 2-day TTLs.
+    net_zone = world.add_zone(Zone("net.", default_ttl=ROOT_DELEGATION_TTL))
+    net_zone.add_soa("a.gtld-servers.net.")
+    net_server = world.add_server("a.gtld-servers.net", Region.NA, [net_zone])
+    net_zone.add("net.", RdataType.NS, NS(Name("a.gtld-servers.net.")), ttl=172800)
+    net_zone.add(
+        "a.gtld-servers.net.", RdataType.A, A(net_server.endpoint.address), ttl=172800
+    )
+    world.delegate(world.root_zone, "net.", ["a.gtld-servers.net."], ROOT_DELEGATION_TTL)
+
+    # cachetest.net, two in-bailiwick servers in EU (Frankfurt EC2 in the paper).
+    cachetest = world.add_zone(Zone("cachetest.net.", default_ttl=3600))
+    cachetest.add_soa("ns1.cachetest.net.")
+    for index in (1, 2):
+        server = world.add_server(f"ns{index}.cachetest.net", Region.EU, [cachetest])
+        cachetest.add(
+            "cachetest.net.", RdataType.NS, NS(Name(f"ns{index}.cachetest.net.")), ttl=3600
+        )
+        cachetest.add(
+            f"ns{index}.cachetest.net.",
+            RdataType.A,
+            A(server.endpoint.address),
+            ttl=3600,
+        )
+    world.delegate(
+        net_zone,
+        "cachetest.net.",
+        ["ns1.cachetest.net.", "ns2.cachetest.net."],
+        ROOT_DELEGATION_TTL,
+    )
+
+    old_answer = "2001:db8:0:1::60"
+    new_answer = "2001:db8:0:2::60"
+
+    if in_bailiwick:
+        server_name = "ns1.sub.cachetest.net."
+    else:
+        server_name = "ns1.zurrundedu.com."
+
+    def make_sub_zone(answer: str, server_address: str) -> Zone:
+        zone = Zone("sub.cachetest.net.", default_ttl=3600)
+        zone.add_soa(server_name)
+        zone.add("sub.cachetest.net.", RdataType.NS, NS(Name(server_name)), ttl=3600)
+        if in_bailiwick:
+            zone.add(server_name, RdataType.A, A(server_address), ttl=7200)
+        zone.add("*.sub.cachetest.net.", RdataType.AAAA, AAAA(answer), ttl=60)
+        return zone
+
+    old_server = world.add_server("sub-old", Region.EU)
+    new_server = world.add_server("sub-new", Region.EU)
+    sub_old = make_sub_zone(old_answer, old_server.endpoint.address)
+    sub_new = make_sub_zone(new_answer, new_server.endpoint.address)
+    old_server.add_zone(sub_old)
+    new_server.add_zone(sub_new)
+    world.add_zone(sub_old)  # the "current" child zone contents
+
+    # Delegate sub.cachetest.net from cachetest.net, initially at the old
+    # server's address.
+    cachetest.add(
+        "sub.cachetest.net.", RdataType.NS, NS(Name(server_name)), ttl=3600
+    )
+    server_host_zone: Optional[Zone] = None
+    if in_bailiwick:
+        cachetest.add(
+            server_name, RdataType.A, A(old_server.endpoint.address), ttl=7200
+        )
+    else:
+        # zurrundedu.com under .com, with its own (in-bailiwick) name server
+        # hosting the A record of ns1.zurrundedu.com.
+        com = world.add_zone(Zone("com.", default_ttl=ROOT_DELEGATION_TTL))
+        com.add_soa("a.com-servers.net.")
+        com_server = world.add_server("a.com-servers.net", Region.NA, [com])
+        com.add("com.", RdataType.NS, NS(Name("a.com-servers.net.")), ttl=172800)
+        world.delegate(world.root_zone, "com.", ["a.com-servers.net."], ROOT_DELEGATION_TTL)
+        world.root_zone.add(
+            "a.com-servers.net.",
+            RdataType.A,
+            A(com_server.endpoint.address),
+            ttl=ROOT_DELEGATION_TTL,
+        )
+
+        # zurrundedu.com is served by ns1.zurrundedu.com itself (the very
+        # machine being renumbered), so .com publishes 2-day glue for it —
+        # the data parent-centric resolvers pin (§4.4).  Both the old and
+        # the new VM serve the (single, updated-on-renumber) zone.
+        zurr = world.add_zone(Zone("zurrundedu.com.", default_ttl=3600))
+        zurr.add_soa(server_name)
+        zurr.add("zurrundedu.com.", RdataType.NS, NS(Name(server_name)), ttl=3600)
+        zurr.add(server_name, RdataType.A, A(old_server.endpoint.address), ttl=7200)
+        old_server.add_zone(zurr)
+        new_server.add_zone(zurr)
+        com.add("zurrundedu.com.", RdataType.NS, NS(Name(server_name)), ttl=172800)
+        com.add(server_name, RdataType.A, A(old_server.endpoint.address), ttl=172800)
+        server_host_zone = zurr
+
+    return CachetestWorld(
+        world=world,
+        in_bailiwick=in_bailiwick,
+        sub_zone_old=sub_old,
+        sub_zone_new=sub_new,
+        old_server=old_server,
+        new_server=new_server,
+        old_answer=old_answer,
+        new_answer=new_answer,
+        server_host_zone=server_host_zone,
+    )
+
+
+# --------------------------------------------------------------------------- §3.4
+@dataclass
+class NlWorld:
+    """.nl with four authoritative servers, two of them monitored."""
+
+    world: World
+    nl_zone: Zone
+    server_names: list[str]
+    monitored: list[str]  # the ns[1,3].dns.nl ENTRADA view
+
+    def monitored_log_groups(self) -> dict[tuple[str, Name], list[float]]:
+        """(resolver, qname) groups across the monitored servers' logs."""
+        groups: dict[tuple[str, Name], list[float]] = {}
+        for name in self.monitored:
+            log = self.world.servers[name].query_log
+            assert log is not None
+            for key, stamps in log.by_group().items():
+                groups.setdefault(key, []).extend(stamps)
+        for stamps in groups.values():
+            stamps.sort()
+        return groups
+
+
+def build_nl_world(seed: int = 0, domain_count: int = 500) -> NlWorld:
+    """The Netherlands' .nl: glue 172800 s at the root, child A TTL 3600 s.
+
+    ``domain_count`` synthetic second-level domains are delegated so a
+    client workload can drive resolutions (the passive §3.4 study).
+    """
+    world = build_base_world(seed)
+    nl = world.add_zone(Zone("nl.", default_ttl=3600))
+    nl.add_soa("ns1.dns.nl.")
+
+    server_names = ["ns1.dns.nl", "ns2.dns.nl", "ns3.dns.nl", "sns-pb.isc.org"]
+    regions = [Region.EU, Region.EU, Region.NA, Region.NA]
+    for name, region in zip(server_names, regions):
+        server = world.add_server(name, region, [nl])
+        nl.add("nl.", RdataType.NS, NS(Name(name)), ttl=3600)
+        if Name(name).is_subdomain_of(Name("nl.")):
+            nl.add(name, RdataType.A, A(server.endpoint.address), ttl=3600)
+
+    world.delegate(
+        world.root_zone,
+        "nl.",
+        [f"{name}." for name in server_names],
+        ROOT_DELEGATION_TTL,
+    )
+
+    # sns-pb.isc.org needs the .org path to resolve.
+    org = world.add_zone(Zone("org.", default_ttl=ROOT_DELEGATION_TTL))
+    org.add_soa("a0.org-servers.net.")
+    org_server = world.add_server("a0.org-servers.net", Region.NA, [org])
+    org.add("org.", RdataType.NS, NS(Name("a0.org-servers.net.")), ttl=172800)
+    world.delegate(world.root_zone, "org.", ["a0.org-servers.net."], ROOT_DELEGATION_TTL)
+    world.root_zone.add(
+        "a0.org-servers.net.",
+        RdataType.A,
+        A(org_server.endpoint.address),
+        ttl=ROOT_DELEGATION_TTL,
+    )
+    isc = world.add_zone(Zone("isc.org.", default_ttl=7200))
+    isc.add_soa("ns.isc.org.")
+    isc_server = world.add_server("ns.isc.org", Region.NA, [isc])
+    isc.add("isc.org.", RdataType.NS, NS(Name("ns.isc.org.")), ttl=7200)
+    isc.add("ns.isc.org.", RdataType.A, A(isc_server.endpoint.address), ttl=7200)
+    isc.add(
+        "sns-pb.isc.org.",
+        RdataType.A,
+        A(world.servers["sns-pb.isc.org"].endpoint.address),
+        ttl=7200,
+    )
+    world.delegate(org, "isc.org.", ["ns.isc.org."], 86400)
+
+    # Synthetic .nl content domains (shared hosting: a handful of hosters).
+    hoster_count = max(1, domain_count // 50)
+    hosters = []
+    for index in range(hoster_count):
+        hoster_zone = world.add_zone(Zone(f"hoster{index}.nl.", default_ttl=3600))
+        hoster_zone.add_soa(f"ns.hoster{index}.nl.")
+        hoster_server = world.add_server(f"ns.hoster{index}.nl", Region.EU, [hoster_zone])
+        hoster_zone.add(
+            f"hoster{index}.nl.",
+            RdataType.NS,
+            NS(Name(f"ns.hoster{index}.nl.")),
+            ttl=3600,
+        )
+        hoster_zone.add(
+            f"ns.hoster{index}.nl.",
+            RdataType.A,
+            A(hoster_server.endpoint.address),
+            ttl=3600,
+        )
+        nl.add(f"hoster{index}.nl.", RdataType.NS, NS(Name(f"ns.hoster{index}.nl.")), ttl=3600)
+        nl.add(f"ns.hoster{index}.nl.", RdataType.A, A(hoster_server.endpoint.address), ttl=3600)
+        hosters.append((hoster_zone, hoster_server))
+
+    for index in range(domain_count):
+        domain = f"domain{index}.nl."
+        hoster_zone, hoster_server = hosters[index % hoster_count]
+        zone = world.add_zone(Zone(domain, default_ttl=3600))
+        zone.add_soa(f"ns.hoster{index % hoster_count}.nl.")
+        zone.add(domain, RdataType.NS, NS(Name(f"ns.hoster{index % hoster_count}.nl.")), ttl=3600)
+        zone.add(domain, RdataType.A, A(str(ipaddress.IPv4Address(0xC6336400 + index % 250))), ttl=3600)
+        zone.add(f"www.{domain}", RdataType.A, A(str(ipaddress.IPv4Address(0xC6336400 + index % 250))), ttl=3600)
+        hoster_server.add_zone(zone)
+        nl.add(domain, RdataType.NS, NS(Name(f"ns.hoster{index % hoster_count}.nl.")), ttl=3600)
+
+    return NlWorld(
+        world=world,
+        nl_zone=nl,
+        server_names=server_names,
+        monitored=["ns1.dns.nl", "ns3.dns.nl"],
+    )
+
+
+# --------------------------------------------------------------------------- §6.2
+@dataclass
+class ControlledWorld:
+    """The mapache-de-madrid.co controlled TTL/anycast experiment."""
+
+    world: World
+    zone_unicast_60: Zone
+    zone_unicast_86400: Zone
+    zone_anycast: Zone
+    unicast_server: AuthoritativeServer
+    anycast: AnycastCluster
+
+
+def build_controlled_world(seed: int = 0, anycast_sites: int = 45) -> ControlledWorld:
+    """Test domains served from Frankfurt (unicast) and a 45-site anycast.
+
+    Three sibling zones under .co carry the three configurations the paper
+    compares: TTL 60 s unicast, TTL 86400 s unicast, TTL 60 s anycast.
+    """
+    world = build_base_world(seed)
+
+    co = world.add_zone(Zone("co.", default_ttl=172800))
+    co.add_soa("ns.cctld.co.")
+    co_server = world.add_server("ns.cctld.co", Region.SA, [co])
+    co.add("co.", RdataType.NS, NS(Name("ns.cctld.co.")), ttl=172800)
+    co.add("ns.cctld.co.", RdataType.A, A(co_server.endpoint.address), ttl=172800)
+    world.delegate(world.root_zone, "co.", ["ns.cctld.co."], ROOT_DELEGATION_TTL)
+
+    def make_test_zone(origin: str, answer_ttl: int) -> Zone:
+        zone = Zone(origin, default_ttl=3600)
+        zone.add_soa(f"ns1.{origin}")
+        zone.add(origin, RdataType.NS, NS(Name(f"ns1.{origin}")), ttl=3600)
+        zone.add(f"*.{origin}", RdataType.AAAA, AAAA("2001:db8:60::1"), ttl=answer_ttl)
+        return zone
+
+    # Unicast: one Frankfurt-like EU server hosting both TTL variants.
+    zone60 = make_test_zone("ttl60.mapache-de-madrid.co.", 60)
+    zone86400 = make_test_zone("ttl86400.mapache-de-madrid.co.", 86400)
+    unicast = world.add_server("ns1-unicast.mapache-de-madrid.co", Region.EU)
+    for zone, origin in ((zone60, "ttl60"), (zone86400, "ttl86400")):
+        zone.replace(
+            f"ns1.{origin}.mapache-de-madrid.co.",
+            RdataType.A,
+            A(unicast.endpoint.address),
+            ttl=3600,
+        )
+        unicast.add_zone(zone)
+        world.add_zone(zone)
+        co.add(
+            f"{origin}.mapache-de-madrid.co.",
+            RdataType.NS,
+            NS(Name(f"ns1.{origin}.mapache-de-madrid.co.")),
+            ttl=172800,
+        )
+        co.add(
+            f"ns1.{origin}.mapache-de-madrid.co.",
+            RdataType.A,
+            A(unicast.endpoint.address),
+            ttl=172800,
+        )
+
+    # Anycast: Route53-like, 45 sites spread over all regions.
+    zone_any = make_test_zone("anycast.mapache-de-madrid.co.", 60)
+    region_cycle = [Region.NA, Region.EU, Region.AS, Region.SA, Region.OC, Region.AF]
+    site_regions = [region_cycle[i % len(region_cycle)] for i in range(anycast_sites)]
+    cluster = world.add_anycast("route53-like", site_regions, [zone_any])
+    zone_any.replace(
+        "ns1.anycast.mapache-de-madrid.co.",
+        RdataType.A,
+        A(cluster.service_address),
+        ttl=3600,
+    )
+    world.add_zone(zone_any)
+    co.add(
+        "anycast.mapache-de-madrid.co.",
+        RdataType.NS,
+        NS(Name("ns1.anycast.mapache-de-madrid.co.")),
+        ttl=172800,
+    )
+    co.add(
+        "ns1.anycast.mapache-de-madrid.co.",
+        RdataType.A,
+        A(cluster.service_address),
+        ttl=172800,
+    )
+
+    return ControlledWorld(
+        world=world,
+        zone_unicast_60=zone60,
+        zone_unicast_86400=zone86400,
+        zone_anycast=zone_any,
+        unicast_server=unicast,
+        anycast=cluster,
+    )

@@ -1,0 +1,44 @@
+"""TTL crawling of top lists (paper §5.1).
+
+- :mod:`repro.crawler.toplists` — synthetic Alexa / Majestic / Umbrella /
+  .nl / root list generators, distributionally calibrated to Table 5 and
+  Figure 9, hosted on simulated authoritative servers,
+- :mod:`repro.crawler.crawl` — the crawler: queries the parent and the
+  child authoritative servers directly (no shared recursives) for NS, A,
+  AAAA, MX, DNSKEY and CNAME records,
+- :mod:`repro.crawler.dmap` — DMap-style content classification of .nl
+  domains (Tables 6 and 7),
+- :mod:`repro.crawler.report` — the Table 5/8/9 and Figure 9 aggregations.
+"""
+
+from repro.crawler.toplists import (
+    LIST_PROFILES,
+    CrawlUniverse,
+    ListProfile,
+    build_crawl_universe,
+)
+from repro.crawler.crawl import CrawlRecord, Crawler, CrawlResult
+from repro.crawler.dmap import ContentCategory, DMapReport, dmap_classify
+from repro.crawler.report import (
+    bailiwick_census,
+    record_counts,
+    ttl_cdf_by_type,
+    ttl_zero_census,
+)
+
+__all__ = [
+    "CrawlRecord",
+    "CrawlResult",
+    "CrawlUniverse",
+    "Crawler",
+    "ContentCategory",
+    "DMapReport",
+    "LIST_PROFILES",
+    "ListProfile",
+    "bailiwick_census",
+    "build_crawl_universe",
+    "dmap_classify",
+    "record_counts",
+    "ttl_cdf_by_type",
+    "ttl_zero_census",
+]

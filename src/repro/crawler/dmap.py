@@ -1,0 +1,90 @@
+"""DMap-style content classification (paper §5.1.1, Tables 6 and 7).
+
+The paper's DMap crawls HTTP and classifies .nl domains into content
+categories (placeholder / e-commerce / parking); Table 7 then reports
+median DNS TTLs per category.  Our synthetic .nl population carries
+ground-truth categories (assigned at generation, as an HTTP crawl would
+discover them); this module joins those labels with the DNS crawl data and
+computes the same tables.
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crawler.crawl import CrawlRecord, CrawlResult
+
+
+class ContentCategory(enum.Enum):
+    PLACEHOLDER = "placeholder"
+    ECOMMERCE = "ecommerce"
+    PARKING = "parking"
+
+
+#: Human-readable blurbs matching Table 6's "Meaning" column.
+CATEGORY_MEANING = {
+    ContentCategory.PLACEHOLDER: "Landing page",
+    ContentCategory.ECOMMERCE: "Shop cart presence",
+    ContentCategory.PARKING: "Parked domain",
+}
+
+
+@dataclass
+class DMapReport:
+    """Tables 6 and 7 for one crawl."""
+
+    category_counts: dict[ContentCategory, int] = field(default_factory=dict)
+    #: Median TTL in hours per (category, record type) — Table 7.
+    median_ttl_hours: dict[ContentCategory, dict[str, float]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def total_classified(self) -> int:
+        return sum(self.category_counts.values())
+
+
+def dmap_classify(
+    crawl: CrawlResult, list_name: str = ".nl"
+) -> DMapReport:
+    """Classify a crawl's .nl records and compute per-category TTL medians.
+
+    Domains that redirect (CNAME) are excluded, as in the paper ("we only
+    consider domains that do not redirect to other domains").
+    """
+    report = DMapReport()
+    per_category: dict[ContentCategory, list[CrawlRecord]] = {
+        category: [] for category in ContentCategory
+    }
+    for record in crawl.for_list(list_name):
+        category = _category_of(record)
+        if category is None:
+            continue
+        if record.ns_response == "cname" or record.values("CNAME"):
+            continue
+        if not record.responsive or not record.ttls("A"):
+            continue
+        per_category[category].append(record)
+
+    for category, records in per_category.items():
+        report.category_counts[category] = len(records)
+        medians: dict[str, float] = {}
+        for rtype in ("NS", "A", "AAAA", "MX", "DNSKEY"):
+            ttls = [ttl for record in records for ttl in record.ttls(rtype)]
+            if ttls:
+                medians[rtype] = statistics.median(ttls) / 3600.0
+        report.median_ttl_hours[category] = medians
+    return report
+
+
+def _category_of(record: CrawlRecord) -> Optional[ContentCategory]:
+    label = record.domain.category
+    if label is None:
+        return None
+    try:
+        return ContentCategory(label)
+    except ValueError:
+        return None

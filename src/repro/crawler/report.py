@@ -1,0 +1,194 @@
+"""Crawl aggregations: the Table 5/8/9 and Figure 9 computations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.cdf import ECDF
+from repro.crawler.crawl import CrawlResult
+
+RECORD_TYPES = ("NS", "A", "AAAA", "MX", "DNSKEY", "CNAME")
+
+
+@dataclass
+class ListRecordCounts:
+    """One list's Table 5 block."""
+
+    list_name: str
+    domains: int
+    responsive: int
+    discarded: int
+    #: rtype -> (total records, unique rdata values).
+    counts: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        return self.responsive / self.domains if self.domains else 0.0
+
+    def unique_ratio(self, rtype: str) -> Optional[float]:
+        total, unique = self.counts.get(rtype, (0, 0))
+        if unique == 0:
+            return None
+        return total / unique
+
+
+def record_counts(crawl: CrawlResult) -> dict[str, ListRecordCounts]:
+    """Table 5: dataset sizes and per-record-type counts."""
+    out: dict[str, ListRecordCounts] = {}
+    for list_name in crawl.list_names():
+        records = crawl.for_list(list_name)
+        responsive = [record for record in records if record.responsive]
+        block = ListRecordCounts(
+            list_name=list_name,
+            domains=len(records),
+            responsive=len(responsive),
+            discarded=len(records) - len(responsive),
+        )
+        for rtype in RECORD_TYPES:
+            total = 0
+            unique: set[str] = set()
+            for record in responsive:
+                values = record.values(rtype)
+                total += len(values)
+                unique.update(values)
+            if total:
+                block.counts[rtype] = (total, len(unique))
+        out[list_name] = block
+    return out
+
+
+def ttl_cdf_by_type(crawl: CrawlResult) -> dict[str, dict[str, ECDF]]:
+    """Figure 9: per-list, per-record-type TTL CDFs (child-side answers)."""
+    out: dict[str, dict[str, ECDF]] = {}
+    for list_name in crawl.list_names():
+        per_type: dict[str, ECDF] = {}
+        for rtype in RECORD_TYPES:
+            ttls = [
+                ttl
+                for record in crawl.for_list(list_name)
+                if record.responsive
+                for ttl in record.ttls(rtype)
+            ]
+            if ttls:
+                per_type[rtype] = ECDF(ttls)
+        out[list_name] = per_type
+    return out
+
+
+def ttl_zero_census(crawl: CrawlResult) -> dict[str, dict[str, int]]:
+    """Table 8: domains with TTL=0, per list and record type."""
+    out: dict[str, dict[str, int]] = {}
+    for list_name in crawl.list_names():
+        per_type: dict[str, int] = {rtype: 0 for rtype in RECORD_TYPES[:-1]}
+        unique_domains: set[str] = set()
+        for record in crawl.for_list(list_name):
+            zero_types = [
+                rtype
+                for rtype in RECORD_TYPES[:-1]
+                if any(ttl == 0 for ttl in record.ttls(rtype))
+            ]
+            for rtype in zero_types:
+                per_type[rtype] += 1
+            if zero_types:
+                unique_domains.add(str(record.domain.name))
+        per_type["unique"] = len(unique_domains)
+        out[list_name] = per_type
+    return out
+
+
+@dataclass
+class ParentChildComparison:
+    """Child NS TTL relative to the parent's delegation TTL, per list.
+
+    The paper calls the full comparison future work, noting only that
+    "the TTL of .nl is 1 hour, so about 40 % of .nl children have shorter
+    TTLs" (§5.1).  We have both sides for every crawled delegation.
+    """
+
+    list_name: str
+    compared: int = 0
+    child_shorter: int = 0
+    child_equal: int = 0
+    child_longer: int = 0
+
+    def fraction(self, count: int) -> float:
+        return count / self.compared if self.compared else 0.0
+
+    @property
+    def shorter_fraction(self) -> float:
+        return self.fraction(self.child_shorter)
+
+    @property
+    def longer_fraction(self) -> float:
+        return self.fraction(self.child_longer)
+
+
+def parent_child_comparison(crawl: CrawlResult) -> dict[str, ParentChildComparison]:
+    """The paper's future-work measurement: who configured the shorter TTL?
+
+    Uses each delegation's parent-side NS TTL (from the referral) and the
+    child's authoritative NS TTL.  Only NS-answering domains compare.
+    """
+    out: dict[str, ParentChildComparison] = {}
+    for list_name in crawl.list_names():
+        comparison = ParentChildComparison(list_name=list_name)
+        for record in crawl.for_list(list_name):
+            if record.parent_ns_ttl is None or record.ns_response != "ns":
+                continue
+            child_ttls = record.ttls("NS")
+            if not child_ttls:
+                continue
+            comparison.compared += 1
+            child_ttl = child_ttls[0]
+            if child_ttl < record.parent_ns_ttl:
+                comparison.child_shorter += 1
+            elif child_ttl == record.parent_ns_ttl:
+                comparison.child_equal += 1
+            else:
+                comparison.child_longer += 1
+        out[list_name] = comparison
+    return out
+
+
+@dataclass
+class BailiwickCensus:
+    """One list's Table 9 block."""
+
+    list_name: str
+    responsive: int = 0
+    cname: int = 0
+    soa: int = 0
+    respond_ns: int = 0
+    out_only: int = 0
+    in_only: int = 0
+    mixed: int = 0
+
+    @property
+    def percent_out(self) -> float:
+        return 100.0 * self.out_only / self.respond_ns if self.respond_ns else 0.0
+
+
+def bailiwick_census(crawl: CrawlResult) -> dict[str, BailiwickCensus]:
+    """Table 9: bailiwick configuration in the wild."""
+    out: dict[str, BailiwickCensus] = {}
+    for list_name in crawl.list_names():
+        census = BailiwickCensus(list_name=list_name)
+        for record in crawl.for_list(list_name):
+            if not record.responsive:
+                continue
+            census.responsive += 1
+            if record.ns_response == "cname":
+                census.cname += 1
+            elif record.ns_response == "soa":
+                census.soa += 1
+            elif record.ns_response == "ns":
+                census.respond_ns += 1
+                if record.bailiwick == "out":
+                    census.out_only += 1
+                elif record.bailiwick == "in":
+                    census.in_only += 1
+                elif record.bailiwick == "mixed":
+                    census.mixed += 1
+        out[list_name] = census
+    return out

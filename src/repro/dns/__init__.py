@@ -1,0 +1,65 @@
+"""DNS protocol substrate.
+
+A self-contained implementation of the parts of the DNS that the paper's
+experiments exercise: domain names with bailiwick semantics, resource
+records and RRsets, query/response messages with the four RFC 1035 sections
+and header flags, a wire-format codec with name compression, and zones with
+delegations and glue.
+"""
+
+from repro.dns.name import Name, NameError_, root
+from repro.dns.rdtypes import (
+    A,
+    AAAA,
+    CNAME,
+    DNSKEY,
+    MX,
+    NS,
+    OPT,
+    RRSIG,
+    SOA,
+    TXT,
+    Rdata,
+    RdataClass,
+    RdataType,
+)
+from repro.dns.record import ResourceRecord, RRset
+from repro.dns.message import Flags, Message, Opcode, Question, Rcode, Section
+from repro.dns.zone import LookupResult, LookupStatus, Zone, ZoneError
+from repro.dns.ttl import TTL_MAX, clamp_ttl, format_ttl, parse_ttl, validate_ttl
+
+__all__ = [
+    "A",
+    "AAAA",
+    "CNAME",
+    "DNSKEY",
+    "Flags",
+    "LookupResult",
+    "LookupStatus",
+    "MX",
+    "Message",
+    "NS",
+    "Name",
+    "NameError_",
+    "OPT",
+    "Opcode",
+    "Question",
+    "RRSIG",
+    "RRset",
+    "Rcode",
+    "Rdata",
+    "RdataClass",
+    "RdataType",
+    "ResourceRecord",
+    "SOA",
+    "Section",
+    "TTL_MAX",
+    "TXT",
+    "Zone",
+    "ZoneError",
+    "clamp_ttl",
+    "format_ttl",
+    "parse_ttl",
+    "root",
+    "validate_ttl",
+]

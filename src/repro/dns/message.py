@@ -1,0 +1,304 @@
+"""DNS messages.
+
+Implements the RFC 1035 §4.1 message: a 12-octet header (ID, flags, section
+counts), a question section, and answer / authority / additional record
+sections.  The distinction between the three record sections is central to
+the paper (§3.1): a record's *section* determines how much a resolver
+trusts it, and parent-vs-child centricity is exactly the question of whether
+glue in a referral's additional section outranks an authoritative answer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataClass, RdataType
+from repro.dns.record import ResourceRecord, RRset, group_rrsets
+from repro.dns.wire import WireError, WireReader, WireWriter
+
+
+class Opcode(enum.IntEnum):
+    QUERY = 0
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class Rcode(enum.IntEnum):
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+class Section(enum.Enum):
+    """The three record-bearing sections of a response (RFC 1035 §4.1)."""
+
+    ANSWER = "answer"
+    AUTHORITY = "authority"
+    ADDITIONAL = "additional"
+
+
+@dataclass(frozen=True)
+class Flags:
+    """Header flag bits.
+
+    ``aa`` (Authoritative Answer) is what marks child-zone data as
+    authoritative; the paper's Table 1 uses ★ for records carried in
+    AA-flagged answers.
+    """
+
+    qr: bool = False  # response (vs query)
+    aa: bool = False  # authoritative answer
+    tc: bool = False  # truncated
+    rd: bool = True  # recursion desired
+    ra: bool = False  # recursion available
+
+    def to_wire_bits(self, opcode: Opcode, rcode: Rcode) -> int:
+        bits = 0
+        if self.qr:
+            bits |= 0x8000
+        bits |= (int(opcode) & 0xF) << 11
+        if self.aa:
+            bits |= 0x0400
+        if self.tc:
+            bits |= 0x0200
+        if self.rd:
+            bits |= 0x0100
+        if self.ra:
+            bits |= 0x0080
+        bits |= int(rcode) & 0xF
+        return bits
+
+    @classmethod
+    def from_wire_bits(cls, bits: int) -> tuple["Flags", Opcode, Rcode]:
+        flags = cls(
+            qr=bool(bits & 0x8000),
+            aa=bool(bits & 0x0400),
+            tc=bool(bits & 0x0200),
+            rd=bool(bits & 0x0100),
+            ra=bool(bits & 0x0080),
+        )
+        return flags, Opcode((bits >> 11) & 0xF), Rcode(bits & 0xF)
+
+
+@dataclass(frozen=True)
+class Question:
+    """A question-section entry."""
+
+    qname: Name
+    qtype: RdataType
+    qclass: RdataClass = RdataClass.IN
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.qname, Name):
+            object.__setattr__(self, "qname", Name(self.qname))
+
+    def to_text(self) -> str:
+        return f"{self.qname} {self.qclass.name} {self.qtype.name}"
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.qname)
+        writer.write_u16(int(self.qtype))
+        writer.write_u16(int(self.qclass))
+
+    @classmethod
+    def from_wire(cls, reader: WireReader) -> "Question":
+        qname = reader.read_name()
+        qtype = RdataType(reader.read_u16())
+        qclass = RdataClass(reader.read_u16())
+        return cls(qname, qtype, qclass)
+
+
+@dataclass
+class Message:
+    """A DNS query or response."""
+
+    id: int = 0
+    opcode: Opcode = Opcode.QUERY
+    rcode: Rcode = Rcode.NOERROR
+    flags: Flags = field(default_factory=Flags)
+    question: Optional[Question] = None
+    answer: list[ResourceRecord] = field(default_factory=list)
+    authority: list[ResourceRecord] = field(default_factory=list)
+    additional: list[ResourceRecord] = field(default_factory=list)
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def make_query(
+        cls,
+        qname: Name | str,
+        qtype: RdataType,
+        qclass: RdataClass = RdataClass.IN,
+        id: int = 0,
+        recursion_desired: bool = True,
+    ) -> "Message":
+        return cls(
+            id=id,
+            flags=Flags(qr=False, rd=recursion_desired),
+            question=Question(Name(qname), qtype, qclass),
+        )
+
+    def make_response(
+        self,
+        rcode: Rcode = Rcode.NOERROR,
+        authoritative: bool = False,
+        recursion_available: bool = False,
+    ) -> "Message":
+        """A response skeleton echoing this query's ID and question."""
+        return Message(
+            id=self.id,
+            rcode=rcode,
+            flags=Flags(
+                qr=True,
+                aa=authoritative,
+                rd=self.flags.rd,
+                ra=recursion_available,
+            ),
+            question=self.question,
+        )
+
+    # -- section access ------------------------------------------------------------
+    def section(self, section: Section) -> list[ResourceRecord]:
+        if section is Section.ANSWER:
+            return self.answer
+        if section is Section.AUTHORITY:
+            return self.authority
+        return self.additional
+
+    def add(self, section: Section, *records: ResourceRecord) -> None:
+        self.section(section).extend(records)
+
+    def all_records(self) -> Iterator[tuple[Section, ResourceRecord]]:
+        for section in Section:
+            for record in self.section(section):
+                yield section, record
+
+    def rrsets(self, section: Section) -> list[RRset]:
+        return group_rrsets(self.section(section))
+
+    def find_rrset(
+        self,
+        section: Section,
+        name: Name,
+        rdtype: RdataType,
+        rdclass: RdataClass = RdataClass.IN,
+    ) -> Optional[RRset]:
+        """The RRset for (name, type, class) in ``section``, or ``None``."""
+        matching = [
+            record
+            for record in self.section(section)
+            if record.name == name and record.rdtype == rdtype and record.rdclass == rdclass
+        ]
+        if not matching:
+            return None
+        return group_rrsets(matching)[0]
+
+    # -- classification -----------------------------------------------------------
+    @property
+    def is_response(self) -> bool:
+        return self.flags.qr
+
+    def is_referral(self) -> bool:
+        """A delegation response: no answer, NS records in authority, not AA.
+
+        This is the shape a parent zone's server returns for names below a
+        zone cut; its additional section may carry glue.
+        """
+        if self.rcode != Rcode.NOERROR or self.answer:
+            return False
+        return any(record.rdtype == RdataType.NS for record in self.authority)
+
+    def answer_rrset(self) -> Optional[RRset]:
+        """The answer RRset matching the question, if any (CNAMEs aside)."""
+        if self.question is None:
+            return None
+        return self.find_rrset(
+            Section.ANSWER, self.question.qname, self.question.qtype, self.question.qclass
+        )
+
+    def aged(self, seconds: int) -> "Message":
+        """A copy with every record's TTL aged by ``seconds``."""
+        copy = Message(
+            id=self.id,
+            opcode=self.opcode,
+            rcode=self.rcode,
+            flags=self.flags,
+            question=self.question,
+        )
+        for section in Section:
+            copy.section(section)[:] = [
+                record.aged(seconds) for record in self.section(section)
+            ]
+        return copy
+
+    def to_text(self) -> str:
+        lines = [
+            f";; id {self.id} opcode {self.opcode.name} rcode {self.rcode.name} "
+            f"flags{' qr' if self.flags.qr else ''}{' aa' if self.flags.aa else ''}"
+            f"{' rd' if self.flags.rd else ''}{' ra' if self.flags.ra else ''}"
+        ]
+        if self.question is not None:
+            lines.append(";; QUESTION")
+            lines.append(self.question.to_text())
+        for section in Section:
+            records = self.section(section)
+            if records:
+                lines.append(f";; {section.name}")
+                lines.extend(record.to_text() for record in records)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    # -- wire -----------------------------------------------------------------------
+    def to_wire(self) -> bytes:
+        writer = WireWriter()
+        writer.write_u16(self.id)
+        writer.write_u16(self.flags.to_wire_bits(self.opcode, self.rcode))
+        writer.write_u16(1 if self.question is not None else 0)
+        writer.write_u16(len(self.answer))
+        writer.write_u16(len(self.authority))
+        writer.write_u16(len(self.additional))
+        if self.question is not None:
+            self.question.to_wire(writer)
+        for section in Section:
+            for record in self.section(section):
+                record.to_wire(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Message":
+        reader = WireReader(data)
+        message_id = reader.read_u16()
+        flags, opcode, rcode = Flags.from_wire_bits(reader.read_u16())
+        qdcount = reader.read_u16()
+        ancount = reader.read_u16()
+        nscount = reader.read_u16()
+        arcount = reader.read_u16()
+        if qdcount > 1:
+            raise WireError(f"unsupported QDCOUNT {qdcount}")
+        question = Question.from_wire(reader) if qdcount else None
+        message = cls(
+            id=message_id, opcode=opcode, rcode=rcode, flags=flags, question=question
+        )
+        for section, count in (
+            (Section.ANSWER, ancount),
+            (Section.AUTHORITY, nscount),
+            (Section.ADDITIONAL, arcount),
+        ):
+            for _ in range(count):
+                message.section(section).append(ResourceRecord.from_wire(reader))
+        if reader.remaining:
+            raise WireError(f"{reader.remaining} trailing octets after message")
+        return message
+
+
+def records_as_text(records: Iterable[ResourceRecord]) -> str:
+    """Multi-line presentation form for a record list."""
+    return "\n".join(record.to_text() for record in records)

@@ -1,0 +1,233 @@
+"""Domain names.
+
+Names are immutable sequences of labels stored in lowercase (the DNS is
+case-insensitive for matching, RFC 1035 §2.3.3).  The empty label sequence is
+the root.  A :class:`Name` is always absolute: ``Name("www.example.com")`` and
+``Name("www.example.com.")`` denote the same fully-qualified name.
+
+The class implements the relationships the paper's analysis needs:
+
+- subdomain / superdomain tests,
+- *bailiwick* tests (RFC 8499: a server name is *in bailiwick* of a zone when
+  it is subordinate to the zone's origin, e.g. ``ns.example.org`` is in
+  bailiwick of ``example.org``),
+- parent traversal and label slicing, and
+- canonical DNS ordering (RFC 4034 §6.1), used for deterministic output.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Iterator
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255
+
+
+class NameError_(ValueError):
+    """Raised for syntactically invalid domain names.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``NameError``.
+    """
+
+
+def _validate_label(label: str) -> str:
+    if not label:
+        raise NameError_("empty label (consecutive dots?)")
+    if len(label) > MAX_LABEL_LENGTH:
+        raise NameError_(f"label too long ({len(label)} > {MAX_LABEL_LENGTH}): {label!r}")
+    try:
+        label.encode("ascii")
+    except UnicodeEncodeError as exc:
+        raise NameError_(f"non-ASCII label (IDNA is out of scope): {label!r}") from exc
+    return label.lower()
+
+
+@total_ordering
+class Name:
+    """An absolute domain name.
+
+    >>> n = Name("WWW.Example.COM.")
+    >>> str(n)
+    'www.example.com.'
+    >>> n.is_subdomain_of(Name("example.com"))
+    True
+    """
+
+    __slots__ = ("_labels", "_hash")
+
+    _labels: tuple[str, ...]
+    _hash: int
+
+    def __init__(self, text: str | Iterable[str] | "Name" = "") -> None:
+        if isinstance(text, Name):
+            labels: tuple[str, ...] = text._labels
+        elif isinstance(text, str):
+            stripped = text.rstrip(".")
+            if stripped:
+                labels = tuple(_validate_label(lab) for lab in stripped.split("."))
+            else:
+                labels = ()
+        else:
+            labels = tuple(_validate_label(lab) for lab in text)
+        # +1 per label for the length octet, +1 for the root's null label.
+        wire_length = sum(len(lab) + 1 for lab in labels) + 1
+        if wire_length > MAX_NAME_LENGTH:
+            raise NameError_(f"name too long ({wire_length} > {MAX_NAME_LENGTH} octets)")
+        object.__setattr__(self, "_labels", labels)
+        object.__setattr__(self, "_hash", hash(labels))
+
+    # -- immutability -------------------------------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Name is immutable")
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The labels, most significant last (``('www', 'example', 'com')``)."""
+        return self._labels
+
+    @property
+    def is_root(self) -> bool:
+        return not self._labels
+
+    def __len__(self) -> int:
+        """Number of labels (the root has zero)."""
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def __str__(self) -> str:
+        if not self._labels:
+            return "."
+        return ".".join(self._labels) + "."
+
+    def to_text(self) -> str:
+        """The absolute presentation form, always with the trailing dot."""
+        return str(self)
+
+    def __repr__(self) -> str:
+        return f"Name({str(self)!r})"
+
+    # -- equality and ordering ------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Name):
+            return self._labels == other._labels
+        if isinstance(other, str):
+            try:
+                return self._labels == Name(other)._labels
+            except NameError_:
+                return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Name") -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        # Canonical DNS ordering (RFC 4034 §6.1): compare labels right to
+        # left; absence of a label sorts before any label value.
+        return self._canonical_key() < other._canonical_key()
+
+    def _canonical_key(self) -> tuple[str, ...]:
+        return tuple(reversed(self._labels))
+
+    # -- construction helpers --------------------------------------------------
+    def concatenate(self, suffix: "Name") -> "Name":
+        """Return ``self`` + ``suffix``, e.g. ``ns1`` under ``example.com``."""
+        return Name(self._labels + suffix._labels)
+
+    def prepend(self, label: str) -> "Name":
+        """Return a new name with ``label`` added at the left."""
+        return Name((_validate_label(label),) + self._labels)
+
+    def parent(self) -> "Name":
+        """The name with the leftmost label removed.
+
+        >>> Name("www.example.com").parent()
+        Name('example.com.')
+        """
+        if not self._labels:
+            raise NameError_("the root has no parent")
+        return Name(self._labels[1:])
+
+    def ancestors(self) -> Iterator["Name"]:
+        """Yield every proper ancestor, nearest first, ending with the root.
+
+        >>> [str(a) for a in Name("a.b.c").ancestors()]
+        ['b.c.', 'c.', '.']
+        """
+        name = self
+        while not name.is_root:
+            name = name.parent()
+            yield name
+
+    def split(self, depth: int) -> tuple["Name", "Name"]:
+        """Split into (prefix, suffix) where the suffix keeps ``depth`` labels.
+
+        >>> Name("www.example.com").split(2)
+        (Name('www.'), Name('example.com.'))
+        """
+        if depth < 0 or depth > len(self._labels):
+            raise NameError_(f"cannot keep {depth} labels of {self}")
+        cut = len(self._labels) - depth
+        return Name(self._labels[:cut]), Name(self._labels[cut:])
+
+    def relativize(self, origin: "Name") -> tuple[str, ...]:
+        """Labels of ``self`` below ``origin`` (empty if equal).
+
+        Raises :class:`NameError_` when ``self`` is not subordinate to
+        ``origin``.
+        """
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self} is not under {origin}")
+        if origin.is_root:
+            return self._labels
+        return self._labels[: len(self._labels) - len(origin._labels)]
+
+    # -- relationships ----------------------------------------------------------
+    def is_subdomain_of(self, other: "Name") -> bool:
+        """True when ``self`` equals ``other`` or lies beneath it.
+
+        Every name is a subdomain of the root and of itself.
+        """
+        if other.is_root:
+            return True
+        offset = len(self._labels) - len(other._labels)
+        if offset < 0:
+            return False
+        return self._labels[offset:] == other._labels
+
+    def is_proper_subdomain_of(self, other: "Name") -> bool:
+        """True when ``self`` lies strictly beneath ``other``."""
+        return self != other and self.is_subdomain_of(other)
+
+    def is_superdomain_of(self, other: "Name") -> bool:
+        return other.is_subdomain_of(self)
+
+    def in_bailiwick_of(self, zone_origin: "Name") -> bool:
+        """RFC 8499 bailiwick test: is this name at/under ``zone_origin``?
+
+        The paper's §4 experiments hinge on this distinction:
+        ``ns1.sub.cachetest.net`` is in bailiwick of ``sub.cachetest.net``
+        (glue required), while ``ns1.zurrundedu.com`` is out of bailiwick of
+        ``sub.cachetest.net`` (the resolver must resolve the server name
+        independently).
+        """
+        return self.is_subdomain_of(zone_origin)
+
+    def common_ancestor(self, other: "Name") -> "Name":
+        """The deepest name that is an ancestor-or-self of both names."""
+        shared: list[str] = []
+        for mine, theirs in zip(reversed(self._labels), reversed(other._labels)):
+            if mine != theirs:
+                break
+            shared.append(mine)
+        return Name(tuple(reversed(shared)))
+
+
+#: The root name (``.``).
+root = Name("")

@@ -1,0 +1,197 @@
+"""Resource records and RRsets.
+
+A :class:`ResourceRecord` is one (name, type, class, TTL, rdata) tuple; an
+:class:`RRset` groups the records sharing (name, type, class).  RFC 2181
+§5.2 requires all members of an RRset to carry the same TTL; :class:`RRset`
+enforces that on construction and exposes TTL arithmetic (aging records as
+they sit in a cache) used throughout the resolver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.dns.name import Name
+from repro.dns.rdtypes import Rdata, RdataClass, RdataType, read_rdata
+from repro.dns.ttl import validate_ttl
+from repro.dns.wire import WireReader, WireWriter
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A single DNS resource record."""
+
+    name: Name
+    rdtype: RdataType
+    ttl: int
+    rdata: Rdata
+    rdclass: RdataClass = RdataClass.IN
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, Name):
+            object.__setattr__(self, "name", Name(self.name))
+        validate_ttl(self.ttl)
+        if self.rdata.rdtype != self.rdtype:
+            raise ValueError(
+                f"rdata of type {self.rdata.rdtype.name} in a {self.rdtype.name} record"
+            )
+
+    def with_ttl(self, ttl: int) -> "ResourceRecord":
+        """A copy of this record carrying ``ttl``."""
+        return replace(self, ttl=ttl)
+
+    def aged(self, seconds: int) -> "ResourceRecord":
+        """A copy aged by ``seconds``, flooring the TTL at zero.
+
+        This is what a cache does when handing out a record it stored
+        ``seconds`` ago.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot age by negative time {seconds}")
+        return self.with_ttl(max(0, self.ttl - seconds))
+
+    def key(self) -> tuple[Name, RdataType, RdataClass]:
+        return (self.name, self.rdtype, self.rdclass)
+
+    def to_text(self) -> str:
+        return (
+            f"{self.name} {self.ttl} {self.rdclass.name} "
+            f"{self.rdtype.name} {self.rdata.to_text()}"
+        )
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    # -- wire -----------------------------------------------------------------
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.name)
+        writer.write_u16(int(self.rdtype))
+        writer.write_u16(int(self.rdclass))
+        writer.write_u32(self.ttl)
+        rdlength_at = len(writer)
+        writer.write_u16(0)  # RDLENGTH placeholder
+        rdata_start = len(writer)
+        self.rdata.to_wire(writer)
+        writer.patch_u16(rdlength_at, len(writer) - rdata_start)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader) -> "ResourceRecord":
+        name = reader.read_name()
+        rdtype = RdataType(reader.read_u16())
+        rdclass = RdataClass(reader.read_u16())
+        ttl = reader.read_u32()
+        rdlength = reader.read_u16()
+        rdata = read_rdata(rdtype, reader, rdlength)
+        return cls(name=name, rdtype=rdtype, ttl=ttl, rdata=rdata, rdclass=rdclass)
+
+
+@dataclass
+class RRset:
+    """All records sharing a (name, type, class), with one shared TTL.
+
+    >>> from repro.dns.rdtypes import A
+    >>> rrset = RRset(Name("example.com"), RdataType.A, 300, [A("192.0.2.1")])
+    >>> rrset.ttl
+    300
+    """
+
+    name: Name
+    rdtype: RdataType
+    ttl: int
+    rdatas: tuple[Rdata, ...] = field(default_factory=tuple)
+    rdclass: RdataClass = RdataClass.IN
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, Name):
+            self.name = Name(self.name)
+        validate_ttl(self.ttl)
+        self.rdatas = tuple(self.rdatas)
+        for rdata in self.rdatas:
+            if rdata.rdtype != self.rdtype:
+                raise ValueError(
+                    f"rdata of type {rdata.rdtype.name} in a {self.rdtype.name} RRset"
+                )
+
+    @classmethod
+    def from_records(cls, records: Iterable[ResourceRecord]) -> "RRset":
+        """Build an RRset from records that must share (name, type, class).
+
+        Per RFC 2181 §5.2, differing TTLs within a set are an error; callers
+        that tolerate them should normalize first.
+        """
+        materialized = list(records)
+        if not materialized:
+            raise ValueError("cannot build an RRset from no records")
+        first = materialized[0]
+        for record in materialized[1:]:
+            if record.key() != first.key():
+                raise ValueError(f"mixed keys in RRset: {record.key()} vs {first.key()}")
+            if record.ttl != first.ttl:
+                raise ValueError(
+                    f"RFC 2181 violation: differing TTLs {record.ttl} vs {first.ttl} "
+                    f"for {first.name}/{first.rdtype.name}"
+                )
+        return cls(
+            name=first.name,
+            rdtype=first.rdtype,
+            ttl=first.ttl,
+            rdatas=tuple(record.rdata for record in materialized),
+            rdclass=first.rdclass,
+        )
+
+    def records(self) -> Iterator[ResourceRecord]:
+        """Explode back into individual records."""
+        for rdata in self.rdatas:
+            yield ResourceRecord(
+                name=self.name,
+                rdtype=self.rdtype,
+                ttl=self.ttl,
+                rdata=rdata,
+                rdclass=self.rdclass,
+            )
+
+    def __len__(self) -> int:
+        return len(self.rdatas)
+
+    def __iter__(self) -> Iterator[Rdata]:
+        return iter(self.rdatas)
+
+    def key(self) -> tuple[Name, RdataType, RdataClass]:
+        return (self.name, self.rdtype, self.rdclass)
+
+    def with_ttl(self, ttl: int) -> "RRset":
+        return RRset(self.name, self.rdtype, ttl, self.rdatas, self.rdclass)
+
+    def aged(self, seconds: int) -> "RRset":
+        if seconds < 0:
+            raise ValueError(f"cannot age by negative time {seconds}")
+        return self.with_ttl(max(0, self.ttl - seconds))
+
+    def to_text(self) -> str:
+        return "\n".join(record.to_text() for record in self.records())
+
+
+def group_rrsets(records: Iterable[ResourceRecord]) -> list[RRset]:
+    """Group records into RRsets, preserving first-seen order.
+
+    Unlike :meth:`RRset.from_records` this tolerates mixed TTLs by taking
+    the *minimum* (the conservative reading of RFC 2181 §5.2 that real
+    resolvers apply).
+    """
+    ordered: dict[tuple[Name, RdataType, RdataClass], list[ResourceRecord]] = {}
+    for record in records:
+        ordered.setdefault(record.key(), []).append(record)
+    rrsets: list[RRset] = []
+    for key, members in ordered.items():
+        ttl = min(record.ttl for record in members)
+        rrsets.append(
+            RRset(
+                name=key[0],
+                rdtype=key[1],
+                ttl=ttl,
+                rdatas=tuple(record.rdata for record in members),
+                rdclass=key[2],
+            )
+        )
+    return rrsets

@@ -1,0 +1,166 @@
+"""RFC 1035 wire-format buffers with name compression.
+
+:class:`WireWriter` and :class:`WireReader` provide the primitive
+fixed-width integer and domain-name operations that the rdata, record and
+message codecs build on.  Compression pointers (RFC 1035 §4.1.4) are emitted
+for repeated names and are validated on read to always point strictly
+backwards, which guarantees termination.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.dns.name import Name, NameError_
+
+#: Two high bits set in a label length octet mark a compression pointer.
+_POINTER_MASK = 0xC0
+#: Maximum offset representable in a 14-bit compression pointer.
+_POINTER_MAX_OFFSET = 0x3FFF
+
+MAX_MESSAGE_SIZE = 65535
+
+
+class WireError(ValueError):
+    """Raised for malformed wire data or buffer overruns."""
+
+
+class WireWriter:
+    """An append-only message buffer with name compression."""
+
+    def __init__(self) -> None:
+        self._chunks = bytearray()
+        # Map from a name's label tuple to the offset of its first encoding.
+        self._compression: dict[tuple[str, ...], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def getvalue(self) -> bytes:
+        if len(self._chunks) > MAX_MESSAGE_SIZE:
+            raise WireError(f"message too large ({len(self._chunks)} octets)")
+        return bytes(self._chunks)
+
+    # -- integers ------------------------------------------------------------
+    def write_u8(self, value: int) -> None:
+        self._chunks += struct.pack("!B", value)
+
+    def write_u16(self, value: int) -> None:
+        self._chunks += struct.pack("!H", value)
+
+    def write_u32(self, value: int) -> None:
+        self._chunks += struct.pack("!I", value)
+
+    def write_bytes(self, data: bytes) -> None:
+        self._chunks += data
+
+    def patch_u16(self, offset: int, value: int) -> None:
+        """Overwrite a previously written 16-bit field (e.g. RDLENGTH)."""
+        self._chunks[offset : offset + 2] = struct.pack("!H", value)
+
+    # -- names ----------------------------------------------------------------
+    def write_name(self, name: Name, compress: bool = True) -> None:
+        """Write ``name``, emitting a compression pointer when possible."""
+        labels = name.labels
+        for index in range(len(labels)):
+            suffix = labels[index:]
+            if compress and suffix in self._compression:
+                pointer = self._compression[suffix]
+                self.write_u16(_POINTER_MASK << 8 | pointer)
+                return
+            offset = len(self._chunks)
+            if offset <= _POINTER_MAX_OFFSET:
+                self._compression[suffix] = offset
+            label = labels[index]
+            encoded = label.encode("ascii")
+            self.write_u8(len(encoded))
+            self.write_bytes(encoded)
+        self.write_u8(0)  # root label
+
+
+class WireReader:
+    """A cursor over a received message buffer."""
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self._data = data
+        self._offset = offset
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def seek(self, offset: int) -> None:
+        if offset < 0 or offset > len(self._data):
+            raise WireError(f"seek to {offset} outside buffer of {len(self._data)}")
+        self._offset = offset
+
+    def _take(self, count: int) -> bytes:
+        if self.remaining < count:
+            raise WireError(f"short read: wanted {count}, have {self.remaining}")
+        chunk = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return chunk
+
+    # -- integers ------------------------------------------------------------
+    def read_u8(self) -> int:
+        return self._take(1)[0]
+
+    def read_u16(self) -> int:
+        return struct.unpack("!H", self._take(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("!I", self._take(4))[0]
+
+    def read_bytes(self, count: int) -> bytes:
+        return self._take(count)
+
+    # -- names ----------------------------------------------------------------
+    def read_name(self) -> Name:
+        """Read a possibly-compressed name starting at the cursor.
+
+        The cursor is left after the name's encoding at its *original*
+        position (pointers are chased in a side excursion).  Pointers must
+        point strictly backwards; forward or self pointers raise
+        :class:`WireError`, which also bounds the number of hops.
+        """
+        labels: list[str] = []
+        cursor = self._offset
+        followed_pointer = False
+        end_after: int | None = None
+        while True:
+            if cursor >= len(self._data):
+                raise WireError("name runs off the end of the message")
+            length = self._data[cursor]
+            if length & _POINTER_MASK == _POINTER_MASK:
+                if cursor + 1 >= len(self._data):
+                    raise WireError("truncated compression pointer")
+                pointer = ((length & ~_POINTER_MASK) << 8) | self._data[cursor + 1]
+                if pointer >= cursor:
+                    raise WireError(f"compression pointer {pointer} does not point backwards")
+                if not followed_pointer:
+                    end_after = cursor + 2
+                    followed_pointer = True
+                cursor = pointer
+                continue
+            if length & _POINTER_MASK:
+                raise WireError(f"reserved label type 0x{length & _POINTER_MASK:02x}")
+            if length == 0:
+                cursor += 1
+                break
+            if cursor + 1 + length > len(self._data):
+                raise WireError("label runs off the end of the message")
+            raw = self._data[cursor + 1 : cursor + 1 + length]
+            try:
+                labels.append(raw.decode("ascii"))
+            except UnicodeDecodeError as exc:
+                raise WireError(f"non-ASCII label on the wire: {raw!r}") from exc
+            cursor += 1 + length
+        self._offset = end_after if end_after is not None else cursor
+        try:
+            return Name(labels)
+        except NameError_ as exc:
+            raise WireError(str(exc)) from exc

@@ -1,0 +1,350 @@
+"""Zones: authoritative data with delegations and glue.
+
+A :class:`Zone` holds the RRsets for one zone (one origin), knows where its
+zone cuts are (names below the origin owning NS RRsets), and can answer a
+query with either authoritative data (AA set) or a referral carrying the
+delegation's NS RRset plus any in-bailiwick glue addresses.
+
+The glue records a parent zone serves for a delegation are the "parent
+TTLs" of the paper: a parent-centric resolver caches them for the parent's
+TTL, while a child-centric resolver replaces them with the child's
+authoritative values (RFC 2181 §5.4.1 trust ranking).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.dns.message import Message, Rcode, Section
+from repro.dns.name import Name
+from repro.dns.rdtypes import CNAME, NS, Rdata, RdataClass, RdataType, SOA
+from repro.dns.record import ResourceRecord, RRset
+from repro.dns.ttl import validate_ttl
+
+
+class ZoneError(ValueError):
+    """Raised for inconsistent zone contents or out-of-zone operations."""
+
+
+class LookupStatus(enum.Enum):
+    ANSWER = "answer"
+    DELEGATION = "delegation"
+    CNAME = "cname"
+    NODATA = "nodata"
+    NXDOMAIN = "nxdomain"
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a zone lookup.
+
+    ``rrsets`` carries the answer (ANSWER/CNAME) or delegation NS
+    (DELEGATION); ``glue`` carries in-bailiwick A/AAAA records for a
+    delegation; ``soa`` is set for negative answers.
+    """
+
+    status: LookupStatus
+    rrsets: list[RRset] = field(default_factory=list)
+    glue: list[RRset] = field(default_factory=list)
+    soa: Optional[RRset] = None
+
+
+class Zone:
+    """The authoritative data for one zone origin."""
+
+    def __init__(self, origin: Name | str, default_ttl: int = 3600) -> None:
+        self.origin = Name(origin)
+        self.default_ttl = validate_ttl(default_ttl)
+        self._rrsets: dict[tuple[Name, RdataType], RRset] = {}
+        # Indexes kept for O(labels) lookups in large zones (a TLD zone in
+        # the crawl experiments holds tens of thousands of delegations):
+        # zone-cut owners, and every existing node (owners plus the empty
+        # non-terminals above them).
+        self._cuts: set[Name] = set()
+        self._nodes: set[Name] = set()
+
+    def __repr__(self) -> str:
+        return f"Zone({str(self.origin)!r}, {len(self._rrsets)} rrsets)"
+
+    # -- mutation ------------------------------------------------------------
+    def add(
+        self,
+        name: Name | str,
+        rdtype: RdataType,
+        rdata: Rdata | Iterable[Rdata],
+        ttl: Optional[int] = None,
+    ) -> RRset:
+        """Add rdata under (name, rdtype), merging into an existing RRset.
+
+        When merging, the existing RRset's TTL wins (RFC 2181 §5.2 requires a
+        single TTL per set); pass an explicit ``ttl`` and call
+        :meth:`replace` to change it.
+        """
+        owner = self._require_in_zone(Name(name))
+        rdatas = (rdata,) if isinstance(rdata, Rdata) else tuple(rdata)
+        effective_ttl = self.default_ttl if ttl is None else validate_ttl(ttl)
+        existing = self._rrsets.get((owner, rdtype))
+        if existing is not None:
+            merged = tuple(dict.fromkeys(existing.rdatas + rdatas))
+            rrset = RRset(owner, rdtype, existing.ttl, merged)
+        else:
+            rrset = RRset(owner, rdtype, effective_ttl, rdatas)
+        self._rrsets[(owner, rdtype)] = rrset
+        if rdtype == RdataType.NS and owner != self.origin:
+            self._cuts.add(owner)
+        node = owner
+        while node not in self._nodes and node.is_subdomain_of(self.origin):
+            self._nodes.add(node)
+            if node == self.origin:
+                break
+            node = node.parent()
+        return rrset
+
+    def replace(
+        self,
+        name: Name | str,
+        rdtype: RdataType,
+        rdata: Rdata | Iterable[Rdata],
+        ttl: Optional[int] = None,
+    ) -> RRset:
+        """Replace the whole RRset under (name, rdtype).
+
+        This is the primitive behind the paper's *renumbering* experiments
+        (§4.2): swapping a server's A record to point at a new machine.
+        """
+        owner = self._require_in_zone(Name(name))
+        self._rrsets.pop((owner, rdtype), None)
+        return self.add(owner, rdtype, rdata, ttl)
+
+    def remove(self, name: Name | str, rdtype: RdataType) -> None:
+        owner = Name(name)
+        self._rrsets.pop((owner, rdtype), None)
+        if rdtype == RdataType.NS:
+            self._cuts.discard(owner)
+        # Node bookkeeping is append-only: a removed name may leave an
+        # empty non-terminal behind, which still legitimately exists.
+
+    def set_ttl(self, name: Name | str, rdtype: RdataType, ttl: int) -> RRset:
+        """Change the TTL of an existing RRset (the .uy natural experiment)."""
+        owner = Name(name)
+        existing = self._rrsets.get((owner, rdtype))
+        if existing is None:
+            raise ZoneError(f"no {rdtype.name} RRset at {owner}")
+        rrset = existing.with_ttl(validate_ttl(ttl))
+        self._rrsets[(owner, rdtype)] = rrset
+        return rrset
+
+    def _require_in_zone(self, name: Name) -> Name:
+        if not name.is_subdomain_of(self.origin):
+            raise ZoneError(f"{name} is not within zone {self.origin}")
+        return name
+
+    # -- inspection -----------------------------------------------------------
+    def get(self, name: Name | str, rdtype: RdataType) -> Optional[RRset]:
+        return self._rrsets.get((Name(name), rdtype))
+
+    def rrsets(self) -> Iterator[RRset]:
+        yield from self._rrsets.values()
+
+    def names(self) -> set[Name]:
+        return {name for name, _ in self._rrsets}
+
+    @property
+    def soa(self) -> Optional[RRset]:
+        return self._rrsets.get((self.origin, RdataType.SOA))
+
+    def delegations(self) -> Iterator[RRset]:
+        """NS RRsets owned strictly below the origin — the zone cuts."""
+        for (name, rdtype), rrset in self._rrsets.items():
+            if rdtype == RdataType.NS and name != self.origin:
+                yield rrset
+
+    def is_delegated(self, name: Name) -> Optional[Name]:
+        """The deepest zone cut at-or-above ``name``, if any.
+
+        Note: returns the *shallowest* cut on the path from the origin down
+        to ``name`` — resolution stops at the first delegation crossed.
+        """
+        if not self._cuts:
+            return None
+        depth = len(self.origin) + 1
+        while depth <= len(name):
+            _, candidate = name.split(depth)
+            if candidate in self._cuts:
+                return candidate
+            depth += 1
+        return None
+
+    def name_exists(self, name: Name) -> bool:
+        """Does ``name`` own records or sit above records (empty non-terminal)?"""
+        return name in self._nodes
+
+    # -- lookup -----------------------------------------------------------------
+    def lookup(self, qname: Name | str, qtype: RdataType) -> LookupResult:
+        """Resolve a query against this zone's data.
+
+        The order mirrors RFC 1034 §4.3.2: first find a zone cut (referral),
+        then exact data, then CNAME, then the negative cases.
+        """
+        name = Name(qname)
+        if not name.is_subdomain_of(self.origin):
+            raise ZoneError(f"{name} is not within zone {self.origin}")
+
+        cut = self.is_delegated(name)
+        if cut is not None:
+            ns_rrset = self._rrsets[(cut, RdataType.NS)]
+            return LookupResult(
+                status=LookupStatus.DELEGATION,
+                rrsets=[ns_rrset],
+                glue=self._glue_for(ns_rrset),
+            )
+
+        exact = self._rrsets.get((name, qtype))
+        if exact is not None:
+            return LookupResult(status=LookupStatus.ANSWER, rrsets=[exact])
+
+        alias = self._rrsets.get((name, RdataType.CNAME))
+        if alias is not None and qtype != RdataType.CNAME:
+            chain = [alias]
+            target = alias.rdatas[0]
+            assert isinstance(target, CNAME)
+            # Follow the chain within this zone (bounded by zone size).
+            seen = {name}
+            current = target.target
+            while current.is_subdomain_of(self.origin) and current not in seen:
+                seen.add(current)
+                final = self._rrsets.get((current, qtype))
+                if final is not None:
+                    chain.append(final)
+                    return LookupResult(status=LookupStatus.CNAME, rrsets=chain)
+                next_alias = self._rrsets.get((current, RdataType.CNAME))
+                if next_alias is None:
+                    break
+                chain.append(next_alias)
+                link = next_alias.rdatas[0]
+                assert isinstance(link, CNAME)
+                current = link.target
+            return LookupResult(status=LookupStatus.CNAME, rrsets=chain)
+
+        if self.name_exists(name):
+            return LookupResult(status=LookupStatus.NODATA, soa=self.soa)
+
+        # RFC 1034 §4.3.3 wildcard synthesis: look for *.<closest encloser>.
+        # The paper's §4 experiments answer per-probe names
+        # (PROBEID.sub.cachetest.net) from a wildcard AAAA record.
+        for ancestor in name.ancestors():
+            if not ancestor.is_subdomain_of(self.origin):
+                break
+            wildcard = self._rrsets.get((ancestor.prepend("*"), qtype))
+            if wildcard is not None:
+                synthesized = RRset(
+                    name, qtype, wildcard.ttl, wildcard.rdatas, wildcard.rdclass
+                )
+                return LookupResult(status=LookupStatus.ANSWER, rrsets=[synthesized])
+            if self.name_exists(ancestor):
+                break
+        return LookupResult(status=LookupStatus.NXDOMAIN, soa=self.soa)
+
+    def _glue_for(self, ns_rrset: RRset) -> list[RRset]:
+        """In-bailiwick glue addresses for a delegation's server names.
+
+        Glue is only required (and only present) for server names under the
+        delegated zone; the paper's out-of-bailiwick experiments rely on
+        the *absence* of glue forcing resolvers to resolve the server name
+        themselves (§4.6).
+        """
+        glue: list[RRset] = []
+        for rdata in ns_rrset.rdatas:
+            assert isinstance(rdata, NS)
+            if not rdata.target.is_subdomain_of(self.origin):
+                continue
+            for addr_type in (RdataType.A, RdataType.AAAA):
+                addr = self._rrsets.get((rdata.target, addr_type))
+                if addr is not None:
+                    glue.append(addr)
+        return glue
+
+    # -- full responses --------------------------------------------------------
+    def respond(self, query: Message) -> Message:
+        """Build the full response message an authoritative server sends."""
+        if query.question is None:
+            response = query.make_response(rcode=Rcode.FORMERR)
+            return response
+        question = query.question
+        if not question.qname.is_subdomain_of(self.origin):
+            return query.make_response(rcode=Rcode.REFUSED)
+
+        result = self.lookup(question.qname, question.qtype)
+
+        if result.status is LookupStatus.DELEGATION:
+            response = query.make_response(authoritative=False)
+            for rrset in result.rrsets:
+                response.add(Section.AUTHORITY, *rrset.records())
+            for rrset in result.glue:
+                response.add(Section.ADDITIONAL, *rrset.records())
+            return response
+
+        if result.status in (LookupStatus.ANSWER, LookupStatus.CNAME):
+            response = query.make_response(authoritative=True)
+            for rrset in result.rrsets:
+                response.add(Section.ANSWER, *rrset.records())
+                self._attach_rrsigs(response, rrset)
+            apex_ns = self._rrsets.get((self.origin, RdataType.NS))
+            if apex_ns is not None and question.qtype != RdataType.NS:
+                response.add(Section.AUTHORITY, *apex_ns.records())
+                for glue_rrset in self._glue_for(apex_ns):
+                    response.add(Section.ADDITIONAL, *glue_rrset.records())
+            return response
+
+        rcode = Rcode.NXDOMAIN if result.status is LookupStatus.NXDOMAIN else Rcode.NOERROR
+        response = query.make_response(rcode=rcode, authoritative=True)
+        if result.soa is not None:
+            response.add(Section.AUTHORITY, *result.soa.records())
+        return response
+
+    def _attach_rrsigs(self, response: Message, answered: RRset) -> None:
+        """Add the RRSIG(s) covering an answered RRset (signed zones only).
+
+        DNSSEC requires the signature — which encloses the child's TTL —
+        to travel with the data (§2 of the paper); validating resolvers
+        use it to clamp cached TTLs.
+        """
+        from repro.dns.rdtypes import RRSIG as RRSIGData
+
+        if answered.rdtype == RdataType.RRSIG:
+            return
+        sig_set = self._rrsets.get((answered.name, RdataType.RRSIG))
+        if sig_set is None:
+            return
+        for rdata in sig_set.rdatas:
+            assert isinstance(rdata, RRSIGData)
+            if rdata.type_covered == answered.rdtype:
+                response.add(
+                    Section.ANSWER,
+                    *RRset(
+                        answered.name, RdataType.RRSIG, sig_set.ttl, [rdata]
+                    ).records(),
+                )
+
+    # -- convenience -------------------------------------------------------------
+    def add_soa(
+        self,
+        mname: Name | str,
+        rname: Name | str = "hostmaster.invalid.",
+        serial: int = 1,
+        refresh: int = 7200,
+        retry: int = 3600,
+        expire: int = 1209600,
+        minimum: int = 3600,
+        ttl: Optional[int] = None,
+    ) -> RRset:
+        rdata = SOA(Name(mname), Name(rname), serial, refresh, retry, expire, minimum)
+        return self.replace(self.origin, RdataType.SOA, rdata, ttl)
+
+    def to_text(self) -> str:
+        lines = [f"; zone {self.origin}"]
+        for rrset in sorted(self._rrsets.values(), key=lambda r: (r.name, int(r.rdtype))):
+            lines.append(rrset.to_text())
+        return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Master-file (RFC 1035 §5) parsing — a practical subset.
+
+Lets worlds and tests be specified as zone files instead of API calls:
+
+    $ORIGIN example.com.
+    $TTL 3600
+    @        IN SOA  ns1 hostmaster 1 7200 3600 1209600 300
+    @        IN NS   ns1
+    ns1 7200 IN A    192.0.2.53
+    www  300 IN A    192.0.2.80
+    mail     IN MX   10 mx.provider.net.
+
+Supported: ``$ORIGIN``/``$TTL`` directives, ``@``, relative names, blank
+owner continuation (repeat the previous owner), ``;`` comments, BIND-style
+TTL durations ("2d"), and the rdata types the crawl measures (A, AAAA, NS,
+CNAME, MX, TXT, SOA, DNSKEY).  Unsupported: parentheses spanning lines,
+``$INCLUDE``, class values other than IN.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Optional
+
+from repro.dns.name import Name
+from repro.dns.rdtypes import (
+    AAAA,
+    A,
+    CNAME,
+    DNSKEY,
+    MX,
+    NS,
+    Rdata,
+    RdataType,
+    SOA,
+    TXT,
+)
+from repro.dns.ttl import TTLError, parse_ttl
+from repro.dns.zone import Zone
+
+
+class ZoneFileError(ValueError):
+    """Raised with the offending line number for unparseable input."""
+
+    def __init__(self, message: str, line_number: int) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _absolute(token: str, origin: Name) -> Name:
+    if token == "@":
+        return origin
+    if token.endswith("."):
+        return Name(token)
+    return Name(token).concatenate(origin)
+
+
+def _parse_rdata(rdtype: RdataType, tokens: list[str], origin: Name) -> Rdata:
+    if rdtype == RdataType.A:
+        (address,) = tokens
+        return A(address)
+    if rdtype == RdataType.AAAA:
+        (address,) = tokens
+        return AAAA(address)
+    if rdtype == RdataType.NS:
+        (target,) = tokens
+        return NS(_absolute(target, origin))
+    if rdtype == RdataType.CNAME:
+        (target,) = tokens
+        return CNAME(_absolute(target, origin))
+    if rdtype == RdataType.MX:
+        preference, exchange = tokens
+        return MX(int(preference), _absolute(exchange, origin))
+    if rdtype == RdataType.TXT:
+        chunks = [token.strip('"') for token in tokens]
+        return TXT(tuple(chunks))
+    if rdtype == RdataType.SOA:
+        mname, rname, serial, refresh, retry, expire, minimum = tokens
+        return SOA(
+            _absolute(mname, origin),
+            _absolute(rname, origin),
+            int(serial),
+            parse_ttl(refresh),
+            parse_ttl(retry),
+            parse_ttl(expire),
+            parse_ttl(minimum),
+        )
+    if rdtype == RdataType.DNSKEY:
+        flags, protocol, algorithm, *key64 = tokens
+        key = base64.b64decode("".join(key64)) if key64 else b""
+        return DNSKEY(int(flags), int(protocol), int(algorithm), key)
+    raise ValueError(f"unsupported rdata type {rdtype.name}")
+
+
+def parse_zone(
+    text: str,
+    origin: Optional[str | Name] = None,
+    default_ttl: int = 3600,
+) -> Zone:
+    """Parse a master file into a :class:`Zone`.
+
+    ``origin`` may be given here or via a ``$ORIGIN`` directive before the
+    first record (the directive wins for subsequent records).
+    """
+    current_origin: Optional[Name] = Name(origin) if origin is not None else None
+    current_ttl = default_ttl
+    zone: Optional[Zone] = None
+    previous_owner: Optional[Name] = None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+
+        if line.startswith("$ORIGIN"):
+            try:
+                current_origin = Name(line.split()[1])
+            except (IndexError, ValueError) as exc:
+                raise ZoneFileError(f"bad $ORIGIN: {exc}", line_number) from exc
+            continue
+        if line.startswith("$TTL"):
+            try:
+                current_ttl = parse_ttl(line.split()[1])
+            except (IndexError, TTLError) as exc:
+                raise ZoneFileError(f"bad $TTL: {exc}", line_number) from exc
+            continue
+        if line.startswith("$"):
+            raise ZoneFileError(f"unsupported directive {line.split()[0]}", line_number)
+
+        if current_origin is None:
+            raise ZoneFileError("no origin established before first record", line_number)
+        if zone is None:
+            zone = Zone(current_origin, default_ttl=current_ttl)
+
+        # Leading whitespace means "same owner as the previous record".
+        starts_indented = line[0] in " \t"
+        tokens = line.split()
+        if starts_indented:
+            if previous_owner is None:
+                raise ZoneFileError("continuation line with no previous owner", line_number)
+            owner = previous_owner
+        else:
+            owner = _absolute(tokens.pop(0), current_origin)
+        previous_owner = owner
+
+        # Optional TTL and optional IN class, in either order.
+        ttl = current_ttl
+        while tokens:
+            token = tokens[0]
+            if token.upper() == "IN":
+                tokens.pop(0)
+                continue
+            try:
+                ttl = parse_ttl(token)
+            except TTLError:
+                break
+            tokens.pop(0)
+
+        if not tokens:
+            raise ZoneFileError("record has no type", line_number)
+        try:
+            rdtype = RdataType.from_text(tokens.pop(0))
+        except ValueError as exc:
+            raise ZoneFileError(str(exc), line_number) from exc
+        try:
+            rdata = _parse_rdata(rdtype, tokens, current_origin)
+        except (ValueError, TTLError) as exc:
+            raise ZoneFileError(
+                f"bad {rdtype.name} rdata {' '.join(tokens)!r}: {exc}", line_number
+            ) from exc
+        try:
+            zone.add(owner, rdtype, rdata, ttl=ttl)
+        except Exception as exc:
+            raise ZoneFileError(str(exc), line_number) from exc
+
+    if zone is None:
+        raise ZoneFileError("zone file contains no records", 0)
+    return zone

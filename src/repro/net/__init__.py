@@ -1,0 +1,42 @@
+"""Deterministic network simulation substrate.
+
+The paper's measurements run on the real Internet; here we substitute a
+round-driven simulation with three pieces:
+
+- :mod:`repro.net.clock` — a virtual clock that experiments advance,
+- :mod:`repro.net.topology` — regions, autonomous systems and addressed
+  endpoints,
+- :mod:`repro.net.latency` — a geographic RTT model calibrated so that
+  intra-region paths are tens of milliseconds and inter-continental paths
+  are hundreds, matching the contrast the latency figures rely on, and
+- :mod:`repro.net.transport` — a datagram fabric connecting endpoints to
+  servers, with configurable loss, timeouts and retries.
+
+Everything is seeded; two runs with the same seed produce identical
+datasets.
+"""
+
+from repro.net.clock import SimClock
+from repro.net.latency import LatencyModel
+from repro.net.topology import (
+    AddressAllocator,
+    AutonomousSystem,
+    Endpoint,
+    Region,
+    Topology,
+)
+from repro.net.transport import LossModel, Network, NetworkTimeout, Server
+
+__all__ = [
+    "AddressAllocator",
+    "AutonomousSystem",
+    "Endpoint",
+    "LatencyModel",
+    "LossModel",
+    "Network",
+    "NetworkTimeout",
+    "Region",
+    "Server",
+    "SimClock",
+    "Topology",
+]

@@ -1,0 +1,122 @@
+"""Geographic round-trip-time model.
+
+The paper's latency results (Figures 10 and 11) rest on one contrast: a
+cache hit is answered by a recursive resolver milliseconds from the client,
+while a cache miss walks to authoritative servers that may be continents
+away.  This model preserves that contrast:
+
+- a base RTT matrix between continental regions (intercontinental paths are
+  100–300 ms, intra-region paths tens of ms),
+- a deterministic per-path offset (two hosts in the same region are not
+  equidistant), and
+- per-query lognormal jitter (queueing, last-mile variance).
+
+Client-to-local-resolver paths use a dedicated short "last mile" latency,
+since most probes use a resolver in their own network (§4.4).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Optional
+
+from repro.net.topology import Endpoint, Region
+
+#: One-way base latency between regions, in milliseconds.  Symmetric.
+#: Derived from typical great-circle distances; only the contrast matters.
+_REGION_RTT_MS: dict[tuple[Region, Region], float] = {}
+
+
+def _set_rtt(a: Region, b: Region, ms: float) -> None:
+    _REGION_RTT_MS[(a, b)] = ms
+    _REGION_RTT_MS[(b, a)] = ms
+
+
+_set_rtt(Region.EU, Region.EU, 25.0)
+_set_rtt(Region.NA, Region.NA, 35.0)
+_set_rtt(Region.AS, Region.AS, 45.0)
+_set_rtt(Region.SA, Region.SA, 40.0)
+_set_rtt(Region.OC, Region.OC, 30.0)
+_set_rtt(Region.AF, Region.AF, 50.0)
+_set_rtt(Region.EU, Region.NA, 95.0)
+_set_rtt(Region.EU, Region.AS, 150.0)
+_set_rtt(Region.EU, Region.SA, 190.0)
+_set_rtt(Region.EU, Region.OC, 280.0)
+_set_rtt(Region.EU, Region.AF, 110.0)
+_set_rtt(Region.NA, Region.AS, 160.0)
+_set_rtt(Region.NA, Region.SA, 130.0)
+_set_rtt(Region.NA, Region.OC, 180.0)
+_set_rtt(Region.NA, Region.AF, 200.0)
+_set_rtt(Region.AS, Region.SA, 310.0)
+_set_rtt(Region.AS, Region.OC, 140.0)
+_set_rtt(Region.AS, Region.AF, 240.0)
+_set_rtt(Region.SA, Region.OC, 300.0)
+_set_rtt(Region.SA, Region.AF, 280.0)
+_set_rtt(Region.OC, Region.AF, 320.0)
+
+
+class LatencyModel:
+    """Computes RTTs between endpoints.
+
+    ``rtt()`` returns seconds (not ms) so callers can add them straight to
+    virtual-clock timestamps.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        jitter_sigma: float = 0.25,
+        last_mile_ms: float = 4.0,
+    ) -> None:
+        self._seed = seed
+        self._jitter_sigma = jitter_sigma
+        self.last_mile_ms = last_mile_ms
+        self._rng = random.Random(seed ^ 0x5A17)
+
+    # -- deterministic components ------------------------------------------------
+    def base_rtt_ms(self, src: Endpoint, dst: Endpoint) -> float:
+        """The deterministic RTT between two endpoints, in milliseconds.
+
+        Used directly for anycast catchment (nearest site wins) so that a
+        client's chosen site is stable across queries.
+        """
+        if src.address == dst.address:
+            return 0.1
+        base = _REGION_RTT_MS[(src.region, dst.region)]
+        return base + self._path_offset_ms(src, dst)
+
+    def _path_offset_ms(self, src: Endpoint, dst: Endpoint) -> float:
+        """A stable per-path offset in [0, base/2), derived from addresses."""
+        key = "|".join(sorted((src.address, dst.address))) + f"|{self._seed}"
+        digest = hashlib.sha256(key.encode("ascii")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        base = _REGION_RTT_MS[(src.region, dst.region)]
+        return fraction * base * 0.5
+
+    # -- sampled RTTs ----------------------------------------------------------
+    def rtt(self, src: Endpoint, dst: Endpoint, rng: Optional[random.Random] = None) -> float:
+        """One sampled round trip time between endpoints, in **seconds**."""
+        sampler = rng or self._rng
+        base_ms = self.base_rtt_ms(src, dst)
+        jitter = sampler.lognormvariate(0.0, self._jitter_sigma)
+        return base_ms * jitter / 1000.0
+
+    def last_mile_rtt(self, rng: Optional[random.Random] = None) -> float:
+        """Client to its own on-network recursive resolver, in seconds.
+
+        This is the "1 ms cache hit" path of the paper's introduction; we
+        use a few milliseconds with jitter.
+        """
+        sampler = rng or self._rng
+        jitter = sampler.lognormvariate(0.0, self._jitter_sigma)
+        return self.last_mile_ms * jitter / 1000.0
+
+    def nearest(self, src: Endpoint, candidates: list[Endpoint]) -> Endpoint:
+        """The candidate with the lowest deterministic RTT from ``src``.
+
+        This is how anycast routing picks a site (catchment).
+        """
+        if not candidates:
+            raise ValueError("no candidates to choose from")
+        return min(candidates, key=lambda dst: self.base_rtt_ms(src, dst))

@@ -1,0 +1,137 @@
+"""Datagram transport connecting endpoints to servers.
+
+The :class:`Network` is the simulation's fabric: servers register under
+their endpoint addresses, and a client exchange is a synchronous call that
+returns the response plus the elapsed time (RTT, or timeout-and-retry
+accumulations).  Loss is applied per transmission by a seeded
+:class:`LossModel`, so failure-injection experiments (the paper's
+unreachable-child scenario, §4.4) are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.dns.message import Message
+from repro.net.latency import LatencyModel
+from repro.net.topology import Endpoint
+
+#: BIND-like defaults: resolvers retry a few times with a short timeout.
+DEFAULT_TIMEOUT = 2.0
+DEFAULT_RETRIES = 2
+
+
+class NetworkTimeout(Exception):
+    """All transmissions of a query were lost or the target is down.
+
+    ``elapsed`` carries the virtual time burned waiting, which callers add
+    to their clocks (timeouts dominate tail latency under loss).
+    """
+
+    def __init__(self, message: str, elapsed: float) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
+class Server(Protocol):
+    """Anything that can answer DNS queries on the fabric."""
+
+    @property
+    def endpoint(self) -> Endpoint: ...
+
+    def endpoint_for(self, client: Endpoint, latency: LatencyModel) -> Endpoint:
+        """The concrete endpoint answering ``client`` (anycast picks a site)."""
+        ...
+
+    def handle_query(self, query: Message, client: Endpoint, now: float) -> Message: ...
+
+
+@dataclass
+class LossModel:
+    """Independent per-transmission loss with optional per-address overrides.
+
+    ``down`` addresses drop everything — used to take the child
+    authoritative servers offline (zurrundedu-offline scenario).
+    """
+
+    rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError(f"loss rate {self.rate} outside [0, 1)")
+        self._rng = random.Random(self.seed ^ 0x10552)
+        self._down: set[str] = set()
+
+    def take_down(self, address: str) -> None:
+        self._down.add(address)
+
+    def bring_up(self, address: str) -> None:
+        self._down.discard(address)
+
+    def is_down(self, address: str) -> bool:
+        return address in self._down
+
+    def lost(self, dst_address: str) -> bool:
+        if dst_address in self._down:
+            return True
+        return self.rate > 0 and self._rng.random() < self.rate
+
+
+class Network:
+    """The datagram fabric: address → server registry plus latency/loss."""
+
+    def __init__(
+        self,
+        latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.latency = latency or LatencyModel(seed=seed)
+        self.loss = loss or LossModel(seed=seed)
+        self._servers: dict[str, Server] = {}
+        self._rng = random.Random(seed ^ 0x7E77)
+
+    # -- registry -----------------------------------------------------------
+    def register(self, server: Server, address: Optional[str] = None) -> None:
+        self._servers[address or server.endpoint.address] = server
+
+    def deregister(self, address: str) -> None:
+        self._servers.pop(address, None)
+
+    def server_at(self, address: str) -> Optional[Server]:
+        return self._servers.get(address)
+
+    # -- exchanges -------------------------------------------------------------
+    def exchange(
+        self,
+        client: Endpoint,
+        dst_address: str,
+        query: Message,
+        now: float,
+        timeout: float = DEFAULT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+    ) -> tuple[Message, float]:
+        """Send ``query`` and wait for the answer.
+
+        Returns ``(response, elapsed_seconds)``.  Each lost transmission
+        burns ``timeout`` seconds; after ``retries`` extra attempts a
+        :class:`NetworkTimeout` carrying the total elapsed time is raised.
+        The server sees the query at ``now + elapsed + rtt/2``.
+        """
+        elapsed = 0.0
+        attempts = 1 + max(0, retries)
+        server = self._servers.get(dst_address)
+        for _ in range(attempts):
+            if server is None or self.loss.lost(dst_address):
+                elapsed += timeout
+                continue
+            site = server.endpoint_for(client, self.latency)
+            rtt = self.latency.rtt(client, site, self._rng)
+            arrival = now + elapsed + rtt / 2.0
+            response = server.handle_query(query, client, arrival)
+            elapsed += rtt
+            return response, elapsed
+        raise NetworkTimeout(f"no response from {dst_address}", elapsed)

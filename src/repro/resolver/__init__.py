@@ -1,0 +1,39 @@
+"""Recursive resolvers with configurable caching policies.
+
+The paper's central observation is that "the effective DNS TTL is often
+different from what is configured because TTLs appear in multiple locations
+and resolvers make different choices in which TTL they prefer."  This
+package models those choices explicitly:
+
+- :mod:`repro.resolver.cache` — a TTL cache with RFC 2181 §5.4.1
+  credibility ranking and optional linked expiry (in-bailiwick glue dies
+  with its covering NS set),
+- :mod:`repro.resolver.policy` — the knobs observed in the wild: parent- vs
+  child-centricity, TTL caps and floors, serve-stale, RFC 7706 local root,
+  sticky server pinning,
+- :mod:`repro.resolver.recursive` — the iterative resolution engine,
+- :mod:`repro.resolver.stub` — the client-side API, and
+- :mod:`repro.resolver.population` — builders for resolver populations that
+  match the behaviour mix the paper measured.
+"""
+
+from repro.resolver.cache import Cache, CacheEntry, Credibility
+from repro.resolver.forwarder import ForwardingResolver
+from repro.resolver.policy import Centricity, ResolverPolicy
+from repro.resolver.recursive import RecursiveResolver, ResolutionResult
+from repro.resolver.stub import StubResolver
+from repro.resolver.population import PopulationConfig, ResolverPopulation
+
+__all__ = [
+    "Cache",
+    "CacheEntry",
+    "Centricity",
+    "Credibility",
+    "ForwardingResolver",
+    "PopulationConfig",
+    "RecursiveResolver",
+    "ResolutionResult",
+    "ResolverPolicy",
+    "ResolverPopulation",
+    "StubResolver",
+]

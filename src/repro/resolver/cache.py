@@ -1,0 +1,353 @@
+"""The resolver cache.
+
+Entries are RRsets stamped with an expiry time and a *credibility* rank
+(RFC 2181 §5.4.1): data from the answer section of an authoritative reply
+outranks data from the authority section, which outranks glue from the
+additional section.  An arriving RRset only replaces a live cached entry of
+equal or higher rank — this single rule is what makes most resolvers
+child-centric, because the child zone's authoritative answer (top rank)
+overwrites the parent's glue (bottom rank) but not vice versa.
+
+Two extensions model behaviours the paper measures:
+
+- **linked expiry** — an entry may be linked to another key (in-bailiwick
+  glue linked to its covering NS set); when the link target is gone the
+  entry is treated as expired (§4.2: "in-domain servers have tied NS and A
+  record cache times in practice"),
+- **pinned entries** — never replaced while live, used by parent-centric
+  resolvers that keep the parent's data even when child data arrives.
+
+Stale entries are retained (not purged) so serve-stale policies
+(draft-ietf-dnsop-serve-stale) can hand them out when all servers are
+unreachable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataClass, RdataType
+from repro.dns.record import RRset
+
+CacheKey = tuple[Name, RdataType, RdataClass]
+
+
+class Credibility(enum.IntEnum):
+    """RFC 2181 §5.4.1 trust ranking, low to high."""
+
+    ADDITIONAL = 1  # glue in the additional section of a referral
+    AUTHORITY = 2  # NS in the authority section of a referral (no AA)
+    NONAUTH_ANSWER = 3  # answer section, AA clear
+    AUTH_AUTHORITY = 4  # authority/additional sections of an AA response
+    AUTH_ANSWER = 5  # answer section of an AA response
+
+
+@dataclass
+class CacheEntry:
+    """One cached RRset."""
+
+    rrset: RRset
+    credibility: Credibility
+    inserted_at: float
+    expires_at: float
+    #: Generation stamp; bumped every time the key is (re)written.
+    generation: int = 0
+    #: (key, generation) this entry's life is tied to — in-bailiwick glue is
+    #: linked to the *specific* NS entry it arrived with, so a later refresh
+    #: of the NS set does not resurrect old glue.
+    linked_to: Optional[tuple[CacheKey, int]] = None
+    #: Pinned entries are never overwritten while live (parent-centric hold).
+    pinned: bool = False
+    #: The zone origin the data came from, for analysis/debugging.
+    source_zone: Optional[Name] = None
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def remaining_ttl(self, now: float) -> int:
+        """Whole seconds of life left, floored at zero."""
+        return max(0, int(self.expires_at - now))
+
+    def aged_rrset(self, now: float) -> RRset:
+        """The RRset with its TTL decremented by time spent in cache."""
+        return self.rrset.with_ttl(self.remaining_ttl(now))
+
+    def key(self) -> CacheKey:
+        return (self.rrset.name, self.rrset.rdtype, self.rrset.rdclass)
+
+
+@dataclass
+class NegativeEntry:
+    """A cached negative answer (RFC 2308)."""
+
+    qname: Name
+    qtype: RdataType
+    nxdomain: bool  # False → NODATA
+    expires_at: float
+    soa: Optional[RRset] = None
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stale_hits: int = 0
+    inserts: int = 0
+    refused_downgrades: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class Cache:
+    """A credibility-aware TTL cache for one resolver (or resolver pool)."""
+
+    def __init__(
+        self,
+        max_ttl: Optional[int] = None,
+        min_ttl: int = 0,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        """``max_ttl``/``min_ttl`` clamp TTLs at insertion time.
+
+        A 21599 s ``max_ttl`` reproduces the capping the paper attributes
+        to Google Public DNS (§3.3); a ``min_ttl`` of tens of seconds
+        reproduces the floor that limits CDN agility (§6.1).
+        ``max_entries`` bounds the cache size with least-recently-used
+        eviction, as production resolvers do; ``None`` means unbounded
+        (the default — the paper's experiments never fill real caches).
+        """
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        # dict preserves insertion order; get() re-inserts to track recency.
+        self._entries: dict[CacheKey, CacheEntry] = {}
+        self._negatives: dict[tuple[Name, RdataType], NegativeEntry] = {}
+        self._generations: dict[CacheKey, int] = {}
+        self.max_ttl = max_ttl
+        self.min_ttl = min_ttl
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._negatives.clear()
+
+    # -- insertion -----------------------------------------------------------
+    def effective_ttl(self, ttl: int) -> int:
+        """The TTL this cache will actually honour for an incoming record."""
+        effective = ttl
+        if self.max_ttl is not None:
+            effective = min(effective, self.max_ttl)
+        return max(effective, self.min_ttl)
+
+    def _is_dead(self, entry: CacheEntry, now: float) -> bool:
+        """Expired, or linked to an entry that has expired or been replaced."""
+        if entry.is_expired(now):
+            return True
+        if entry.linked_to is not None:
+            target_key, generation = entry.linked_to
+            target = self._entries.get(target_key)
+            if target is None or target.generation != generation or target.is_expired(now):
+                return True
+        return False
+
+    def put(
+        self,
+        rrset: RRset,
+        credibility: Credibility,
+        now: float,
+        linked_to: Optional[CacheKey] = None,
+        pin: bool = False,
+        source_zone: Optional[Name] = None,
+    ) -> bool:
+        """Insert ``rrset``; returns True if the cache changed.
+
+        Replacement rules (modelled on BIND's cache update policy):
+
+        - dead entries (expired or with a broken link) are always replaced;
+        - live pinned entries always survive;
+        - strictly higher credibility always replaces;
+        - equal credibility replaces (refreshes) only at the top
+          (authoritative-answer) rank — live glue, referral and
+          authority-section data is *not* refreshed by repetitions of
+          itself.  This is BIND's trust-ranking behaviour and what makes
+          the §4.2 result possible: the old server's answers keep carrying
+          its NS + glue, yet resolvers still switch when the originally
+          cached NS set expires.
+        """
+        key: CacheKey = (rrset.name, rrset.rdtype, rrset.rdclass)
+        existing = self._entries.get(key)
+        if existing is not None and not self._is_dead(existing, now):
+            refreshable = (
+                credibility > existing.credibility
+                or (
+                    credibility == existing.credibility
+                    and credibility >= Credibility.AUTH_ANSWER
+                )
+            )
+            if existing.pinned or not refreshable:
+                self.stats.refused_downgrades += 1
+                return False
+        generation = self._generations.get(key, 0) + 1
+        self._generations[key] = generation
+        link: Optional[tuple[CacheKey, int]] = None
+        if linked_to is not None:
+            target = self._entries.get(linked_to)
+            if target is not None:
+                link = (linked_to, target.generation)
+        ttl = self.effective_ttl(rrset.ttl)
+        self._entries.pop(key, None)  # re-insert at the recent end
+        self._entries[key] = CacheEntry(
+            rrset=rrset,
+            credibility=credibility,
+            inserted_at=now,
+            expires_at=now + ttl,
+            generation=generation,
+            linked_to=link,
+            pinned=pin,
+            source_zone=source_zone,
+        )
+        self.stats.inserts += 1
+        self._evict_if_full(now)
+        return True
+
+    def _evict_if_full(self, now: float) -> None:
+        """LRU eviction: drop dead entries first, then the least recently
+        used live ones (pinned entries go last)."""
+        if self.max_entries is None or len(self._entries) <= self.max_entries:
+            return
+        overflow = len(self._entries) - self.max_entries
+        dead = [k for k, e in self._entries.items() if self._is_dead(e, now)]
+        for key in dead[:overflow]:
+            del self._entries[key]
+            self.stats.evictions += 1
+            overflow -= 1
+        if overflow <= 0:
+            return
+        victims = sorted(
+            self._entries, key=lambda k: self._entries[k].pinned
+        )  # stable: LRU order within unpinned, pinned last
+        for key in victims[:overflow]:
+            del self._entries[key]
+            self.stats.evictions += 1
+
+    def put_negative(
+        self,
+        qname: Name,
+        qtype: RdataType,
+        nxdomain: bool,
+        now: float,
+        soa: Optional[RRset] = None,
+    ) -> None:
+        """Cache a negative answer for min(SOA TTL, SOA MINIMUM) seconds."""
+        from repro.dns.rdtypes import SOA as SOAData
+
+        ttl = 300
+        if soa is not None and soa.rdatas:
+            soa_rdata = soa.rdatas[0]
+            assert isinstance(soa_rdata, SOAData)
+            ttl = min(soa.ttl, soa_rdata.minimum)
+        ttl = self.effective_ttl(ttl)
+        self._negatives[(qname, qtype)] = NegativeEntry(
+            qname=qname,
+            qtype=qtype,
+            nxdomain=nxdomain,
+            expires_at=now + ttl,
+            soa=soa,
+        )
+
+    # -- lookup ---------------------------------------------------------------
+    def peek(
+        self, name: Name, rdtype: RdataType, rdclass: RdataClass = RdataClass.IN
+    ) -> Optional[CacheEntry]:
+        """The raw entry regardless of expiry; no stats, no link checks."""
+        return self._entries.get((name, rdtype, rdclass))
+
+    def get(
+        self,
+        name: Name,
+        rdtype: RdataType,
+        now: float,
+        rdclass: RdataClass = RdataClass.IN,
+        min_credibility: Credibility = Credibility.ADDITIONAL,
+        follow_links: bool = True,
+    ) -> Optional[CacheEntry]:
+        """A live entry of at least ``min_credibility``, else ``None``.
+
+        ``follow_links``: when set (the default) an entry whose link target
+        is expired or missing counts as expired itself.  This is the tied
+        NS/A lifetime of §4.2.
+        """
+        entry = self._entries.get((name, rdtype, rdclass))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        dead = self._is_dead(entry, now) if follow_links else entry.is_expired(now)
+        if dead or entry.credibility < min_credibility:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if self.max_entries is not None:
+            # Touch for LRU recency (only tracked when bounded).
+            key = (name, rdtype, rdclass)
+            self._entries.pop(key, None)
+            self._entries[key] = entry
+        return entry
+
+    def get_stale(
+        self, name: Name, rdtype: RdataType, rdclass: RdataClass = RdataClass.IN
+    ) -> Optional[CacheEntry]:
+        """Any entry, live or expired — the serve-stale fallback."""
+        entry = self._entries.get((name, rdtype, rdclass))
+        if entry is not None:
+            self.stats.stale_hits += 1
+        return entry
+
+    def get_negative(
+        self, qname: Name, qtype: RdataType, now: float
+    ) -> Optional[NegativeEntry]:
+        entry = self._negatives.get((qname, qtype))
+        if entry is None or entry.is_expired(now):
+            return None
+        return entry
+
+    # -- maintenance -------------------------------------------------------------
+    def refresh_expiry(self, key: CacheKey, now: float) -> None:
+        """Reset an entry's lifetime as if freshly inserted (sticky refresh)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        lifetime = entry.expires_at - entry.inserted_at
+        entry.inserted_at = now
+        entry.expires_at = now + lifetime
+
+    def expire_now(self, key: CacheKey, now: float) -> None:
+        """Force-expire an entry (used by tests and cache-flush scenarios)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.expires_at = now
+
+    def purge_expired(self, now: float) -> int:
+        """Drop expired entries; returns how many were removed."""
+        dead = [key for key, entry in self._entries.items() if entry.is_expired(now)]
+        for key in dead:
+            del self._entries[key]
+        dead_neg = [key for key, entry in self._negatives.items() if entry.is_expired(now)]
+        for key in dead_neg:
+            del self._negatives[key]
+        return len(dead) + len(dead_neg)
+
+    def live_entries(self, now: float) -> list[CacheEntry]:
+        return [entry for entry in self._entries.values() if not entry.is_expired(now)]

@@ -1,0 +1,171 @@
+"""Resolver policy knobs.
+
+Each knob corresponds to a behaviour the paper observes in the wild; a
+:class:`ResolverPolicy` bundles one resolver's choices.  The named
+constructors build the archetypes used by the population generator:
+
+- :meth:`ResolverPolicy.child_centric` — the RFC 2181 §5.4.1 majority
+  behaviour (~90 % of .uy answers, §3.2),
+- :meth:`ResolverPolicy.parent_centric` — trusts referral glue as answers
+  and pins it for the parent's TTL (OpenDNS-like, §3.2/§4.4),
+- :meth:`ResolverPolicy.capping` — child-centric with a TTL ceiling
+  (Google Public DNS's 21599 s cap, §3.3),
+- :meth:`ResolverPolicy.sticky` — keeps using the first servers it learned
+  even past TTL expiry (§4.2's "sticky resolvers", ~2.25 %),
+- :meth:`ResolverPolicy.local_root` — RFC 7706: serves the root zone from a
+  local copy, so root-zone data (TLD NS and glue) always carries the
+  parent's TTL and no root queries leave the resolver.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+class Centricity(enum.Enum):
+    """Which side of a delegation the resolver believes (paper §3)."""
+
+    CHILD = "child"
+    PARENT = "parent"
+
+
+class ServerSelection(enum.Enum):
+    """How a resolver picks among a zone's authoritative servers.
+
+    The paper cites prior work showing "resolvers tend to rotate between
+    authoritative servers" (§3.4, [37]).
+    """
+
+    ROTATE = "rotate"
+    RANDOM = "random"
+    FIRST = "first"
+
+
+@dataclass(frozen=True)
+class ResolverPolicy:
+    """One resolver's caching and iteration behaviour."""
+
+    #: Parent- or child-centric TTL preference (§3).
+    centricity: Centricity = Centricity.CHILD
+    #: Cap applied to every cached TTL (Google-like 21599 s), or None.
+    ttl_cap: Optional[int] = None
+    #: Floor applied to every cached TTL ("tens of seconds" in §6.1).
+    ttl_floor: int = 0
+    #: Serve expired answers when all authoritatives are unreachable
+    #: (draft-ietf-dnsop-serve-stale, §3.1).
+    serve_stale: bool = False
+    #: RFC 7706 / LocalRoot: a local copy of the root zone (§3.1).
+    rfc7706_local_root: bool = False
+    #: Tie in-bailiwick glue addresses to their covering NS set (§4.2's
+    #: majority behaviour); out-of-bailiwick addresses always live their
+    #: full TTL regardless of this flag.
+    link_inbailiwick_glue: bool = True
+    #: Sticky: refresh cached server addresses on expiry instead of
+    #: re-fetching, so the resolver never notices renumbering (§4.2).
+    sticky: bool = False
+    #: How to pick among NS targets.
+    server_selection: ServerSelection = ServerSelection.ROTATE
+    #: Answer client NS queries from referral-credibility cache data
+    #: (parent-centric resolvers do; child-centric ones re-query the child).
+    answer_from_referral: bool = False
+    #: Fetch a server's address from the child zone when only glue is
+    #: cached (DNSSEC-validating / target-fetching resolvers).  These
+    #: explicit A queries for NS names at the child's own servers are what
+    #: the paper's §3.4 passive study observes at the .nl authoritatives.
+    target_fetch: bool = True
+    #: DNSSEC validation (TTL enclosure only): clamp cached TTLs to the
+    #: RRSIG's original_ttl (RFC 4035 §5.3.3) — the paper's §2 argument
+    #: for why validating resolvers are child-centric for TTLs.
+    validate_dnssec: bool = False
+    #: Unbound-style prefetch (the Pappas et al. renewal strategy the
+    #: paper's §7 cites): refresh popular records out-of-band when a hit
+    #: lands in the last tenth of their lifetime, hiding the miss latency.
+    prefetch: bool = False
+    #: Fraction of lifetime remaining below which prefetch triggers.
+    prefetch_window: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.ttl_cap is not None and self.ttl_cap < self.ttl_floor:
+            raise ValueError(
+                f"ttl_cap {self.ttl_cap} below ttl_floor {self.ttl_floor}"
+            )
+
+    # -- archetypes ---------------------------------------------------------
+    @classmethod
+    def child_centric(cls) -> "ResolverPolicy":
+        """The default, standards-following resolver."""
+        return cls()
+
+    @classmethod
+    def parent_centric(cls) -> "ResolverPolicy":
+        """Trusts and pins parent-side data (OpenDNS-like)."""
+        return cls(
+            centricity=Centricity.PARENT,
+            answer_from_referral=True,
+            target_fetch=False,
+        )
+
+    @classmethod
+    def capping(cls, cap: int = 21599) -> "ResolverPolicy":
+        """Child-centric with a TTL ceiling (Google Public DNS-like)."""
+        return cls(ttl_cap=cap)
+
+    @classmethod
+    def sticky_resolver(cls) -> "ResolverPolicy":
+        """Never lets go of the servers it first learned."""
+        return cls(sticky=True, target_fetch=False)
+
+    @classmethod
+    def local_root(cls) -> "ResolverPolicy":
+        """RFC 7706: root zone mirrored locally (parent-centric for TLDs)."""
+        return cls(
+            centricity=Centricity.PARENT,
+            rfc7706_local_root=True,
+            answer_from_referral=True,
+            target_fetch=False,
+        )
+
+    @classmethod
+    def unlinked(cls) -> "ResolverPolicy":
+        """Child-centric but trusts in-bailiwick A records independently of
+        their NS set — the minority behaviour in Figure 6 that keeps using
+        the old server between 60 and 120 minutes."""
+        return cls(link_inbailiwick_glue=False)
+
+    def with_(self, **overrides: object) -> "ResolverPolicy":
+        """A copy with fields replaced (dataclasses.replace shorthand)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """Short label used in experiment outputs."""
+        parts = [self.centricity.value]
+        if self.ttl_cap is not None:
+            parts.append(f"cap{self.ttl_cap}")
+        if self.ttl_floor:
+            parts.append(f"floor{self.ttl_floor}")
+        if self.sticky:
+            parts.append("sticky")
+        if self.rfc7706_local_root:
+            parts.append("rfc7706")
+        if self.serve_stale:
+            parts.append("serve-stale")
+        if not self.link_inbailiwick_glue:
+            parts.append("unlinked")
+        if self.validate_dnssec:
+            parts.append("validating")
+        if self.prefetch:
+            parts.append("prefetch")
+        return "+".join(parts)
+
+    @classmethod
+    def validating(cls) -> "ResolverPolicy":
+        """A DNSSEC-validating resolver: child-centric with signed-TTL
+        clamping and target fetching (it must query the child)."""
+        return cls(validate_dnssec=True)
+
+    @classmethod
+    def prefetching(cls) -> "ResolverPolicy":
+        """Child-centric with Unbound-style prefetch."""
+        return cls(prefetch=True)

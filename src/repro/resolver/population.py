@@ -1,0 +1,153 @@
+"""Resolver populations matching the behaviour mix the paper measured.
+
+The paper never sees a single resolver implementation — it sees the
+aggregate of the wild population.  This module builds such populations:
+a weighted mix of policy archetypes, a handful of *public* resolver
+services (shared by clients across many ASes, like OpenDNS and Google
+Public DNS), and the long tail of on-network resolvers.
+
+The default mix is calibrated to the paper's §3 findings:
+
+- ~90 % of .uy answers follow the child TTL → most resolvers child-centric
+  (plain or capping);
+- ~15 % of google.co answers capped at 21599 s → a Google-like capping
+  service with significant client share;
+- ~10 % parent-centric (OpenDNS-like public service plus RFC 7706
+  operators);
+- ~2.25 % sticky (§4.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dns.name import Name
+from repro.dns.zone import Zone
+from repro.net.topology import Region, Topology
+from repro.net.transport import Network
+from repro.resolver.policy import ResolverPolicy
+from repro.resolver.recursive import RecursiveResolver
+
+
+@dataclass(frozen=True)
+class PolicyShare:
+    """One behaviour archetype and its share of the resolver population."""
+
+    label: str
+    policy: ResolverPolicy
+    weight: float
+    #: Public services are few, shared instances; on-network archetypes are
+    #: instantiated once per resolver.
+    public: bool = False
+
+
+def default_mix() -> list[PolicyShare]:
+    """The §3-calibrated behaviour mix."""
+    return [
+        PolicyShare("child", ResolverPolicy.child_centric(), 0.715),
+        PolicyShare("capping", ResolverPolicy.capping(21599), 0.15, public=True),
+        PolicyShare("parent", ResolverPolicy.parent_centric(), 0.06, public=True),
+        PolicyShare("local-root", ResolverPolicy.local_root(), 0.03),
+        PolicyShare("sticky", ResolverPolicy.sticky_resolver(), 0.0225),
+        PolicyShare("unlinked", ResolverPolicy.unlinked(), 0.0225),
+    ]
+
+
+@dataclass
+class PopulationConfig:
+    """Parameters for building a resolver population."""
+
+    count: int = 100
+    mix: list[PolicyShare] = field(default_factory=default_mix)
+    seed: int = 0
+    #: How many shared instances each public service runs (anycast-ish
+    #: backends; the paper's §4.4 notes public resolvers have many backends
+    #: causing cache fragmentation).
+    public_backends: int = 4
+
+
+class ResolverPopulation:
+    """A built population: resolvers plus their behaviour labels."""
+
+    def __init__(
+        self,
+        config: PopulationConfig,
+        topology: Topology,
+        network: Network,
+        root_hints: dict[Name, str],
+        root_zone: Optional[Zone] = None,
+    ) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed ^ 0xA0B)
+        self.resolvers: list[RecursiveResolver] = []
+        self.label_of: dict[str, str] = {}
+        self._public_pool: dict[str, list[RecursiveResolver]] = {}
+
+        weights = [share.weight for share in config.mix]
+        for index in range(config.count):
+            share = self._rng.choices(config.mix, weights=weights, k=1)[0]
+            if share.public:
+                resolver = self._public_instance(
+                    share, topology, network, root_hints, root_zone
+                )
+            else:
+                endpoint = topology.create_endpoint(name=f"resolver-{index}")
+                resolver = RecursiveResolver(
+                    endpoint=endpoint,
+                    network=network,
+                    root_hints=root_hints,
+                    policy=share.policy,
+                    root_zone=root_zone,
+                )
+            self.resolvers.append(resolver)
+            self.label_of[resolver.address] = share.label
+
+    def _public_instance(
+        self,
+        share: PolicyShare,
+        topology: Topology,
+        network: Network,
+        root_hints: dict[Name, str],
+        root_zone: Optional[Zone],
+    ) -> RecursiveResolver:
+        """A backend of a shared public service (round-robin assignment)."""
+        pool = self._public_pool.get(share.label)
+        if pool is None:
+            pool = []
+            for backend in range(self.config.public_backends):
+                # Public services run from well-connected European/US hubs.
+                region = Region.EU if backend % 2 == 0 else Region.NA
+                endpoint = topology.endpoint_in_region(
+                    region, name=f"{share.label}-public-{backend}"
+                )
+                pool.append(
+                    RecursiveResolver(
+                        endpoint=endpoint,
+                        network=network,
+                        root_hints=root_hints,
+                        policy=share.policy,
+                        root_zone=root_zone,
+                    )
+                )
+            self._public_pool[share.label] = pool
+        return pool[self._rng.randrange(len(pool))]
+
+    def __len__(self) -> int:
+        return len(self.resolvers)
+
+    def unique_resolvers(self) -> list[RecursiveResolver]:
+        """Deduplicated instances (public backends appear once)."""
+        seen: dict[str, RecursiveResolver] = {}
+        for resolver in self.resolvers:
+            seen.setdefault(resolver.address, resolver)
+        return list(seen.values())
+
+    def labels(self) -> dict[str, int]:
+        """How many *unique* resolvers carry each behaviour label."""
+        counts: dict[str, int] = {}
+        for resolver in self.unique_resolvers():
+            label = self.label_of[resolver.address]
+            counts[label] = counts.get(label, 0) + 1
+        return counts

@@ -1,0 +1,641 @@
+"""The iterative resolution engine.
+
+A :class:`RecursiveResolver` serves stub clients from its cache and walks
+the delegation tree (root → TLD → ... → leaf) on misses, caching every
+section of every response at the appropriate RFC 2181 credibility.  All of
+the paper's measured behaviours emerge from the policy knobs:
+
+- *child-centric* resolvers require answer-rank data to respond, so a
+  client asking for ``NS .uy`` drives a query to ``.uy``'s own servers and
+  sees the child TTL (300 s);
+- *parent-centric* resolvers pin referral data and answer from it, so the
+  same client sees the root's glue TTL (172800 s) — and they keep using a
+  renumbered server's old address because the pinned parent data never
+  yields to the child's (§4.4's OpenDNS case);
+- *linked* in-bailiwick glue dies with its NS set, so ~90 % of resolvers
+  re-fetch a still-valid A record when the covering NS expires (§4.2);
+- *sticky* resolvers refresh infrastructure records instead of re-fetching
+  and never notice renumbering at all (§4.2's 2.25 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dns.message import Message, Rcode, Section
+from repro.dns.name import Name, root
+from repro.dns.rdtypes import CNAME, NS, RdataClass, RdataType
+from repro.dns.record import RRset
+from repro.dns.zone import Zone
+from repro.net.topology import Endpoint
+from repro.net.transport import Network, NetworkTimeout
+from repro.resolver.cache import Cache, CacheKey, Credibility
+from repro.resolver.policy import Centricity, ResolverPolicy, ServerSelection
+
+#: Hard ceilings that bound any resolution, however broken the zone setup.
+MAX_REFERRAL_STEPS = 24
+MAX_CNAME_HOPS = 8
+MAX_SUBRESOLUTION_DEPTH = 4
+
+#: TTL handed to clients for answers served stale (serve-stale drafts use
+#: a small non-zero value so downstreams do not re-query instantly).
+STALE_ANSWER_TTL = 30
+
+
+@dataclass
+class ResolutionResult:
+    """What the resolver hands back to a stub client."""
+
+    rcode: Rcode
+    answers: list[RRset] = field(default_factory=list)
+    #: Upstream time spent, in seconds (0.0 for a clean cache hit).
+    elapsed: float = 0.0
+    cache_hit: bool = False
+    served_stale: bool = False
+    #: Addresses of authoritative servers contacted, in order.
+    servers_contacted: list[str] = field(default_factory=list)
+
+    @property
+    def answer_rrset(self) -> Optional[RRset]:
+        return self.answers[-1] if self.answers else None
+
+    def first_ttl(self) -> Optional[int]:
+        """TTL of the final answer RRset — what a measurement VP records."""
+        rrset = self.answer_rrset
+        return rrset.ttl if rrset is not None else None
+
+
+class ResolutionError(Exception):
+    """Internal signal that iteration failed; converted to SERVFAIL."""
+
+    def __init__(self, message: str, elapsed: float) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
+class RecursiveResolver:
+    """One recursive resolver instance (a cache plus an iteration engine)."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        network: Network,
+        root_hints: dict[Name, str],
+        policy: Optional[ResolverPolicy] = None,
+        root_zone: Optional[Zone] = None,
+    ) -> None:
+        """``root_hints`` maps root server names to addresses.
+
+        ``root_zone`` is only consulted when the policy enables RFC 7706:
+        the resolver then serves root-zone data from this local copy and
+        sends no queries to the root servers.
+        """
+        if not root_hints:
+            raise ValueError("a resolver needs at least one root hint")
+        self.endpoint = endpoint
+        self.network = network
+        self.policy = policy or ResolverPolicy.child_centric()
+        self.root_hints = dict(root_hints)
+        self.root_zone = root_zone
+        self._root_mirror = None
+        if self.policy.rfc7706_local_root and root_zone is not None:
+            # RFC 7706: the local copy is a *transferred snapshot* that
+            # refreshes on the SOA schedule, not a live reference.
+            from repro.server.axfr import LocalZoneMirror
+
+            self._root_mirror = LocalZoneMirror(root_zone)
+        self.cache = Cache(max_ttl=self.policy.ttl_cap, min_ttl=self.policy.ttl_floor)
+        self._rotation: dict[Name, int] = {}
+        self.queries_sent = 0
+        self.client_queries = 0
+
+    def __repr__(self) -> str:
+        return f"RecursiveResolver({self.endpoint.address}, {self.policy.describe()})"
+
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    # ------------------------------------------------------------------ client API
+    def resolve(self, qname: Name | str, qtype: RdataType, now: float) -> ResolutionResult:
+        """Answer a client query, recursing as needed.
+
+        ``now`` is the virtual time the query arrives; the result's
+        ``elapsed`` is the upstream time spent beyond that instant.
+        """
+        self.client_queries += 1
+        name = Name(qname)
+
+        negative = self.cache.get_negative(name, qtype, now)
+        if negative is not None:
+            rcode = Rcode.NXDOMAIN if negative.nxdomain else Rcode.NOERROR
+            return ResolutionResult(rcode=rcode, cache_hit=True)
+
+        cached = self._answer_from_cache(name, qtype, now)
+        if cached is not None:
+            if self.policy.prefetch:
+                self._maybe_prefetch(name, qtype, now)
+            return cached
+
+        try:
+            return self._resolve_with_cnames(name, qtype, now, depth=0)
+        except ResolutionError as failure:
+            stale = self._serve_stale(name, qtype)
+            if stale is not None:
+                stale.elapsed = failure.elapsed
+                return stale
+            return ResolutionResult(rcode=Rcode.SERVFAIL, elapsed=failure.elapsed)
+
+    def _maybe_prefetch(self, qname: Name, qtype: RdataType, now: float) -> None:
+        """Unbound-style prefetch: refresh a hit that is close to expiry.
+
+        Runs out of band — the client's answer has already been served
+        from cache; the refresh repopulates the cache so the *next* client
+        never sees the miss latency.  This is the renewal strategy of
+        Pappas et al. the paper's related work discusses.
+        """
+        entry = self.cache.peek(qname, qtype)
+        if entry is None:
+            return
+        lifetime = entry.expires_at - entry.inserted_at
+        if lifetime <= 0:
+            return
+        remaining = entry.expires_at - now
+        if remaining > self.policy.prefetch_window * lifetime:
+            return
+        try:
+            self._resolve_with_cnames(qname, qtype, now, depth=1)
+        except ResolutionError:
+            pass
+
+    # -------------------------------------------------------------- cache answers
+    def _answer_min_credibility(self) -> Credibility:
+        """How credible cached data must be to answer a client directly.
+
+        Child-centric resolvers follow RFC 2181 and only answer from
+        answer-rank data; parent-centric ones also hand out referral glue.
+        """
+        if self.policy.answer_from_referral:
+            return Credibility.ADDITIONAL
+        return Credibility.NONAUTH_ANSWER
+
+    def _answer_from_cache(
+        self, qname: Name, qtype: RdataType, now: float
+    ) -> Optional[ResolutionResult]:
+        minimum = self._answer_min_credibility()
+        chain: list[RRset] = []
+        current = qname
+        for _ in range(MAX_CNAME_HOPS):
+            entry = self.cache.get(current, qtype, now, min_credibility=minimum)
+            if entry is not None:
+                chain.append(entry.aged_rrset(now))
+                return ResolutionResult(
+                    rcode=Rcode.NOERROR, answers=chain, cache_hit=True
+                )
+            alias = self.cache.get(current, RdataType.CNAME, now, min_credibility=minimum)
+            if alias is None or qtype == RdataType.CNAME:
+                return None
+            chain.append(alias.aged_rrset(now))
+            target = alias.rrset.rdatas[0]
+            assert isinstance(target, CNAME)
+            current = target.target
+        return None
+
+    def _serve_stale(self, qname: Name, qtype: RdataType) -> Optional[ResolutionResult]:
+        """Serve-stale fallback: expired data beats SERVFAIL (§3.1)."""
+        if not self.policy.serve_stale:
+            return None
+        entry = self.cache.get_stale(qname, qtype)
+        if entry is None:
+            return None
+        return ResolutionResult(
+            rcode=Rcode.NOERROR,
+            answers=[entry.rrset.with_ttl(STALE_ANSWER_TTL)],
+            served_stale=True,
+        )
+
+    # ------------------------------------------------------------------- iteration
+    def _resolve_with_cnames(
+        self, qname: Name, qtype: RdataType, now: float, depth: int
+    ) -> ResolutionResult:
+        elapsed = 0.0
+        contacted: list[str] = []
+        chain: list[RRset] = []
+        current = qname
+        for _ in range(MAX_CNAME_HOPS):
+            outcome = self._iterate(current, qtype, now + elapsed, depth, contacted)
+            elapsed += outcome.elapsed
+            if outcome.rcode != Rcode.NOERROR or outcome.answers is None:
+                return ResolutionResult(
+                    rcode=outcome.rcode,
+                    answers=chain if outcome.rcode == Rcode.NOERROR else [],
+                    elapsed=elapsed,
+                    servers_contacted=contacted,
+                )
+            chain.extend(outcome.answers)
+            if outcome.cname_target is None:
+                return ResolutionResult(
+                    rcode=Rcode.NOERROR,
+                    answers=chain,
+                    elapsed=elapsed,
+                    servers_contacted=contacted,
+                )
+            current = outcome.cname_target
+            # The alias target may already be cached (answer rank or, for
+            # parent-centric policies, referral rank).
+            cached = self._answer_from_cache(current, qtype, now + elapsed)
+            if cached is not None:
+                chain.extend(cached.answers)
+                return ResolutionResult(
+                    rcode=Rcode.NOERROR,
+                    answers=chain,
+                    elapsed=elapsed,
+                    servers_contacted=contacted,
+                )
+        raise ResolutionError(f"CNAME chain too long for {qname}", elapsed)
+
+    @dataclass
+    class _IterationOutcome:
+        rcode: Rcode
+        elapsed: float
+        answers: Optional[list[RRset]] = None
+        cname_target: Optional[Name] = None
+
+    def _iterate(
+        self,
+        qname: Name,
+        qtype: RdataType,
+        now: float,
+        depth: int,
+        contacted: list[str],
+    ) -> "_IterationOutcome":
+        """Walk referrals for one owner name until an answer or failure."""
+        elapsed = 0.0
+        previous_cut_depth = -1
+        for _ in range(MAX_REFERRAL_STEPS):
+            cut, servers = self._best_servers(qname, now + elapsed)
+
+            if cut.is_root and self._root_mirror is not None:
+                response = self._local_root_response(qname, qtype, now + elapsed)
+            else:
+                response, query_time = self._query_servers(
+                    cut, servers, qname, qtype, now + elapsed, depth, contacted
+                )
+                elapsed += query_time
+
+            if response is None:
+                raise ResolutionError(f"no server for {qname} reachable", elapsed)
+
+            ns_owner = self._cache_response(response, now + elapsed)
+
+            if response.rcode == Rcode.NXDOMAIN:
+                soa = self._soa_from(response)
+                self.cache.put_negative(qname, qtype, True, now + elapsed, soa)
+                return self._IterationOutcome(Rcode.NXDOMAIN, elapsed)
+            if response.rcode != Rcode.NOERROR:
+                raise ResolutionError(
+                    f"{response.rcode.name} from upstream for {qname}", elapsed
+                )
+
+            if response.answer:
+                answers, target = self._extract_answers(response, qname, qtype)
+                if answers or target is not None:
+                    return self._IterationOutcome(
+                        Rcode.NOERROR,
+                        elapsed,
+                        answers=self._client_view(answers, now + elapsed),
+                        cname_target=target,
+                    )
+
+            if response.is_referral():
+                assert ns_owner is not None
+                # Parent-centric resolvers treat a referral for the very
+                # name and type being asked as the answer (§3.2: OpenDNS
+                # returns the root's 2-day TTL for ``NS .uy``).
+                if (
+                    self.policy.answer_from_referral
+                    and qtype == RdataType.NS
+                    and ns_owner == qname
+                ):
+                    referral_ns = response.find_rrset(
+                        Section.AUTHORITY, ns_owner, RdataType.NS
+                    )
+                    assert referral_ns is not None
+                    return self._IterationOutcome(
+                        Rcode.NOERROR,
+                        elapsed,
+                        answers=self._client_view([referral_ns], now + elapsed),
+                    )
+                if len(ns_owner) <= previous_cut_depth:
+                    raise ResolutionError(
+                        f"referral loop at {ns_owner} resolving {qname}", elapsed
+                    )
+                previous_cut_depth = len(ns_owner)
+                continue
+
+            # Authoritative NODATA: name exists, no records of this type.
+            if response.flags.aa:
+                soa = self._soa_from(response)
+                self.cache.put_negative(qname, qtype, False, now + elapsed, soa)
+                return self._IterationOutcome(Rcode.NOERROR, elapsed, answers=[])
+
+            raise ResolutionError(f"lame response for {qname}", elapsed)
+        raise ResolutionError(f"too many referrals for {qname}", elapsed)
+
+    # ------------------------------------------------------------- server choice
+    def _best_servers(
+        self, qname: Name, now: float
+    ) -> tuple[Name, list[tuple[Name, Optional[str]]]]:
+        """The deepest known zone cut for ``qname`` and its servers.
+
+        Returns ``(cut, [(server_name, address_or_None), ...])``.  Falls
+        back to the root hints when nothing useful is cached.
+        """
+        candidates = [qname, *qname.ancestors()]
+        for ancestor in candidates:
+            ns_entry = self.cache.get(ancestor, RdataType.NS, now)
+            if ns_entry is None and self.policy.sticky:
+                ns_entry = self._sticky_revive(ancestor, RdataType.NS, now)
+            if ns_entry is None:
+                continue
+            servers: list[tuple[Name, Optional[str]]] = []
+            for rdata in ns_entry.rrset.rdatas:
+                assert isinstance(rdata, NS)
+                servers.append((rdata.target, self._address_for(rdata.target, now)))
+            if not servers:
+                continue
+            # Bootstrap guard: if no address is cached and every server
+            # name lives *inside* this cut, the cut cannot resolve its own
+            # servers — fall back to an ancestor (whose glue breaks the
+            # circularity), as real resolvers do.
+            if all(address is None for _, address in servers) and all(
+                target.is_subdomain_of(ancestor) for target, _ in servers
+            ):
+                continue
+            return ancestor, servers
+        hints = [(name, address) for name, address in self.root_hints.items()]
+        return root, hints
+
+    def _sticky_revive(self, name: Name, rdtype: RdataType, now: float):
+        """Sticky resolvers refresh expired infrastructure records in place
+        instead of re-fetching them (§4.2)."""
+        entry = self.cache.get_stale(name, rdtype)
+        if entry is None:
+            return None
+        key: CacheKey = (name, rdtype, RdataClass.IN)
+        self.cache.refresh_expiry(key, now)
+        if entry.linked_to is not None:
+            self.cache.refresh_expiry(entry.linked_to[0], now)
+        return entry
+
+    def _address_for(self, server_name: Name, now: float) -> Optional[str]:
+        for rdtype in (RdataType.A, RdataType.AAAA):
+            entry = self.cache.get(server_name, rdtype, now)
+            if entry is None and self.policy.sticky:
+                entry = self._sticky_revive(server_name, rdtype, now)
+            if entry is not None and entry.rrset.rdatas:
+                return str(entry.rrset.rdatas[0])
+        return None
+
+    def _order_servers(
+        self, cut: Name, servers: list[tuple[Name, Optional[str]]]
+    ) -> list[tuple[Name, Optional[str]]]:
+        """Apply the policy's server-selection strategy.
+
+        Servers with known addresses are tried before those needing a
+        sub-resolution, mirroring real resolvers' preference for glue.
+        """
+        keyed = sorted(servers, key=lambda item: item[1] is None)
+        if self.policy.server_selection is ServerSelection.FIRST or len(keyed) == 1:
+            return keyed
+        if self.policy.server_selection is ServerSelection.RANDOM:
+            import random
+
+            shuffled = keyed[:]
+            random.Random(hash((self.endpoint.address, cut, len(shuffled)))).shuffle(
+                shuffled
+            )
+            return shuffled
+        start = self._rotation.get(cut, 0) % len(keyed)
+        self._rotation[cut] = start + 1
+        return keyed[start:] + keyed[:start]
+
+    def _query_servers(
+        self,
+        cut: Name,
+        servers: list[tuple[Name, Optional[str]]],
+        qname: Name,
+        qtype: RdataType,
+        now: float,
+        depth: int,
+        contacted: list[str],
+    ) -> tuple[Optional[Message], float]:
+        """Try the cut's servers in policy order; returns (response, time)."""
+        elapsed = 0.0
+        query = Message.make_query(qname, qtype, recursion_desired=False)
+        for server_name, address in self._order_servers(cut, servers):
+            glue_only = False
+            if address is None:
+                address, lookup_time = self._resolve_server_address(
+                    server_name, cut, now + elapsed, depth
+                )
+                elapsed += lookup_time
+                if address is None:
+                    continue
+            else:
+                entry = self.cache.peek(server_name, RdataType.A) or self.cache.peek(
+                    server_name, RdataType.AAAA
+                )
+                glue_only = (
+                    entry is not None and entry.credibility <= Credibility.ADDITIONAL
+                )
+            try:
+                response, exchange_time = self.network.exchange(
+                    self.endpoint, address, query, now + elapsed
+                )
+            except NetworkTimeout as timeout:
+                elapsed += timeout.elapsed
+                continue
+            elapsed += exchange_time
+            contacted.append(address)
+            self.queries_sent += 1
+            if response.rcode in (Rcode.REFUSED, Rcode.NOTIMP, Rcode.FORMERR):
+                # A lame server (not actually serving the zone): try the
+                # next one, as real resolvers do.
+                continue
+            if glue_only and depth == 0:
+                self._target_fetch(cut, server_name, address, now + elapsed)
+            return response, elapsed
+        return None, elapsed
+
+    def _target_fetch(
+        self, cut: Name, server_name: Name, address: str, now: float
+    ) -> None:
+        """Upgrade a glue address to child-authoritative data (§3.4).
+
+        Target-fetching resolvers send an explicit A query for the server
+        name to the child zone itself; the answer (child TTL, answer rank)
+        replaces the parent's glue.  Runs out of band: the client's latency
+        is unaffected, but the query lands in the authoritative's log —
+        these are exactly the queries the paper's passive .nl study counts.
+        """
+        if not self.policy.target_fetch:
+            return
+        if not server_name.is_subdomain_of(cut):
+            return
+        fetch = Message.make_query(server_name, RdataType.A, recursion_desired=False)
+        try:
+            response, _ = self.network.exchange(self.endpoint, address, fetch, now)
+        except NetworkTimeout:
+            return
+        self.queries_sent += 1
+        if not (response.flags.aa and response.answer):
+            return
+        for rrset in response.rrsets(Section.ANSWER):
+            # The upgraded address is still an in-bailiwick server address:
+            # keep it tied to the covering NS set so it expires with it
+            # (§4.2), unless this resolver trusts addresses independently.
+            linked: Optional[CacheKey] = None
+            if self.policy.link_inbailiwick_glue and rrset.name.is_subdomain_of(cut):
+                linked = (cut, RdataType.NS, RdataClass.IN)
+            self.cache.put(rrset, Credibility.AUTH_ANSWER, now, linked_to=linked)
+
+    def _resolve_server_address(
+        self, server_name: Name, cut: Name, now: float, depth: int
+    ) -> tuple[Optional[str], float]:
+        """Resolve an out-of-bailiwick server's address via sub-resolution."""
+        if depth >= MAX_SUBRESOLUTION_DEPTH:
+            return None, 0.0
+        try:
+            result = self._resolve_with_cnames(server_name, RdataType.A, now, depth + 1)
+        except ResolutionError as failure:
+            return None, failure.elapsed
+        if result.rcode != Rcode.NOERROR or not result.answers:
+            return None, result.elapsed
+        final = result.answers[-1]
+        if not final.rdatas:
+            return None, result.elapsed
+        if self.policy.centricity is Centricity.PARENT:
+            self._pin_server_address(server_name, cut, now + result.elapsed)
+        return str(final.rdatas[0]), result.elapsed
+
+    def _pin_server_address(self, server_name: Name, cut: Name, now: float) -> None:
+        """Parent-centric address hold (§4.4's OpenDNS behaviour).
+
+        The paper observes OpenDNS trusting the parent's NS for its full
+        2-day TTL and *not* re-fetching the server's (renumbered) address.
+        We model that by pinning the learned address and stretching its
+        life to the pinned NS entry's expiry.
+        """
+        ns_entry = self.cache.peek(cut, RdataType.NS)
+        address_key: Optional[CacheKey] = None
+        for rdtype in (RdataType.A, RdataType.AAAA):
+            if self.cache.peek(server_name, rdtype) is not None:
+                address_key = (server_name, rdtype, RdataClass.IN)
+                break
+        if ns_entry is None or address_key is None:
+            return
+        entry = self.cache.peek(*address_key[:2])
+        assert entry is not None
+        entry.pinned = True
+        entry.expires_at = max(entry.expires_at, ns_entry.expires_at)
+
+    # ------------------------------------------------------------ response intake
+    def _local_root_response(self, qname: Name, qtype: RdataType, now: float) -> Message:
+        """RFC 7706: answer from the local root copy, no network.
+
+        The copy is a zone-transfer snapshot refreshed on the SOA
+        schedule, so root-zone changes propagate with transfer lag rather
+        than instantly.
+        """
+        assert self._root_mirror is not None
+        query = Message.make_query(qname, qtype, recursion_desired=False)
+        return self._root_mirror.zone(now).respond(query)
+
+    def _cache_response(self, response: Message, now: float) -> Optional[Name]:
+        """Cache every section at its credibility; returns the NS owner seen."""
+        authoritative = response.flags.aa
+        parent_side = not authoritative and self.policy.centricity is Centricity.PARENT
+
+        for rrset in response.rrsets(Section.ANSWER):
+            credibility = (
+                Credibility.AUTH_ANSWER if authoritative else Credibility.NONAUTH_ANSWER
+            )
+            if self.policy.validate_dnssec:
+                from repro.dns.dnssec import clamp_to_signed_ttl, covering_rrsig
+
+                rrsig = covering_rrsig(response.answer, rrset)
+                if rrsig is not None:
+                    # RFC 4035 §5.3.3: the signed (child) TTL is the
+                    # ceiling — the §2 argument for child-centricity.
+                    rrset = clamp_to_signed_ttl(rrset, rrsig)
+            self.cache.put(rrset, credibility, now)
+
+        ns_owner: Optional[Name] = None
+        for rrset in response.rrsets(Section.AUTHORITY):
+            if rrset.rdtype == RdataType.NS and ns_owner is None:
+                ns_owner = rrset.name
+            credibility = (
+                Credibility.AUTH_AUTHORITY if authoritative else Credibility.AUTHORITY
+            )
+            self.cache.put(rrset, credibility, now, pin=parent_side)
+
+        for rrset in response.rrsets(Section.ADDITIONAL):
+            if rrset.rdtype not in (RdataType.A, RdataType.AAAA):
+                continue
+            linked: Optional[CacheKey] = None
+            if (
+                self.policy.link_inbailiwick_glue
+                and ns_owner is not None
+                and rrset.name.in_bailiwick_of(ns_owner)
+            ):
+                linked = (ns_owner, RdataType.NS, RdataClass.IN)
+            credibility = (
+                Credibility.AUTH_AUTHORITY if authoritative else Credibility.ADDITIONAL
+            )
+            self.cache.put(rrset, credibility, now, linked_to=linked, pin=parent_side)
+        return ns_owner
+
+    def _extract_answers(
+        self, response: Message, qname: Name, qtype: RdataType
+    ) -> tuple[list[RRset], Optional[Name]]:
+        """The in-response chain for ``qname`` plus a pending CNAME target."""
+        answers: list[RRset] = []
+        current = qname
+        for _ in range(MAX_CNAME_HOPS):
+            exact = response.find_rrset(Section.ANSWER, current, qtype)
+            if exact is not None:
+                answers.append(exact)
+                return answers, None
+            alias = response.find_rrset(Section.ANSWER, current, RdataType.CNAME)
+            if alias is None or qtype == RdataType.CNAME:
+                break
+            answers.append(alias)
+            target = alias.rdatas[0]
+            assert isinstance(target, CNAME)
+            current = target.target
+        if answers:
+            return answers, current
+        return [], None
+
+    def _client_view(self, rrsets: list[RRset], now: float) -> list[RRset]:
+        """Fresh answers as the client sees them: cache-clamped TTLs.
+
+        Reads back through the cache when possible so caps, floors and
+        remaining-lifetime arithmetic all apply uniformly.
+        """
+        viewed: list[RRset] = []
+        for rrset in rrsets:
+            entry = self.cache.peek(rrset.name, rrset.rdtype)
+            if entry is not None and entry.rrset.rdatas == rrset.rdatas:
+                viewed.append(entry.aged_rrset(now))
+            else:
+                viewed.append(rrset.with_ttl(self.cache.effective_ttl(rrset.ttl)))
+        return viewed
+
+    def _soa_from(self, response: Message) -> Optional[RRset]:
+        for rrset in response.rrsets(Section.AUTHORITY):
+            if rrset.rdtype == RdataType.SOA:
+                return rrset
+        return None

@@ -1,0 +1,81 @@
+"""The stub resolver: what a client (or Atlas probe) talks to.
+
+A stub forwards queries to one recursive resolver and accounts the
+client-to-resolver leg of latency: an on-network resolver (same AS) is a
+few milliseconds away, a public resolver (OpenDNS/Google-like, different
+AS) is a real network hop.  The total RTT a stub reports is exactly what a
+RIPE Atlas DNS measurement records.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dns.message import Rcode
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataType
+from repro.dns.record import RRset
+from repro.net.latency import LatencyModel
+from repro.net.topology import Endpoint
+from repro.resolver.recursive import RecursiveResolver
+
+
+@dataclass
+class StubAnswer:
+    """One client-visible answer with its end-to-end round trip time."""
+
+    rcode: Rcode
+    answers: list[RRset] = field(default_factory=list)
+    rtt: float = 0.0
+    cache_hit: bool = False
+    served_stale: bool = False
+    resolver_address: str = ""
+
+    @property
+    def answer_rrset(self) -> Optional[RRset]:
+        return self.answers[-1] if self.answers else None
+
+    def ttl(self) -> Optional[int]:
+        """TTL of the final answer — the value the paper's CDFs plot."""
+        rrset = self.answer_rrset
+        return rrset.ttl if rrset is not None else None
+
+
+class StubResolver:
+    """A client-side stub bound to one upstream recursive resolver."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        resolver: RecursiveResolver,
+        latency: LatencyModel,
+        seed: int = 0,
+    ) -> None:
+        self.endpoint = endpoint
+        self.resolver = resolver
+        self._latency = latency
+        self._rng = random.Random(seed ^ 0x57AB)
+
+    def __repr__(self) -> str:
+        return f"StubResolver({self.endpoint.address} -> {self.resolver.address})"
+
+    def client_leg_rtt(self) -> float:
+        """Client → recursive resolver round trip, in seconds."""
+        if self.endpoint.asn == self.resolver.endpoint.asn:
+            return self._latency.last_mile_rtt(self._rng)
+        return self._latency.rtt(self.endpoint, self.resolver.endpoint, self._rng)
+
+    def query(self, qname: Name | str, qtype: RdataType, now: float) -> StubAnswer:
+        """Send one query and measure the full round trip."""
+        leg = self.client_leg_rtt()
+        result = self.resolver.resolve(qname, qtype, now + leg / 2.0)
+        return StubAnswer(
+            rcode=result.rcode,
+            answers=result.answers,
+            rtt=leg + result.elapsed,
+            cache_hit=result.cache_hit,
+            served_stale=result.served_stale,
+            resolver_address=self.resolver.address,
+        )

@@ -1,0 +1,19 @@
+"""Authoritative DNS servers for the simulation.
+
+:class:`AuthoritativeServer` serves one or more zones from a single
+endpoint; :class:`AnycastCluster` serves the same zones from many sites
+behind one address, with per-client catchment by lowest RTT (how Route53's
+45-site anycast in the paper's §6.2 experiment behaves).  Both record every
+query into an ENTRADA-style :class:`QueryLog` for the passive analyses.
+"""
+
+from repro.server.authoritative import AuthoritativeServer
+from repro.server.anycast import AnycastCluster
+from repro.server.querylog import QueryLog, QueryLogEntry
+
+__all__ = [
+    "AnycastCluster",
+    "AuthoritativeServer",
+    "QueryLog",
+    "QueryLogEntry",
+]

@@ -1,0 +1,103 @@
+"""Anycast authoritative service.
+
+One address, many sites: BGP (here, the latency model's nearest-site rule)
+routes each client to its catchment site.  The paper's §6.2 compares a
+45-site anycast service (Route53) against unicast servers with long and
+short TTLs, finding that caching beats anycast at the median while anycast
+helps the tail.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dns.message import Message, Rcode
+from repro.dns.name import Name
+from repro.dns.zone import Zone
+from repro.net.latency import LatencyModel
+from repro.net.topology import Endpoint
+from repro.server.querylog import QueryLog, QueryLogEntry
+
+
+class AnycastCluster:
+    """Many sites sharing one service address and one zone set."""
+
+    def __init__(
+        self,
+        service_address: str,
+        sites: Iterable[Endpoint],
+        latency: LatencyModel,
+        zones: Optional[Iterable[Zone]] = None,
+        log_queries: bool = True,
+    ) -> None:
+        self._sites = list(sites)
+        if not self._sites:
+            raise ValueError("an anycast cluster needs at least one site")
+        self._latency = latency
+        self._zones: dict[Name, Zone] = {}
+        for zone in zones or ():
+            self.add_zone(zone)
+        self.service_address = service_address
+        self.query_log: Optional[QueryLog] = QueryLog() if log_queries else None
+        self._catchment_cache: dict[str, Endpoint] = {}
+
+    def __repr__(self) -> str:
+        return f"AnycastCluster({self.service_address}, {len(self._sites)} sites)"
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """The nominal endpoint (first site) — used only as a fallback."""
+        return self._sites[0]
+
+    @property
+    def sites(self) -> list[Endpoint]:
+        return list(self._sites)
+
+    def endpoint_for(self, client: Endpoint, latency: LatencyModel) -> Endpoint:
+        """The site BGP would deliver this client's packets to.
+
+        Catchment is stable per client (deterministic base RTT), mirroring
+        real anycast where routing changes are rare on measurement
+        timescales.
+        """
+        cached = self._catchment_cache.get(client.address)
+        if cached is not None:
+            return cached
+        site = latency.nearest(client, self._sites)
+        self._catchment_cache[client.address] = site
+        return site
+
+    # -- zone management -----------------------------------------------------
+    def add_zone(self, zone: Zone) -> None:
+        self._zones[zone.origin] = zone
+
+    def best_zone_for(self, qname: Name) -> Optional[Zone]:
+        probe = qname
+        while True:
+            zone = self._zones.get(probe)
+            if zone is not None:
+                return zone
+            if probe.is_root:
+                return None
+            probe = probe.parent()
+
+    # -- query handling ---------------------------------------------------------
+    def handle_query(self, query: Message, client: Endpoint, now: float) -> Message:
+        site = self.endpoint_for(client, self._latency)
+        if query.question is not None and self.query_log is not None:
+            self.query_log.append(
+                QueryLogEntry(
+                    timestamp=now,
+                    client_address=client.address,
+                    client_asn=client.asn,
+                    qname=query.question.qname,
+                    qtype=query.question.qtype,
+                    server=str(site),
+                )
+            )
+        if query.question is None:
+            return query.make_response(rcode=Rcode.FORMERR)
+        zone = self.best_zone_for(query.question.qname)
+        if zone is None:
+            return query.make_response(rcode=Rcode.REFUSED)
+        return zone.respond(query)

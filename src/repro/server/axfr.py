@@ -1,0 +1,73 @@
+"""Zone transfer (AXFR-lite) and the RFC 7706 local mirror.
+
+RFC 7706 resolvers "decrease access time to root servers by running one
+on loopback": they transfer the root zone into a local pseudo-
+authoritative and refresh it on the SOA schedule.  The paper notes the
+observable consequence: "no queries to these zones will likely be seen
+exiting the recursive resolver, though questions to their children will
+still be sent" (§3.1).
+
+:func:`zone_transfer` produces a deep snapshot of a zone (what AXFR
+moves); :class:`LocalZoneMirror` holds such a snapshot and re-transfers
+when the SOA ``refresh`` interval elapses — so a mirror serves *stale*
+parent data between refreshes, exactly like a real RFC 7706 deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dns.rdtypes import RdataType, SOA
+from repro.dns.zone import Zone
+
+#: Fallback refresh when the source zone has no SOA.
+DEFAULT_REFRESH = 86400.0
+
+
+def zone_transfer(source: Zone) -> Zone:
+    """A point-in-time copy of ``source`` (the payload of an AXFR)."""
+    copy = Zone(source.origin, default_ttl=source.default_ttl)
+    for rrset in source.rrsets():
+        copy.add(rrset.name, rrset.rdtype, rrset.rdatas, ttl=rrset.ttl)
+    return copy
+
+
+class LocalZoneMirror:
+    """An RFC 7706-style local copy, refreshed on the SOA schedule."""
+
+    def __init__(self, source: Zone, transferred_at: float = 0.0) -> None:
+        self._source = source
+        self._snapshot = zone_transfer(source)
+        self._transferred_at = transferred_at
+        self.transfers = 1
+
+    @property
+    def origin(self):
+        return self._snapshot.origin
+
+    def refresh_interval(self) -> float:
+        soa = self._snapshot.soa
+        if soa is None or not soa.rdatas:
+            return DEFAULT_REFRESH
+        rdata = soa.rdatas[0]
+        assert isinstance(rdata, SOA)
+        return float(rdata.refresh)
+
+    def is_stale(self, now: float) -> bool:
+        return now - self._transferred_at >= self.refresh_interval()
+
+    def serial(self) -> Optional[int]:
+        soa = self._snapshot.soa
+        if soa is None or not soa.rdatas:
+            return None
+        rdata = soa.rdatas[0]
+        assert isinstance(rdata, SOA)
+        return rdata.serial
+
+    def zone(self, now: float) -> Zone:
+        """The local copy, re-transferred first if the refresh is due."""
+        if self.is_stale(now):
+            self._snapshot = zone_transfer(self._source)
+            self._transferred_at = now
+            self.transfers += 1
+        return self._snapshot

@@ -1,0 +1,107 @@
+"""ENTRADA-style query logging.
+
+The paper's §3.4 passive study uses ENTRADA, a DNS traffic warehouse fed by
+the .nl authoritative servers.  Our servers append one :class:`QueryLogEntry`
+per received query; the analysis package consumes the same
+(resolver address, query name, timestamp) tuples the paper's pipeline does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataType
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One received query as seen by an authoritative server."""
+
+    timestamp: float
+    client_address: str
+    client_asn: int
+    qname: Name
+    qtype: RdataType
+    server: str  # server (or anycast site) name that received the query
+
+
+@dataclass
+class QueryLog:
+    """An append-only log of queries at one server or cluster."""
+
+    entries: list[QueryLogEntry] = field(default_factory=list)
+
+    def append(self, entry: QueryLogEntry) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[QueryLogEntry]:
+        return iter(self.entries)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    # -- filters -----------------------------------------------------------
+    def filtered(self, predicate: Callable[[QueryLogEntry], bool]) -> "QueryLog":
+        return QueryLog([entry for entry in self.entries if predicate(entry)])
+
+    def between(self, start: float, end: float) -> "QueryLog":
+        """Entries with start <= timestamp < end."""
+        return self.filtered(lambda e: start <= e.timestamp < end)
+
+    def for_qname(self, qname: Name) -> "QueryLog":
+        return self.filtered(lambda e: e.qname == qname)
+
+    def for_qtype(self, qtype: RdataType) -> "QueryLog":
+        return self.filtered(lambda e: e.qtype == qtype)
+
+    # -- aggregations ----------------------------------------------------------
+    def unique_clients(self) -> set[str]:
+        return {entry.client_address for entry in self.entries}
+
+    def unique_client_ases(self) -> set[int]:
+        return {entry.client_asn for entry in self.entries}
+
+    def by_group(self) -> dict[tuple[str, Name], list[float]]:
+        """Timestamps per (resolver address, query name) group, sorted.
+
+        This is the unit of the paper's Figure 3/4 analysis: "368k groups of
+        (resolver, query-name) pairs".
+        """
+        groups: dict[tuple[str, Name], list[float]] = {}
+        for entry in self.entries:
+            groups.setdefault((entry.client_address, entry.qname), []).append(
+                entry.timestamp
+            )
+        for timestamps in groups.values():
+            timestamps.sort()
+        return groups
+
+    def query_count_by_server(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.server] = counts.get(entry.server, 0) + 1
+        return counts
+
+    def timeseries(
+        self, bin_seconds: float, start: Optional[float] = None, end: Optional[float] = None
+    ) -> dict[int, int]:
+        """Query counts per time bin (Figure 6/7 are 10-minute bins)."""
+        if bin_seconds <= 0:
+            raise ValueError("bin size must be positive")
+        low = start if start is not None else min(
+            (e.timestamp for e in self.entries), default=0.0
+        )
+        counts: dict[int, int] = {}
+        for entry in self.entries:
+            if start is not None and entry.timestamp < start:
+                continue
+            if end is not None and entry.timestamp >= end:
+                continue
+            index = int((entry.timestamp - low) // bin_seconds)
+            counts[index] = counts.get(index, 0) + 1
+        return counts

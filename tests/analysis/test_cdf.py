@@ -1,0 +1,109 @@
+"""Tests for repro.analysis.cdf, including hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import ECDF
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestBasics:
+    def test_len(self):
+        assert len(ECDF([1, 2, 3])) == 3
+
+    def test_fraction_below(self):
+        cdf = ECDF([1, 2, 3, 4])
+        assert cdf.fraction_below(2) == 0.5
+        assert cdf.fraction_below(0) == 0.0
+        assert cdf.fraction_below(4) == 1.0
+
+    def test_fraction_strictly_below(self):
+        cdf = ECDF([1, 2, 2, 3])
+        assert cdf.fraction_strictly_below(2) == 0.25
+
+    def test_fraction_at_spike(self):
+        # The §3.3 capping plateau: a spike exactly at 21599.
+        cdf = ECDF([21599] * 15 + [300] * 85)
+        assert cdf.fraction_at(21599) == pytest.approx(0.15)
+
+    def test_quantiles(self):
+        cdf = ECDF(range(1, 101))
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(0.95) == 95
+        assert cdf.quantile(0.0) == 1
+        assert cdf.quantile(1.0) == 100
+
+    def test_median_property(self):
+        assert ECDF([1, 2, 3]).median == 2
+
+    def test_min_max_mean(self):
+        cdf = ECDF([4, 1, 7])
+        assert (cdf.min, cdf.max) == (1, 7)
+        assert cdf.mean == 4
+
+    def test_empty_raises(self):
+        cdf = ECDF([])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.5)
+        with pytest.raises(ValueError):
+            cdf.fraction_below(1)
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            ECDF([1]).quantile(1.5)
+
+    def test_describe(self):
+        described = ECDF([1, 2, 3, 4]).describe()
+        assert described["n"] == 4
+        assert "p50" in described and "p99" in described
+
+
+class TestPoints:
+    def test_points_end_at_one(self):
+        points = ECDF([5, 1, 3]).points()
+        assert points[-1] == (5, 1.0)
+
+    def test_points_downsampled(self):
+        points = ECDF(range(10000)).points(max_points=100)
+        assert len(points) <= 102
+
+    def test_points_empty(self):
+        assert ECDF([]).points() == []
+
+
+@given(samples)
+def test_cdf_monotone_nondecreasing(values):
+    cdf = ECDF(values)
+    points = cdf.points()
+    ys = [y for _, y in points]
+    xs = [x for x, _ in points]
+    assert ys == sorted(ys)
+    assert xs == sorted(xs)
+
+
+@given(samples, st.floats(min_value=0, max_value=1))
+def test_quantile_within_range(values, q):
+    cdf = ECDF(values)
+    assert cdf.min <= cdf.quantile(q) <= cdf.max
+
+
+@given(samples)
+def test_fraction_below_max_is_one(values):
+    cdf = ECDF(values)
+    assert cdf.fraction_below(cdf.max) == 1.0
+
+
+@given(samples, st.floats(allow_nan=False, min_value=-1e6, max_value=1e6))
+def test_fraction_below_in_unit_interval(values, x):
+    assert 0.0 <= ECDF(values).fraction_below(x) <= 1.0
+
+
+@given(samples)
+def test_quantile_consistent_with_fraction(values):
+    cdf = ECDF(values)
+    median = cdf.quantile(0.5)
+    assert cdf.fraction_below(median) >= 0.5

@@ -1,0 +1,78 @@
+"""Tests for repro.analysis.interarrival."""
+
+import pytest
+
+from repro.analysis.interarrival import (
+    filter_retransmissions,
+    hourly_bumps,
+    interarrivals,
+    min_interarrival_per_group,
+    queries_per_group,
+)
+
+
+class TestInterarrivals:
+    def test_gaps(self):
+        assert interarrivals([0.0, 10.0, 25.0]) == [10.0, 15.0]
+
+    def test_single_sample_no_gaps(self):
+        assert interarrivals([5.0]) == []
+
+    def test_empty(self):
+        assert interarrivals([]) == []
+
+
+class TestRetransmissionFilter:
+    def test_drops_close_repeats(self):
+        # Paper Figure 3: queries within 2 s are retransmissions.
+        assert filter_retransmissions([0.0, 1.0, 1.5, 10.0]) == [0.0, 10.0]
+
+    def test_keeps_spaced(self):
+        assert filter_retransmissions([0.0, 3.0, 6.0]) == [0.0, 3.0, 6.0]
+
+    def test_custom_threshold(self):
+        assert filter_retransmissions([0.0, 4.0], threshold=5.0) == [0.0]
+
+
+class TestQueriesPerGroup:
+    def test_counts(self):
+        groups = {("r1", "n"): [0.0], ("r2", "n"): [0.0, 1.0, 2.0]}
+        assert sorted(queries_per_group(groups)) == [1, 3]
+
+    def test_filtered_counts(self):
+        groups = {("r", "n"): [0.0, 0.5, 10.0]}
+        assert queries_per_group(groups, filter_retrans=True) == [2]
+
+    def test_paper_observation_filtering_changes_little(self):
+        # §3.4: the filtered and unfiltered curves are "essentially
+        # identical" when queries are well spaced.
+        groups = {("r", i): [float(j * 3600) for j in range(5)] for i in range(10)}
+        assert queries_per_group(groups) == queries_per_group(groups, filter_retrans=True)
+
+
+class TestMinInterarrival:
+    def test_minimum_per_group(self):
+        groups = {
+            ("r1", "n"): [0.0, 3600.0, 3700.0],
+            ("r2", "n"): [0.0],
+        }
+        assert min_interarrival_per_group(groups) == [100.0]
+
+    def test_empty(self):
+        assert min_interarrival_per_group({}) == []
+
+
+class TestHourlyBumps:
+    def test_detects_hour_multiples(self):
+        minima = [3600.0, 3610.0, 7150.0, 7300.0, 5000.0]
+        bumps = hourly_bumps(minima)
+        assert bumps[1] == 2
+        assert bumps[2] == 2
+        assert 5000.0 / 3600 not in bumps
+
+    def test_tolerance(self):
+        assert hourly_bumps([3600 * 1.04]) == {1: 1}
+        assert hourly_bumps([3600 * 1.2]) == {}
+
+    def test_ignores_sub_hour(self):
+        assert hourly_bumps([100.0, 900.0]) == {}

@@ -1,0 +1,112 @@
+"""Tests for repro.analysis.tables."""
+
+import pytest
+
+from repro.analysis.tables import (
+    Table,
+    fraction,
+    paper_vs_measured,
+    render_cdf,
+    render_timeseries,
+)
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table(["name", "value"], title="demo")
+        table.add_row("a", 1)
+        table.add_row("longer-name", 22)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "demo"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_wrong_arity_rejected(self):
+        table = Table(["one"])
+        with pytest.raises(ValueError):
+            table.add_row("a", "b")
+
+    def test_str(self):
+        table = Table(["x"])
+        table.add_row("1")
+        assert "x" in str(table)
+
+
+class TestRenderCdf:
+    def test_quantile_columns(self):
+        rendered = render_cdf({"series": [1, 2, 3, 4, 5]}, title="t")
+        assert "p50" in rendered and "series" in rendered
+
+    def test_empty_series_dashes(self):
+        rendered = render_cdf({"empty": []})
+        assert "-" in rendered
+
+    def test_multiple_series(self):
+        rendered = render_cdf({"a": [1], "b": [2]})
+        assert "a" in rendered and "b" in rendered
+
+
+class TestRenderTimeseries:
+    def test_bars_present(self):
+        rendered = render_timeseries(
+            {"old": {0: 10, 1: 5}, "new": {1: 5, 2: 10}}, bin_seconds=600
+        )
+        assert "t=" in rendered
+        assert "#" in rendered and "*" in rendered
+        assert "old:10" in rendered
+
+    def test_empty(self):
+        assert "(no data)" in render_timeseries({}, title="x")
+
+
+class TestRenderCdfPlot:
+    def test_shape(self):
+        from repro.analysis.tables import render_cdf_plot
+
+        rendered = render_cdf_plot({"s": [1, 10, 100, 1000]}, height=8, width=30)
+        lines = rendered.splitlines()
+        assert lines[1].startswith("#=s")
+        assert sum(1 for line in lines if "|" in line) == 8
+        assert "(log x)" in lines[-1]
+
+    def test_multiple_series_markers(self):
+        from repro.analysis.tables import render_cdf_plot
+
+        rendered = render_cdf_plot({"a": [1, 2], "b": [100, 200]})
+        assert "#" in rendered and "*" in rendered
+
+    def test_linear_axis(self):
+        from repro.analysis.tables import render_cdf_plot
+
+        rendered = render_cdf_plot({"s": [0, 5, 10]}, log_x=False)
+        assert "(log x)" not in rendered
+
+    def test_empty(self):
+        from repro.analysis.tables import render_cdf_plot
+
+        assert "(no data)" in render_cdf_plot({"s": []})
+
+    def test_monotone_columns(self):
+        """The plotted curve never decreases left to right."""
+        from repro.analysis.tables import render_cdf_plot
+
+        rendered = render_cdf_plot({"s": list(range(1, 200))}, height=10, width=40)
+        rows = [line.split("|")[1] for line in rendered.splitlines() if "|" in line]
+        # For each column, find the topmost marker; it must descend (or
+        # stay) as x grows — i.e. the curve's height is non-decreasing.
+        heights = []
+        for column in range(40):
+            top = next(
+                (i for i in range(10) if rows[i][column] == "#"), 10
+            )
+            heights.append(10 - top)
+        assert heights == sorted(heights)
+
+
+class TestHelpers:
+    def test_fraction(self):
+        assert fraction(0.123) == "12.3%"
+
+    def test_paper_vs_measured(self):
+        rendered = paper_vs_measured("T1", [("metric", "90%", "88%")])
+        assert "paper" in rendered and "measured" in rendered and "T1" in rendered

@@ -1,0 +1,92 @@
+"""Tests for repro.atlas.population."""
+
+from repro.atlas.population import AtlasConfig, AtlasPopulation
+from repro.net.topology import Region
+
+
+def build(mini_world, probes=120, seed=0, **overrides):
+    config = AtlasConfig(probes=probes, seed=seed, **overrides)
+    return AtlasPopulation(
+        config=config,
+        topology=mini_world.topology,
+        network=mini_world.network,
+        root_hints=mini_world.hints,
+        root_zone=mini_world.root_zone,
+    )
+
+
+class TestShape:
+    def test_probe_count(self, mini_world):
+        assert len(build(mini_world, probes=50).probes) == 50
+
+    def test_more_vps_than_probes(self, mini_world):
+        population = build(mini_world, probes=200)
+        summary = population.summary()
+        # Paper §3.2: ~15k VPs from ~9k probes → ratio ≈ 1.3–1.8.
+        assert 1.1 < summary["vps"] / summary["probes"] < 2.0
+
+    def test_fewer_ases_than_probes(self, mini_world):
+        summary = build(mini_world, probes=200).summary()
+        assert summary["ases"] < summary["probes"]
+
+    def test_every_probe_has_a_stub(self, mini_world):
+        population = build(mini_world, probes=60)
+        assert all(probe.stubs for probe in population.probes)
+
+    def test_europe_skew(self, mini_world):
+        population = build(mini_world, probes=400)
+        eu = sum(1 for p in population.probes if p.region is Region.EU)
+        assert 0.4 < eu / len(population.probes) < 0.7
+
+    def test_deterministic(self, mini_world):
+        from tests.conftest import build_mini_world
+
+        a = build(mini_world, probes=50, seed=3)
+        b = build(build_mini_world(), probes=50, seed=3)
+        assert [p.endpoint.address for p in a.probes] == [
+            p.endpoint.address for p in b.probes
+        ]
+
+
+class TestResolverSharing:
+    def test_public_backends_bounded(self, mini_world):
+        population = build(mini_world, probes=300)
+        labels = population.resolver_label
+        google_instances = [a for a, l in labels.items() if l == "google-like"]
+        assert len(google_instances) <= 6
+
+    def test_as_resolver_sharing(self, mini_world):
+        population = build(mini_world, probes=300)
+        # VPs outnumber unique resolvers because probes in the same AS
+        # share, and public services are shared globally.
+        assert len(population.vantage_points()) > len(population.unique_resolvers())
+
+    def test_behaviour_mix_represented(self, mini_world):
+        population = build(mini_world, probes=500, seed=1)
+        labels = set(population.resolver_label.values())
+        assert "child" in labels
+        assert "google-like" in labels
+        assert "opendns-like" in labels
+
+    def test_reset_caches(self, mini_world):
+        from repro.dns.rdtypes import RdataType
+
+        population = build(mini_world, probes=20)
+        vp = population.vantage_points()[0]
+        vp.stub.query("www.example.tld.", RdataType.A, now=0.0)
+        assert len(vp.stub.resolver.cache) > 0
+        population.reset_caches()
+        assert len(vp.stub.resolver.cache) == 0
+
+
+class TestVantagePoints:
+    def test_vp_ids_unique(self, mini_world):
+        population = build(mini_world, probes=150)
+        vps = population.vantage_points()
+        assert len({vp.vp_id for vp in vps}) == len(vps)
+
+    def test_vp_links_probe_and_resolver(self, mini_world):
+        population = build(mini_world, probes=10)
+        vp = population.vantage_points()[0]
+        assert vp.resolver_address == vp.stub.resolver.address
+        assert vp.probe in population.probes

@@ -1,0 +1,133 @@
+"""Tests for repro.core.audit (§6.3 as a lint pass)."""
+
+import pytest
+
+from repro.core.audit import Severity, audit_zone, render_report
+from repro.dns.rdtypes import A, NS, RdataType
+from repro.dns.zone import Zone
+
+
+def clean_zone():
+    zone = Zone("good.example.", default_ttl=28800)
+    zone.add_soa("ns1.good.example.")
+    zone.add("good.example.", RdataType.NS, NS("ns1.good.example."), ttl=28800)
+    zone.add("ns1.good.example.", RdataType.A, A("192.0.2.53"), ttl=28800)
+    zone.add("www.good.example.", RdataType.A, A("192.0.2.80"), ttl=3600)
+    return zone
+
+
+def codes(findings):
+    return {finding.code for finding in findings}
+
+
+class TestCleanZone:
+    def test_no_findings(self):
+        assert audit_zone(clean_zone()) == []
+
+    def test_render_clean(self):
+        assert "clean" in render_report([])
+
+
+class TestZeroTtl:
+    def test_detected(self):
+        zone = clean_zone()
+        zone.replace("www.good.example.", RdataType.A, A("192.0.2.80"), ttl=0)
+        findings = audit_zone(zone)
+        assert "ttl-zero" in codes(findings)
+
+
+class TestAddressVsNs:
+    def test_inbailiwick_address_outliving_ns(self):
+        zone = clean_zone()
+        zone.replace("ns1.good.example.", RdataType.A, A("192.0.2.53"), ttl=86400)
+        findings = audit_zone(zone)
+        assert "address-outlives-ns" in codes(findings)
+
+    def test_out_of_bailiwick_address_not_flagged(self):
+        zone = clean_zone()
+        zone.replace("good.example.", RdataType.NS, NS("ns.provider.net."), ttl=3600)
+        zone.remove("ns1.good.example.", RdataType.A)
+        assert "address-outlives-ns" not in codes(audit_zone(zone))
+
+
+class TestShortNs:
+    def test_very_short_is_error(self):
+        zone = clean_zone()
+        zone.set_ttl("good.example.", RdataType.NS, 30)
+        findings = audit_zone(zone)
+        matching = [f for f in findings if f.code == "ns-ttl-very-short"]
+        assert matching and matching[0].severity is Severity.ERROR
+
+    def test_sub_hour_is_info(self):
+        zone = clean_zone()
+        zone.set_ttl("good.example.", RdataType.NS, 900)
+        matching = [f for f in audit_zone(zone) if f.code == "ns-ttl-short"]
+        assert matching and matching[0].severity is Severity.INFO
+
+
+class TestGlue:
+    def test_missing_inbailiwick_address(self):
+        zone = clean_zone()
+        zone.remove("ns1.good.example.", RdataType.A)
+        assert "missing-inbailiwick-address" in codes(audit_zone(zone))
+
+
+class TestParentChild:
+    def parent_for(self, zone, ns_ttl=28800, address="192.0.2.53",
+                   glue_ttl=28800, target="ns1.good.example."):
+        parent = Zone("example.", default_ttl=86400)
+        parent.add_soa("ns.example.")
+        parent.add("good.example.", RdataType.NS, NS(target), ttl=ns_ttl)
+        parent.add(target, RdataType.A, A(address), ttl=glue_ttl)
+        return parent
+
+    def test_agreement_passes(self):
+        zone = clean_zone()
+        assert audit_zone(zone, self.parent_for(zone)) == []
+
+    def test_ttl_mismatch(self):
+        zone = clean_zone()
+        parent = self.parent_for(zone, ns_ttl=172800)
+        assert "parent-child-ttl-mismatch" in codes(audit_zone(zone, parent))
+
+    def test_ns_set_mismatch(self):
+        zone = clean_zone()
+        parent = self.parent_for(zone, target="ns.other.example.")
+        assert "ns-set-mismatch" in codes(audit_zone(zone, parent))
+
+    def test_glue_address_mismatch(self):
+        zone = clean_zone()
+        parent = self.parent_for(zone, address="198.51.100.9")
+        assert "glue-address-mismatch" in codes(audit_zone(zone, parent))
+
+    def test_glue_ttl_mismatch_is_info(self):
+        zone = clean_zone()
+        parent = self.parent_for(zone, glue_ttl=172800)
+        matching = [
+            f for f in audit_zone(zone, parent) if f.code == "glue-ttl-mismatch"
+        ]
+        assert matching and matching[0].severity is Severity.INFO
+
+
+class TestUyStory:
+    def test_2019_uy_configuration_flagged(self):
+        """The exact situation the paper found at .uy: child 300 s, parent
+        2 days."""
+        uy = Zone("uy.", default_ttl=300)
+        uy.add_soa("a.nic.uy.")
+        uy.add("uy.", RdataType.NS, NS("a.nic.uy."), ttl=300)
+        uy.add("a.nic.uy.", RdataType.A, A("192.0.2.10"), ttl=120)
+        root = Zone("", default_ttl=172800)
+        root.add_soa("a.root-servers.net.")
+        root.add("uy.", RdataType.NS, NS("a.nic.uy."), ttl=172800)
+        root.add("a.nic.uy.", RdataType.A, A("192.0.2.10"), ttl=172800)
+        findings = audit_zone(uy, root)
+        assert "parent-child-ttl-mismatch" in codes(findings)
+        assert "ns-ttl-short" in codes(findings)
+
+    def test_report_renders_sorted(self):
+        zone = clean_zone()
+        zone.set_ttl("good.example.", RdataType.NS, 30)
+        zone.replace("www.good.example.", RdataType.A, A("192.0.2.80"), ttl=0)
+        report = render_report(audit_zone(zone))
+        assert report.index("ns-ttl-very-short") < report.index("ttl-zero")

@@ -1,0 +1,35 @@
+"""Tests for the §4.4 OpenDNS case study scenario."""
+
+import pytest
+
+from repro.core.scenarios import scenario_opendns_case_study
+
+
+@pytest.fixture(scope="module")
+def case():
+    # Probe every 300 s for ~13.5 h, as the paper's confirmation did
+    # (161 responses over 2.5 months of context; ours is one session).
+    return scenario_opendns_case_study(seed=0)
+
+
+class TestOpenDnsCase:
+    def test_old_answers_persist_past_every_child_ttl(self, case):
+        """Paper: "13 contained answers which were from the original server
+        after the expired TTLs."  A single pinned backend keeps serving the
+        old answer for the parent's full 2-day TTL — the paper's smaller
+        fraction reflects cache-fragmented backend pools, ours is one
+        backend observed continuously."""
+        assert case.old_answers > 0
+        assert case.old_fraction > 0.5
+
+    def test_never_switches_within_parent_ttl(self, case):
+        assert case.new_answers == 0
+
+    def test_child_receives_no_ns_queries(self, case):
+        """Paper: "our authoritative servers have received no queries for
+        NS zurrundedu.com, therefore they could have only trusted the
+        parent." """
+        assert case.child_ns_queries_seen == 0
+
+    def test_responses_cover_the_whole_window(self, case):
+        assert case.responses >= 160

@@ -1,0 +1,77 @@
+"""Tests for repro.core.recommendations (§6.3 guidance)."""
+
+from repro.core.recommendations import (
+    AGILE_TTL,
+    LONG_TTL_FLOOR,
+    LONG_TTL_PREFERRED,
+    REGISTRY_TTL,
+    SHORT_TTL,
+    OperatorKind,
+    Recommendation,
+    ZoneSituation,
+    recommend,
+)
+
+
+class TestGeneralZone:
+    def test_long_ttls_preferred(self):
+        rec = recommend(ZoneSituation())
+        assert rec.ns_ttl >= LONG_TTL_FLOOR
+        assert rec.address_ttl >= LONG_TTL_FLOOR
+
+    def test_default_is_eight_hours(self):
+        assert recommend(ZoneSituation()).ns_ttl == LONG_TTL_PREFERRED
+
+
+class TestRegistry:
+    def test_one_day(self):
+        rec = recommend(ZoneSituation(kind=OperatorKind.TLD_REGISTRY))
+        assert rec.ns_ttl == REGISTRY_TTL
+
+    def test_mentions_uy(self):
+        rec = recommend(ZoneSituation(kind=OperatorKind.TLD_REGISTRY))
+        assert any(".uy" in note for note in rec.notes)
+
+
+class TestShortTtlUsers:
+    def test_ddos_mitigation_gets_short(self):
+        rec = recommend(ZoneSituation(uses_dns_ddos_mitigation=True))
+        assert rec.address_ttl == SHORT_TTL
+
+    def test_load_balancing_gets_agile(self):
+        rec = recommend(ZoneSituation(uses_cdn_load_balancing=True))
+        assert rec.address_ttl == AGILE_TTL
+
+    def test_ddos_takes_priority_over_lb(self):
+        rec = recommend(
+            ZoneSituation(uses_cdn_load_balancing=True, uses_dns_ddos_mitigation=True)
+        )
+        assert rec.address_ttl == SHORT_TTL
+
+
+class TestConstraints:
+    def test_in_bailiwick_address_capped_at_ns(self):
+        # §6.3: in-bailiwick A TTLs should not exceed the NS TTL.
+        rec = recommend(ZoneSituation(servers_in_bailiwick=True))
+        assert rec.address_ttl <= rec.ns_ttl
+
+    def test_parent_control_note(self):
+        rec = recommend(ZoneSituation(controls_parent_ttl=False))
+        assert any("parent" in note.lower() for note in rec.notes)
+
+    def test_no_parent_note_when_controlled(self):
+        rec = recommend(
+            ZoneSituation(kind=OperatorKind.TLD_REGISTRY, controls_parent_ttl=True)
+        )
+        assert not any("parent-centric" in note for note in rec.notes)
+
+    def test_short_lead_time_note(self):
+        rec = recommend(ZoneSituation(planned_changes_lead_time=60))
+        assert any("just-before" in note for note in rec.notes)
+
+
+class TestRendering:
+    def test_describe(self):
+        rec = Recommendation(ns_ttl=3600, address_ttl=900, notes=("because",))
+        text = rec.describe()
+        assert "3600 s" in text and "1h" in text and "- because" in text

@@ -1,0 +1,80 @@
+"""Tests for repro.crawler.crawl."""
+
+import pytest
+
+from repro.crawler.crawl import Crawler
+from repro.crawler.toplists import build_crawl_universe
+
+
+@pytest.fixture(scope="module")
+def crawled():
+    universe = build_crawl_universe(scale=0.0005, seed=3)
+    crawler = Crawler(universe)
+    return universe, crawler.crawl()
+
+
+class TestCrawlRecords:
+    def test_every_domain_crawled(self, crawled):
+        universe, result = crawled
+        assert len(result) == len(universe.domains)
+
+    def test_parent_ttls_recorded(self, crawled):
+        _, result = crawled
+        with_parent = [r for r in result if r.parent_ns_ttl is not None]
+        assert with_parent
+        # TLD zones delegate at one day (one hour for .nl), the root at
+        # two days.
+        assert {r.parent_ns_ttl for r in with_parent} <= {3600, 86400, 172800}
+
+    def test_unresponsive_have_no_records(self, crawled):
+        _, result = crawled
+        for record in result:
+            if not record.domain.responsive and record.domain.format != "TLD":
+                assert not record.responsive
+                assert not record.records
+
+    def test_child_ns_ttls_differ_from_parent(self, crawled):
+        _, result = crawled
+        diffs = [
+            record
+            for record in result
+            if record.responsive
+            and record.ttls("NS")
+            and record.parent_ns_ttl is not None
+            and record.ttls("NS")[0] != record.parent_ns_ttl
+        ]
+        # Most child zones choose their own TTLs.
+        assert len(diffs) > len(result) * 0.2
+
+    def test_ns_response_classes(self, crawled):
+        _, result = crawled
+        classes = {record.ns_response for record in result}
+        assert {"ns", "cname", "soa"} <= classes
+
+    def test_bailiwick_only_for_ns_responders(self, crawled):
+        _, result = crawled
+        for record in result:
+            if record.ns_response != "ns":
+                assert record.bailiwick is None
+
+    def test_bailiwick_matches_ground_truth_mostly(self, crawled):
+        _, result = crawled
+        matched = 0
+        total = 0
+        for record in result:
+            if record.bailiwick is None or record.domain.kind != "apex":
+                continue
+            total += 1
+            matched += record.bailiwick == record.domain.bailiwick
+        assert total > 0
+        assert matched / total > 0.95
+
+    def test_dnskey_ttls_collected(self, crawled):
+        _, result = crawled
+        assert any(record.ttls("DNSKEY") for record in result)
+
+    def test_query_accounting(self, crawled):
+        universe, _ = crawled
+        crawler = Crawler(universe)
+        crawler.crawl(universe.lists["root"])
+        assert crawler.queries_sent > len(universe.lists["root"])

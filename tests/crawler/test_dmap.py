@@ -1,0 +1,48 @@
+"""Tests for repro.crawler.dmap (Tables 6 and 7)."""
+
+import pytest
+
+from repro.crawler.crawl import Crawler
+from repro.crawler.dmap import ContentCategory, dmap_classify
+from repro.crawler.toplists import build_crawl_universe
+
+
+@pytest.fixture(scope="module")
+def report():
+    universe = build_crawl_universe(scale=0.0008, seed=5, lists=["nl"])
+    crawl = Crawler(universe).crawl()
+    return dmap_classify(crawl)
+
+
+class TestTable6:
+    def test_all_categories_present(self, report):
+        assert set(report.category_counts) == set(ContentCategory)
+
+    def test_placeholder_dominates(self, report):
+        counts = report.category_counts
+        assert counts[ContentCategory.PLACEHOLDER] > counts[ContentCategory.ECOMMERCE]
+        assert counts[ContentCategory.PLACEHOLDER] > counts[ContentCategory.PARKING]
+
+    def test_total_classified(self, report):
+        assert report.total_classified == sum(report.category_counts.values())
+        assert report.total_classified > 0
+
+
+class TestTable7:
+    def test_parking_ns_longest(self, report):
+        medians = report.median_ttl_hours
+        assert medians[ContentCategory.PARKING]["NS"] == pytest.approx(24.0)
+        assert medians[ContentCategory.PLACEHOLDER]["NS"] == pytest.approx(4.0)
+        assert medians[ContentCategory.ECOMMERCE]["NS"] == pytest.approx(4.0)
+
+    def test_a_record_median_one_hour_everywhere(self, report):
+        for category in ContentCategory:
+            assert report.median_ttl_hours[category]["A"] == pytest.approx(1.0)
+
+    def test_ecommerce_aaaa_short(self, report):
+        assert report.median_ttl_hours[ContentCategory.ECOMMERCE]["AAAA"] == pytest.approx(0.1)
+
+    def test_dnskey_medians(self, report):
+        medians = report.median_ttl_hours
+        assert medians[ContentCategory.PARKING]["DNSKEY"] == pytest.approx(24.0)
+        assert medians[ContentCategory.ECOMMERCE]["DNSKEY"] == pytest.approx(1.0)

@@ -1,0 +1,47 @@
+"""Tests for the parent-vs-child TTL comparison (the paper's future work)."""
+
+import pytest
+
+from repro.crawler.crawl import Crawler
+from repro.crawler.report import parent_child_comparison
+from repro.crawler.toplists import build_crawl_universe
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    universe = build_crawl_universe(scale=0.002, seed=6)
+    crawl = Crawler(universe).crawl()
+    return parent_child_comparison(crawl)
+
+
+class TestParentChildComparison:
+    def test_all_lists_compared(self, comparisons):
+        assert set(comparisons) == {"Alexa", "Majestic", "Umbrella", ".nl", "Root"}
+        assert all(c.compared > 0 for c in comparisons.values())
+
+    def test_counts_partition(self, comparisons):
+        for comparison in comparisons.values():
+            assert (
+                comparison.child_shorter
+                + comparison.child_equal
+                + comparison.child_longer
+                == comparison.compared
+            )
+
+    def test_nl_forty_percent_anchor(self, comparisons):
+        """§5.1: "about 40% of .nl children have shorter TTLs" than the
+        one-hour parent delegation."""
+        nl = comparisons[".nl"]
+        assert 0.30 < nl.shorter_fraction < 0.50
+
+    def test_mismatch_is_the_norm(self, comparisons):
+        """Across every list, a substantial share of children disagree with
+        the parent — the precondition for §3's centricity question."""
+        for comparison in comparisons.values():
+            disagreement = 1.0 - comparison.fraction(comparison.child_equal)
+            assert disagreement > 0.3
+
+    def test_root_children_never_longer(self, comparisons):
+        # The root delegates at 2 days, the ceiling of human-chosen values
+        # in our profiles: no TLD picks more.
+        assert comparisons["Root"].child_longer == 0

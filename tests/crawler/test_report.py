@@ -1,0 +1,107 @@
+"""Tests for repro.crawler.report (Table 5/8/9, Figure 9 aggregations)."""
+
+import pytest
+
+from repro.crawler.crawl import Crawler
+from repro.crawler.report import (
+    bailiwick_census,
+    record_counts,
+    ttl_cdf_by_type,
+    ttl_zero_census,
+)
+from repro.crawler.toplists import build_crawl_universe
+
+
+@pytest.fixture(scope="module")
+def result():
+    universe = build_crawl_universe(scale=0.001, seed=4)
+    return Crawler(universe).crawl()
+
+
+class TestRecordCounts:
+    def test_all_lists_present(self, result):
+        counts = record_counts(result)
+        assert set(counts) == {"Alexa", "Majestic", "Umbrella", ".nl", "Root"}
+
+    def test_ratio_matches_table5_band(self, result):
+        counts = record_counts(result)
+        assert counts["Alexa"].ratio > 0.95
+        assert counts["Umbrella"].ratio < 0.9
+
+    def test_shared_hosting_ratios(self, result):
+        counts = record_counts(result)
+        # .nl reflects heavy shared hosting (Table 5: NS ratio 190).
+        nl_ratio = counts[".nl"].unique_ratio("NS")
+        alexa_ratio = counts["Alexa"].unique_ratio("NS")
+        assert nl_ratio > alexa_ratio > 1.0
+
+    def test_unique_ratio_none_when_absent(self, result):
+        counts = record_counts(result)
+        assert counts["Root"].unique_ratio("DNSKEY") is None
+
+
+class TestTtlCdfs:
+    def test_fig9_ns_longest_a_shortest(self, result):
+        cdfs = ttl_cdf_by_type(result)
+        for list_name in ("Alexa", "Majestic"):
+            per_type = cdfs[list_name]
+            assert per_type["NS"].median >= per_type["A"].median
+
+    def test_root_records_long_lived(self, result):
+        cdfs = ttl_cdf_by_type(result)
+        # §5.1: ~80 % of root records at 1–2 day TTLs.
+        assert cdfs["Root"]["NS"].fraction_below(86399) < 0.3
+
+    def test_umbrella_short_ttls(self, result):
+        cdfs = ttl_cdf_by_type(result)
+        assert cdfs["Umbrella"]["NS"].fraction_below(60) > 0.15
+
+    def test_human_chosen_values_dominate(self, result):
+        cdfs = ttl_cdf_by_type(result)
+        alexa_ns = cdfs["Alexa"]["NS"]
+        common = sum(
+            alexa_ns.fraction_at(v) for v in (300, 3600, 7200, 21600, 86400, 172800)
+        )
+        assert common > 0.9
+
+
+class TestTtlZero:
+    def test_table8_shape(self, result):
+        census = ttl_zero_census(result)
+        # TTL=0 exists but is rare (Table 8 vs Table 5 scale).
+        total_zero = sum(census["Alexa"][t] for t in ("NS", "A", "AAAA", "MX"))
+        assert 0 < total_zero < 50
+
+    def test_root_has_no_zeros(self, result):
+        census = ttl_zero_census(result)
+        assert all(v == 0 for v in census["Root"].values())
+
+    def test_unique_counts_domains_once(self, result):
+        census = ttl_zero_census(result)
+        for per_type in census.values():
+            per_rtype_total = sum(v for k, v in per_type.items() if k != "unique")
+            assert per_type["unique"] <= per_rtype_total or per_rtype_total == 0
+
+
+class TestBailiwickCensus:
+    def test_popular_lists_mostly_out(self, result):
+        census = bailiwick_census(result)
+        for list_name in ("Alexa", "Majestic", ".nl"):
+            assert census[list_name].percent_out > 85.0
+
+    def test_root_split(self, result):
+        census = bailiwick_census(result)
+        root = census["Root"]
+        assert 30.0 < root.percent_out < 70.0
+        assert root.in_only > 0
+
+    def test_umbrella_cname_heavy(self, result):
+        census = bailiwick_census(result)
+        umbrella = census["Umbrella"]
+        assert umbrella.cname > umbrella.respond_ns
+
+    def test_counts_consistent(self, result):
+        census = bailiwick_census(result)
+        for block in census.values():
+            assert block.respond_ns == block.out_only + block.in_only + block.mixed
+            assert block.respond_ns + block.cname + block.soa <= block.responsive

@@ -1,0 +1,104 @@
+"""Tests for repro.crawler.toplists."""
+
+import pytest
+
+from repro.crawler.toplists import (
+    LIST_PROFILES,
+    NL_CATEGORY_SHARES,
+    build_crawl_universe,
+)
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_crawl_universe(scale=0.0005, seed=2)
+
+
+class TestProfiles:
+    def test_all_five_lists(self):
+        assert set(LIST_PROFILES) == {"alexa", "majestic", "umbrella", "nl", "root"}
+
+    def test_buckets_have_positive_weights(self):
+        for profile in LIST_PROFILES.values():
+            for buckets in (profile.ttl.ns, profile.ttl.a, profile.ttl.mx):
+                assert all(weight > 0 for _, weight in buckets)
+                assert all(ttl >= 0 for ttl, _ in buckets)
+
+    def test_bailiwick_weights_sum_to_one(self):
+        for profile in LIST_PROFILES.values():
+            assert abs(sum(profile.bailiwick) - 1.0) < 1e-6
+
+    def test_umbrella_short_ns_mass(self):
+        # §5.1: "25% of its domains with NS records are under 1 minute".
+        profile = LIST_PROFILES["umbrella"]
+        short = sum(w for ttl, w in profile.ttl.ns if ttl <= 60)
+        assert 0.2 < short < 0.35
+
+    def test_root_long_ttl_mass(self):
+        profile = LIST_PROFILES["root"]
+        long = sum(w for ttl, w in profile.ttl.ns if ttl >= 86400)
+        assert long > 0.75
+
+    def test_nl_category_shares_sum_to_one(self):
+        assert abs(sum(NL_CATEGORY_SHARES.values()) - 1.0) < 1e-9
+
+
+class TestUniverse:
+    def test_all_lists_generated(self, universe):
+        assert set(universe.lists) == set(LIST_PROFILES)
+
+    def test_deterministic(self):
+        a = build_crawl_universe(scale=0.0002, seed=9)
+        b = build_crawl_universe(scale=0.0002, seed=9)
+        assert [str(d.name) for d in a.domains] == [str(d.name) for d in b.domains]
+        assert [d.responsive for d in a.domains] == [d.responsive for d in b.domains]
+
+    def test_responsiveness_rates(self, universe):
+        for list_name, profile in LIST_PROFILES.items():
+            domains = universe.lists[list_name]
+            rate = sum(d.responsive for d in domains) / len(domains)
+            assert abs(rate - profile.responsive_rate) < 0.1
+
+    def test_responsive_domains_are_served(self, universe):
+        from repro.dns.message import Message
+        from repro.dns.rdtypes import RdataType
+
+        served = 0
+        for domain in universe.lists["alexa"]:
+            if not domain.responsive or domain.kind != "apex":
+                continue
+            tld = domain.parent.labels[0]
+            tld_zone = universe.tld_zones[tld]
+            result = tld_zone.lookup(domain.name, RdataType.NS)
+            assert result.status.name == "DELEGATION"
+            served += 1
+        assert served > 0
+
+    def test_unresponsive_not_delegated(self, universe):
+        from repro.dns.rdtypes import RdataType
+        from repro.dns.zone import LookupStatus
+
+        for domain in universe.lists["alexa"]:
+            if domain.responsive or domain.format == "TLD":
+                continue
+            tld_zone = universe.tld_zones[domain.parent.labels[0]]
+            result = tld_zone.lookup(domain.name, RdataType.NS)
+            assert result.status is LookupStatus.NXDOMAIN
+
+    def test_nl_domains_carry_categories(self, universe):
+        categorized = [d for d in universe.lists["nl"] if d.category is not None]
+        assert categorized
+        assert {d.category for d in categorized} <= {
+            "placeholder", "ecommerce", "parking"
+        }
+
+    def test_root_entries_are_tlds(self, universe):
+        assert all(len(d.name) == 1 for d in universe.lists["root"])
+
+    def test_host_addresses_resolve_ns_names(self, universe):
+        for domain in universe.lists["majestic"]:
+            if not domain.responsive:
+                continue
+            for ns_name in domain.ns_names:
+                if not ns_name.is_subdomain_of(domain.name):
+                    assert ns_name in universe.host_addresses

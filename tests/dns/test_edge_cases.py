@@ -1,0 +1,115 @@
+"""Edge-case tests across the DNS substrate."""
+
+import pytest
+
+from repro.dns.message import Message, Rcode
+from repro.dns.name import Name
+from repro.dns.rdtypes import A, CNAME, NS, RdataType
+from repro.dns.ttl import format_ttl, parse_ttl
+from repro.dns.zone import LookupStatus, Zone
+
+
+class TestCnameLoops:
+    def test_two_node_loop_terminates(self):
+        zone = Zone("loop.example.", default_ttl=300)
+        zone.add_soa("ns.loop.example.")
+        zone.add("a.loop.example.", RdataType.CNAME, CNAME("b.loop.example."))
+        zone.add("b.loop.example.", RdataType.CNAME, CNAME("a.loop.example."))
+        result = zone.lookup("a.loop.example.", RdataType.A)
+        assert result.status is LookupStatus.CNAME
+        assert len(result.rrsets) <= 3  # chain reported, loop not chased forever
+
+    def test_self_loop_terminates(self):
+        zone = Zone("loop.example.", default_ttl=300)
+        zone.add_soa("ns.loop.example.")
+        zone.add("self.loop.example.", RdataType.CNAME, CNAME("self.loop.example."))
+        result = zone.lookup("self.loop.example.", RdataType.A)
+        assert result.status is LookupStatus.CNAME
+
+    def test_resolver_bounded_on_cross_zone_loop(self, mini_world):
+        from repro.net.topology import Region
+        from repro.resolver.recursive import RecursiveResolver
+
+        mini_world.child_zone.add(
+            "x.example.tld.", RdataType.CNAME, CNAME("y.example.tld."), ttl=300
+        )
+        mini_world.child_zone.add(
+            "y.example.tld.", RdataType.CNAME, CNAME("x.example.tld."), ttl=300
+        )
+        resolver = RecursiveResolver(
+            endpoint=mini_world.topology.endpoint_in_region(Region.EU),
+            network=mini_world.network,
+            root_hints=mini_world.hints,
+        )
+        out = resolver.resolve("x.example.tld.", RdataType.A, now=0.0)
+        # Either a SERVFAIL (loop detected) or a NOERROR carrying the
+        # chain without a final answer; never a hang or crash.
+        assert out.rcode in (Rcode.NOERROR, Rcode.SERVFAIL)
+
+
+class TestTtlFormats:
+    def test_weeks(self):
+        assert format_ttl(604800) == "1w"
+        assert parse_ttl("1w") == 604800
+
+    def test_week_compound(self):
+        assert format_ttl(604800 + 86400 + 3600) == "1w1d1h"
+
+    def test_zero_padding_absent(self):
+        assert format_ttl(3601) == "1h1s"
+
+
+class TestZoneApexEdge:
+    def test_apex_wildcard(self):
+        zone = Zone("w.example.", default_ttl=60)
+        zone.add_soa("ns.w.example.")
+        zone.add("*.w.example.", RdataType.A, A("192.0.2.7"), ttl=60)
+        result = zone.lookup("anything.w.example.", RdataType.A)
+        assert result.status is LookupStatus.ANSWER
+
+    def test_wildcard_does_not_match_apex(self):
+        zone = Zone("w.example.", default_ttl=60)
+        zone.add_soa("ns.w.example.")
+        zone.add("*.w.example.", RdataType.A, A("192.0.2.7"), ttl=60)
+        result = zone.lookup("w.example.", RdataType.A)
+        assert result.status is LookupStatus.NODATA
+
+    def test_multi_label_below_wildcard(self):
+        zone = Zone("w.example.", default_ttl=60)
+        zone.add_soa("ns.w.example.")
+        zone.add("*.w.example.", RdataType.A, A("192.0.2.7"), ttl=60)
+        result = zone.lookup("a.b.w.example.", RdataType.A)
+        # RFC 1034: the wildcard covers any descendant of the encloser.
+        assert result.status is LookupStatus.ANSWER
+
+
+class TestMessageEdge:
+    def test_empty_response_round_trips(self):
+        query = Message.make_query("x.example.", RdataType.A)
+        response = query.make_response(rcode=Rcode.SERVFAIL)
+        assert Message.from_wire(response.to_wire()).rcode == Rcode.SERVFAIL
+
+    def test_message_without_question_round_trips(self):
+        message = Message(id=5)
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.question is None and decoded.id == 5
+
+    def test_max_id_round_trips(self):
+        message = Message.make_query("x.", RdataType.A, id=0xFFFF)
+        assert Message.from_wire(message.to_wire()).id == 0xFFFF
+
+
+class TestDelegationEdge:
+    def test_ns_query_at_cut_is_referral_not_answer(self):
+        """A parent asked for the NS of a delegated child must refer, not
+        answer — this non-AA referral is exactly the parent-side data of
+        §3 (Table 1's root response for .cl)."""
+        parent = Zone("tld.", default_ttl=86400)
+        parent.add_soa("ns.tld.")
+        parent.add("tld.", RdataType.NS, NS("ns.tld."))
+        parent.add("child.tld.", RdataType.NS, NS("ns.child.tld."), ttl=86400)
+        parent.add("ns.child.tld.", RdataType.A, A("192.0.2.9"), ttl=86400)
+        response = parent.respond(Message.make_query("child.tld.", RdataType.NS))
+        assert response.is_referral()
+        assert not response.flags.aa
+        assert not response.answer

@@ -1,0 +1,171 @@
+"""Tests for repro.dns.message."""
+
+import pytest
+
+from repro.dns.message import Flags, Message, Opcode, Question, Rcode, Section
+from repro.dns.name import Name
+from repro.dns.rdtypes import A, NS, RdataType
+from repro.dns.record import ResourceRecord
+
+
+def answer_record(name="example.com", ttl=300):
+    return ResourceRecord(Name(name), RdataType.A, ttl, A("192.0.2.1"))
+
+
+def ns_record(owner="com", target="a.gtld-servers.net", ttl=172800):
+    return ResourceRecord(Name(owner), RdataType.NS, ttl, NS(Name(target)))
+
+
+class TestFlags:
+    def test_bit_round_trip(self):
+        flags = Flags(qr=True, aa=True, rd=True, ra=True)
+        bits = flags.to_wire_bits(Opcode.QUERY, Rcode.NXDOMAIN)
+        decoded, opcode, rcode = Flags.from_wire_bits(bits)
+        assert decoded == flags
+        assert opcode == Opcode.QUERY
+        assert rcode == Rcode.NXDOMAIN
+
+    def test_aa_bit_position(self):
+        bits = Flags(aa=True, rd=False).to_wire_bits(Opcode.QUERY, Rcode.NOERROR)
+        assert bits & 0x0400
+
+
+class TestConstruction:
+    def test_make_query(self):
+        query = Message.make_query("example.com", RdataType.A, id=7)
+        assert query.id == 7
+        assert not query.flags.qr
+        assert query.question == Question(Name("example.com"), RdataType.A)
+
+    def test_make_response_echoes_question(self):
+        query = Message.make_query("example.com", RdataType.A, id=9)
+        response = query.make_response(authoritative=True)
+        assert response.id == 9
+        assert response.flags.qr and response.flags.aa
+        assert response.question == query.question
+
+    def test_response_preserves_rd(self):
+        query = Message.make_query("x", RdataType.A, recursion_desired=False)
+        assert not query.make_response().flags.rd
+
+
+class TestSections:
+    def test_add_and_section(self):
+        message = Message()
+        message.add(Section.ANSWER, answer_record())
+        message.add(Section.AUTHORITY, ns_record())
+        assert len(message.answer) == 1
+        assert len(message.authority) == 1
+        assert len(message.additional) == 0
+
+    def test_all_records_tagged(self):
+        message = Message()
+        message.add(Section.ADDITIONAL, answer_record())
+        tagged = list(message.all_records())
+        assert tagged == [(Section.ADDITIONAL, answer_record())]
+
+    def test_find_rrset(self):
+        message = Message()
+        message.add(Section.ANSWER, answer_record(), answer_record())
+        rrset = message.find_rrset(Section.ANSWER, Name("example.com"), RdataType.A)
+        assert rrset is not None and rrset.ttl == 300
+
+    def test_find_rrset_missing(self):
+        assert Message().find_rrset(Section.ANSWER, Name("x"), RdataType.A) is None
+
+    def test_answer_rrset_matches_question(self):
+        query = Message.make_query("example.com", RdataType.A)
+        response = query.make_response()
+        response.add(Section.ANSWER, answer_record())
+        assert response.answer_rrset() is not None
+
+
+class TestClassification:
+    def test_referral_shape(self):
+        message = Message(flags=Flags(qr=True))
+        message.add(Section.AUTHORITY, ns_record())
+        assert message.is_referral()
+
+    def test_answer_is_not_referral(self):
+        message = Message(flags=Flags(qr=True))
+        message.add(Section.ANSWER, answer_record())
+        message.add(Section.AUTHORITY, ns_record())
+        assert not message.is_referral()
+
+    def test_nxdomain_is_not_referral(self):
+        message = Message(flags=Flags(qr=True), rcode=Rcode.NXDOMAIN)
+        message.add(Section.AUTHORITY, ns_record())
+        assert not message.is_referral()
+
+
+class TestAging:
+    def test_aged_decrements_all_sections(self):
+        message = Message()
+        message.add(Section.ANSWER, answer_record(ttl=300))
+        message.add(Section.ADDITIONAL, answer_record(ttl=100))
+        aged = message.aged(100)
+        assert aged.answer[0].ttl == 200
+        assert aged.additional[0].ttl == 0
+
+    def test_aged_does_not_mutate(self):
+        message = Message()
+        message.add(Section.ANSWER, answer_record(ttl=300))
+        message.aged(100)
+        assert message.answer[0].ttl == 300
+
+
+class TestWire:
+    def full_message(self):
+        query = Message.make_query("www.example.com", RdataType.A, id=0x1234)
+        response = query.make_response(authoritative=True, recursion_available=True)
+        response.add(Section.ANSWER, answer_record("www.example.com"))
+        response.add(Section.AUTHORITY, ns_record("example.com", "ns1.example.com"))
+        response.add(
+            Section.ADDITIONAL,
+            ResourceRecord(Name("ns1.example.com"), RdataType.A, 7200, A("192.0.2.53")),
+        )
+        return response
+
+    def test_round_trip(self):
+        message = self.full_message()
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.to_text() == message.to_text()
+
+    def test_compression_reduces_size(self):
+        message = self.full_message()
+        assert len(message.to_wire()) < 120  # far below the uncompressed size
+
+    def test_query_round_trip(self):
+        query = Message.make_query("example.com", RdataType.NS, id=1)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.question == query.question
+        assert not decoded.is_response
+
+    def test_trailing_bytes_rejected(self):
+        from repro.dns.wire import WireError
+
+        blob = Message.make_query("x", RdataType.A).to_wire() + b"\x00"
+        with pytest.raises(WireError):
+            Message.from_wire(blob)
+
+    def test_multi_question_rejected(self):
+        from repro.dns.wire import WireError
+
+        blob = bytearray(Message.make_query("x", RdataType.A).to_wire())
+        blob[5] = 2  # QDCOUNT
+        with pytest.raises(WireError):
+            Message.from_wire(bytes(blob))
+
+
+class TestText:
+    def test_to_text_sections(self):
+        message = self.make()
+        text = message.to_text()
+        assert ";; QUESTION" in text
+        assert ";; ANSWER" in text
+
+    def make(self):
+        query = Message.make_query("example.com", RdataType.A)
+        response = query.make_response()
+        response.add(Section.ANSWER, answer_record())
+        return response

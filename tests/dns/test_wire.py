@@ -1,0 +1,128 @@
+"""Tests for repro.dns.wire (buffers, compression, malformed input)."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.wire import WireError, WireReader, WireWriter
+
+
+class TestIntegers:
+    def test_u8_round_trip(self):
+        writer = WireWriter()
+        writer.write_u8(0xAB)
+        assert WireReader(writer.getvalue()).read_u8() == 0xAB
+
+    def test_u16_round_trip(self):
+        writer = WireWriter()
+        writer.write_u16(0xBEEF)
+        assert WireReader(writer.getvalue()).read_u16() == 0xBEEF
+
+    def test_u32_round_trip(self):
+        writer = WireWriter()
+        writer.write_u32(0xDEADBEEF)
+        assert WireReader(writer.getvalue()).read_u32() == 0xDEADBEEF
+
+    def test_network_byte_order(self):
+        writer = WireWriter()
+        writer.write_u16(0x0102)
+        assert writer.getvalue() == b"\x01\x02"
+
+    def test_patch_u16(self):
+        writer = WireWriter()
+        writer.write_u16(0)
+        writer.patch_u16(0, 42)
+        assert WireReader(writer.getvalue()).read_u16() == 42
+
+    def test_short_read_raises(self):
+        with pytest.raises(WireError):
+            WireReader(b"\x01").read_u16()
+
+
+class TestNames:
+    def round_trip(self, *names, compress=True):
+        writer = WireWriter()
+        for name in names:
+            writer.write_name(Name(name), compress=compress)
+        reader = WireReader(writer.getvalue())
+        return [reader.read_name() for _ in names], writer.getvalue()
+
+    def test_simple_round_trip(self):
+        decoded, _ = self.round_trip("www.example.com")
+        assert decoded == [Name("www.example.com")]
+
+    def test_root_is_single_null(self):
+        writer = WireWriter()
+        writer.write_name(Name(""))
+        assert writer.getvalue() == b"\x00"
+
+    def test_compression_shrinks_repeats(self):
+        _, compressed = self.round_trip("www.example.com", "example.com")
+        _, uncompressed = self.round_trip(
+            "www.example.com", "example.com", compress=False
+        )
+        assert len(compressed) < len(uncompressed)
+
+    def test_compressed_names_decode(self):
+        decoded, _ = self.round_trip(
+            "www.example.com", "example.com", "mail.example.com"
+        )
+        assert decoded == [
+            Name("www.example.com"), Name("example.com"), Name("mail.example.com")
+        ]
+
+    def test_partial_suffix_compression(self):
+        decoded, _ = self.round_trip("a.b.c.d", "x.c.d")
+        assert decoded == [Name("a.b.c.d"), Name("x.c.d")]
+
+    def test_cursor_past_pointer(self):
+        writer = WireWriter()
+        writer.write_name(Name("example.com"))
+        writer.write_name(Name("example.com"))
+        writer.write_u16(0x1234)
+        reader = WireReader(writer.getvalue())
+        reader.read_name()
+        reader.read_name()
+        assert reader.read_u16() == 0x1234
+
+    def test_forward_pointer_rejected(self):
+        # A pointer at offset 0 pointing to offset 10 (forwards).
+        blob = b"\xc0\x0a" + b"\x00" * 12
+        with pytest.raises(WireError):
+            WireReader(blob).read_name()
+
+    def test_self_pointer_rejected(self):
+        blob = b"\xc0\x00"
+        with pytest.raises(WireError):
+            WireReader(blob).read_name()
+
+    def test_truncated_pointer_rejected(self):
+        with pytest.raises(WireError):
+            WireReader(b"\xc0").read_name()
+
+    def test_truncated_label_rejected(self):
+        with pytest.raises(WireError):
+            WireReader(b"\x05ab").read_name()
+
+    def test_unterminated_name_rejected(self):
+        with pytest.raises(WireError):
+            WireReader(b"\x01a").read_name()
+
+    def test_reserved_label_type_rejected(self):
+        with pytest.raises(WireError):
+            WireReader(b"\x40a").read_name()
+
+
+class TestReaderCursor:
+    def test_seek_and_offset(self):
+        reader = WireReader(b"\x01\x02\x03")
+        reader.seek(2)
+        assert reader.offset == 2
+        assert reader.read_u8() == 3
+
+    def test_seek_out_of_range(self):
+        with pytest.raises(WireError):
+            WireReader(b"ab").seek(5)
+
+    def test_remaining(self):
+        reader = WireReader(b"abcd", offset=1)
+        assert reader.remaining == 3

@@ -1,0 +1,229 @@
+"""Tests for repro.dns.zone: lookups, delegations, glue, wildcards."""
+
+import pytest
+
+from repro.dns.message import Message, Rcode, Section
+from repro.dns.name import Name
+from repro.dns.rdtypes import AAAA, A, CNAME, NS, RdataType
+from repro.dns.zone import LookupStatus, Zone, ZoneError
+
+
+@pytest.fixture
+def zone():
+    z = Zone("example.com.", default_ttl=3600)
+    z.add_soa("ns1.example.com.", minimum=900)
+    z.add("example.com.", RdataType.NS, NS("ns1.example.com."), ttl=3600)
+    z.add("ns1.example.com.", RdataType.A, A("192.0.2.53"), ttl=7200)
+    z.add("www.example.com.", RdataType.A, A("192.0.2.80"), ttl=300)
+    z.add("alias.example.com.", RdataType.CNAME, CNAME("www.example.com."), ttl=600)
+    # A delegated subzone with in-bailiwick glue.
+    z.add("sub.example.com.", RdataType.NS, NS("ns1.sub.example.com."), ttl=1800)
+    z.add("ns1.sub.example.com.", RdataType.A, A("192.0.2.99"), ttl=1800)
+    return z
+
+
+class TestMutation:
+    def test_add_out_of_zone_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add("other.org.", RdataType.A, A("192.0.2.1"))
+
+    def test_add_merges_rdatas(self, zone):
+        zone.add("www.example.com.", RdataType.A, A("192.0.2.81"))
+        assert len(zone.get("www.example.com.", RdataType.A)) == 2
+
+    def test_add_merge_keeps_existing_ttl(self, zone):
+        zone.add("www.example.com.", RdataType.A, A("192.0.2.81"), ttl=999)
+        assert zone.get("www.example.com.", RdataType.A).ttl == 300
+
+    def test_add_dedupes_identical_rdata(self, zone):
+        zone.add("www.example.com.", RdataType.A, A("192.0.2.80"))
+        assert len(zone.get("www.example.com.", RdataType.A)) == 1
+
+    def test_replace_swaps_rdata(self, zone):
+        zone.replace("www.example.com.", RdataType.A, A("198.51.100.1"), ttl=60)
+        rrset = zone.get("www.example.com.", RdataType.A)
+        assert rrset.ttl == 60
+        assert str(rrset.rdatas[0]) == "198.51.100.1"
+
+    def test_remove(self, zone):
+        zone.remove("www.example.com.", RdataType.A)
+        assert zone.get("www.example.com.", RdataType.A) is None
+
+    def test_set_ttl(self, zone):
+        zone.set_ttl("example.com.", RdataType.NS, 86400)
+        assert zone.get("example.com.", RdataType.NS).ttl == 86400
+
+    def test_set_ttl_missing_raises(self, zone):
+        with pytest.raises(ZoneError):
+            zone.set_ttl("nope.example.com.", RdataType.NS, 60)
+
+
+class TestLookup:
+    def test_exact_answer(self, zone):
+        result = zone.lookup("www.example.com.", RdataType.A)
+        assert result.status is LookupStatus.ANSWER
+        assert result.rrsets[0].ttl == 300
+
+    def test_apex_ns_answer(self, zone):
+        result = zone.lookup("example.com.", RdataType.NS)
+        assert result.status is LookupStatus.ANSWER
+
+    def test_nodata(self, zone):
+        result = zone.lookup("www.example.com.", RdataType.AAAA)
+        assert result.status is LookupStatus.NODATA
+        assert result.soa is not None
+
+    def test_nxdomain(self, zone):
+        result = zone.lookup("missing.example.com.", RdataType.A)
+        assert result.status is LookupStatus.NXDOMAIN
+
+    def test_empty_non_terminal_is_nodata(self, zone):
+        zone.add("a.b.example.com.", RdataType.A, A("192.0.2.7"))
+        result = zone.lookup("b.example.com.", RdataType.A)
+        assert result.status is LookupStatus.NODATA
+
+    def test_out_of_zone_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.lookup("other.org.", RdataType.A)
+
+    def test_cname_followed_in_zone(self, zone):
+        result = zone.lookup("alias.example.com.", RdataType.A)
+        assert result.status is LookupStatus.CNAME
+        assert len(result.rrsets) == 2  # CNAME + target A
+
+    def test_cname_query_returns_cname_directly(self, zone):
+        result = zone.lookup("alias.example.com.", RdataType.CNAME)
+        assert result.status is LookupStatus.ANSWER
+
+    def test_cname_dangling_out_of_zone(self, zone):
+        zone.add("ext.example.com.", RdataType.CNAME, CNAME("target.other.org."))
+        result = zone.lookup("ext.example.com.", RdataType.A)
+        assert result.status is LookupStatus.CNAME
+        assert len(result.rrsets) == 1
+
+
+class TestDelegation:
+    def test_names_below_cut_are_referred(self, zone):
+        result = zone.lookup("host.sub.example.com.", RdataType.A)
+        assert result.status is LookupStatus.DELEGATION
+        assert result.rrsets[0].name == Name("sub.example.com.")
+
+    def test_cut_itself_is_referred(self, zone):
+        result = zone.lookup("sub.example.com.", RdataType.A)
+        assert result.status is LookupStatus.DELEGATION
+
+    def test_glue_attached(self, zone):
+        result = zone.lookup("host.sub.example.com.", RdataType.A)
+        glue_names = {str(g.name) for g in result.glue}
+        assert glue_names == {"ns1.sub.example.com."}
+
+    def test_out_of_bailiwick_delegation_has_no_glue(self, zone):
+        zone.add("ext.example.com.", RdataType.NS, NS("ns.provider.net."), ttl=1800)
+        result = zone.lookup("www.ext.example.com.", RdataType.A)
+        assert result.status is LookupStatus.DELEGATION
+        assert result.glue == []
+
+    def test_shallowest_cut_wins(self, zone):
+        # A (bogus) deeper NS below the cut must not shadow the first cut.
+        result = zone.lookup("a.b.sub.example.com.", RdataType.A)
+        assert result.rrsets[0].name == Name("sub.example.com.")
+
+    def test_delegations_iterator(self, zone):
+        assert {str(d.name) for d in zone.delegations()} == {"sub.example.com."}
+
+    def test_removing_ns_removes_cut(self, zone):
+        zone.remove("sub.example.com.", RdataType.NS)
+        result = zone.lookup("host.sub.example.com.", RdataType.A)
+        assert result.status is LookupStatus.NXDOMAIN
+
+
+class TestWildcard:
+    def test_wildcard_synthesis(self, zone):
+        zone.add("*.dyn.example.com.", RdataType.AAAA, AAAA("2001:db8::1"), ttl=60)
+        result = zone.lookup("p123.dyn.example.com.", RdataType.AAAA)
+        assert result.status is LookupStatus.ANSWER
+        assert result.rrsets[0].name == Name("p123.dyn.example.com.")
+        assert result.rrsets[0].ttl == 60
+
+    def test_wildcard_does_not_cover_existing_name(self, zone):
+        zone.add("*.dyn.example.com.", RdataType.AAAA, AAAA("2001:db8::1"), ttl=60)
+        zone.add("real.dyn.example.com.", RdataType.A, A("192.0.2.5"))
+        result = zone.lookup("real.dyn.example.com.", RdataType.AAAA)
+        assert result.status is LookupStatus.NODATA
+
+    def test_wildcard_wrong_type_is_nxdomain(self, zone):
+        zone.add("*.dyn.example.com.", RdataType.AAAA, AAAA("2001:db8::1"), ttl=60)
+        result = zone.lookup("p9.dyn.example.com.", RdataType.MX)
+        assert result.status is LookupStatus.NXDOMAIN
+
+
+class TestRespond:
+    def test_authoritative_answer_sets_aa(self, zone):
+        query = Message.make_query("www.example.com.", RdataType.A)
+        response = zone.respond(query)
+        assert response.flags.aa
+        assert response.rcode == Rcode.NOERROR
+        assert response.answer[0].ttl == 300
+
+    def test_answer_carries_apex_ns_and_glue(self, zone):
+        query = Message.make_query("www.example.com.", RdataType.A)
+        response = zone.respond(query)
+        assert any(r.rdtype == RdataType.NS for r in response.authority)
+        assert any(r.name == Name("ns1.example.com.") for r in response.additional)
+
+    def test_referral_clears_aa(self, zone):
+        query = Message.make_query("x.sub.example.com.", RdataType.A)
+        response = zone.respond(query)
+        assert not response.flags.aa
+        assert response.is_referral()
+
+    def test_referral_glue_in_additional(self, zone):
+        query = Message.make_query("x.sub.example.com.", RdataType.A)
+        response = zone.respond(query)
+        assert any(
+            r.name == Name("ns1.sub.example.com.") for r in response.additional
+        )
+
+    def test_nxdomain_response(self, zone):
+        query = Message.make_query("gone.example.com.", RdataType.A)
+        response = zone.respond(query)
+        assert response.rcode == Rcode.NXDOMAIN
+        assert any(r.rdtype == RdataType.SOA for r in response.authority)
+
+    def test_nodata_response(self, zone):
+        query = Message.make_query("www.example.com.", RdataType.MX)
+        response = zone.respond(query)
+        assert response.rcode == Rcode.NOERROR
+        assert not response.answer
+        assert any(r.rdtype == RdataType.SOA for r in response.authority)
+
+    def test_out_of_zone_refused(self, zone):
+        query = Message.make_query("other.org.", RdataType.A)
+        assert zone.respond(query).rcode == Rcode.REFUSED
+
+    def test_no_question_formerr(self, zone):
+        assert zone.respond(Message()).rcode == Rcode.FORMERR
+
+    def test_parent_and_child_ttls_differ_across_cut(self, zone):
+        """The paper's core setup: same NS record, different TTLs, depending
+        on which side of the delegation answers (§3.1, Table 1)."""
+        child = Zone("sub.example.com.", default_ttl=300)
+        child.add_soa("ns1.sub.example.com.")
+        child.add("sub.example.com.", RdataType.NS, NS("ns1.sub.example.com."), ttl=300)
+        parent_view = zone.respond(
+            Message.make_query("sub.example.com.", RdataType.NS)
+        )
+        child_view = child.respond(
+            Message.make_query("sub.example.com.", RdataType.NS)
+        )
+        parent_ttl = parent_view.authority[0].ttl
+        child_ttl = child_view.answer[0].ttl
+        assert (parent_ttl, child_ttl) == (1800, 300)
+        assert not parent_view.flags.aa and child_view.flags.aa
+
+
+class TestToText:
+    def test_renders_sorted(self, zone):
+        text = zone.to_text()
+        assert text.startswith("; zone example.com.")
+        assert "www.example.com. 300 IN A 192.0.2.80" in text

@@ -1,0 +1,95 @@
+"""Property-based tests for Zone lookup semantics (hypothesis).
+
+Random zones are generated under one origin with optional delegations and
+wildcards; lookups must classify every name consistently and never crash.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.message import Message, Rcode
+from repro.dns.name import Name
+from repro.dns.rdtypes import A, NS, RdataType
+from repro.dns.zone import LookupStatus, Zone
+
+labels = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+relative_names = st.lists(labels, min_size=1, max_size=3)
+
+
+@st.composite
+def zones_and_probes(draw):
+    origin = Name("zone.test.")
+    zone = Zone(origin, default_ttl=3600)
+    zone.add_soa("ns.zone.test.")
+    zone.add(origin, RdataType.NS, NS("ns.zone.test."))
+    zone.add("ns.zone.test.", RdataType.A, A("192.0.2.53"))
+
+    hosts = draw(st.lists(relative_names, min_size=0, max_size=5))
+    for index, rel in enumerate(hosts):
+        owner = Name(rel).concatenate(origin)
+        zone.add(owner, RdataType.A, A(f"192.0.2.{(index + 10) % 250}"))
+
+    cuts = draw(st.lists(relative_names, min_size=0, max_size=2))
+    cut_names = []
+    for rel in cuts:
+        owner = Name(rel).concatenate(origin)
+        if owner == origin:
+            continue
+        zone.add(owner, RdataType.NS, NS("ns.elsewhere.example."))
+        cut_names.append(owner)
+
+    probes = draw(st.lists(relative_names, min_size=1, max_size=5))
+    probe_names = [Name(rel).concatenate(origin) for rel in probes]
+    # Also probe the exact owners we created.
+    probe_names.extend(Name(rel).concatenate(origin) for rel in hosts[:2])
+    return zone, cut_names, probe_names
+
+
+@settings(max_examples=150)
+@given(zones_and_probes())
+def test_lookup_classification_consistent(data):
+    zone, cuts, probes = data
+    for name in probes:
+        result = zone.lookup(name, RdataType.A)
+        under_cut = any(
+            name.is_subdomain_of(cut) for cut in cuts
+        )
+        if result.status is LookupStatus.DELEGATION:
+            # Only names at/below a configured cut may be referred, and the
+            # referral owner must be one of the cuts enclosing the name.
+            assert under_cut
+            assert result.rrsets[0].name in cuts
+            assert name.is_subdomain_of(result.rrsets[0].name)
+        elif result.status is LookupStatus.ANSWER:
+            assert not under_cut
+            assert result.rrsets[0].name == name
+        elif result.status is LookupStatus.NODATA:
+            assert zone.name_exists(name)
+        elif result.status is LookupStatus.NXDOMAIN:
+            assert not zone.name_exists(name)
+
+
+@settings(max_examples=100)
+@given(zones_and_probes())
+def test_respond_never_crashes_and_rcode_matches(data):
+    zone, _, probes = data
+    for name in probes:
+        for qtype in (RdataType.A, RdataType.NS, RdataType.MX):
+            response = zone.respond(Message.make_query(name, qtype))
+            assert response.rcode in (Rcode.NOERROR, Rcode.NXDOMAIN)
+            if response.rcode == Rcode.NXDOMAIN:
+                assert not response.answer
+
+
+@settings(max_examples=100)
+@given(zones_and_probes())
+def test_respond_wire_round_trips(data):
+    zone, _, probes = data
+    for name in probes[:2]:
+        response = zone.respond(Message.make_query(name, RdataType.A))
+        decoded = Message.from_wire(response.to_wire())
+        assert decoded.rcode == response.rcode
+        assert len(decoded.answer) == len(response.answer)

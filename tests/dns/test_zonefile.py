@@ -1,0 +1,115 @@
+"""Tests for repro.dns.zonefile."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataType
+from repro.dns.zonefile import ZoneFileError, parse_zone
+
+EXAMPLE = """\
+$ORIGIN example.com.
+$TTL 3600
+@        IN SOA  ns1 hostmaster 2019021301 7200 3600 1209600 300
+@        IN NS   ns1
+@        IN NS   ns.provider.net.
+ns1 7200 IN A    192.0.2.53
+www  300 IN A    192.0.2.80
+         IN AAAA 2001:db8::80            ; same owner as previous line
+mail     IN MX   10 mx.provider.net.
+txt      IN TXT  "hello" "world"
+sub  1d  IN NS   ns1.sub
+ns1.sub  IN A    192.0.2.99
+"""
+
+
+class TestParsing:
+    @pytest.fixture
+    def zone(self):
+        return parse_zone(EXAMPLE)
+
+    def test_origin_from_directive(self, zone):
+        assert zone.origin == Name("example.com.")
+
+    def test_soa_parsed(self, zone):
+        soa = zone.soa
+        assert soa is not None
+        assert soa.rdatas[0].serial == 2019021301
+        assert soa.rdatas[0].minimum == 300
+
+    def test_relative_names_qualified(self, zone):
+        assert zone.get("ns1.example.com.", RdataType.A) is not None
+
+    def test_absolute_names_kept(self, zone):
+        ns = zone.get("example.com.", RdataType.NS)
+        targets = {str(rdata.target) for rdata in ns.rdatas}
+        assert "ns.provider.net." in targets
+
+    def test_explicit_ttl(self, zone):
+        assert zone.get("ns1.example.com.", RdataType.A).ttl == 7200
+        assert zone.get("www.example.com.", RdataType.A).ttl == 300
+
+    def test_default_ttl_from_directive(self, zone):
+        assert zone.get("mail.example.com.", RdataType.MX).ttl == 3600
+
+    def test_duration_ttl(self, zone):
+        assert zone.get("sub.example.com.", RdataType.NS).ttl == 86400
+
+    def test_owner_continuation(self, zone):
+        assert zone.get("www.example.com.", RdataType.AAAA) is not None
+
+    def test_txt_chunks(self, zone):
+        txt = zone.get("txt.example.com.", RdataType.TXT)
+        assert txt.rdatas[0].strings == ("hello", "world")
+
+    def test_delegation_recognized(self, zone):
+        assert zone.is_delegated(Name("x.sub.example.com.")) == Name("sub.example.com.")
+
+    def test_parsed_zone_answers_queries(self, zone):
+        from repro.dns.message import Message, Rcode
+
+        response = zone.respond(Message.make_query("www.example.com.", RdataType.A))
+        assert response.rcode == Rcode.NOERROR and response.flags.aa
+
+    def test_origin_argument(self):
+        zone = parse_zone("@ IN A 192.0.2.1", origin="test.example.")
+        assert zone.get("test.example.", RdataType.A) is not None
+
+    def test_round_trip_through_to_text(self, zone):
+        reparsed = parse_zone(zone.to_text().replace("; zone example.com.", ""),
+                              origin="example.com.")
+        assert {r.key() for r in reparsed.rrsets()} == {r.key() for r in zone.rrsets()}
+
+
+class TestErrors:
+    def test_no_origin(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("www IN A 192.0.2.1")
+
+    def test_empty_file(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("; just a comment\n", origin="x.")
+
+    def test_unknown_type(self):
+        with pytest.raises(ZoneFileError) as exc:
+            parse_zone("www IN WKS 192.0.2.1", origin="x.")
+        assert exc.value.line_number == 1
+
+    def test_bad_rdata(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("www IN A not-an-address", origin="x.")
+
+    def test_continuation_without_owner(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("  IN A 192.0.2.1", origin="x.")
+
+    def test_unsupported_directive(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$INCLUDE other.zone", origin="x.")
+
+    def test_bad_ttl_directive(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$TTL soon\nwww IN A 192.0.2.1", origin="x.")
+
+    def test_out_of_zone_record(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN a.example.\nwww.other.example. IN A 192.0.2.1")

@@ -1,0 +1,39 @@
+"""Tests for repro.net.clock."""
+
+import pytest
+
+from repro.net.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(10.0).now == 10.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(5.5) == 5.5
+        assert clock.now == 5.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        assert clock.now == 100.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(50.0)
+        clock.advance_to(10.0)
+        assert clock.now == 50.0
+
+    def test_repr(self):
+        assert "12.000" in repr(SimClock(12.0))

@@ -1,0 +1,87 @@
+"""Tests for repro.net.latency."""
+
+import random
+
+from repro.net.latency import LatencyModel
+from repro.net.topology import Region, Topology
+
+
+def endpoints(region_a, region_b, seed=0):
+    topology = Topology(seed=seed)
+    return (
+        topology.endpoint_in_region(region_a, "a"),
+        topology.endpoint_in_region(region_b, "b"),
+    )
+
+
+class TestBaseRtt:
+    def test_symmetric(self):
+        model = LatencyModel()
+        a, b = endpoints(Region.EU, Region.AS)
+        assert model.base_rtt_ms(a, b) == model.base_rtt_ms(b, a)
+
+    def test_deterministic(self):
+        a, b = endpoints(Region.EU, Region.NA)
+        assert LatencyModel(seed=3).base_rtt_ms(a, b) == LatencyModel(
+            seed=3
+        ).base_rtt_ms(a, b)
+
+    def test_intra_region_faster_than_intercontinental(self):
+        model = LatencyModel()
+        a, b = endpoints(Region.EU, Region.EU)
+        c, d = endpoints(Region.EU, Region.OC, seed=1)
+        assert model.base_rtt_ms(a, b) < model.base_rtt_ms(c, d)
+
+    def test_self_is_negligible(self):
+        model = LatencyModel()
+        a, _ = endpoints(Region.EU, Region.EU)
+        assert model.base_rtt_ms(a, a) < 1.0
+
+    def test_pairs_differ(self):
+        # Hosts in the same regions are not equidistant.
+        topology = Topology()
+        a = topology.endpoint_in_region(Region.EU)
+        b = topology.endpoint_in_region(Region.NA)
+        c = topology.endpoint_in_region(Region.NA)
+        model = LatencyModel()
+        assert model.base_rtt_ms(a, b) != model.base_rtt_ms(a, c)
+
+
+class TestSampledRtt:
+    def test_returns_seconds(self):
+        model = LatencyModel()
+        a, b = endpoints(Region.EU, Region.NA)
+        sample = model.rtt(a, b, random.Random(0))
+        assert 0.01 < sample < 2.0  # ~100 ms in seconds, with jitter
+
+    def test_jitter_varies(self):
+        model = LatencyModel()
+        a, b = endpoints(Region.EU, Region.NA)
+        rng = random.Random(0)
+        samples = {round(model.rtt(a, b, rng), 9) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_last_mile_is_fast(self):
+        model = LatencyModel()
+        assert model.last_mile_rtt(random.Random(0)) < 0.05
+
+
+class TestNearest:
+    def test_picks_same_region_site(self):
+        topology = Topology()
+        client = topology.endpoint_in_region(Region.SA)
+        sites = [
+            topology.endpoint_in_region(Region.EU),
+            topology.endpoint_in_region(Region.SA),
+            topology.endpoint_in_region(Region.AS),
+        ]
+        model = LatencyModel()
+        assert model.nearest(client, sites).region is Region.SA
+
+    def test_empty_candidates_rejected(self):
+        import pytest
+
+        model = LatencyModel()
+        topology = Topology()
+        with pytest.raises(ValueError):
+            model.nearest(topology.endpoint_in_region(Region.EU), [])

@@ -1,0 +1,117 @@
+"""Tests for repro.net.trace."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataType
+from repro.net.trace import TraceRecorder, attach, detach
+from repro.net.topology import Region
+from repro.resolver.recursive import RecursiveResolver
+
+
+@pytest.fixture
+def traced_world(mini_world):
+    recorder = TraceRecorder()
+    attach(mini_world.network, recorder)
+    yield mini_world, recorder
+    detach(mini_world.network)
+
+
+def resolve_once(world):
+    resolver = RecursiveResolver(
+        endpoint=world.topology.endpoint_in_region(Region.EU),
+        network=world.network,
+        root_hints=world.hints,
+    )
+    return resolver.resolve("www.example.tld.", RdataType.A, now=0.0)
+
+
+class TestRecording:
+    def test_full_resolution_chain_captured(self, traced_world):
+        world, recorder = traced_world
+        resolve_once(world)
+        assert len(recorder) >= 3  # root, tld, child at minimum
+        servers = {r.server_address for r in recorder}
+        assert world.root_server.endpoint.address in servers
+        assert world.child_server.endpoint.address in servers
+
+    def test_referrals_flagged(self, traced_world):
+        world, recorder = traced_world
+        resolve_once(world)
+        root_records = recorder.to_server(world.root_server.endpoint.address)
+        assert root_records and all(r.referral for r in root_records)
+
+    def test_authoritative_answer_flagged(self, traced_world):
+        world, recorder = traced_world
+        resolve_once(world)
+        child_records = recorder.for_qname("www.example.tld.")
+        final = [r for r in child_records if not r.referral]
+        assert final and all(r.authoritative for r in final)
+
+    def test_queries_per_server(self, traced_world):
+        world, recorder = traced_world
+        resolve_once(world)
+        counts = recorder.queries_per_server()
+        assert sum(counts.values()) == len(recorder)
+
+    def test_filter_predicate(self, mini_world):
+        recorder = TraceRecorder(keep=lambda r: r.qtype == RdataType.NS)
+        attach(mini_world.network, recorder)
+        try:
+            resolve_once(mini_world)
+        finally:
+            detach(mini_world.network)
+        assert all(r.qtype == RdataType.NS for r in recorder)
+
+    def test_render(self, traced_world):
+        world, recorder = traced_world
+        resolve_once(world)
+        rendered = recorder.render(limit=2)
+        assert "t=" in rendered
+        if len(recorder) > 2:
+            assert "more" in rendered
+
+    def test_clear(self, traced_world):
+        world, recorder = traced_world
+        resolve_once(world)
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestAttachment:
+    def test_double_attach_rejected(self, traced_world):
+        world, _ = traced_world
+        with pytest.raises(RuntimeError):
+            attach(world.network, TraceRecorder())
+
+    def test_detach_restores(self, mini_world):
+        recorder = TraceRecorder()
+        attach(mini_world.network, recorder)
+        detach(mini_world.network)
+        resolve_once(mini_world)
+        assert len(recorder) == 0
+
+    def test_detach_idempotent(self, mini_world):
+        detach(mini_world.network)  # never attached: no-op
+
+    def test_timing_fields(self, traced_world):
+        world, recorder = traced_world
+        out = resolve_once(world)
+        assert all(r.rtt > 0 for r in recorder)
+        # Out-of-band target fetches aren't charged to the client, so the
+        # sum can exceed elapsed — but no single exchange can.
+        assert max(r.rtt for r in recorder) <= out.elapsed + 1e-6
+
+
+class TestPaperStyleUse:
+    def test_confirmation_from_the_authoritative_side(self, traced_world):
+        """§4.6-style check: the child server never received NS queries
+        for the zone when glue answered them."""
+        world, recorder = traced_world
+        resolve_once(world)
+        child_ns = [
+            r
+            for r in recorder.to_server(world.child_server.endpoint.address)
+            if r.qtype == RdataType.NS and r.qname == Name("example.tld.")
+        ]
+        assert child_ns == []

@@ -1,0 +1,93 @@
+"""Property-based tests for the resolver cache (hypothesis)."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.name import Name
+from repro.dns.rdtypes import A, RdataType
+from repro.dns.record import RRset
+from repro.resolver.cache import Cache, Credibility
+
+names = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+    min_size=1,
+    max_size=3,
+).map(Name)
+
+ttls = st.integers(min_value=0, max_value=10**6)
+credibilities = st.sampled_from(list(Credibility))
+times = st.floats(min_value=0.0, max_value=10**7, allow_nan=False)
+
+
+def rrset_for(name, ttl, octet):
+    return RRset(name, RdataType.A, ttl, [A(f"192.0.2.{octet % 256}")])
+
+
+@given(names, ttls, credibilities, times, times)
+def test_never_returns_expired(name, ttl, credibility, insert_at, query_at):
+    cache = Cache()
+    cache.put(rrset_for(name, ttl, 1), credibility, now=insert_at)
+    entry = cache.get(name, RdataType.A, now=query_at)
+    if entry is not None:
+        assert query_at < insert_at + ttl
+
+
+@given(names, ttls, times, st.floats(min_value=0, max_value=10**6))
+def test_remaining_ttl_never_exceeds_original(name, ttl, insert_at, delta):
+    cache = Cache()
+    cache.put(rrset_for(name, ttl, 1), Credibility.AUTH_ANSWER, now=insert_at)
+    entry = cache.get(name, RdataType.A, now=insert_at + delta)
+    if entry is not None:
+        remaining = entry.remaining_ttl(insert_at + delta)
+        assert 0 <= remaining <= ttl
+
+
+@given(names, ttls, st.integers(min_value=0, max_value=3600))
+def test_cap_always_honoured(name, ttl, cap):
+    cache = Cache(max_ttl=cap)
+    cache.put(rrset_for(name, ttl, 1), Credibility.AUTH_ANSWER, now=0.0)
+    entry = cache.get(name, RdataType.A, now=0.0)
+    assert entry is None or entry.remaining_ttl(0.0) <= cap
+
+
+@given(
+    st.lists(
+        st.tuples(credibilities, ttls, st.integers(min_value=1, max_value=5)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_credibility_never_decreases_while_live(operations):
+    """Whatever the sequence of puts at time 0, the surviving entry's
+    credibility is the maximum of the accepted ones."""
+    cache = Cache()
+    name = Name("srv.example")
+    best_accepted = None
+    for credibility, ttl, octet in operations:
+        accepted = cache.put(rrset_for(name, max(ttl, 1), octet), credibility, now=0.0)
+        if accepted:
+            best_accepted = credibility
+        entry = cache.peek(name, RdataType.A)
+        assert entry is not None
+        if best_accepted is not None:
+            assert entry.credibility >= best_accepted or entry.is_expired(0.0)
+
+
+@given(st.integers(min_value=1, max_value=10**5), st.integers(min_value=1, max_value=10**5))
+def test_linked_entry_never_outlives_target(ns_ttl, a_ttl):
+    from repro.dns.rdtypes import NS, RdataClass
+
+    cache = Cache()
+    ns = RRset(Name("zone.example"), RdataType.NS, ns_ttl, [NS(Name("srv.zone.example"))])
+    cache.put(ns, Credibility.AUTHORITY, now=0.0)
+    cache.put(
+        rrset_for(Name("srv.zone.example"), a_ttl, 1),
+        Credibility.ADDITIONAL,
+        now=0.0,
+        linked_to=(Name("zone.example"), RdataType.NS, RdataClass.IN),
+    )
+    effective_death = min(ns_ttl, a_ttl)
+    assert cache.get(Name("srv.zone.example"), RdataType.A, now=effective_death - 0.5) is not None
+    assert cache.get(Name("srv.zone.example"), RdataType.A, now=effective_death + 0.5) is None

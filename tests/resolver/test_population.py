@@ -1,0 +1,85 @@
+"""Tests for repro.resolver.population."""
+
+from repro.resolver.population import (
+    PolicyShare,
+    PopulationConfig,
+    ResolverPopulation,
+    default_mix,
+)
+from repro.resolver.policy import ResolverPolicy
+
+
+def build(mini_world, count=60, mix=None, seed=0):
+    config = PopulationConfig(count=count, seed=seed)
+    if mix is not None:
+        config.mix = mix
+    return ResolverPopulation(
+        config=config,
+        topology=mini_world.topology,
+        network=mini_world.network,
+        root_hints=mini_world.hints,
+        root_zone=mini_world.root_zone,
+    )
+
+
+class TestDefaultMix:
+    def test_weights_sum_to_one(self):
+        assert abs(sum(share.weight for share in default_mix()) - 1.0) < 1e-9
+
+    def test_majority_child_centric(self):
+        child_like = sum(
+            share.weight
+            for share in default_mix()
+            if share.label in ("child", "capping", "unlinked")
+        )
+        assert child_like > 0.8  # §3.2: ~90 % child-centric answers
+
+
+class TestBuild:
+    def test_count(self, mini_world):
+        population = build(mini_world, count=40)
+        assert len(population) == 40
+
+    def test_deterministic(self, mini_world):
+        from tests.conftest import build_mini_world
+
+        a = build(mini_world, seed=5)
+        b = build(build_mini_world(), seed=5)
+        assert [a.label_of[r.address] for r in a.resolvers] == [
+            b.label_of[r.address] for r in b.resolvers
+        ]
+
+    def test_public_backends_shared(self, mini_world):
+        mix = [PolicyShare("parent", ResolverPolicy.parent_centric(), 1.0, public=True)]
+        config = PopulationConfig(count=50, public_backends=4)
+        config.mix = mix
+        population = ResolverPopulation(
+            config,
+            mini_world.topology,
+            mini_world.network,
+            mini_world.hints,
+        )
+        assert len(population.unique_resolvers()) == 4
+
+    def test_private_resolvers_unique(self, mini_world):
+        mix = [PolicyShare("child", ResolverPolicy.child_centric(), 1.0)]
+        config = PopulationConfig(count=30)
+        config.mix = mix
+        population = ResolverPopulation(
+            config, mini_world.topology, mini_world.network, mini_world.hints
+        )
+        assert len(population.unique_resolvers()) == 30
+
+    def test_labels_accounting(self, mini_world):
+        population = build(mini_world, count=80)
+        labels = population.labels()
+        assert sum(labels.values()) == len(population.unique_resolvers())
+
+    def test_resolvers_actually_resolve(self, mini_world):
+        from repro.dns.message import Rcode
+        from repro.dns.rdtypes import RdataType
+
+        population = build(mini_world, count=10)
+        for resolver in population.unique_resolvers():
+            out = resolver.resolve("www.example.tld.", RdataType.A, now=0.0)
+            assert out.rcode == Rcode.NOERROR

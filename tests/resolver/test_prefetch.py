@@ -1,0 +1,73 @@
+"""Tests for the prefetch extension (Pappas et al. renewal, paper §7)."""
+
+from repro.dns.rdtypes import RdataType
+from repro.net.topology import Region
+from repro.resolver.policy import ResolverPolicy
+from repro.resolver.recursive import RecursiveResolver
+
+
+def make_resolver(world, policy):
+    return RecursiveResolver(
+        endpoint=world.topology.endpoint_in_region(Region.EU),
+        network=world.network,
+        root_hints=world.hints,
+        policy=policy,
+    )
+
+
+class TestPrefetch:
+    def test_hit_near_expiry_triggers_refresh(self, mini_world):
+        resolver = make_resolver(mini_world, ResolverPolicy.prefetching())
+        resolver.resolve("www.example.tld.", RdataType.A, now=0.0)
+        sent_before = resolver.queries_sent
+        # TTL 60: a hit at t=55 is inside the last 10% of lifetime.
+        out = resolver.resolve("www.example.tld.", RdataType.A, now=55.0)
+        assert out.cache_hit  # the client still gets the cached answer
+        assert resolver.queries_sent > sent_before  # refresh happened
+
+    def test_refresh_extends_lifetime(self, mini_world):
+        resolver = make_resolver(mini_world, ResolverPolicy.prefetching())
+        resolver.resolve("www.example.tld.", RdataType.A, now=0.0)
+        resolver.resolve("www.example.tld.", RdataType.A, now=55.0)  # prefetch
+        # Past the original expiry, the answer is still a (refreshed) hit.
+        out = resolver.resolve("www.example.tld.", RdataType.A, now=90.0)
+        assert out.cache_hit
+
+    def test_hit_far_from_expiry_does_not_refresh(self, mini_world):
+        resolver = make_resolver(mini_world, ResolverPolicy.prefetching())
+        resolver.resolve("www.example.tld.", RdataType.A, now=0.0)
+        sent_before = resolver.queries_sent
+        out = resolver.resolve("www.example.tld.", RdataType.A, now=10.0)
+        assert out.cache_hit
+        assert resolver.queries_sent == sent_before
+
+    def test_prefetch_is_free_for_the_client(self, mini_world):
+        resolver = make_resolver(mini_world, ResolverPolicy.prefetching())
+        resolver.resolve("www.example.tld.", RdataType.A, now=0.0)
+        out = resolver.resolve("www.example.tld.", RdataType.A, now=55.0)
+        assert out.elapsed == 0.0
+
+    def test_disabled_by_default(self, mini_world):
+        resolver = make_resolver(mini_world, ResolverPolicy.child_centric())
+        resolver.resolve("www.example.tld.", RdataType.A, now=0.0)
+        sent_before = resolver.queries_sent
+        resolver.resolve("www.example.tld.", RdataType.A, now=55.0)
+        assert resolver.queries_sent == sent_before
+
+    def test_prefetch_survives_server_outage(self, mini_world):
+        """A failed refresh must not break the client-facing hit."""
+        resolver = make_resolver(mini_world, ResolverPolicy.prefetching())
+        resolver.resolve("www.example.tld.", RdataType.A, now=0.0)
+        mini_world.network.loss.take_down(
+            mini_world.child_server.endpoint.address
+        )
+        out = resolver.resolve("www.example.tld.", RdataType.A, now=55.0)
+        assert out.cache_hit
+
+    def test_custom_window(self, mini_world):
+        policy = ResolverPolicy(prefetch=True, prefetch_window=0.5)
+        resolver = make_resolver(mini_world, policy)
+        resolver.resolve("www.example.tld.", RdataType.A, now=0.0)
+        sent_before = resolver.queries_sent
+        resolver.resolve("www.example.tld.", RdataType.A, now=35.0)  # 42% left
+        assert resolver.queries_sent > sent_before

@@ -1,0 +1,55 @@
+"""Tests for repro.resolver.stub."""
+
+from repro.dns.message import Rcode
+from repro.dns.rdtypes import RdataType
+from repro.net.latency import LatencyModel
+from repro.net.topology import Region
+from repro.resolver.recursive import RecursiveResolver
+from repro.resolver.stub import StubResolver
+
+
+def make_stub(world, same_as=True):
+    autonomous_system = world.topology.create_as(Region.EU)
+    client = world.topology.create_endpoint(autonomous_system, name="client")
+    if same_as:
+        resolver_endpoint = world.topology.create_endpoint(autonomous_system, name="res")
+    else:
+        resolver_endpoint = world.topology.endpoint_in_region(Region.NA, name="res")
+    resolver = RecursiveResolver(
+        endpoint=resolver_endpoint, network=world.network, root_hints=world.hints
+    )
+    return StubResolver(client, resolver, world.network.latency, seed=1)
+
+
+class TestQuery:
+    def test_answer_and_rtt(self, mini_world):
+        stub = make_stub(mini_world)
+        answer = stub.query("www.example.tld.", RdataType.A, now=0.0)
+        assert answer.rcode == Rcode.NOERROR
+        assert answer.ttl() == 60
+        assert answer.rtt > 0
+        assert answer.resolver_address == stub.resolver.address
+
+    def test_cache_hit_is_last_mile_only(self, mini_world):
+        stub = make_stub(mini_world)
+        first = stub.query("www.example.tld.", RdataType.A, now=0.0)
+        second = stub.query("www.example.tld.", RdataType.A, now=5.0)
+        assert second.cache_hit
+        assert second.rtt < first.rtt
+        assert second.rtt < 0.05  # a few ms to the on-network resolver
+
+    def test_public_resolver_leg_is_slower(self, mini_world):
+        local = make_stub(mini_world, same_as=True)
+        public = make_stub(mini_world, same_as=False)
+        local.query("www.example.tld.", RdataType.A, now=0.0)
+        public.query("www.example.tld.", RdataType.A, now=0.0)
+        local_hit = local.query("www.example.tld.", RdataType.A, now=5.0)
+        public_hit = public.query("www.example.tld.", RdataType.A, now=5.0)
+        assert public_hit.rtt > local_hit.rtt
+
+    def test_ttl_none_on_failure(self, mini_world):
+        mini_world.network.loss.take_down(mini_world.child_server.endpoint.address)
+        stub = make_stub(mini_world)
+        answer = stub.query("www.example.tld.", RdataType.A, now=0.0)
+        assert answer.rcode == Rcode.SERVFAIL
+        assert answer.ttl() is None

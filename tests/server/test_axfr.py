@@ -1,0 +1,96 @@
+"""Tests for repro.server.axfr (zone transfer + RFC 7706 mirror)."""
+
+from repro.dns.rdtypes import A, NS, RdataType
+from repro.dns.zone import Zone
+from repro.server.axfr import DEFAULT_REFRESH, LocalZoneMirror, zone_transfer
+
+
+def make_zone(refresh=7200):
+    zone = Zone("example.", default_ttl=3600)
+    zone.add_soa("ns1.example.", serial=100, refresh=refresh)
+    zone.add("example.", RdataType.NS, NS("ns1.example."), ttl=3600)
+    zone.add("ns1.example.", RdataType.A, A("192.0.2.1"), ttl=3600)
+    return zone
+
+
+class TestZoneTransfer:
+    def test_copy_has_same_contents(self):
+        source = make_zone()
+        copy = zone_transfer(source)
+        assert {r.key() for r in copy.rrsets()} == {r.key() for r in source.rrsets()}
+        assert copy.get("ns1.example.", RdataType.A).ttl == 3600
+
+    def test_copy_is_independent(self):
+        source = make_zone()
+        copy = zone_transfer(source)
+        source.replace("ns1.example.", RdataType.A, A("198.51.100.9"))
+        assert str(copy.get("ns1.example.", RdataType.A).rdatas[0]) == "192.0.2.1"
+
+    def test_copy_answers_queries(self):
+        from repro.dns.message import Message, Rcode
+
+        copy = zone_transfer(make_zone())
+        response = copy.respond(Message.make_query("ns1.example.", RdataType.A))
+        assert response.rcode == Rcode.NOERROR and response.flags.aa
+
+
+class TestLocalZoneMirror:
+    def test_serves_snapshot_until_refresh(self):
+        source = make_zone(refresh=7200)
+        mirror = LocalZoneMirror(source, transferred_at=0.0)
+        source.replace("ns1.example.", RdataType.A, A("198.51.100.9"))
+        # Before the refresh interval: stale data.
+        zone = mirror.zone(now=7199.0)
+        assert str(zone.get("ns1.example.", RdataType.A).rdatas[0]) == "192.0.2.1"
+        # After: the change has transferred.
+        zone = mirror.zone(now=7200.0)
+        assert str(zone.get("ns1.example.", RdataType.A).rdatas[0]) == "198.51.100.9"
+        assert mirror.transfers == 2
+
+    def test_refresh_interval_from_soa(self):
+        mirror = LocalZoneMirror(make_zone(refresh=1234))
+        assert mirror.refresh_interval() == 1234.0
+
+    def test_default_refresh_without_soa(self):
+        zone = Zone("x.", default_ttl=60)
+        zone.add("x.", RdataType.NS, NS("ns.x."))
+        mirror = LocalZoneMirror(zone)
+        assert mirror.refresh_interval() == DEFAULT_REFRESH
+
+    def test_serial_exposed(self):
+        assert LocalZoneMirror(make_zone()).serial() == 100
+
+    def test_no_spurious_transfers(self):
+        mirror = LocalZoneMirror(make_zone(refresh=7200), transferred_at=0.0)
+        for t in (10.0, 100.0, 1000.0, 7000.0):
+            mirror.zone(now=t)
+        assert mirror.transfers == 1
+
+
+class TestRfc7706Lag:
+    def test_local_root_changes_propagate_with_transfer_lag(self, mini_world):
+        """A TLD delegation change in the root becomes visible to an
+        RFC 7706 resolver only after its next transfer."""
+        from repro.dns.rdtypes import RdataType as RT
+        from repro.net.topology import Region
+        from repro.resolver.policy import ResolverPolicy
+        from repro.resolver.recursive import RecursiveResolver
+
+        resolver = RecursiveResolver(
+            endpoint=mini_world.topology.endpoint_in_region(Region.EU),
+            network=mini_world.network,
+            root_hints=mini_world.hints,
+            policy=ResolverPolicy.local_root(),
+            root_zone=mini_world.root_zone,
+        )
+        before = resolver.resolve("tld.", RT.NS, now=0.0)
+        assert before.answers[-1].ttl == 172800
+        # The root operator changes the delegation TTL.
+        mini_world.root_zone.set_ttl("tld.", RT.NS, 3600)
+        # Well within the SOA refresh (7200 s in conftest): still old.
+        during = resolver.resolve("tld.", RT.NS, now=300.0)
+        assert during.cache_hit or during.answers[-1].ttl > 3600
+        # After refresh (> SOA refresh) with an expired cache entry the
+        # resolver re-reads the (fresh) mirror — use a long horizon.
+        after = resolver.resolve("tld.", RT.NS, now=400000.0)
+        assert after.answers[-1].ttl == 3600

@@ -1,0 +1,94 @@
+"""Tests for repro.server.querylog."""
+
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataType
+from repro.server.querylog import QueryLog, QueryLogEntry
+
+
+def entry(ts=0.0, client="10.0.0.1", qname="ns1.dns.nl.", qtype=RdataType.A,
+          server="ns1.dns.nl", asn=64512):
+    return QueryLogEntry(
+        timestamp=ts,
+        client_address=client,
+        client_asn=asn,
+        qname=Name(qname),
+        qtype=qtype,
+        server=server,
+    )
+
+
+def make_log(entries):
+    log = QueryLog()
+    for e in entries:
+        log.append(e)
+    return log
+
+
+class TestBasics:
+    def test_append_and_len(self):
+        log = make_log([entry(), entry(ts=1.0)])
+        assert len(log) == 2
+
+    def test_clear(self):
+        log = make_log([entry()])
+        log.clear()
+        assert len(log) == 0
+
+    def test_iteration_order_preserved(self):
+        log = make_log([entry(ts=2.0), entry(ts=1.0)])
+        assert [e.timestamp for e in log] == [2.0, 1.0]
+
+
+class TestFilters:
+    def test_between(self):
+        log = make_log([entry(ts=t) for t in (0.0, 5.0, 10.0)])
+        assert [e.timestamp for e in log.between(1.0, 10.0)] == [5.0]
+
+    def test_for_qname(self):
+        log = make_log([entry(qname="a.nl."), entry(qname="b.nl.")])
+        assert len(log.for_qname(Name("a.nl."))) == 1
+
+    def test_for_qtype(self):
+        log = make_log([entry(qtype=RdataType.A), entry(qtype=RdataType.NS)])
+        assert len(log.for_qtype(RdataType.NS)) == 1
+
+
+class TestAggregation:
+    def test_unique_clients(self):
+        log = make_log([entry(client="10.0.0.1"), entry(client="10.0.0.2"),
+                        entry(client="10.0.0.1")])
+        assert log.unique_clients() == {"10.0.0.1", "10.0.0.2"}
+
+    def test_unique_ases(self):
+        log = make_log([entry(asn=1), entry(asn=2), entry(asn=1)])
+        assert log.unique_client_ases() == {1, 2}
+
+    def test_by_group_sorted_timestamps(self):
+        log = make_log([
+            entry(ts=5.0, client="10.0.0.1", qname="ns1.dns.nl."),
+            entry(ts=1.0, client="10.0.0.1", qname="ns1.dns.nl."),
+            entry(ts=3.0, client="10.0.0.2", qname="ns1.dns.nl."),
+        ])
+        groups = log.by_group()
+        assert groups[("10.0.0.1", Name("ns1.dns.nl."))] == [1.0, 5.0]
+        assert len(groups) == 2
+
+    def test_query_count_by_server(self):
+        log = make_log([entry(server="s1"), entry(server="s1"), entry(server="s2")])
+        assert log.query_count_by_server() == {"s1": 2, "s2": 1}
+
+    def test_timeseries_bins(self):
+        log = make_log([entry(ts=t) for t in (0.0, 5.0, 650.0)])
+        series = log.timeseries(600.0)
+        assert series == {0: 2, 1: 1}
+
+    def test_timeseries_with_window(self):
+        log = make_log([entry(ts=t) for t in (0.0, 700.0, 1300.0)])
+        series = log.timeseries(600.0, start=600.0, end=1200.0)
+        assert series == {0: 1}
+
+    def test_timeseries_invalid_bin(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_log([entry()]).timeseries(0)

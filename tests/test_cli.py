@@ -1,0 +1,164 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestRecommend:
+    def test_general(self, capsys):
+        assert main(["recommend"]) == 0
+        out = capsys.readouterr().out
+        assert "NS TTL" in out
+
+    def test_registry_flags(self, capsys):
+        assert main(["recommend", "--kind", "registry", "--no-parent-control"]) == 0
+        out = capsys.readouterr().out
+        assert "86400" in out
+        assert "parent" in out.lower()
+
+    def test_ddos(self, capsys):
+        assert main(["recommend", "--ddos-mitigation"]) == 0
+        out = capsys.readouterr().out
+        assert "300 s" in out
+
+
+class TestEffective:
+    def test_uy_configuration(self, capsys):
+        assert main([
+            "effective", "--parent-ns", "172800", "--child-ns", "300",
+            "--parent-glue", "172800", "--child-address", "120",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "child" in out and "parent" in out
+        assert "172800s" in out and "300s" in out
+        assert "never" in out  # the sticky row
+
+    def test_out_of_bailiwick(self, capsys):
+        assert main([
+            "effective", "--parent-ns", "3600", "--child-ns", "3600",
+            "--child-address", "7200", "--out-of-bailiwick",
+            "--policies", "child",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "7200s" in out
+
+
+class TestHitrate:
+    def test_table_and_knee(self, capsys):
+        assert main(["hitrate", "--rate-per-hour", "12", "--ttl", "300", "3600"]) == 0
+        out = capsys.readouterr().out
+        assert "50.0%" in out  # λT = 1 at 300 s and 12/hour
+        assert "90% of the caching benefit" in out
+
+
+class TestAudit:
+    CHILD = (
+        "$ORIGIN z.example.\n"
+        "$TTL 300\n"
+        "@ IN SOA ns1 h 1 7200 3600 86400 300\n"
+        "@ 300 IN NS ns1\n"
+        "ns1 7200 IN A 192.0.2.1\n"
+    )
+
+    def test_audit_reports_findings(self, tmp_path, capsys):
+        zonefile = tmp_path / "child.zone"
+        zonefile.write_text(self.CHILD)
+        assert main(["audit", str(zonefile)]) == 0  # warnings only
+        out = capsys.readouterr().out
+        assert "address-outlives-ns" in out
+        assert "ns-ttl-short" in out
+
+    def test_audit_error_exit_code(self, tmp_path, capsys):
+        zonefile = tmp_path / "broken.zone"
+        zonefile.write_text(
+            "$ORIGIN z.example.\n@ 30 IN NS ns1\n"  # in-bailiwick, no glue
+        )
+        assert main(["audit", str(zonefile)]) == 1
+        assert "missing-inbailiwick-address" in capsys.readouterr().out
+
+    def test_audit_with_parent(self, tmp_path, capsys):
+        child = tmp_path / "child.zone"
+        child.write_text(self.CHILD)
+        parent = tmp_path / "parent.zone"
+        parent.write_text(
+            "$ORIGIN example.\n"
+            "z 172800 IN NS ns1.z\n"
+            "ns1.z 172800 IN A 192.0.2.1\n"
+        )
+        main(["audit", str(child), "--parent-zonefile", str(parent)])
+        assert "parent-child-ttl-mismatch" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    @pytest.fixture
+    def dataset(self, tmp_path, mini_world):
+        from repro.atlas.datasets import save_results
+        from repro.atlas.measurement import Measurement, MeasurementSpec
+        from repro.atlas.population import AtlasConfig, AtlasPopulation
+        from repro.dns.rdtypes import RdataType
+
+        population = AtlasPopulation(
+            AtlasConfig(probes=15, seed=4),
+            mini_world.topology,
+            mini_world.network,
+            mini_world.hints,
+            mini_world.root_zone,
+        )
+        spec = MeasurementSpec("example.tld.", RdataType.NS, interval=600, duration=1200)
+        results = Measurement(spec=spec, vantage_points=population.vantage_points()).run()
+        path = tmp_path / "run.jsonl"
+        save_results(results, path)
+        return path
+
+    def test_summary_printed(self, dataset, capsys):
+        assert main(["analyze", str(dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "probes" in out and "TTLs:" in out and "RTTs:" in out
+
+    def test_centricity_with_ttls(self, dataset, capsys):
+        assert main([
+            "analyze", str(dataset), "--parent-ttl", "7200", "--child-ttl", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "centricity:" in out
+
+
+class TestReproduce:
+    def test_table1(self, capsys):
+        assert main(["reproduce", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "172800" in out and "a.nic.cl" in out
+
+    def test_fig10(self, capsys):
+        assert main(["reproduce", "fig10", "--probes", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "TTL 300s" in out and "TTL 86400s" in out
+
+    def test_unknown_artifact(self, capsys):
+        assert main(["reproduce", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "table1" in err
+
+
+class TestSimulationCommands:
+    def test_demo_uy(self, capsys):
+        assert main(["demo-uy", "--probes", "40", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "TTL 300s" in out and "TTL 86400s" in out
+
+    def test_crawl(self, capsys):
+        assert main(["crawl", "--scale", "0.0002", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "out-of-bailiwick" in out
+        assert "Alexa" in out
