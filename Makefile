@@ -1,28 +1,34 @@
 # Convenience targets for the reproduction harness.
+#
+# Every pytest invocation runs with PYTHONPATH=src so the targets work
+# from a clean checkout, no `make install` required.
+
+PYTEST = PYTHONPATH=src python -m pytest
 
 .PHONY: install test bench examples audit-demo reports clean
 
 install:
 	python setup.py develop
 
+# Mirrors the tier-1 verify command in ROADMAP.md.
 test:
-	pytest tests/
+	$(PYTEST) -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTEST) benchmarks/ --benchmark-only
 
 # The full deliverable run: logs captured alongside the repo.
 reports:
-	pytest tests/ 2>&1 | tee test_output.txt
-	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+	$(PYTEST) tests/ 2>&1 | tee test_output.txt
+	$(PYTEST) benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 examples:
-	python examples/quickstart.py
-	python examples/ttl_change_latency.py
-	python examples/renumbering_pitfall.py
-	python examples/crawl_ttls.py
-	python examples/ddos_resilience.py
-	python examples/operator_audit.py
+	PYTHONPATH=src python examples/quickstart.py
+	PYTHONPATH=src python examples/ttl_change_latency.py
+	PYTHONPATH=src python examples/renumbering_pitfall.py
+	PYTHONPATH=src python examples/crawl_ttls.py
+	PYTHONPATH=src python examples/ddos_resilience.py
+	PYTHONPATH=src python examples/operator_audit.py
 
 clean:
 	rm -rf .pytest_cache benchmarks/output build src/repro.egg-info

@@ -114,3 +114,40 @@ def bench_perf_warm_resolution(benchmark):
 
     out = benchmark(resolver.resolve, "www.example.tld.", RdataType.A, 1.0)
     assert out.cache_hit
+
+
+def bench_perf_sharded_campaign_speedup(benchmark):
+    """Serial vs 4-worker wall time for a T2 centricity campaign.
+
+    Both runs execute the same 4-shard plan, so their merged ResultSets
+    are equal; the delta is pure runner overhead vs process parallelism.
+    """
+    import time
+
+    from repro.core.scenarios import scenario_uy_ns
+
+    kwargs = dict(seed=11, probes=32, duration=1200.0, shards=4)
+
+    start = time.perf_counter()
+    serial = scenario_uy_ns(parallelism=1, **kwargs)
+    serial_wall = time.perf_counter() - start
+    queries = len(serial.results.results)
+
+    parallel = benchmark.pedantic(
+        scenario_uy_ns, kwargs={"parallelism": 4, **kwargs}, rounds=1, iterations=1
+    )
+    parallel_wall = benchmark.stats.stats.mean
+    assert parallel.results.results == serial.results.results
+
+    benchmark.extra_info["queries"] = queries
+    benchmark.extra_info["serial_wall_s"] = round(serial_wall, 3)
+    benchmark.extra_info["serial_qps"] = round(queries / serial_wall, 1)
+    benchmark.extra_info["parallel4_wall_s"] = round(parallel_wall, 3)
+    benchmark.extra_info["parallel4_qps"] = round(queries / parallel_wall, 1)
+    benchmark.extra_info["speedup"] = round(serial_wall / parallel_wall, 2)
+    print(
+        f"\n[runner] T2 uy-NS, {queries} results over 4 shards: "
+        f"serial {serial_wall:.2f}s ({queries / serial_wall:,.0f} q/s) vs "
+        f"4 workers {parallel_wall:.2f}s ({queries / parallel_wall:,.0f} q/s) "
+        f"-> speedup {serial_wall / parallel_wall:.2f}x"
+    )

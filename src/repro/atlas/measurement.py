@@ -61,6 +61,12 @@ class Measurement:
     vantage_points: list[VantagePoint]
     events: list[ScheduledEvent] = field(default_factory=list)
     seed: int = 0
+    #: Optional telemetry hook, called as ``progress(done, total)`` every
+    #: ``progress_every`` queries and once at the end of the run.  The
+    #: ``repro run`` CLI and the runner's serial fallback use it to drive
+    #: :class:`repro.runner.progress.ProgressTracker` displays.
+    progress: Optional[Callable[[int, int], None]] = None
+    progress_every: int = 1000
 
     def schedule(self, at: float, action: Callable[[], None], label: str = "") -> None:
         self.events.append(ScheduledEvent(at=at, action=action, label=label))
@@ -115,6 +121,10 @@ class Measurement:
                     served_stale=answer.served_stale,
                 )
             )
+            if self.progress is not None and len(results) % self.progress_every == 0:
+                self.progress(len(results), len(schedule))
+        if self.progress is not None:
+            self.progress(len(results), len(schedule))
         # Fire any events scheduled after the last query (end-of-run state).
         while event_index < len(pending_events):
             pending_events[event_index].action()

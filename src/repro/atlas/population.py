@@ -38,6 +38,9 @@ class AtlasConfig:
 
     probes: int = 900
     seed: int = 0
+    #: First probe id (sharded campaigns offset each shard's range so
+    #: probe ids stay globally unique across the merged ResultSet).
+    probe_id_base: int = 0
     #: Mean probes per AS (paper: ~10k probes over 3.3k ASes).
     probes_per_as: float = 3.0
     #: Probability a probe's resolver list includes a public service /
@@ -109,7 +112,8 @@ class AtlasPopulation:
     def _build(self) -> None:
         as_count = max(1, int(self.config.probes / self.config.probes_per_as))
         ases = self.topology.create_ases(as_count)
-        for probe_id in range(self.config.probes):
+        base = self.config.probe_id_base
+        for probe_id in range(base, base + self.config.probes):
             autonomous_system = self._rng.choice(ases)
             endpoint = self.topology.create_endpoint(
                 autonomous_system, name=f"probe-{probe_id}"

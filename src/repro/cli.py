@@ -7,6 +7,7 @@ Subcommands::
     python -m repro.cli hitrate     --rate-per-hour 12 --ttl 300 3600 86400
     python -m repro.cli demo-uy     [--probes 150]
     python -m repro.cli crawl       [--scale 0.001] [--seed 0]
+    python -m repro.cli run t2-uy   --parallel 4 [--run-dir out/t2]
 
 Everything prints plain text; there is no network access — the "demo" and
 "crawl" subcommands run the simulation.
@@ -195,6 +196,110 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------- sharded campaigns
+
+#: Campaigns `repro run` can execute through repro.runner.
+_RUN_CAMPAIGNS = ("t2-uy", "t2-anicuy", "t2-googleco", "t10-controlled", "crawl")
+
+
+def _centricity_report(title: str, run) -> str:
+    table = Table(["metric", "value"], title=title)
+    for key in ("probes", "vps", "queries", "responses_valid",
+                "responses_discarded", "resolvers"):
+        table.add_row(key, run.summary[key])
+    b = run.breakdown
+    table.add_row("child-centric", f"{b.child_fraction * 100:.1f}%")
+    table.add_row("parent-centric", f"{b.parent_fraction * 100:.1f}%")
+    return table.render()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Run one campaign sharded, with progress telemetry on stderr."""
+    from repro.runner.checkpoint import CheckpointMismatch
+    from repro.runner.progress import render_event
+
+    try:
+        return _cmd_run_inner(args)
+    except CheckpointMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: pass a fresh --run-dir (or delete the old one) to "
+              "start a new campaign", file=sys.stderr)
+        return 2
+
+
+def _cmd_run_inner(args: argparse.Namespace) -> int:
+    from repro.runner.progress import render_event
+
+    def progress(event) -> None:
+        if not args.quiet:
+            print(render_event(event), file=sys.stderr, flush=True)
+
+    common = dict(
+        seed=args.seed,
+        parallelism=args.parallel,
+        run_dir=args.run_dir,
+        progress=progress,
+    )
+    if args.campaign == "t2-uy":
+        from repro.core.scenarios import scenario_uy_ns
+
+        run = scenario_uy_ns(
+            probes=args.probes, duration=args.duration, shards=args.shards, **common
+        )
+        print(_centricity_report("T2: .uy-NS centricity campaign", run))
+    elif args.campaign == "t2-anicuy":
+        from repro.core.scenarios import scenario_anicuy_a
+
+        run = scenario_anicuy_a(
+            probes=args.probes, duration=args.duration, shards=args.shards, **common
+        )
+        print(_centricity_report("T2: a.nic.uy-A centricity campaign", run))
+    elif args.campaign == "t2-googleco":
+        from repro.core.scenarios import scenario_googleco_ns
+
+        run = scenario_googleco_ns(
+            probes=args.probes, duration=args.duration, shards=args.shards, **common
+        )
+        print(_centricity_report("T2: google.co-NS centricity campaign", run))
+    elif args.campaign == "t10-controlled":
+        from repro.analysis.cdf import ECDF
+        from repro.core.scenarios import scenario_controlled_ttl
+
+        runs = scenario_controlled_ttl(
+            probes=args.probes, duration=args.duration, **common
+        )
+        table = Table(
+            ["experiment", "queries", "auth queries", "median RTT"],
+            title="Table 10: controlled TTL experiments",
+        )
+        for label, run in runs.items():
+            cdf = ECDF(run.rtts_ms())
+            table.add_row(
+                label, run.client_summary["queries"], run.auth_queries,
+                f"{cdf.median:.1f} ms",
+            )
+        print(table.render())
+    else:  # crawl
+        from repro.crawler.crawl import crawl_parallel
+        from repro.crawler.report import record_counts
+
+        result, queries = crawl_parallel(
+            scale=args.scale,
+            seed=args.seed,
+            parallelism=args.parallel,
+            shards=args.shards,
+            run_dir=args.run_dir,
+            progress=progress,
+        )
+        counts = record_counts(result)
+        table = Table(["list", "domains", "responsive"],
+                      title=f"Sharded crawl ({queries} queries)")
+        for name in counts:
+            table.add_row(name, counts[name].domains, counts[name].responsive)
+        print(table.render())
+    return 0
+
+
 _ARTIFACT_RUNNERS = {}
 
 
@@ -347,6 +452,30 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--scale", type=float, default=0.001)
     crawl.add_argument("--seed", type=int, default=0)
     crawl.set_defaults(func=_cmd_crawl)
+
+    run = sub.add_parser(
+        "run", help="run a campaign sharded over N workers (repro.runner)"
+    )
+    run.add_argument("campaign", choices=_RUN_CAMPAIGNS,
+                     help="which campaign to execute")
+    run.add_argument("--parallel", type=int, default=1,
+                     help="worker processes (1 = serial in-process fallback)")
+    run.add_argument("--shards", type=int, default=4,
+                     help="shard count (default 4; results depend on the "
+                          "shard plan, never on the worker count, so the "
+                          "same --shards gives the same output at any "
+                          "--parallel)")
+    run.add_argument("--probes", type=int, default=120)
+    run.add_argument("--duration", type=float, default=3600.0)
+    run.add_argument("--scale", type=float, default=0.001,
+                     help="crawl campaign: list scale factor")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--run-dir", default=None,
+                     help="checkpoint directory; rerunning resumes from "
+                          "completed shards")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress the progress ticker on stderr")
+    run.set_defaults(func=_cmd_run)
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate one paper artifact at the terminal"

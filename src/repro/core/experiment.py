@@ -14,12 +14,20 @@ def make_population(
     probes: int = 300,
     seed: Optional[int] = None,
     config: Optional[AtlasConfig] = None,
+    probe_id_base: int = 0,
 ) -> AtlasPopulation:
     """Attach an Atlas-like probe population to a world.
 
     RFC 7706 resolvers in the population mirror the world's root zone.
+    Pass ``seed`` explicitly from scenarios (falling back to
+    ``world.seed`` is kept for ad-hoc use); sharded campaigns pass
+    ``probe_id_base`` so each shard's probe ids are globally unique.
     """
-    cfg = config or AtlasConfig(probes=probes, seed=world.seed if seed is None else seed)
+    cfg = config or AtlasConfig(
+        probes=probes,
+        seed=world.seed if seed is None else seed,
+        probe_id_base=probe_id_base,
+    )
     return AtlasPopulation(
         config=cfg,
         topology=world.topology,

@@ -41,6 +41,91 @@ from repro.dns.message import Message, Section
 from repro.dns.name import Name
 from repro.dns.rdtypes import RdataType
 
+# ------------------------------------------------- sharded campaign plumbing
+
+
+def _run_sharded_campaign(
+    campaign: str,
+    fingerprint: dict,
+    fn,
+    kwargs: dict,
+    total_units: int,
+    seed: int,
+    parallelism: int,
+    shards: Optional[int] = None,
+    run_dir: Optional[str] = None,
+    progress=None,
+):
+    """Run a campaign through :mod:`repro.runner` and return the outcomes.
+
+    ``parallelism=1`` uses the executor's serial in-process fallback;
+    either way the shard plan depends only on ``(total_units, shards,
+    seed)``, so results are identical for every worker count — the
+    runner's determinism contract.
+    """
+    from repro.runner.checkpoint import CheckpointStore
+    from repro.runner.executor import ShardExecutor
+    from repro.runner.progress import ProgressTracker
+    from repro.runner.shard import plan_shards
+
+    num_shards = shards if shards is not None else max(parallelism, 1)
+    plan = plan_shards(total_units, num_shards, seed)
+    checkpoint = (
+        CheckpointStore(run_dir, fingerprint) if run_dir is not None else None
+    )
+    tracker = ProgressTracker(campaign=campaign, callback=progress)
+    executor = ShardExecutor(
+        parallelism=parallelism, checkpoint=checkpoint, tracker=tracker
+    )
+    return executor.run(fn, plan, kwargs)
+
+
+def _run_centricity_sharded(
+    campaign: str,
+    builder: str,
+    world_kwargs: dict,
+    spec_kwargs: dict,
+    qtype: RdataType,
+    seed: int,
+    probes: int,
+    parallelism: int,
+    shards: Optional[int] = None,
+    run_dir: Optional[str] = None,
+    progress=None,
+) -> ResultSet:
+    """Shard an active centricity campaign over its probes and merge."""
+    from repro.runner.campaigns import campaign_fingerprint, centricity_shard
+    from repro.runner.merge import merge_result_sets
+
+    kwargs = {
+        "builder": builder,
+        "world_kwargs": world_kwargs,
+        "spec_kwargs": spec_kwargs,
+        "qtype_name": qtype.name,
+    }
+    fingerprint = campaign_fingerprint(
+        "centricity",
+        campaign=campaign,
+        seed=seed,
+        probes=probes,
+        shards=shards if shards is not None else max(parallelism, 1),
+        **kwargs,
+    )
+    outcomes = _run_sharded_campaign(
+        campaign,
+        fingerprint,
+        centricity_shard,
+        kwargs,
+        total_units=probes,
+        seed=seed,
+        parallelism=parallelism,
+        shards=shards,
+        run_dir=run_dir,
+        progress=progress,
+    )
+    return merge_result_sets([outcome.value for outcome in outcomes])
+
+
 # ------------------------------------------------------------------- Table 1
 
 
@@ -117,19 +202,47 @@ def scenario_uy_ns(
     child_ns_ttl: int = 300,
     duration: float = 7200.0,
     interval: float = 600.0,
+    parallelism: Optional[int] = None,
+    shards: Optional[int] = None,
+    run_dir: Optional[str] = None,
+    progress=None,
 ) -> CentricityRun:
     """The .uy-NS campaign (Table 2 col 1; Figure 1): parent 172800 s,
-    child 300 s, queries every 10 min for 2 h."""
-    uy = build_uy_world(seed, child_ns_ttl=child_ns_ttl)
-    population = make_population(uy.world, probes=probes)
-    spec = MeasurementSpec(
+    child 300 s, queries every 10 min for 2 h.
+
+    With ``parallelism`` set, the campaign runs through
+    :mod:`repro.runner`: probes are sharded deterministically, shards
+    execute on that many workers (1 = the serial in-process fallback),
+    and the merged :class:`ResultSet` is identical for every worker
+    count.  ``run_dir`` enables checkpoint/resume.
+    """
+    spec_kwargs = dict(
         qname="uy.",
-        qtype=RdataType.NS,
         interval=interval,
         duration=duration,
         description=f".uy-NS (child TTL {child_ns_ttl})",
     )
-    results = Measurement(spec=spec, vantage_points=population.vantage_points(), seed=seed).run()
+    if parallelism is not None:
+        results = _run_centricity_sharded(
+            campaign="uy-NS",
+            builder="uy",
+            world_kwargs={"child_ns_ttl": child_ns_ttl},
+            spec_kwargs=spec_kwargs,
+            qtype=RdataType.NS,
+            seed=seed,
+            probes=probes,
+            parallelism=parallelism,
+            shards=shards,
+            run_dir=run_dir,
+            progress=progress,
+        )
+    else:
+        uy = build_uy_world(seed, child_ns_ttl=child_ns_ttl)
+        population = make_population(uy.world, probes=probes, seed=seed)
+        spec = MeasurementSpec(qtype=RdataType.NS, **spec_kwargs)
+        results = Measurement(
+            spec=spec, vantage_points=population.vantage_points(), seed=seed
+        ).run()
     valid = results.valid(_expected_answer)
     breakdown = classify_active_ttls(
         valid.ttls(), parent_ttl=172800, child_ttl=child_ns_ttl
@@ -145,20 +258,43 @@ def scenario_uy_ns(
 
 
 def scenario_anicuy_a(
-    seed: int = 0, probes: int = 300, duration: float = 10800.0
+    seed: int = 0,
+    probes: int = 300,
+    duration: float = 10800.0,
+    parallelism: Optional[int] = None,
+    shards: Optional[int] = None,
+    run_dir: Optional[str] = None,
+    progress=None,
 ) -> CentricityRun:
     """The a.nic.uy-A campaign (Table 2 col 2; Figure 1): parent glue
     172800 s, child A 120 s, every 10 min for 3 h."""
-    uy = build_uy_world(seed)
-    population = make_population(uy.world, probes=probes)
-    spec = MeasurementSpec(
+    spec_kwargs = dict(
         qname="a.nic.uy.",
-        qtype=RdataType.A,
         interval=600.0,
         duration=duration,
         description="a.nic.uy-A",
     )
-    results = Measurement(spec=spec, vantage_points=population.vantage_points(), seed=seed).run()
+    if parallelism is not None:
+        results = _run_centricity_sharded(
+            campaign="a.nic.uy-A",
+            builder="uy",
+            world_kwargs={},
+            spec_kwargs=spec_kwargs,
+            qtype=RdataType.A,
+            seed=seed,
+            probes=probes,
+            parallelism=parallelism,
+            shards=shards,
+            run_dir=run_dir,
+            progress=progress,
+        )
+    else:
+        uy = build_uy_world(seed)
+        population = make_population(uy.world, probes=probes, seed=seed)
+        spec = MeasurementSpec(qtype=RdataType.A, **spec_kwargs)
+        results = Measurement(
+            spec=spec, vantage_points=population.vantage_points(), seed=seed
+        ).run()
     valid = results.valid(_expected_answer)
     breakdown = classify_active_ttls(valid.ttls(), parent_ttl=172800, child_ttl=120)
     return CentricityRun(
@@ -172,20 +308,43 @@ def scenario_anicuy_a(
 
 
 def scenario_googleco_ns(
-    seed: int = 0, probes: int = 300, duration: float = 3600.0
+    seed: int = 0,
+    probes: int = 300,
+    duration: float = 3600.0,
+    parallelism: Optional[int] = None,
+    shards: Optional[int] = None,
+    run_dir: Optional[str] = None,
+    progress=None,
 ) -> CentricityRun:
     """The google.co-NS campaign (Table 2 col 3; Figure 2): parent 900 s,
     child 345600 s, every 10 min for 1 h."""
-    world = build_googleco_world(seed)
-    population = make_population(world, probes=probes)
-    spec = MeasurementSpec(
+    spec_kwargs = dict(
         qname="google.co.",
-        qtype=RdataType.NS,
         interval=600.0,
         duration=duration,
         description="google.co-NS",
     )
-    results = Measurement(spec=spec, vantage_points=population.vantage_points(), seed=seed).run()
+    if parallelism is not None:
+        results = _run_centricity_sharded(
+            campaign="google.co-NS",
+            builder="googleco",
+            world_kwargs={},
+            spec_kwargs=spec_kwargs,
+            qtype=RdataType.NS,
+            seed=seed,
+            probes=probes,
+            parallelism=parallelism,
+            shards=shards,
+            run_dir=run_dir,
+            progress=progress,
+        )
+    else:
+        world = build_googleco_world(seed)
+        population = make_population(world, probes=probes, seed=seed)
+        spec = MeasurementSpec(qtype=RdataType.NS, **spec_kwargs)
+        results = Measurement(
+            spec=spec, vantage_points=population.vantage_points(), seed=seed
+        ).run()
     valid = results.valid(_expected_answer)
     breakdown = classify_capped_or_child(
         valid.ttls(), parent_ttl=900, child_ttl=345600, cap=21599
@@ -321,7 +480,7 @@ def scenario_bailiwick(
     from every VP; the server is renumbered at t=9 min (paper §4.2).
     """
     ct = build_cachetest_world(seed, in_bailiwick=in_bailiwick)
-    population = make_population(ct.world, probes=probes)
+    population = make_population(ct.world, probes=probes, seed=seed)
     spec = MeasurementSpec(
         qname="PROBEID.sub.cachetest.net.",
         qtype=RdataType.AAAA,
@@ -461,7 +620,7 @@ def scenario_zurrundedu_offline(
 ) -> tuple[ResultSet, AtlasPopulation]:
     """§4.4: child servers down; only parent-centric resolvers answer."""
     ct = build_cachetest_world(seed, in_bailiwick=False)
-    population = make_population(ct.world, probes=probes)
+    population = make_population(ct.world, probes=probes, seed=seed)
     ct.take_child_offline()
     spec = MeasurementSpec(
         qname="sub.cachetest.net.",
@@ -493,15 +652,24 @@ class UyNaturalRun:
 
 
 def scenario_uy_natural(
-    seed: int = 0, probes: int = 300, duration: float = 7200.0
+    seed: int = 0,
+    probes: int = 300,
+    duration: float = 7200.0,
+    parallelism: Optional[int] = None,
 ) -> UyNaturalRun:
     """Figure 10: .uy NS query RTTs with TTL 300 s vs 86400 s.
 
     Run as two independent campaigns (before/after the operator's change),
     as the paper's uy-NS and uy-NS-new measurements were.
     """
-    before = scenario_uy_ns(seed, probes=probes, child_ns_ttl=300, duration=duration)
-    after = scenario_uy_ns(seed, probes=probes, child_ns_ttl=86400, duration=duration)
+    before = scenario_uy_ns(
+        seed, probes=probes, child_ns_ttl=300, duration=duration,
+        parallelism=parallelism,
+    )
+    after = scenario_uy_ns(
+        seed, probes=probes, child_ns_ttl=86400, duration=duration,
+        parallelism=parallelism,
+    )
     return UyNaturalRun(before=before.results, after=after.results)
 
 
@@ -531,7 +699,7 @@ def _run_controlled(
     interval: float = 600.0,
 ) -> ControlledRun:
     world = build_controlled_world(seed)
-    population = make_population(world.world, probes=probes)
+    population = make_population(world.world, probes=probes, seed=seed)
     spec = MeasurementSpec(
         qname=qname,
         qtype=RdataType.AAAA,
@@ -557,39 +725,70 @@ def _run_controlled(
     )
 
 
+#: The five §6.2 experiments: label -> (seed offset, qname, zone, server).
+_CONTROLLED_RUNS: list[tuple[str, int, str, str, str]] = [
+    ("TTL60-u", 0, "PROBEID.ttl60.mapache-de-madrid.co.",
+     "zone_unicast_60", "unicast_server"),
+    ("TTL86400-u", 1, "PROBEID.ttl86400.mapache-de-madrid.co.",
+     "zone_unicast_86400", "unicast_server"),
+    ("TTL60-s", 2, "1.ttl60.mapache-de-madrid.co.",
+     "zone_unicast_60", "unicast_server"),
+    ("TTL86400-s", 3, "2.ttl86400.mapache-de-madrid.co.",
+     "zone_unicast_86400", "unicast_server"),
+    ("TTL60-anycast", 4, "4.anycast.mapache-de-madrid.co.",
+     "zone_anycast", "anycast"),
+]
+
+
 def scenario_controlled_ttl(
-    seed: int = 0, probes: int = 300, duration: float = 3600.0
+    seed: int = 0,
+    probes: int = 300,
+    duration: float = 3600.0,
+    parallelism: Optional[int] = None,
+    run_dir: Optional[str] = None,
+    progress=None,
 ) -> dict[str, ControlledRun]:
     """Table 10 / Figure 11: the five controlled experiments.
 
     Unique-QNAME runs use PROBEID names; shared runs a single name; the
-    anycast run uses the 45-site cluster.  Each runs in a fresh world.
+    anycast run uses the 45-site cluster.  Each runs in a fresh world —
+    so with ``parallelism`` set the five runs execute as one shard each
+    through :mod:`repro.runner`, and (unlike the probe-sharded
+    centricity campaigns) the parallel output is identical to this
+    function's serial output.
     """
-    runs = {
-        "TTL60-u": _run_controlled(
-            "TTL60-u", seed, probes,
-            "PROBEID.ttl60.mapache-de-madrid.co.",
-            "zone_unicast_60", "unicast_server", duration,
-        ),
-        "TTL86400-u": _run_controlled(
-            "TTL86400-u", seed + 1, probes,
-            "PROBEID.ttl86400.mapache-de-madrid.co.",
-            "zone_unicast_86400", "unicast_server", duration,
-        ),
-        "TTL60-s": _run_controlled(
-            "TTL60-s", seed + 2, probes,
-            "1.ttl60.mapache-de-madrid.co.",
-            "zone_unicast_60", "unicast_server", duration,
-        ),
-        "TTL86400-s": _run_controlled(
-            "TTL86400-s", seed + 3, probes,
-            "2.ttl86400.mapache-de-madrid.co.",
-            "zone_unicast_86400", "unicast_server", duration,
-        ),
-        "TTL60-anycast": _run_controlled(
-            "TTL60-anycast", seed + 4, probes,
-            "4.anycast.mapache-de-madrid.co.",
-            "zone_anycast", "anycast", duration,
-        ),
-    }
-    return runs
+    run_params = [
+        {
+            "label": label,
+            "seed": seed + offset,
+            "probes": probes,
+            "qname": qname,
+            "zone_attr": zone_attr,
+            "server_attr": server_attr,
+            "duration": duration,
+        }
+        for label, offset, qname, zone_attr, server_attr in _CONTROLLED_RUNS
+    ]
+    if parallelism is None:
+        return {
+            params["label"]: _run_controlled(**params) for params in run_params
+        }
+
+    from repro.runner.campaigns import campaign_fingerprint, controlled_shard
+
+    fingerprint = campaign_fingerprint(
+        "controlled-ttl", seed=seed, probes=probes, duration=duration
+    )
+    outcomes = _run_sharded_campaign(
+        "controlled-ttl",
+        fingerprint,
+        controlled_shard,
+        {"runs": run_params},
+        total_units=len(run_params),
+        seed=seed,
+        parallelism=parallelism,
+        shards=len(run_params),
+        run_dir=run_dir,
+        progress=progress,
+    )
+    return {outcome.value.label: outcome.value for outcome in outcomes}

@@ -17,7 +17,7 @@ from repro.crawler.toplists import (
     ListProfile,
     build_crawl_universe,
 )
-from repro.crawler.crawl import CrawlRecord, Crawler, CrawlResult
+from repro.crawler.crawl import CrawlRecord, Crawler, CrawlResult, crawl_parallel
 from repro.crawler.dmap import ContentCategory, DMapReport, dmap_classify
 from repro.crawler.report import (
     bailiwick_census,
@@ -37,6 +37,7 @@ __all__ = [
     "ListProfile",
     "bailiwick_census",
     "build_crawl_universe",
+    "crawl_parallel",
     "dmap_classify",
     "record_counts",
     "ttl_cdf_by_type",

@@ -226,3 +226,48 @@ class Crawler:
     ) -> CrawlResult:
         targets = list(domains) if domains is not None else self.universe.domains
         return CrawlResult([self.crawl_domain(domain) for domain in targets])
+
+
+def crawl_parallel(
+    scale: float = 0.01,
+    seed: int = 0,
+    lists: Optional[list[str]] = None,
+    parallelism: int = 1,
+    shards: Optional[int] = None,
+    run_dir: Optional[str] = None,
+    progress=None,
+    timeout: float = 1.0,
+) -> tuple[CrawlResult, int]:
+    """Run the crawl sharded over the list entries via :mod:`repro.runner`.
+
+    Each worker rebuilds the universe from ``(scale, seed, lists)`` and
+    crawls a contiguous slice of it; every domain's crawl is an
+    independent direct query exchange, so the merged result equals the
+    serial crawl record-for-record.  ``parallelism=1`` uses the serial
+    in-process fallback; ``run_dir`` enables checkpoint/resume.  Returns
+    ``(result, total_queries_sent)``.
+    """
+    from repro.crawler.toplists import planned_list_sizes
+    from repro.runner.campaigns import campaign_fingerprint, crawl_shard
+    from repro.runner.checkpoint import CheckpointStore
+    from repro.runner.executor import ShardExecutor
+    from repro.runner.merge import merge_crawl_results
+    from repro.runner.progress import ProgressTracker
+    from repro.runner.shard import plan_shards
+
+    total = sum(planned_list_sizes(scale, lists).values())
+    num_shards = shards if shards is not None else max(parallelism, 1)
+    kwargs = {"scale": scale, "seed": seed, "lists": lists, "timeout": timeout}
+    fingerprint = campaign_fingerprint("crawl", shards=num_shards, **kwargs)
+    checkpoint = (
+        CheckpointStore(run_dir, fingerprint) if run_dir is not None else None
+    )
+    tracker = ProgressTracker(campaign="crawl", callback=progress)
+    executor = ShardExecutor(
+        parallelism=parallelism, checkpoint=checkpoint, tracker=tracker
+    )
+    outcomes = executor.run(crawl_shard, plan_shards(total, num_shards, seed), kwargs)
+    return merge_crawl_results(
+        [outcome.value["result"] for outcome in outcomes],
+        queries=[outcome.value["queries"] for outcome in outcomes],
+    )

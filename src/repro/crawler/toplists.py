@@ -380,6 +380,23 @@ class _UniverseBuilder:
         return self.rng.choice(pool)
 
 
+def planned_list_sizes(
+    scale: float, lists: Optional[list[str]] = None
+) -> dict[str, int]:
+    """Domains each list will contain at ``scale`` — *without* building
+    the universe.  Sharded crawls use this to plan shards cheaply; the
+    builder below uses the same numbers, so plans always match."""
+    wanted = lists or list(LIST_PROFILES)
+    sizes: dict[str, int] = {}
+    for list_name in wanted:
+        profile = LIST_PROFILES[list_name]
+        if profile.format == "TLD":
+            sizes[list_name] = max(30, int(profile.domains * max(scale, 0.1)))
+        else:
+            sizes[list_name] = max(50, int(profile.domains * scale))
+    return sizes
+
+
 def build_crawl_universe(
     scale: float = 0.01,
     seed: int = 0,
@@ -392,15 +409,12 @@ def build_crawl_universe(
     meaningful.
     """
     builder = _UniverseBuilder(scale, seed)
-    wanted = lists or list(LIST_PROFILES)
     universe_lists: dict[str, list[GeneratedDomain]] = {}
-    for list_name in wanted:
+    for list_name, count in planned_list_sizes(scale, lists).items():
         profile = LIST_PROFILES[list_name]
         if profile.format == "TLD":
-            count = max(30, int(profile.domains * max(scale, 0.1)))
             generated = _generate_root_list(builder, profile, count)
         else:
-            count = max(50, int(profile.domains * scale))
             generated = _generate_sld_list(builder, profile, count, list_name)
         universe_lists[list_name] = generated
 

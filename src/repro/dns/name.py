@@ -82,6 +82,12 @@ class Name:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Name is immutable")
 
+    def __reduce__(self) -> tuple:
+        # The default slot-state pickle path calls __setattr__ on load,
+        # which the immutability guard rejects; rebuild from labels
+        # instead (shard workers ship Names across process boundaries).
+        return (Name, (self._labels,))
+
     # -- accessors -----------------------------------------------------------
     @property
     def labels(self) -> tuple[str, ...]:

@@ -1,0 +1,47 @@
+"""Sharded parallel campaign execution.
+
+The paper's experiments are embarrassingly parallel loops over
+independent vantage points, domains, or clients.  This package turns
+any of them into a *campaign*: a deterministic shard plan
+(:mod:`repro.runner.shard`), an execution engine with retries,
+timeouts, and a serial fallback (:mod:`repro.runner.executor`),
+order-independent merging with invariant checks
+(:mod:`repro.runner.merge`), completed-shard checkpointing
+(:mod:`repro.runner.checkpoint`), and structured progress telemetry
+(:mod:`repro.runner.progress`).
+
+The load-bearing guarantee: a campaign run with N workers produces
+results identical to the serial (``parallelism=1``) run of the same
+shard plan, and a run killed mid-campaign resumes from its run
+directory without recomputing completed shards.
+"""
+
+from repro.runner.checkpoint import CheckpointMismatch, CheckpointStore
+from repro.runner.executor import RetryPolicy, ShardError, ShardExecutor, ShardOutcome
+from repro.runner.merge import (
+    MergeError,
+    merge_counts,
+    merge_crawl_results,
+    merge_result_sets,
+)
+from repro.runner.progress import ProgressEvent, ProgressTracker, render_event
+from repro.runner.shard import Shard, derive_seed, plan_shards
+
+__all__ = [
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "MergeError",
+    "ProgressEvent",
+    "ProgressTracker",
+    "RetryPolicy",
+    "Shard",
+    "ShardError",
+    "ShardExecutor",
+    "ShardOutcome",
+    "derive_seed",
+    "merge_counts",
+    "merge_crawl_results",
+    "merge_result_sets",
+    "plan_shards",
+    "render_event",
+]

@@ -1,0 +1,113 @@
+"""Picklable per-shard entry points for the paper's campaigns.
+
+Worker processes cannot ship a live simulated Internet across a pipe, so
+each shard *rebuilds* its slice of the campaign from the shard seed: a
+fresh world, a fresh probe population covering only the shard's unit
+range (probe ids offset by ``shard.start`` so merged ids stay globally
+unique), and a fresh measurement.  Everything a shard does is a pure
+function of ``(shard, kwargs)`` — the determinism contract of
+:mod:`repro.runner.shard` — so any worker, any worker count, and any
+resume order produce byte-identical shard outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.runner.shard import Shard
+
+__all__ = [
+    "centricity_shard",
+    "controlled_shard",
+    "crawl_shard",
+    "campaign_fingerprint",
+]
+
+
+def campaign_fingerprint(kind: str, **params: Any) -> dict[str, Any]:
+    """The JSON-able identity of a campaign, used to guard run dirs."""
+    return {"kind": kind, "params": dict(sorted(params.items()))}
+
+
+# ------------------------------------------------------------- centricity
+
+
+#: World builders a centricity shard may use, by name (names, not
+#: callables, cross the process boundary).
+def _world_builders():
+    from repro.core.worlds import build_googleco_world, build_uy_world
+
+    return {"uy": build_uy_world, "googleco": build_googleco_world}
+
+
+def centricity_shard(
+    shard: Shard,
+    *,
+    builder: str,
+    world_kwargs: dict[str, Any],
+    spec_kwargs: dict[str, Any],
+    qtype_name: str,
+) -> "ResultSet":
+    """Run one shard of an active centricity campaign (§3.2/§3.3).
+
+    Builds the shard's world from ``shard.seed``, attaches a population
+    of ``shard.count`` probes whose ids start at ``shard.start``, and
+    runs the measurement spec against every vantage point.
+    """
+    from repro.atlas.measurement import Measurement, MeasurementSpec
+    from repro.core.experiment import make_population
+    from repro.dns.rdtypes import RdataType
+
+    built = _world_builders()[builder](shard.seed, **world_kwargs)
+    world = getattr(built, "world", built)
+    population = make_population(
+        world, probes=shard.count, seed=shard.seed, probe_id_base=shard.start
+    )
+    spec = MeasurementSpec(qtype=RdataType[qtype_name], **spec_kwargs)
+    return Measurement(
+        spec=spec, vantage_points=population.vantage_points(), seed=shard.seed
+    ).run()
+
+
+# ------------------------------------------------------------- controlled TTL
+
+
+def controlled_shard(
+    shard: Shard, *, runs: list[dict[str, Any]]
+) -> "ControlledRun":
+    """Run one of the §6.2 controlled experiments (one shard per run).
+
+    ``runs[shard.index]`` carries exactly the arguments the serial
+    :func:`repro.core.scenarios._run_controlled` receives, so the
+    sharded campaign reproduces the serial scenario verbatim.
+    """
+    from repro.core.scenarios import _run_controlled
+
+    return _run_controlled(**runs[shard.index])
+
+
+# ------------------------------------------------------------- crawl
+
+
+def crawl_shard(
+    shard: Shard,
+    *,
+    scale: float,
+    seed: int,
+    lists: Optional[list[str]],
+    timeout: float = 1.0,
+) -> dict[str, Any]:
+    """Crawl one contiguous slice of the generated list universe.
+
+    The universe is rebuilt from ``(scale, seed, lists)`` — identical in
+    every shard — and the shard crawls ``domains[start:stop]``.  Returns
+    ``{"result": CrawlResult, "queries": int}`` so the executor's
+    progress telemetry can count simulated queries.
+    """
+    from repro.crawler.crawl import Crawler
+    from repro.crawler.toplists import build_crawl_universe
+
+    universe = build_crawl_universe(scale=scale, seed=seed, lists=lists)
+    crawler = Crawler(universe, timeout=timeout)
+    result = crawler.crawl(universe.domains[shard.start : shard.stop])
+    return {"result": result, "queries": crawler.queries_sent}

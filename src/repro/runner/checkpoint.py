@@ -1,0 +1,113 @@
+"""Completed-shard results spilled to a run directory.
+
+A :class:`CheckpointStore` lets an interrupted campaign resume without
+recomputing completed shards: every finished shard's payload is pickled
+to ``shard-NNNN.pkl`` (written atomically via a temp file + rename), and
+a ``manifest.json`` records the campaign fingerprint — the parameters
+that determine the shard plan and per-shard results.  Reopening a run
+directory with a different fingerprint fails loudly instead of silently
+merging results from a different campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["CheckpointMismatch", "CheckpointStore"]
+
+_MANIFEST = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+class CheckpointMismatch(RuntimeError):
+    """The run directory belongs to a different campaign."""
+
+
+def _shard_filename(index: int) -> str:
+    return f"shard-{index:04d}.pkl"
+
+
+class CheckpointStore:
+    """Per-shard result spill for one campaign run."""
+
+    def __init__(self, run_dir: str | Path, fingerprint: dict[str, Any]) -> None:
+        self.run_dir = Path(run_dir)
+        self.fingerprint = _normalize(fingerprint)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._check_or_write_manifest()
+
+    # -- manifest -----------------------------------------------------------
+    def _check_or_write_manifest(self) -> None:
+        path = self.run_dir / _MANIFEST
+        if path.exists():
+            recorded = json.loads(path.read_text(encoding="utf-8"))
+            if recorded.get("version") != _FORMAT_VERSION:
+                raise CheckpointMismatch(
+                    f"{path}: unsupported checkpoint format "
+                    f"{recorded.get('version')!r}"
+                )
+            if recorded.get("fingerprint") != self.fingerprint:
+                raise CheckpointMismatch(
+                    f"{path} was written by a different campaign:\n"
+                    f"  recorded: {recorded.get('fingerprint')}\n"
+                    f"  current:  {self.fingerprint}"
+                )
+            return
+        payload = {"version": _FORMAT_VERSION, "fingerprint": self.fingerprint}
+        _atomic_write_bytes(
+            path, (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+        )
+
+    # -- shard payloads ------------------------------------------------------
+    def save(self, shard_index: int, payload: Any) -> None:
+        path = self.run_dir / _shard_filename(shard_index)
+        _atomic_write_bytes(path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def load(self, shard_index: int) -> Any:
+        path = self.run_dir / _shard_filename(shard_index)
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+
+    def has(self, shard_index: int) -> bool:
+        return (self.run_dir / _shard_filename(shard_index)).exists()
+
+    def completed_indices(self) -> set[int]:
+        done: set[int] = set()
+        for path in self.run_dir.glob("shard-*.pkl"):
+            stem = path.stem.split("-", 1)[-1]
+            if stem.isdigit():
+                done.add(int(stem))
+        return done
+
+    def discard(self, shard_index: int) -> None:
+        path = self.run_dir / _shard_filename(shard_index)
+        if path.exists():
+            path.unlink()
+
+    def clear(self) -> None:
+        """Drop every shard payload (keeps the manifest)."""
+        for index in self.completed_indices():
+            self.discard(index)
+
+
+def _normalize(fingerprint: dict[str, Any]) -> dict[str, Any]:
+    """Round-trip through JSON so equality checks compare what's stored."""
+    try:
+        return json.loads(json.dumps(fingerprint, sort_keys=True))
+    except TypeError as error:
+        raise TypeError(
+            f"campaign fingerprint must be JSON-serializable: {error}"
+        ) from None
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with tmp.open("wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)

@@ -1,0 +1,233 @@
+"""The shard execution engine.
+
+``ShardExecutor`` runs a picklable shard function over a shard plan:
+
+- ``parallelism <= 1`` → serial in-process execution (the debugging
+  fallback: no pickling, no subprocesses, identical results);
+- ``parallelism > 1`` → a :class:`concurrent.futures.ProcessPoolExecutor`
+  with ``parallelism`` workers.
+
+Either way the executor consults an optional :class:`CheckpointStore`
+(completed shards load instead of recomputing and new completions are
+spilled immediately), retries crashed shards with exponential backoff,
+and reports lifecycle transitions to a :class:`ProgressTracker`.
+Results are returned in *shard-index order* regardless of completion
+order, which is what makes downstream merges reproducible.
+
+The per-shard ``timeout`` is enforced while awaiting a shard's result;
+in pool mode a shard that exceeds it counts as a failed attempt and is
+resubmitted (the stuck worker keeps its pool slot until it returns —
+acceptable for simulation workloads, where a "hang" is a runaway
+simulation rather than blocked I/O).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.runner.checkpoint import CheckpointStore
+from repro.runner.progress import ProgressTracker
+from repro.runner.shard import Shard
+
+__all__ = ["RetryPolicy", "ShardError", "ShardOutcome", "ShardExecutor"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for crashed shards."""
+
+    max_attempts: int = 3
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        return self.backoff * (self.backoff_factor ** (attempt - 1))
+
+
+class ShardError(RuntimeError):
+    """A shard exhausted its retry budget."""
+
+    def __init__(self, shard: Shard, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"shard {shard.index} failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.shard = shard
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's result plus execution bookkeeping."""
+
+    shard: Shard
+    value: Any
+    attempts: int
+    #: True when the value came from a checkpoint, not a fresh run.
+    cached: bool = False
+    wall_seconds: float = 0.0
+
+
+def _query_count(value: Any) -> int:
+    """Best-effort simulated-query count for progress telemetry."""
+    if isinstance(value, dict) and "queries" in value:
+        try:
+            return int(value["queries"])
+        except (TypeError, ValueError):
+            return 0
+    try:
+        return len(value)
+    except TypeError:
+        return 0
+
+
+@dataclass
+class ShardExecutor:
+    """Runs ``fn(shard, **kwargs)`` over a shard plan."""
+
+    parallelism: int = 1
+    timeout: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint: Optional[CheckpointStore] = None
+    tracker: Optional[ProgressTracker] = None
+    #: Injectable sleep, so tests can pin backoff waits.
+    sleep: Callable[[float], None] = time.sleep
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        shards: Sequence[Shard],
+        kwargs: Optional[dict[str, Any]] = None,
+    ) -> list[ShardOutcome]:
+        """Execute every shard; returns outcomes sorted by shard index.
+
+        ``fn`` must be a module-level callable and ``kwargs`` picklable
+        when ``parallelism > 1``.  Raises :class:`ShardError` once any
+        shard exhausts :class:`RetryPolicy.max_attempts`; shards that
+        completed before the failure remain checkpointed, so a rerun
+        resumes rather than recomputes.
+        """
+        kwargs = kwargs or {}
+        if self.tracker is not None:
+            self.tracker.shards_total = len(shards)
+            self.tracker.start()
+        cached, pending = self._split_checkpointed(shards)
+        if self.parallelism <= 1:
+            fresh = self._run_serial(fn, pending, kwargs)
+        else:
+            fresh = self._run_pool(fn, pending, kwargs)
+        outcomes = sorted(cached + fresh, key=lambda o: o.shard.index)
+        if self.tracker is not None:
+            self.tracker.done()
+        return outcomes
+
+    # -- checkpoint handling -------------------------------------------------
+    def _split_checkpointed(
+        self, shards: Sequence[Shard]
+    ) -> tuple[list[ShardOutcome], list[Shard]]:
+        cached: list[ShardOutcome] = []
+        pending: list[Shard] = []
+        for shard in shards:
+            if self.checkpoint is not None and self.checkpoint.has(shard.index):
+                value = self.checkpoint.load(shard.index)
+                cached.append(
+                    ShardOutcome(shard=shard, value=value, attempts=0, cached=True)
+                )
+                if self.tracker is not None:
+                    self.tracker.shard_done(
+                        shard.index, queries=_query_count(value), cached=True
+                    )
+            else:
+                pending.append(shard)
+        return cached, pending
+
+    def _record(self, shard: Shard, value: Any, attempts: int, wall: float) -> ShardOutcome:
+        if self.checkpoint is not None:
+            self.checkpoint.save(shard.index, value)
+        if self.tracker is not None:
+            self.tracker.shard_done(shard.index, queries=_query_count(value))
+        return ShardOutcome(
+            shard=shard, value=value, attempts=attempts, wall_seconds=wall
+        )
+
+    def _note_failure(self, shard: Shard, attempt: int, final: bool) -> None:
+        if self.tracker is None:
+            return
+        if final:
+            self.tracker.shard_failed(shard.index, attempt)
+        else:
+            self.tracker.shard_retry(shard.index, attempt)
+
+    # -- serial fallback -----------------------------------------------------
+    def _run_serial(
+        self, fn: Callable[..., Any], shards: Sequence[Shard], kwargs: dict[str, Any]
+    ) -> list[ShardOutcome]:
+        outcomes: list[ShardOutcome] = []
+        for shard in shards:
+            attempt = 0
+            while True:
+                attempt += 1
+                started = time.monotonic()
+                try:
+                    value = fn(shard, **kwargs)
+                except Exception as error:
+                    final = attempt >= self.retry.max_attempts
+                    self._note_failure(shard, attempt, final)
+                    if final:
+                        raise ShardError(shard, attempt, error) from error
+                    self.sleep(self.retry.delay(attempt))
+                    continue
+                outcomes.append(
+                    self._record(shard, value, attempt, time.monotonic() - started)
+                )
+                break
+        return outcomes
+
+    # -- process pool --------------------------------------------------------
+    def _run_pool(
+        self, fn: Callable[..., Any], shards: Sequence[Shard], kwargs: dict[str, Any]
+    ) -> list[ShardOutcome]:
+        outcomes: list[ShardOutcome] = []
+        attempts = {shard.index: 0 for shard in shards}
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.parallelism
+        ) as pool:
+            pending = {
+                shard.index: pool.submit(fn, shard, **kwargs) for shard in shards
+            }
+            started = {shard.index: time.monotonic() for shard in shards}
+            by_index = {shard.index: shard for shard in shards}
+            while pending:
+                # Await shards in index order: earlier waits overlap later
+                # shards' compute, so this costs nothing in wall time.
+                index = min(pending)
+                future = pending.pop(index)
+                shard = by_index[index]
+                attempts[index] += 1
+                try:
+                    value = future.result(timeout=self.timeout)
+                except Exception as error:  # crash, BrokenProcessPool, timeout
+                    future.cancel()
+                    final = attempts[index] >= self.retry.max_attempts
+                    self._note_failure(shard, attempts[index], final)
+                    if final:
+                        for other in pending.values():
+                            other.cancel()
+                        raise ShardError(shard, attempts[index], error) from error
+                    self.sleep(self.retry.delay(attempts[index]))
+                    started[index] = time.monotonic()
+                    pending[index] = pool.submit(fn, shard, **kwargs)
+                    continue
+                outcomes.append(
+                    self._record(
+                        shard,
+                        value,
+                        attempts[index],
+                        time.monotonic() - started[index],
+                    )
+                )
+        return outcomes

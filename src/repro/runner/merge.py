@@ -1,0 +1,132 @@
+"""Order-independent merging of shard outputs, with invariant checks.
+
+Shards complete in whatever order the workers finish; merging must not
+depend on that order or the determinism contract breaks.  Each merger
+therefore (1) validates the parts — shards must cover *disjoint* unit
+ranges, so duplicate probe ids or duplicate crawl domains mean the plan
+was wrong or a shard ran twice — and (2) produces a canonically ordered
+result: measurement results sorted by virtual time, crawl records by the
+universe's list order.  Merging any permutation of the same parts yields
+an identical object (asserted property-based in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.atlas.results import MeasurementResult, ResultSet
+from repro.crawler.crawl import CrawlRecord, CrawlResult
+
+__all__ = ["MergeError", "merge_result_sets", "merge_crawl_results", "merge_counts"]
+
+
+class MergeError(ValueError):
+    """Shard outputs violate a merge invariant."""
+
+
+def _result_sort_key(result: MeasurementResult) -> tuple:
+    return (result.timestamp, result.probe_id, result.vp_id, result.round_index)
+
+
+def merge_result_sets(
+    parts: Iterable[ResultSet], *, check: bool = True
+) -> ResultSet:
+    """Merge per-shard :class:`ResultSet`s into one canonical set.
+
+    Invariants checked (``check=True``):
+
+    - shards are disjoint: no probe id appears in more than one part;
+    - no VP answers the same round twice;
+    - virtual timestamps are monotone (non-decreasing) per VP within
+      each part — a shard that time-travels was mis-scheduled.
+    """
+    parts = list(parts)
+    if not parts:
+        return ResultSet([])
+    if check:
+        _check_disjoint_probes(parts)
+        _check_monotone_timestamps(parts)
+    merged: list[MeasurementResult] = []
+    for part in parts:
+        merged.extend(part.results)
+    if check:
+        _check_unique_rounds(merged)
+    merged.sort(key=_result_sort_key)
+    spec = next((part.spec for part in parts if part.spec is not None), None)
+    return ResultSet(merged, spec=spec)
+
+
+def _check_disjoint_probes(parts: list[ResultSet]) -> None:
+    seen: dict[int, int] = {}
+    for part_index, part in enumerate(parts):
+        for probe_id in part.probe_ids():
+            if probe_id in seen:
+                raise MergeError(
+                    f"probe {probe_id} appears in shard outputs "
+                    f"{seen[probe_id]} and {part_index}: shards must cover "
+                    f"disjoint probe ranges"
+                )
+            seen[probe_id] = part_index
+
+
+def _check_monotone_timestamps(parts: list[ResultSet]) -> None:
+    for part_index, part in enumerate(parts):
+        last: dict[str, float] = {}
+        for result in part.results:
+            previous = last.get(result.vp_id)
+            if previous is not None and result.timestamp < previous:
+                raise MergeError(
+                    f"shard output {part_index}: VP {result.vp_id} timestamps "
+                    f"go backwards ({previous} -> {result.timestamp})"
+                )
+            last[result.vp_id] = result.timestamp
+
+
+def _check_unique_rounds(merged: list[MeasurementResult]) -> None:
+    seen: set[tuple[str, int]] = set()
+    for result in merged:
+        key = (result.vp_id, result.round_index)
+        if key in seen:
+            raise MergeError(
+                f"VP {result.vp_id} has two results for round "
+                f"{result.round_index}: duplicate shard output?"
+            )
+        seen.add(key)
+
+
+def merge_crawl_results(
+    parts: Iterable[CrawlResult],
+    *,
+    check: bool = True,
+    queries: Optional[Iterable[int]] = None,
+) -> tuple[CrawlResult, int]:
+    """Merge per-shard :class:`CrawlResult`s (and query counters).
+
+    Parts arrive keyed by shard index (contiguous domain slices), so
+    concatenation in shard order reproduces the serial crawl's record
+    order.  Returns ``(result, total_queries)``.
+    """
+    records: list[CrawlRecord] = []
+    for part in parts:
+        records.extend(part.records)
+    if check:
+        seen: set = set()
+        for record in records:
+            name = record.domain.name
+            if name in seen:
+                raise MergeError(
+                    f"domain {name} crawled twice: shards must cover "
+                    f"disjoint list slices"
+                )
+            seen.add(name)
+    total_queries = sum(queries) if queries is not None else 0
+    return CrawlResult(records), total_queries
+
+
+def merge_counts(parts: Iterable[dict[str, int]]) -> dict[str, int]:
+    """Sum per-shard counter dicts (e.g. query-log tallies)."""
+    merged: dict[str, int] = {}
+    for part in parts:
+        for key, value in part.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged

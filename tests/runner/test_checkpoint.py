@@ -1,0 +1,64 @@
+"""Checkpoint store: spill, resume, fingerprint guarding, atomicity."""
+
+import pytest
+
+from repro.runner.checkpoint import CheckpointMismatch, CheckpointStore
+
+
+def test_save_load_roundtrip(tmp_path):
+    store = CheckpointStore(tmp_path / "run", {"kind": "test", "seed": 1})
+    payload = {"numbers": [1, 2, 3], "nested": {"deep": True}}
+    store.save(0, payload)
+    assert store.load(0) == payload
+    assert store.has(0)
+    assert not store.has(1)
+
+
+def test_completed_indices(tmp_path):
+    store = CheckpointStore(tmp_path, {"seed": 0})
+    for index in (0, 2, 7):
+        store.save(index, index * 10)
+    assert store.completed_indices() == {0, 2, 7}
+
+
+def test_reopen_same_fingerprint_resumes(tmp_path):
+    CheckpointStore(tmp_path, {"seed": 5}).save(1, "payload")
+    reopened = CheckpointStore(tmp_path, {"seed": 5})
+    assert reopened.completed_indices() == {1}
+    assert reopened.load(1) == "payload"
+
+
+def test_reopen_different_fingerprint_rejected(tmp_path):
+    CheckpointStore(tmp_path, {"seed": 5})
+    with pytest.raises(CheckpointMismatch, match="different campaign"):
+        CheckpointStore(tmp_path, {"seed": 6})
+
+
+def test_fingerprint_key_order_is_irrelevant(tmp_path):
+    CheckpointStore(tmp_path, {"a": 1, "b": 2})
+    CheckpointStore(tmp_path, {"b": 2, "a": 1})  # must not raise
+
+
+def test_unserializable_fingerprint_rejected(tmp_path):
+    with pytest.raises(TypeError, match="JSON-serializable"):
+        CheckpointStore(tmp_path, {"bad": object()})
+
+
+def test_discard_and_clear(tmp_path):
+    store = CheckpointStore(tmp_path, {})
+    store.save(0, "a")
+    store.save(1, "b")
+    store.discard(0)
+    assert store.completed_indices() == {1}
+    store.clear()
+    assert store.completed_indices() == set()
+    # The manifest survives a clear: the run dir still belongs to this
+    # campaign and can be reused.
+    CheckpointStore(tmp_path, {})
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    store = CheckpointStore(tmp_path, {"seed": 0})
+    store.save(3, list(range(1000)))
+    leftovers = list(tmp_path.glob("*.tmp"))
+    assert leftovers == []

@@ -1,0 +1,208 @@
+"""Executor engine: serial/parallel parity, crash retry, checkpoints."""
+
+import time
+
+import pytest
+
+from repro.runner.checkpoint import CheckpointStore
+from repro.runner.executor import RetryPolicy, ShardError, ShardExecutor
+from repro.runner.progress import ProgressTracker
+from repro.runner.shard import plan_shards
+
+
+# Shard functions live at module level so worker processes can import them.
+
+
+def unit_list(shard):
+    return list(shard.unit_range())
+
+
+def seed_echo(shard):
+    return {"index": shard.index, "seed": shard.seed}
+
+
+def flaky(shard, *, marker_dir, fail_index, fail_times):
+    """Fails ``fail_times`` times on one shard, then succeeds.
+
+    Attempt counting uses marker files so it also works across worker
+    processes (each retry may land in a different worker).
+    """
+    import pathlib
+
+    if shard.index == fail_index:
+        markers = pathlib.Path(marker_dir)
+        attempt = len(list(markers.glob(f"attempt-{shard.index}-*"))) + 1
+        (markers / f"attempt-{shard.index}-{attempt}").touch()
+        if attempt <= fail_times:
+            raise RuntimeError(f"injected crash (attempt {attempt})")
+    return list(shard.unit_range())
+
+
+def always_fails(shard):
+    raise RuntimeError("this shard never succeeds")
+
+
+def record_execution(shard, *, marker_dir):
+    import pathlib
+
+    (pathlib.Path(marker_dir) / f"ran-{shard.index}").touch()
+    return shard.index
+
+
+def sleepy(shard, *, seconds):
+    time.sleep(seconds)
+    return shard.index
+
+
+def _values(outcomes):
+    return [outcome.value for outcome in outcomes]
+
+
+def test_serial_executes_in_index_order():
+    plan = plan_shards(10, 4, campaign_seed=0)
+    outcomes = ShardExecutor(parallelism=1).run(unit_list, plan)
+    assert [o.shard.index for o in outcomes] == [0, 1, 2, 3]
+    assert [unit for value in _values(outcomes) for unit in value] == list(range(10))
+
+
+def test_parallel_equals_serial():
+    plan = plan_shards(12, 4, campaign_seed=3)
+    serial = ShardExecutor(parallelism=1).run(seed_echo, plan)
+    parallel = ShardExecutor(parallelism=4).run(seed_echo, plan)
+    assert _values(serial) == _values(parallel)
+
+
+def test_serial_retries_transient_crash(tmp_path):
+    plan = plan_shards(6, 3, campaign_seed=1)
+    executor = ShardExecutor(
+        parallelism=1,
+        retry=RetryPolicy(max_attempts=3, backoff=0.0),
+        sleep=lambda _: None,
+    )
+    outcomes = executor.run(
+        flaky,
+        plan,
+        {"marker_dir": str(tmp_path), "fail_index": 1, "fail_times": 2},
+    )
+    assert [unit for value in _values(outcomes) for unit in value] == list(range(6))
+    assert outcomes[1].attempts == 3
+    assert outcomes[0].attempts == 1
+
+
+def test_parallel_retries_transient_crash(tmp_path):
+    plan = plan_shards(8, 4, campaign_seed=2)
+    executor = ShardExecutor(
+        parallelism=2,
+        retry=RetryPolicy(max_attempts=2, backoff=0.0),
+        sleep=lambda _: None,
+    )
+    outcomes = executor.run(
+        flaky,
+        plan,
+        {"marker_dir": str(tmp_path), "fail_index": 2, "fail_times": 1},
+    )
+    assert [unit for value in _values(outcomes) for unit in value] == list(range(8))
+    assert outcomes[2].attempts == 2
+
+
+def test_retry_budget_exhausted_raises_shard_error():
+    plan = plan_shards(4, 2, campaign_seed=0)
+    executor = ShardExecutor(
+        parallelism=1,
+        retry=RetryPolicy(max_attempts=2, backoff=0.0),
+        sleep=lambda _: None,
+    )
+    with pytest.raises(ShardError, match="after 2 attempt"):
+        executor.run(always_fails, plan)
+
+
+def test_backoff_delays_grow_exponentially():
+    policy = RetryPolicy(max_attempts=4, backoff=0.1, backoff_factor=2.0)
+    assert [policy.delay(a) for a in (1, 2, 3)] == pytest.approx([0.1, 0.2, 0.4])
+
+
+def test_checkpointed_shards_are_not_recomputed(tmp_path):
+    plan = plan_shards(6, 3, campaign_seed=4)
+    store = CheckpointStore(tmp_path / "run", {"campaign": "exec-test"})
+    markers = tmp_path / "markers"
+    markers.mkdir()
+
+    first = ShardExecutor(parallelism=1, checkpoint=store).run(
+        record_execution, plan, {"marker_dir": str(markers)}
+    )
+    assert len(list(markers.glob("ran-*"))) == 3
+
+    for marker in markers.glob("ran-*"):
+        marker.unlink()
+    second = ShardExecutor(parallelism=1, checkpoint=store).run(
+        record_execution, plan, {"marker_dir": str(markers)}
+    )
+    # Nothing re-ran: every outcome came from the spill directory.
+    assert list(markers.glob("ran-*")) == []
+    assert all(outcome.cached for outcome in second)
+    assert _values(second) == _values(first)
+
+
+def test_interrupted_campaign_resumes_from_checkpoints(tmp_path):
+    """The acceptance scenario: a campaign dies mid-run, the rerun only
+    computes the missing shards."""
+    plan = plan_shards(8, 4, campaign_seed=5)
+    store = CheckpointStore(tmp_path / "run", {"campaign": "resume-test"})
+    markers = tmp_path / "markers"
+    markers.mkdir()
+
+    crashing = ShardExecutor(
+        parallelism=1,
+        checkpoint=store,
+        retry=RetryPolicy(max_attempts=1),
+        sleep=lambda _: None,
+    )
+    with pytest.raises(ShardError):
+        crashing.run(
+            flaky,
+            plan,
+            {"marker_dir": str(tmp_path), "fail_index": 3, "fail_times": 99},
+        )
+    assert store.completed_indices() == {0, 1, 2}
+
+    resumed = ShardExecutor(parallelism=1, checkpoint=store).run(
+        record_execution, plan, {"marker_dir": str(markers)}
+    )
+    # Only the crashed shard executed on resume.
+    assert [m.name for m in markers.glob("ran-*")] == ["ran-3"]
+    assert [o.cached for o in resumed] == [True, True, True, False]
+
+
+def test_per_shard_timeout_counts_as_failure():
+    plan = plan_shards(2, 2, campaign_seed=6)
+    executor = ShardExecutor(
+        parallelism=2,
+        timeout=0.1,
+        retry=RetryPolicy(max_attempts=1),
+        sleep=lambda _: None,
+    )
+    # Keep the nap short: pool shutdown waits for the stuck workers.
+    with pytest.raises(ShardError):
+        executor.run(sleepy, plan, {"seconds": 1.5})
+
+
+def test_tracker_sees_lifecycle_events(tmp_path):
+    plan = plan_shards(4, 2, campaign_seed=7)
+    tracker = ProgressTracker(campaign="exec-test")
+    executor = ShardExecutor(
+        parallelism=1,
+        tracker=tracker,
+        retry=RetryPolicy(max_attempts=2, backoff=0.0),
+        sleep=lambda _: None,
+    )
+    executor.run(
+        flaky, plan, {"marker_dir": str(tmp_path), "fail_index": 0, "fail_times": 1}
+    )
+    statuses = [event.status for event in tracker.events]
+    assert statuses[0] == "start"
+    assert statuses[-1] == "done"
+    assert statuses.count("shard-done") == 2
+    assert "shard-retry" in statuses
+    # Progress telemetry accumulated the simulated query counts (here,
+    # the per-shard unit-list lengths).
+    assert tracker.events[-1].queries == 4

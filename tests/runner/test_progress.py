@@ -1,0 +1,77 @@
+"""Progress telemetry: event stream shape and rendering."""
+
+from repro.runner.progress import ProgressEvent, ProgressTracker, render_event
+
+
+def _manual_clock(values):
+    it = iter(values)
+    last = [0.0]
+
+    def clock():
+        try:
+            last[0] = next(it)
+        except StopIteration:
+            pass
+        return last[0]
+
+    return clock
+
+
+def test_tracker_accumulates_queries_and_shards():
+    tracker = ProgressTracker(campaign="t", shards_total=3)
+    tracker.start()
+    tracker.shard_done(0, queries=100)
+    tracker.shard_done(2, queries=50)
+    event = tracker.shard_done(1, queries=25)
+    assert event.shards_done == 3
+    assert event.queries == 175
+    assert event.fraction_done == 1.0
+
+
+def test_queries_per_second_uses_wall_clock():
+    clock = _manual_clock([0.0, 2.0])
+    tracker = ProgressTracker(campaign="t", shards_total=1, clock=clock)
+    event = tracker.shard_done(0, queries=500)
+    assert event.elapsed == 2.0
+    assert event.queries_per_second == 250.0
+
+
+def test_callback_receives_every_event():
+    seen = []
+    tracker = ProgressTracker(campaign="t", shards_total=2, callback=seen.append)
+    tracker.start()
+    tracker.shard_done(0, queries=1)
+    tracker.shard_retry(1, attempt=1)
+    tracker.shard_done(1, queries=1)
+    tracker.done()
+    assert [event.status for event in seen] == [
+        "start", "shard-done", "shard-retry", "shard-done", "done",
+    ]
+    assert seen == tracker.events
+
+
+def test_render_event_variants():
+    base = dict(campaign="uy-NS", shards_done=2, shards_total=4,
+                queries=1200, elapsed=2.0)
+    start = ProgressEvent(status="start", **base)
+    assert "starting" in render_event(start)
+    done = ProgressEvent(status="shard-done", shard_index=1, **base)
+    line = render_event(done)
+    assert "2/4 shards" in line and "1,200 queries" in line and "600 q/s" in line
+    cached = ProgressEvent(status="shard-done", shard_index=1, cached=True, **base)
+    assert "(checkpoint)" in render_event(cached)
+    retry = ProgressEvent(status="shard-retry", shard_index=3, attempt=2, **base)
+    assert "retrying" in render_event(retry)
+    failed = ProgressEvent(status="shard-failed", shard_index=3, attempt=3, **base)
+    assert "permanently" in render_event(failed)
+    finished = ProgressEvent(status="done", **base)
+    assert render_event(finished).endswith("done")
+
+
+def test_zero_elapsed_has_zero_qps():
+    event = ProgressEvent(
+        campaign="t", status="done", shards_done=0, shards_total=0,
+        queries=10, elapsed=0.0,
+    )
+    assert event.queries_per_second == 0.0
+    assert event.fraction_done == 1.0

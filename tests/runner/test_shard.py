@@ -1,0 +1,66 @@
+"""Shard planning: determinism, coverage, seed stability."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runner.shard import Shard, derive_seed, plan_shards
+
+
+def test_derive_seed_is_stable():
+    assert derive_seed(0, 0) == derive_seed(0, 0)
+    assert derive_seed(42, 3) == derive_seed(42, 3)
+
+
+def test_derive_seed_separates_campaigns_and_shards():
+    seeds = {derive_seed(c, s) for c in range(20) for s in range(20)}
+    assert len(seeds) == 400  # no collisions among nearby (campaign, shard)
+
+
+def test_derive_seed_fits_in_63_bits():
+    assert 0 <= derive_seed(123456789, 999) < 2**63
+
+
+@given(
+    total=st.integers(min_value=0, max_value=500),
+    num=st.integers(min_value=1, max_value=32),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_plan_covers_every_unit_exactly_once(total, num, seed):
+    plan = plan_shards(total, num, seed)
+    covered = [unit for shard in plan for unit in shard.unit_range()]
+    assert covered == list(range(total))
+    # Balanced: sizes differ by at most one, and no empty shards.
+    sizes = [shard.count for shard in plan]
+    assert all(size > 0 for size in sizes)
+    if sizes:
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_plan_is_independent_of_worker_count():
+    # The plan is a pure function of (total, shards, seed): nothing about
+    # execution enters it, so two identical calls are identical objects.
+    assert plan_shards(100, 8, 7) == plan_shards(100, 8, 7)
+
+
+def test_shard_seeds_come_from_campaign_seed_and_index():
+    plan = plan_shards(40, 4, campaign_seed=9)
+    assert [shard.seed for shard in plan] == [derive_seed(9, i) for i in range(4)]
+
+
+def test_plan_drops_empty_shards():
+    plan = plan_shards(3, 8, 0)
+    assert len(plan) == 3
+    assert [shard.count for shard in plan] == [1, 1, 1]
+
+
+def test_plan_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        plan_shards(-1, 4, 0)
+    with pytest.raises(ValueError):
+        plan_shards(10, 0, 0)
+
+
+def test_shard_stop_and_range():
+    shard = Shard(index=1, seed=5, start=10, count=4)
+    assert shard.stop == 14
+    assert list(shard.unit_range()) == [10, 11, 12, 13]
