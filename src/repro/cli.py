@@ -460,11 +460,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="which campaign to execute")
     run.add_argument("--parallel", type=int, default=1,
                      help="worker processes (1 = serial in-process fallback)")
-    run.add_argument("--shards", type=int, default=4,
-                     help="shard count (default 4; results depend on the "
-                          "shard plan, never on the worker count, so the "
-                          "same --shards gives the same output at any "
-                          "--parallel)")
+    from repro.runner.shard import DEFAULT_SHARDS
+
+    run.add_argument("--shards", type=int, default=DEFAULT_SHARDS,
+                     help=f"shard count (default {DEFAULT_SHARDS}; results "
+                          "depend on the shard plan, never on the worker "
+                          "count, so the same --shards gives the same "
+                          "output at any --parallel)")
     run.add_argument("--probes", type=int, default=120)
     run.add_argument("--duration", type=float, default=3600.0)
     run.add_argument("--scale", type=float, default=0.001,

@@ -61,14 +61,16 @@ def _run_sharded_campaign(
     ``parallelism=1`` uses the executor's serial in-process fallback;
     either way the shard plan depends only on ``(total_units, shards,
     seed)``, so results are identical for every worker count — the
-    runner's determinism contract.
+    runner's determinism contract.  With ``shards`` unset the plan uses
+    the fixed :data:`repro.runner.shard.DEFAULT_SHARDS`, never the
+    worker count, so that contract holds for the defaults too.
     """
     from repro.runner.checkpoint import CheckpointStore
     from repro.runner.executor import ShardExecutor
     from repro.runner.progress import ProgressTracker
-    from repro.runner.shard import plan_shards
+    from repro.runner.shard import DEFAULT_SHARDS, plan_shards
 
-    num_shards = shards if shards is not None else max(parallelism, 1)
+    num_shards = shards if shards is not None else DEFAULT_SHARDS
     plan = plan_shards(total_units, num_shards, seed)
     checkpoint = (
         CheckpointStore(run_dir, fingerprint) if run_dir is not None else None
@@ -96,6 +98,7 @@ def _run_centricity_sharded(
     """Shard an active centricity campaign over its probes and merge."""
     from repro.runner.campaigns import campaign_fingerprint, centricity_shard
     from repro.runner.merge import merge_result_sets
+    from repro.runner.shard import DEFAULT_SHARDS
 
     kwargs = {
         "builder": builder,
@@ -108,7 +111,7 @@ def _run_centricity_sharded(
         campaign=campaign,
         seed=seed,
         probes=probes,
-        shards=shards if shards is not None else max(parallelism, 1),
+        shards=shards if shards is not None else DEFAULT_SHARDS,
         **kwargs,
     )
     outcomes = _run_sharded_campaign(
@@ -656,6 +659,7 @@ def scenario_uy_natural(
     probes: int = 300,
     duration: float = 7200.0,
     parallelism: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> UyNaturalRun:
     """Figure 10: .uy NS query RTTs with TTL 300 s vs 86400 s.
 
@@ -664,11 +668,11 @@ def scenario_uy_natural(
     """
     before = scenario_uy_ns(
         seed, probes=probes, child_ns_ttl=300, duration=duration,
-        parallelism=parallelism,
+        parallelism=parallelism, shards=shards,
     )
     after = scenario_uy_ns(
         seed, probes=probes, child_ns_ttl=86400, duration=duration,
-        parallelism=parallelism,
+        parallelism=parallelism, shards=shards,
     )
     return UyNaturalRun(before=before.results, after=after.results)
 

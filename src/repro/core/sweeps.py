@@ -41,19 +41,21 @@ def ttl_latency_sweep(
     seed: int = 0,
     duration: float = 3600.0,
     parallelism: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> list[TtlLatencyPoint]:
     """Median/tail .uy-NS latency as a function of the child NS TTL.
 
     Each TTL runs as an independent campaign (fresh world and caches), as
     the paper's before/after measurements did.  The campaign ``seed`` is
     threaded explicitly into every population and RNG; ``parallelism``
-    shards each campaign over worker processes via :mod:`repro.runner`.
+    shards each campaign over worker processes via :mod:`repro.runner`
+    (the shard plan depends on ``shards``, never on the worker count).
     """
     points: list[TtlLatencyPoint] = []
     for ttl in ttls:
         run = scenario_uy_ns(
             seed=seed, probes=probes, child_ns_ttl=ttl, duration=duration,
-            parallelism=parallelism,
+            parallelism=parallelism, shards=shards,
         )
         cdf = ECDF(run.results.rtts_ms())
         points.append(

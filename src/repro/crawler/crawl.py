@@ -253,10 +253,10 @@ def crawl_parallel(
     from repro.runner.executor import ShardExecutor
     from repro.runner.merge import merge_crawl_results
     from repro.runner.progress import ProgressTracker
-    from repro.runner.shard import plan_shards
+    from repro.runner.shard import DEFAULT_SHARDS, plan_shards
 
     total = sum(planned_list_sizes(scale, lists).values())
-    num_shards = shards if shards is not None else max(parallelism, 1)
+    num_shards = shards if shards is not None else DEFAULT_SHARDS
     kwargs = {"scale": scale, "seed": seed, "lists": lists, "timeout": timeout}
     fingerprint = campaign_fingerprint("crawl", shards=num_shards, **kwargs)
     checkpoint = (

@@ -3,8 +3,9 @@
 :class:`WireWriter` and :class:`WireReader` provide the primitive
 fixed-width integer and domain-name operations that the rdata, record and
 message codecs build on.  Compression pointers (RFC 1035 §4.1.4) are emitted
-for repeated names and are validated on read to always point strictly
-backwards, which guarantees termination.
+for repeated names and are validated on read: successive pointer targets
+must strictly decrease and names may not exceed 255 octets, which together
+guarantee termination even on hostile input.
 """
 
 from __future__ import annotations
@@ -123,14 +124,24 @@ class WireReader:
         """Read a possibly-compressed name starting at the cursor.
 
         The cursor is left after the name's encoding at its *original*
-        position (pointers are chased in a side excursion).  Pointers must
-        point strictly backwards; forward or self pointers raise
-        :class:`WireError`, which also bounds the number of hops.
+        position (pointers are chased in a side excursion).  Each pointer
+        must target an offset strictly before the previous pointer's
+        target (the first, strictly before the pointer itself).  Checking
+        against the *cursor* alone would not terminate: labels advance
+        the cursor forward between hops, so ``[label][pointer to that
+        label]`` points "backwards" on every hop while looping forever.
+        Legitimate encoders always satisfy the stronger rule, because a
+        pointer targets a name written earlier whose own pointers target
+        names written earlier still.  The RFC 1035 §2.3.4 cap of 255
+        octets per name is enforced while reading, bounding the work even
+        for hostile input.
         """
         labels: list[str] = []
         cursor = self._offset
         followed_pointer = False
         end_after: int | None = None
+        last_target: int | None = None
+        name_octets = 0
         while True:
             if cursor >= len(self._data):
                 raise WireError("name runs off the end of the message")
@@ -141,9 +152,15 @@ class WireReader:
                 pointer = ((length & ~_POINTER_MASK) << 8) | self._data[cursor + 1]
                 if pointer >= cursor:
                     raise WireError(f"compression pointer {pointer} does not point backwards")
+                if last_target is not None and pointer >= last_target:
+                    raise WireError(
+                        f"compression pointer {pointer} does not precede "
+                        f"the previous pointer's target {last_target}"
+                    )
                 if not followed_pointer:
                     end_after = cursor + 2
                     followed_pointer = True
+                last_target = pointer
                 cursor = pointer
                 continue
             if length & _POINTER_MASK:
@@ -151,6 +168,9 @@ class WireReader:
             if length == 0:
                 cursor += 1
                 break
+            name_octets += 1 + length
+            if name_octets > 254:  # 255 including the terminating root octet
+                raise WireError("name exceeds the 255-octet limit")
             if cursor + 1 + length > len(self._data):
                 raise WireError("label runs off the end of the message")
             raw = self._data[cursor + 1 : cursor + 1 + length]

@@ -14,17 +14,25 @@ and reports lifecycle transitions to a :class:`ProgressTracker`.
 Results are returned in *shard-index order* regardless of completion
 order, which is what makes downstream merges reproducible.
 
-The per-shard ``timeout`` is enforced while awaiting a shard's result;
-in pool mode a shard that exceeds it counts as a failed attempt and is
-resubmitted (the stuck worker keeps its pool slot until it returns —
-acceptable for simulation workloads, where a "hang" is a runaway
-simulation rather than blocked I/O).
+The per-shard ``timeout`` bounds each attempt's wall time, measured
+from submission — which in pool mode includes any time spent queued
+for a free worker, so size it generously when shards outnumber
+workers.  In pool mode an attempt that exceeds it counts as a
+failed attempt and is resubmitted; a worker crash that breaks the pool
+(segfault, OOM kill → :class:`BrokenProcessPool`) also counts as a
+failed attempt, and the pool is rebuilt before the retry.  In serial
+mode a running shard cannot be interrupted, so the timeout is checked
+after the attempt returns — a too-slow shard still counts as failed.
+A truly hung worker keeps its (abandoned) process until interpreter
+exit — acceptable for simulation workloads, where a "hang" is a
+runaway simulation rather than blocked I/O.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
@@ -174,6 +182,16 @@ class ShardExecutor:
                 started = time.monotonic()
                 try:
                     value = fn(shard, **kwargs)
+                    elapsed = time.monotonic() - started
+                    if self.timeout is not None and elapsed > self.timeout:
+                        # Serial mode can't interrupt a running shard, so
+                        # the budget is checked after the fact; the
+                        # attempt still counts as failed, matching pool
+                        # mode's per-attempt timeout.
+                        raise TimeoutError(
+                            f"shard {shard.index} ran {elapsed:.3f}s, "
+                            f"over the {self.timeout}s per-shard timeout"
+                        )
                 except Exception as error:
                     final = attempt >= self.retry.max_attempts
                     self._note_failure(shard, attempt, final)
@@ -188,19 +206,40 @@ class ShardExecutor:
         return outcomes
 
     # -- process pool --------------------------------------------------------
+    def _new_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        return concurrent.futures.ProcessPoolExecutor(max_workers=self.parallelism)
+
     def _run_pool(
         self, fn: Callable[..., Any], shards: Sequence[Shard], kwargs: dict[str, Any]
     ) -> list[ShardOutcome]:
         outcomes: list[ShardOutcome] = []
         attempts = {shard.index: 0 for shard in shards}
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=self.parallelism
-        ) as pool:
-            pending = {
-                shard.index: pool.submit(fn, shard, **kwargs) for shard in shards
-            }
-            started = {shard.index: time.monotonic() for shard in shards}
-            by_index = {shard.index: shard for shard in shards}
+        by_index = {shard.index: shard for shard in shards}
+        pending: dict[int, concurrent.futures.Future] = {}
+        started: dict[int, float] = {}
+        pool = self._new_pool()
+
+        def submit(index: int) -> None:
+            started[index] = time.monotonic()
+            pending[index] = pool.submit(fn, by_index[index], **kwargs)
+
+        def rebuild_pool() -> None:
+            # A worker died hard (segfault, OOM kill): the pool is
+            # permanently broken and every future still riding on it
+            # fails with BrokenProcessPool.  Replace the pool and
+            # resubmit every shard that hadn't already delivered a
+            # result; completed results survive the crash.
+            nonlocal pool
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = self._new_pool()
+            for index, future in list(pending.items()):
+                if future.done() and future.exception() is None:
+                    continue
+                submit(index)
+
+        try:
+            for shard in shards:
+                submit(shard.index)
             while pending:
                 # Await shards in index order: earlier waits overlap later
                 # shards' compute, so this costs nothing in wall time.
@@ -208,8 +247,15 @@ class ShardExecutor:
                 future = pending.pop(index)
                 shard = by_index[index]
                 attempts[index] += 1
+                wait = None
+                if self.timeout is not None:
+                    # The attempt's clock starts at submission, not when
+                    # this loop gets around to awaiting its future.
+                    wait = max(
+                        0.0, self.timeout - (time.monotonic() - started[index])
+                    )
                 try:
-                    value = future.result(timeout=self.timeout)
+                    value = future.result(timeout=wait)
                 except Exception as error:  # crash, BrokenProcessPool, timeout
                     future.cancel()
                     final = attempts[index] >= self.retry.max_attempts
@@ -219,8 +265,17 @@ class ShardExecutor:
                             other.cancel()
                         raise ShardError(shard, attempts[index], error) from error
                     self.sleep(self.retry.delay(attempts[index]))
-                    started[index] = time.monotonic()
-                    pending[index] = pool.submit(fn, shard, **kwargs)
+                    if isinstance(error, BrokenProcessPool):
+                        pending[index] = future  # rebuild resubmits it
+                        rebuild_pool()
+                    else:
+                        try:
+                            submit(index)
+                        except BrokenProcessPool:
+                            # The pool broke between the failure and the
+                            # resubmit; recover the same way.
+                            pending[index] = future
+                            rebuild_pool()
                     continue
                 outcomes.append(
                     self._record(
@@ -230,4 +285,8 @@ class ShardExecutor:
                         time.monotonic() - started[index],
                     )
                 )
+        finally:
+            # wait=False: a hung worker must not stall shutdown (the
+            # abandoned process is reaped at interpreter exit).
+            pool.shutdown(wait=False, cancel_futures=True)
         return outcomes

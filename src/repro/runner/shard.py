@@ -16,7 +16,14 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-__all__ = ["Shard", "derive_seed", "plan_shards"]
+__all__ = ["DEFAULT_SHARDS", "Shard", "derive_seed", "plan_shards"]
+
+#: Default shard count when a campaign does not pin one.  A fixed
+#: constant — deliberately *not* derived from the worker count — because
+#: the shard plan determines every shard's seed and therefore the merged
+#: results; tying it to ``parallelism`` would make scientific output
+#: vary with the machine the campaign happened to run on.
+DEFAULT_SHARDS = 4
 
 #: Domain-separation tag so shard seeds never collide with other uses of
 #: the campaign seed (population seeds, jitter seeds, ...).

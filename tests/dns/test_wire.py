@@ -111,6 +111,44 @@ class TestNames:
         with pytest.raises(WireError):
             WireReader(b"\x40a").read_name()
 
+    def test_label_pointer_loop_rejected(self):
+        # Label "a" followed by a pointer back to that same label.  Each
+        # hop moves the cursor forward through the label and then
+        # "backwards" to it again, so a backwards-only check loops
+        # forever; successive pointer targets must strictly decrease.
+        blob = b"\x01a\xc0\x00"
+        with pytest.raises(WireError):
+            WireReader(blob).read_name()
+
+    def test_mutual_pointer_loop_rejected(self):
+        # Reading from the second label walks b -> pointer -> a -> b ->
+        # pointer -> ... — every hop backwards relative to the cursor,
+        # yet circular.
+        blob = b"\x01a\x01b\xc0\x00"
+        with pytest.raises(WireError):
+            WireReader(blob, 2).read_name()
+
+    def test_legitimate_pointer_chain_still_decodes(self):
+        # A chain of names each ending in a pointer to an earlier one —
+        # exactly what WireWriter emits — must keep decoding.
+        writer = WireWriter()
+        writer.write_name(Name("example.com"))
+        offset_b = len(writer)
+        writer.write_name(Name("www.example.com"))
+        offset_c = len(writer)
+        writer.write_name(Name("deep.www.example.com"))
+        blob = writer.getvalue()
+        assert WireReader(blob, offset_b).read_name() == Name("www.example.com")
+        assert WireReader(blob, offset_c).read_name() == Name("deep.www.example.com")
+
+    def test_name_over_255_octets_rejected(self):
+        # Four 63-octet labels = 256 octets of label data: over the RFC
+        # 1035 §2.3.4 cap, and rejected while reading (the cap is what
+        # bounds decompression work on hostile input).
+        blob = (b"\x3f" + b"a" * 63) * 4 + b"\x00"
+        with pytest.raises(WireError):
+            WireReader(blob).read_name()
+
 
 class TestReaderCursor:
     def test_seek_and_offset(self):

@@ -46,6 +46,16 @@ def test_t2_centricity_is_shard_plan_deterministic(serial_uy_run):
     assert two_workers.results.results == serial_uy_run.results.results
 
 
+def test_t2_default_shard_plan_ignores_worker_count(serial_uy_run):
+    # shards unset: the plan falls back to the fixed DEFAULT_SHARDS (4),
+    # never to the worker count — so an odd parallelism still reproduces
+    # the pinned-plan run exactly.
+    defaulted = scenario_uy_ns(
+        seed=SEED, probes=PROBES, duration=DURATION, parallelism=3
+    )
+    assert defaulted.results.results == serial_uy_run.results.results
+
+
 def test_t2_probe_ids_unique_across_shards(serial_uy_run):
     assert len(serial_uy_run.results.probe_ids()) <= PROBES
     assert all(0 <= pid < PROBES for pid in serial_uy_run.results.probe_ids())
@@ -117,6 +127,12 @@ def test_crawl_parallel_equals_plain_serial_crawl():
     assert merged.records == serial.records
     assert queries > 0
     assert sum(planned_list_sizes(CRAWL_SCALE).values()) == len(merged)
+
+
+def test_crawl_default_shards_ignore_worker_count():
+    one, _ = crawl_parallel(scale=CRAWL_SCALE, seed=5, parallelism=1)
+    two, _ = crawl_parallel(scale=CRAWL_SCALE, seed=5, parallelism=2)
+    assert one.records == two.records
 
 
 def test_crawl_checkpoint_resume(tmp_path):

@@ -54,6 +54,25 @@ def sleepy(shard, *, seconds):
     return shard.index
 
 
+def hard_crash_once(shard, *, marker_dir, fail_index):
+    """Kills its worker process outright on the first attempt.
+
+    ``os._exit`` skips all cleanup, so the pool sees a dead worker and
+    breaks with BrokenProcessPool — the closest in-test stand-in for a
+    segfault or OOM kill.
+    """
+    import os
+    import pathlib
+
+    if shard.index == fail_index:
+        markers = pathlib.Path(marker_dir)
+        attempt = len(list(markers.glob(f"hard-{shard.index}-*"))) + 1
+        (markers / f"hard-{shard.index}-{attempt}").touch()
+        if attempt == 1:
+            os._exit(1)
+    return list(shard.unit_range())
+
+
 def _values(outcomes):
     return [outcome.value for outcome in outcomes]
 
@@ -181,9 +200,43 @@ def test_per_shard_timeout_counts_as_failure():
         retry=RetryPolicy(max_attempts=1),
         sleep=lambda _: None,
     )
-    # Keep the nap short: pool shutdown waits for the stuck workers.
+    # Keep the nap short: the abandoned workers linger until it ends.
     with pytest.raises(ShardError):
         executor.run(sleepy, plan, {"seconds": 1.5})
+
+
+def test_serial_timeout_counts_as_failure():
+    # The serial fallback enforces the same per-attempt budget as the
+    # pool (checked after the attempt, since it can't be interrupted).
+    plan = plan_shards(2, 2, campaign_seed=6)
+    executor = ShardExecutor(
+        parallelism=1,
+        timeout=0.05,
+        retry=RetryPolicy(max_attempts=1),
+        sleep=lambda _: None,
+    )
+    with pytest.raises(ShardError) as excinfo:
+        executor.run(sleepy, plan, {"seconds": 0.2})
+    assert isinstance(excinfo.value.cause, TimeoutError)
+
+
+def test_pool_rebuilt_after_hard_worker_crash(tmp_path):
+    """A worker death breaks the whole ProcessPoolExecutor; the engine
+    must rebuild the pool and retry instead of surfacing the raw
+    BrokenProcessPool."""
+    plan = plan_shards(8, 4, campaign_seed=8)
+    executor = ShardExecutor(
+        parallelism=2,
+        retry=RetryPolicy(max_attempts=3, backoff=0.0),
+        sleep=lambda _: None,
+    )
+    outcomes = executor.run(
+        hard_crash_once, plan, {"marker_dir": str(tmp_path), "fail_index": 1}
+    )
+    assert [unit for value in _values(outcomes) for unit in value] == list(range(8))
+    # The crashing shard really ran twice: once killing its worker, once
+    # to completion on the rebuilt pool.
+    assert len(list(tmp_path.glob("hard-1-*"))) == 2
 
 
 def test_tracker_sees_lifecycle_events(tmp_path):
