@@ -5,7 +5,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: install test bench examples audit-demo reports clean
+.PHONY: install test bench bench-perf examples audit-demo reports clean
 
 install:
 	python setup.py develop
@@ -16,6 +16,11 @@ test:
 
 bench:
 	$(PYTEST) benchmarks/ --benchmark-only
+
+# Substrate micro-benches only; writes benchmarks/output/BENCH_perf.json,
+# the machine-readable perf trajectory PRs are compared against.
+bench-perf:
+	$(PYTEST) benchmarks/bench_perf_substrate.py --benchmark-only
 
 # The full deliverable run: logs captured alongside the repo.
 reports:

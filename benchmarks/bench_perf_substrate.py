@@ -7,12 +7,25 @@ regressions visible (each op should stay comfortably in the µs range).
 
 import random
 
+from benchmarks.conftest import record_perf
 from repro.dns.message import Message, Section
 from repro.dns.name import Name
 from repro.dns.rdtypes import A, NS, RdataType
 from repro.dns.record import ResourceRecord, RRset
 from repro.dns.zone import Zone
 from repro.resolver.cache import Cache, Credibility
+
+
+def _record(benchmark, name: str, **extra) -> None:
+    """File this bench's stats into ``output/BENCH_perf.json``."""
+    stats = benchmark.stats.stats
+    record_perf(
+        name,
+        mean_s=stats.mean,
+        min_s=stats.min,
+        ops_per_s=round(1.0 / stats.mean, 1) if stats.mean else None,
+        **extra,
+    )
 
 
 def _sample_response() -> Message:
@@ -37,17 +50,20 @@ def bench_perf_message_encode(benchmark):
     response = _sample_response()
     blob = benchmark(response.to_wire)
     assert len(blob) > 12
+    _record(benchmark, "message_encode")
 
 
 def bench_perf_message_decode(benchmark):
     blob = _sample_response().to_wire()
     decoded = benchmark(Message.from_wire, blob)
     assert decoded.answer
+    _record(benchmark, "message_decode")
 
 
 def bench_perf_name_parse(benchmark):
     name = benchmark(Name, "some.fairly.deep.name.example.com")
     assert len(name) == 6
+    _record(benchmark, "name_parse")
 
 
 def bench_perf_cache_put_get(benchmark):
@@ -60,6 +76,7 @@ def bench_perf_cache_put_get(benchmark):
 
     entry = benchmark(put_get)
     assert entry is not None
+    _record(benchmark, "cache_put_get")
 
 
 def bench_perf_big_zone_lookup(benchmark):
@@ -76,6 +93,7 @@ def bench_perf_big_zone_lookup(benchmark):
 
     result = benchmark(lookup)
     assert result.status.name == "DELEGATION"
+    _record(benchmark, "big_zone_lookup")
 
 
 def bench_perf_full_resolution(benchmark):
@@ -96,6 +114,7 @@ def bench_perf_full_resolution(benchmark):
 
     out = benchmark(resolve_cold)
     assert out.rcode.name == "NOERROR"
+    _record(benchmark, "full_resolution")
 
 
 def bench_perf_warm_resolution(benchmark):
@@ -114,6 +133,7 @@ def bench_perf_warm_resolution(benchmark):
 
     out = benchmark(resolver.resolve, "www.example.tld.", RdataType.A, 1.0)
     assert out.cache_hit
+    _record(benchmark, "warm_resolution")
 
 
 def bench_perf_sharded_campaign_speedup(benchmark):
@@ -150,4 +170,79 @@ def bench_perf_sharded_campaign_speedup(benchmark):
         f"serial {serial_wall:.2f}s ({queries / serial_wall:,.0f} q/s) vs "
         f"4 workers {parallel_wall:.2f}s ({queries / parallel_wall:,.0f} q/s) "
         f"-> speedup {serial_wall / parallel_wall:.2f}x"
+    )
+    _record(
+        benchmark, "sharded_campaign_speedup",
+        queries=queries,
+        serial_wall_s=round(serial_wall, 3),
+        parallel4_wall_s=round(parallel_wall, 3),
+        speedup=round(serial_wall / parallel_wall, 2),
+    )
+
+
+def bench_perf_metrics_overhead(benchmark):
+    """Resolution throughput with metrics on stays within 5% of metrics off.
+
+    The ISSUE 2 acceptance gate for the observability layer: disabled
+    paths hit null-object singletons, enabled paths do an attribute call
+    and an integer add — neither may tax the hot loop.  Timing rounds
+    interleave the two resolvers so clock drift and cache warmup hit both
+    sides equally, and best-of-rounds compares the clean floors.
+    """
+    import time
+
+    from tests.conftest import build_mini_world
+    from repro.metrics.registry import MetricsRegistry
+    from repro.net.topology import Region
+    from repro.resolver.recursive import RecursiveResolver
+
+    def make_resolver(with_metrics: bool) -> RecursiveResolver:
+        world = build_mini_world()
+        if with_metrics:
+            world.network.attach_metrics(MetricsRegistry())
+        resolver = RecursiveResolver(
+            endpoint=world.topology.endpoint_in_region(Region.EU),
+            network=world.network,
+            root_hints=world.hints,
+        )
+        resolver.resolve("www.example.tld.", RdataType.A, now=0.0)  # warm cache
+        return resolver
+
+    plain = make_resolver(with_metrics=False)
+    metered = make_resolver(with_metrics=True)
+    iterations = 2000
+
+    def loop(resolver: RecursiveResolver) -> None:
+        for _ in range(iterations):
+            resolver.resolve("www.example.tld.", RdataType.A, 1.0)
+
+    loop(plain)  # warm both code paths before any timing
+    loop(metered)
+    best = {"off": float("inf"), "on": float("inf")}
+    for _ in range(7):
+        for key, resolver in (("off", plain), ("on", metered)):
+            start = time.perf_counter()
+            loop(resolver)
+            best[key] = min(best[key], time.perf_counter() - start)
+    overhead = best["on"] / best["off"] - 1.0
+
+    off_qps = iterations / best["off"]
+    on_qps = iterations / best["on"]
+    print(
+        f"\n[metrics] warm resolution: off {off_qps:,.0f} q/s vs "
+        f"on {on_qps:,.0f} q/s -> overhead {overhead * 100:+.1f}%"
+    )
+    assert overhead <= 0.05, (
+        f"metrics overhead {overhead * 100:.1f}% exceeds the 5% budget "
+        f"({off_qps:,.0f} q/s off vs {on_qps:,.0f} q/s on)"
+    )
+
+    benchmark.pedantic(loop, args=(metered,), rounds=1, iterations=1)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)
+    _record(
+        benchmark, "metrics_overhead",
+        metrics_off_qps=round(off_qps, 1),
+        metrics_on_qps=round(on_qps, 1),
+        overhead_pct=round(overhead * 100, 2),
+        budget_pct=5.0,
     )

@@ -7,7 +7,8 @@ Subcommands::
     python -m repro.cli hitrate     --rate-per-hour 12 --ttl 300 3600 86400
     python -m repro.cli demo-uy     [--probes 150]
     python -m repro.cli crawl       [--scale 0.001] [--seed 0]
-    python -m repro.cli run t2-uy   --parallel 4 [--run-dir out/t2]
+    python -m repro.cli run t2-uy   --parallel 4 [--run-dir out/t2] [--metrics m.json]
+    python -m repro.cli metrics     m.json [--validate-only]
 
 Everything prints plain text; there is no network access — the "demo" and
 "crawl" subcommands run the simulation.
@@ -227,6 +228,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
 
+def _write_metrics(args: argparse.Namespace, snapshot) -> None:
+    """Write the campaign's merged snapshot as canonical JSON.
+
+    Sim-domain only by default: those bytes are identical for any worker
+    count (the determinism contract); ``--metrics-include-host`` opts
+    into the wall-clock telemetry too, giving up byte-stability.
+    """
+    if args.metrics is None:
+        return
+    if snapshot is None:
+        from repro.metrics import MetricsSnapshot
+
+        snapshot = MetricsSnapshot.empty()
+    with open(args.metrics, "w", encoding="ascii") as handle:
+        handle.write(snapshot.to_json(include_host=args.metrics_include_host))
+    if not args.quiet:
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+
+
 def _cmd_run_inner(args: argparse.Namespace) -> int:
     from repro.runner.progress import render_event
 
@@ -247,6 +267,7 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
             probes=args.probes, duration=args.duration, shards=args.shards, **common
         )
         print(_centricity_report("T2: .uy-NS centricity campaign", run))
+        _write_metrics(args, run.metrics)
     elif args.campaign == "t2-anicuy":
         from repro.core.scenarios import scenario_anicuy_a
 
@@ -254,6 +275,7 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
             probes=args.probes, duration=args.duration, shards=args.shards, **common
         )
         print(_centricity_report("T2: a.nic.uy-A centricity campaign", run))
+        _write_metrics(args, run.metrics)
     elif args.campaign == "t2-googleco":
         from repro.core.scenarios import scenario_googleco_ns
 
@@ -261,9 +283,11 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
             probes=args.probes, duration=args.duration, shards=args.shards, **common
         )
         print(_centricity_report("T2: google.co-NS centricity campaign", run))
+        _write_metrics(args, run.metrics)
     elif args.campaign == "t10-controlled":
         from repro.analysis.cdf import ECDF
         from repro.core.scenarios import scenario_controlled_ttl
+        from repro.metrics import merge_snapshots
 
         runs = scenario_controlled_ttl(
             probes=args.probes, duration=args.duration, **common
@@ -279,11 +303,17 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
                 f"{cdf.median:.1f} ms",
             )
         print(table.render())
+        _write_metrics(
+            args,
+            merge_snapshots(
+                run.metrics for run in runs.values() if run.metrics is not None
+            ),
+        )
     else:  # crawl
         from repro.crawler.crawl import crawl_parallel
         from repro.crawler.report import record_counts
 
-        result, queries = crawl_parallel(
+        result, queries, metrics = crawl_parallel(
             scale=args.scale,
             seed=args.seed,
             parallelism=args.parallel,
@@ -297,6 +327,26 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
         for name in counts:
             table.add_row(name, counts[name].domains, counts[name].responsive)
         print(table.render())
+        _write_metrics(args, metrics)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Validate and render a metrics JSON file written by ``repro run``."""
+    from repro.metrics import MetricsSnapshot, render_snapshot, validate_json
+
+    with open(args.file, "r", encoding="ascii") as handle:
+        text = handle.read()
+    errors = validate_json(text)
+    if errors:
+        for error in errors:
+            print(f"invalid: {error}", file=sys.stderr)
+        return 2
+    snapshot = MetricsSnapshot.from_json(text)
+    if args.validate_only:
+        print(f"{args.file}: valid ({len(snapshot)} metrics)")
+        return 0
+    print(render_snapshot(snapshot, title=args.file))
     return 0
 
 
@@ -477,7 +527,22 @@ def build_parser() -> argparse.ArgumentParser:
                           "completed shards")
     run.add_argument("--quiet", action="store_true",
                      help="suppress the progress ticker on stderr")
+    run.add_argument("--metrics", default=None, metavar="PATH",
+                     help="write the campaign's merged metrics snapshot as "
+                          "canonical JSON (sim domain only: byte-identical "
+                          "for any --parallel at a fixed shard plan)")
+    run.add_argument("--metrics-include-host", action="store_true",
+                     help="also export host-domain execution telemetry "
+                          "(wall times, retries); gives up byte-stability")
     run.set_defaults(func=_cmd_run)
+
+    metrics = sub.add_parser(
+        "metrics", help="validate and render a metrics JSON snapshot"
+    )
+    metrics.add_argument("file", help="snapshot written by `repro run --metrics`")
+    metrics.add_argument("--validate-only", action="store_true",
+                         help="check the file against the schema and exit")
+    metrics.set_defaults(func=_cmd_metrics)
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate one paper artifact at the terminal"

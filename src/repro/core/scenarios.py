@@ -40,6 +40,8 @@ from repro.core.worlds import (
 from repro.dns.message import Message, Section
 from repro.dns.name import Name
 from repro.dns.rdtypes import RdataType
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.snapshot import MetricsSnapshot
 
 # ------------------------------------------------- sharded campaign plumbing
 
@@ -64,9 +66,15 @@ def _run_sharded_campaign(
     runner's determinism contract.  With ``shards`` unset the plan uses
     the fixed :data:`repro.runner.shard.DEFAULT_SHARDS`, never the
     worker count, so that contract holds for the defaults too.
+
+    Returns ``(outcomes, metrics)``: the per-shard outcomes in shard
+    order plus one merged :class:`MetricsSnapshot` — the shards'
+    sim-domain metrics folded exactly, with the executor's host-domain
+    telemetry (wall times, retries, checkpoint hits) alongside.
     """
     from repro.runner.checkpoint import CheckpointStore
     from repro.runner.executor import ShardExecutor
+    from repro.runner.merge import merge_shard_metrics
     from repro.runner.progress import ProgressTracker
     from repro.runner.shard import DEFAULT_SHARDS, plan_shards
 
@@ -76,10 +84,18 @@ def _run_sharded_campaign(
         CheckpointStore(run_dir, fingerprint) if run_dir is not None else None
     )
     tracker = ProgressTracker(campaign=campaign, callback=progress)
+    host_registry = MetricsRegistry()
     executor = ShardExecutor(
-        parallelism=parallelism, checkpoint=checkpoint, tracker=tracker
+        parallelism=parallelism,
+        checkpoint=checkpoint,
+        tracker=tracker,
+        metrics=host_registry,
     )
-    return executor.run(fn, plan, kwargs)
+    outcomes = executor.run(fn, plan, kwargs)
+    metrics = merge_shard_metrics(
+        [outcome.value for outcome in outcomes]
+    ).merge(host_registry.snapshot())
+    return outcomes, metrics
 
 
 def _run_centricity_sharded(
@@ -94,7 +110,7 @@ def _run_centricity_sharded(
     shards: Optional[int] = None,
     run_dir: Optional[str] = None,
     progress=None,
-) -> ResultSet:
+) -> tuple[ResultSet, MetricsSnapshot]:
     """Shard an active centricity campaign over its probes and merge."""
     from repro.runner.campaigns import campaign_fingerprint, centricity_shard
     from repro.runner.merge import merge_result_sets
@@ -114,7 +130,7 @@ def _run_centricity_sharded(
         shards=shards if shards is not None else DEFAULT_SHARDS,
         **kwargs,
     )
-    outcomes = _run_sharded_campaign(
+    outcomes, metrics = _run_sharded_campaign(
         campaign,
         fingerprint,
         centricity_shard,
@@ -126,7 +142,8 @@ def _run_centricity_sharded(
         run_dir=run_dir,
         progress=progress,
     )
-    return merge_result_sets([outcome.value for outcome in outcomes])
+    merged = merge_result_sets([outcome.value["results"] for outcome in outcomes])
+    return merged, metrics
 
 
 # ------------------------------------------------------------------- Table 1
@@ -190,6 +207,9 @@ class CentricityRun:
     results: ResultSet
     breakdown: CentricityBreakdown
     summary: dict[str, int]
+    #: Merged campaign metrics (sharded runs only; None on the plain
+    #: serial path, which runs outside :mod:`repro.runner`).
+    metrics: Optional[MetricsSnapshot] = None
 
     def ttl_cdf(self) -> ECDF:
         return ECDF(self.results.ttls())
@@ -225,8 +245,9 @@ def scenario_uy_ns(
         duration=duration,
         description=f".uy-NS (child TTL {child_ns_ttl})",
     )
+    metrics = None
     if parallelism is not None:
-        results = _run_centricity_sharded(
+        results, metrics = _run_centricity_sharded(
             campaign="uy-NS",
             builder="uy",
             world_kwargs={"child_ns_ttl": child_ns_ttl},
@@ -257,6 +278,7 @@ def scenario_uy_ns(
         results=valid,
         breakdown=breakdown,
         summary=results.summary(_expected_answer),
+        metrics=metrics,
     )
 
 
@@ -277,8 +299,9 @@ def scenario_anicuy_a(
         duration=duration,
         description="a.nic.uy-A",
     )
+    metrics = None
     if parallelism is not None:
-        results = _run_centricity_sharded(
+        results, metrics = _run_centricity_sharded(
             campaign="a.nic.uy-A",
             builder="uy",
             world_kwargs={},
@@ -307,6 +330,7 @@ def scenario_anicuy_a(
         results=valid,
         breakdown=breakdown,
         summary=results.summary(_expected_answer),
+        metrics=metrics,
     )
 
 
@@ -327,8 +351,9 @@ def scenario_googleco_ns(
         duration=duration,
         description="google.co-NS",
     )
+    metrics = None
     if parallelism is not None:
-        results = _run_centricity_sharded(
+        results, metrics = _run_centricity_sharded(
             campaign="google.co-NS",
             builder="googleco",
             world_kwargs={},
@@ -359,6 +384,7 @@ def scenario_googleco_ns(
         results=valid,
         breakdown=breakdown,
         summary=results.summary(_expected_answer),
+        metrics=metrics,
     )
 
 
@@ -442,7 +468,7 @@ def scenario_nl_passive(
         queries_per_group=queries_per_group(groups),
         min_interarrivals=min_interarrival_per_group(groups),
         total_queries=sum(
-            len(world.servers[name].query_log or []) for name in nl.monitored
+            world.servers[name].queries_received for name in nl.monitored
         ),
         unique_resolvers=len({resolver for resolver, _ in groups}),
     )
@@ -687,6 +713,8 @@ class ControlledRun:
     auth_queries: int
     auth_unique_ips: int
     client_summary: dict[str, int]
+    #: This run's metrics snapshot (sharded runs only; None otherwise).
+    metrics: Optional[MetricsSnapshot] = None
 
     def rtts_ms(self) -> list[float]:
         return self.results.rtts_ms()
@@ -701,8 +729,11 @@ def _run_controlled(
     server_attr: str,
     duration: float,
     interval: float = 600.0,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ControlledRun:
     world = build_controlled_world(seed)
+    if metrics is not None:
+        world.world.network.attach_metrics(metrics)
     population = make_population(world.world, probes=probes, seed=seed)
     spec = MeasurementSpec(
         qname=qname,
@@ -783,7 +814,7 @@ def scenario_controlled_ttl(
     fingerprint = campaign_fingerprint(
         "controlled-ttl", seed=seed, probes=probes, duration=duration
     )
-    outcomes = _run_sharded_campaign(
+    outcomes, _ = _run_sharded_campaign(
         "controlled-ttl",
         fingerprint,
         controlled_shard,
@@ -795,4 +826,9 @@ def scenario_controlled_ttl(
         run_dir=run_dir,
         progress=progress,
     )
-    return {outcome.value.label: outcome.value for outcome in outcomes}
+    runs: dict[str, ControlledRun] = {}
+    for outcome in outcomes:
+        run = outcome.value["results"]
+        run.metrics = MetricsSnapshot.from_payload(outcome.value["metrics"])
+        runs[run.label] = run
+    return runs

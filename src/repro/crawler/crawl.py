@@ -18,7 +18,10 @@ before querying children directly).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:
+    from repro.metrics.snapshot import MetricsSnapshot
 
 from repro.dns.message import Message, Rcode, Section
 from repro.dns.name import Name
@@ -237,7 +240,7 @@ def crawl_parallel(
     run_dir: Optional[str] = None,
     progress=None,
     timeout: float = 1.0,
-) -> tuple[CrawlResult, int]:
+) -> tuple[CrawlResult, int, "MetricsSnapshot"]:
     """Run the crawl sharded over the list entries via :mod:`repro.runner`.
 
     Each worker rebuilds the universe from ``(scale, seed, lists)`` and
@@ -245,13 +248,15 @@ def crawl_parallel(
     independent direct query exchange, so the merged result equals the
     serial crawl record-for-record.  ``parallelism=1`` uses the serial
     in-process fallback; ``run_dir`` enables checkpoint/resume.  Returns
-    ``(result, total_queries_sent)``.
+    ``(result, total_queries_sent, metrics)`` where ``metrics`` merges
+    the shards' sim-domain snapshots with the executor's host telemetry.
     """
     from repro.crawler.toplists import planned_list_sizes
+    from repro.metrics.registry import MetricsRegistry
     from repro.runner.campaigns import campaign_fingerprint, crawl_shard
     from repro.runner.checkpoint import CheckpointStore
     from repro.runner.executor import ShardExecutor
-    from repro.runner.merge import merge_crawl_results
+    from repro.runner.merge import merge_crawl_results, merge_shard_metrics
     from repro.runner.progress import ProgressTracker
     from repro.runner.shard import DEFAULT_SHARDS, plan_shards
 
@@ -263,11 +268,19 @@ def crawl_parallel(
         CheckpointStore(run_dir, fingerprint) if run_dir is not None else None
     )
     tracker = ProgressTracker(campaign="crawl", callback=progress)
+    host_registry = MetricsRegistry()
     executor = ShardExecutor(
-        parallelism=parallelism, checkpoint=checkpoint, tracker=tracker
+        parallelism=parallelism,
+        checkpoint=checkpoint,
+        tracker=tracker,
+        metrics=host_registry,
     )
     outcomes = executor.run(crawl_shard, plan_shards(total, num_shards, seed), kwargs)
-    return merge_crawl_results(
-        [outcome.value["result"] for outcome in outcomes],
+    result, total_queries = merge_crawl_results(
+        [outcome.value["results"] for outcome in outcomes],
         queries=[outcome.value["queries"] for outcome in outcomes],
     )
+    metrics = merge_shard_metrics(
+        [outcome.value for outcome in outcomes]
+    ).merge(host_registry.snapshot())
+    return result, total_queries, metrics

@@ -1,0 +1,70 @@
+"""Human rendering of metric snapshots for the ``repro metrics`` CLI."""
+
+from __future__ import annotations
+
+from repro.metrics.snapshot import MetricsSnapshot
+
+__all__ = ["render_snapshot"]
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return f"{value:,}"
+
+
+def render_snapshot(snapshot: MetricsSnapshot, title: str = "Metrics") -> str:
+    """Tables of counters, gauges and histogram summaries."""
+    from repro.analysis.tables import Table
+
+    sections: list[str] = []
+    by_kind: dict[str, list[tuple[str, dict]]] = {}
+    for name in sorted(snapshot.metrics):
+        payload = snapshot.metrics[name]
+        by_kind.setdefault(payload["kind"], []).append((name, payload))
+
+    scalar_rows = [
+        (name, payload) for kind in ("counter", "gauge")
+        for name, payload in by_kind.get(kind, [])
+    ]
+    if scalar_rows:
+        table = Table(["metric", "kind", "domain", "value"], title=title)
+        for name, payload in scalar_rows:
+            table.add_row(name, payload["kind"], payload["domain"], _fmt(payload["value"]))
+        sections.append(table.render())
+
+    labeled = by_kind.get("labeled_counter", [])
+    for name, payload in labeled:
+        table = Table(["label", "count"], title=f"{name} ({payload['domain']})")
+        for label, count in sorted(
+            payload["values"].items(), key=lambda item: (-item[1], item[0])
+        ):
+            table.add_row(label, _fmt(count))
+        if not payload["values"]:
+            table.add_row("(none)", "0")
+        sections.append(table.render())
+
+    histograms = by_kind.get("histogram", [])
+    if histograms:
+        table = Table(
+            ["histogram", "domain", "count", "mean", "p50", "p90", "p99", "max"],
+            title="Histograms (quantiles are conservative bucket upper bounds)",
+        )
+        for name, payload in histograms:
+            table.add_row(
+                name,
+                payload["domain"],
+                _fmt(payload["count"]),
+                _fmt(snapshot.histogram_mean(name)),
+                _fmt(snapshot.histogram_quantile(name, 0.50)),
+                _fmt(snapshot.histogram_quantile(name, 0.90)),
+                _fmt(snapshot.histogram_quantile(name, 0.99)),
+                _fmt(payload["max"]),
+            )
+        sections.append(table.render())
+
+    if not sections:
+        return f"{title}: (empty snapshot)"
+    return "\n\n".join(sections)

@@ -1,0 +1,134 @@
+"""Schema validation for exported metrics JSON.
+
+Dependency-free (no ``jsonschema`` in the container): a hand-rolled
+structural check of the ``repro.metrics/v1`` payload.  The authoritative
+prose description of the schema lives in ``docs/observability.md``; this
+module is the machine-checkable version the CI smoke job runs against
+every ``repro run --metrics`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.metrics.snapshot import SCHEMA_ID
+
+__all__ = ["validate_payload", "validate_json"]
+
+_DOMAINS = ("sim", "host")
+
+_Number = (int, float)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, _Number) and not isinstance(value, bool)
+
+
+def _is_count(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def _check_common(name: str, payload: Any, problems: list[str]) -> Optional[str]:
+    if not isinstance(payload, dict):
+        problems.append(f"{name}: metric payload must be an object")
+        return None
+    domain = payload.get("domain")
+    if domain not in _DOMAINS:
+        problems.append(f"{name}: domain must be one of {_DOMAINS}, got {domain!r}")
+    return payload.get("kind")
+
+
+def _check_counter(name: str, payload: dict, problems: list[str]) -> None:
+    if not _is_count(payload.get("value")):
+        problems.append(f"{name}: counter value must be a non-negative integer")
+
+
+def _check_labeled(name: str, payload: dict, problems: list[str]) -> None:
+    values = payload.get("values")
+    if not isinstance(values, dict):
+        problems.append(f"{name}: labeled_counter needs a 'values' object")
+        return
+    for label, count in values.items():
+        if not isinstance(label, str) or not _is_count(count):
+            problems.append(f"{name}: label {label!r} must map to a non-negative int")
+
+
+def _check_gauge(name: str, payload: dict, problems: list[str]) -> None:
+    value = payload.get("value")
+    if value is not None and not _is_number(value):
+        problems.append(f"{name}: gauge value must be a number or null")
+
+
+def _check_histogram(name: str, payload: dict, problems: list[str]) -> None:
+    bounds = payload.get("bounds")
+    counts = payload.get("counts")
+    if not isinstance(bounds, list) or not all(_is_number(b) for b in bounds):
+        problems.append(f"{name}: histogram bounds must be a list of numbers")
+        return
+    if any(b >= a for b, a in zip(bounds, bounds[1:])):
+        problems.append(f"{name}: histogram bounds must strictly increase")
+    if not isinstance(counts, list) or len(counts) != len(bounds):
+        problems.append(f"{name}: counts must be a list matching bounds")
+        return
+    if not all(_is_count(c) for c in counts):
+        problems.append(f"{name}: counts must be non-negative integers")
+        return
+    if not _is_count(payload.get("overflow")):
+        problems.append(f"{name}: overflow must be a non-negative integer")
+        return
+    if not _is_count(payload.get("count")):
+        problems.append(f"{name}: count must be a non-negative integer")
+        return
+    if sum(counts) + payload["overflow"] != payload["count"]:
+        problems.append(f"{name}: bucket counts + overflow must equal count")
+    if not isinstance(payload.get("sum_fp"), int) or isinstance(
+        payload.get("sum_fp"), bool
+    ):
+        problems.append(f"{name}: sum_fp must be an integer")
+    for edge in ("min", "max"):
+        value = payload.get(edge)
+        if value is not None and not _is_number(value):
+            problems.append(f"{name}: {edge} must be a number or null")
+    if (payload.get("min") is None) != (payload["count"] == 0):
+        problems.append(f"{name}: min must be null exactly when count is 0")
+
+
+_CHECKS = {
+    "counter": _check_counter,
+    "labeled_counter": _check_labeled,
+    "gauge": _check_gauge,
+    "histogram": _check_histogram,
+}
+
+
+def validate_payload(payload: Any) -> list[str]:
+    """Structural problems with a metrics payload; empty means valid."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    if payload.get("schema") != SCHEMA_ID:
+        problems.append(
+            f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}"
+        )
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("'metrics' must be an object")
+        return problems
+    for name, metric in metrics.items():
+        kind = _check_common(name, metric, problems)
+        check = _CHECKS.get(kind)  # type: ignore[arg-type]
+        if check is None:
+            problems.append(f"{name}: unknown metric kind {kind!r}")
+            continue
+        check(name, metric, problems)
+    return problems
+
+
+def validate_json(text: str) -> list[str]:
+    import json
+
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        return [f"not valid JSON: {error}"]
+    return validate_payload(payload)

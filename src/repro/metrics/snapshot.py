@@ -1,0 +1,178 @@
+"""Immutable metric snapshots: serialization and exact merging.
+
+A snapshot is the JSON-able image of a registry at one instant.  Merging
+is the algebra the sharded runner rests on: it is associative and
+commutative, with the empty snapshot as identity (property-tested in
+``tests/metrics/test_properties.py``), so folding any permutation of
+shard snapshots yields an identical object — and identical bytes once
+serialized, because :meth:`MetricsSnapshot.to_json` is canonical (sorted
+keys, fixed separators, trailing newline).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.metrics.registry import FIXED_POINT, HOST, MetricError
+
+__all__ = ["SCHEMA_ID", "MetricsSnapshot", "merge_snapshots"]
+
+#: Identifies the payload layout; bump on incompatible changes.
+SCHEMA_ID = "repro.metrics/v1"
+
+
+def _merge_optional(a, b, pick) -> Optional[float]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return pick(a, b)
+
+
+def _merge_metric(name: str, left: dict, right: dict) -> dict:
+    for field in ("kind", "domain"):
+        if left[field] != right[field]:
+            raise MetricError(
+                f"cannot merge metric {name!r}: {field} differs "
+                f"({left[field]!r} vs {right[field]!r})"
+            )
+    kind = left["kind"]
+    merged = {"kind": kind, "domain": left["domain"]}
+    if kind == "counter":
+        merged["value"] = left["value"] + right["value"]
+    elif kind == "labeled_counter":
+        values = dict(left["values"])
+        for label, count in right["values"].items():
+            values[label] = values.get(label, 0) + count
+        merged["values"] = dict(sorted(values.items()))
+    elif kind == "gauge":
+        merged["value"] = _merge_optional(left["value"], right["value"], max)
+    elif kind == "histogram":
+        if left["bounds"] != right["bounds"]:
+            raise MetricError(f"cannot merge histogram {name!r}: buckets differ")
+        merged["bounds"] = list(left["bounds"])
+        merged["counts"] = [a + b for a, b in zip(left["counts"], right["counts"])]
+        merged["overflow"] = left["overflow"] + right["overflow"]
+        merged["count"] = left["count"] + right["count"]
+        merged["sum_fp"] = left["sum_fp"] + right["sum_fp"]
+        merged["min"] = _merge_optional(left["min"], right["min"], min)
+        merged["max"] = _merge_optional(left["max"], right["max"], max)
+    else:
+        raise MetricError(f"metric {name!r}: unknown kind {kind!r}")
+    return merged
+
+
+class MetricsSnapshot:
+    """A frozen ``name -> metric payload`` mapping with exact merge."""
+
+    __slots__ = ("metrics",)
+
+    def __init__(self, metrics: Optional[dict[str, dict]] = None) -> None:
+        self.metrics: dict[str, dict] = metrics or {}
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        return cls({})
+
+    def __len__(self) -> int:
+        return len(self.metrics)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsSnapshot):
+            return NotImplemented
+        return self.metrics == other.metrics
+
+    def __repr__(self) -> str:
+        return f"MetricsSnapshot({len(self.metrics)} metrics)"
+
+    # -- merging -------------------------------------------------------------
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """The exact union of two snapshots; neither input is mutated."""
+        merged: dict[str, dict] = {
+            name: dict(payload) for name, payload in self.metrics.items()
+        }
+        for name, payload in other.metrics.items():
+            if name in merged:
+                merged[name] = _merge_metric(name, merged[name], payload)
+            else:
+                merged[name] = dict(payload)
+        return MetricsSnapshot(merged)
+
+    # -- views ----------------------------------------------------------------
+    def without_host(self) -> "MetricsSnapshot":
+        """Only the deterministic (``sim``) domain."""
+        return MetricsSnapshot(
+            {
+                name: payload
+                for name, payload in self.metrics.items()
+                if payload["domain"] != HOST
+            }
+        )
+
+    def value(self, name: str):
+        """The scalar value of a counter or gauge (None when absent)."""
+        payload = self.metrics.get(name)
+        if payload is None:
+            return None
+        return payload.get("value", payload.get("values"))
+
+    def histogram_mean(self, name: str) -> Optional[float]:
+        payload = self.metrics.get(name)
+        if payload is None or payload.get("count", 0) == 0:
+            return None
+        return payload["sum_fp"] / payload["count"] / FIXED_POINT
+
+    def histogram_quantile(self, name: str, q: float) -> Optional[float]:
+        """Upper bucket bound containing the ``q`` quantile (conservative)."""
+        payload = self.metrics.get(name)
+        if payload is None or payload.get("count", 0) == 0:
+            return None
+        target = q * payload["count"]
+        cumulative = 0
+        for bound, count in zip(payload["bounds"], payload["counts"]):
+            cumulative += count
+            if cumulative >= target:
+                return bound
+        return payload["max"]
+
+    # -- serialization ---------------------------------------------------------
+    def to_payload(self, include_host: bool = True) -> dict:
+        source = self if include_host else self.without_host()
+        return {"schema": SCHEMA_ID, "metrics": source.metrics}
+
+    def to_json(self, include_host: bool = False) -> str:
+        """Canonical JSON: byte-identical for equal snapshots.
+
+        ``include_host`` defaults to False so exported files honour the
+        determinism contract (host-domain wall clocks vary run to run).
+        """
+        return (
+            json.dumps(
+                self.to_payload(include_host=include_host),
+                sort_keys=True,
+                indent=2,
+            )
+            + "\n"
+        )
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MetricsSnapshot":
+        if payload.get("schema") != SCHEMA_ID:
+            raise MetricError(
+                f"unsupported metrics schema {payload.get('schema')!r} "
+                f"(expected {SCHEMA_ID!r})"
+            )
+        return cls(dict(payload["metrics"]))
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        return cls.from_payload(json.loads(text))
+
+
+def merge_snapshots(parts: Iterable[MetricsSnapshot]) -> MetricsSnapshot:
+    """Fold snapshots into one; order never affects the result."""
+    merged = MetricsSnapshot.empty()
+    for part in parts:
+        merged = merged.merge(part)
+    return merged

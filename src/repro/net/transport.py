@@ -12,15 +12,23 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import TYPE_CHECKING, Optional, Protocol
 
 from repro.dns.message import Message
+from repro.metrics.registry import NULL_COUNTER, NULL_HISTOGRAM, log_buckets
 from repro.net.latency import LatencyModel
 from repro.net.topology import Endpoint
+
+if TYPE_CHECKING:
+    from repro.metrics import MetricsRegistry
 
 #: BIND-like defaults: resolvers retry a few times with a short timeout.
 DEFAULT_TIMEOUT = 2.0
 DEFAULT_RETRIES = 2
+
+#: RTT histogram buckets: 0.1 ms .. 10 s, four per decade.  Fixed at
+#: module level so every shard's histogram merges exactly.
+RTT_BUCKETS_MS = log_buckets(0.1, 10_000.0, per_decade=4)
 
 
 class NetworkTimeout(Exception):
@@ -93,6 +101,23 @@ class Network:
         self.loss = loss or LossModel(seed=seed)
         self._servers: dict[str, Server] = {}
         self._rng = random.Random(seed ^ 0x7E77)
+        self.metrics: Optional["MetricsRegistry"] = None
+        self._m_exchanges = NULL_COUNTER
+        self._m_timeouts = NULL_COUNTER
+        self._m_lost = NULL_COUNTER
+        self._m_rtt = NULL_HISTOGRAM
+        self._m_server_queries = NULL_COUNTER
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Instrument the fabric (and per-server query tallies) into
+        ``registry``.  Resolvers built afterwards pick the registry up via
+        :attr:`metrics` and wire their caches into the same snapshot."""
+        self.metrics = registry
+        self._m_exchanges = registry.counter("net.exchanges")
+        self._m_timeouts = registry.counter("net.timeouts")
+        self._m_lost = registry.counter("net.lost_transmissions")
+        self._m_rtt = registry.histogram("net.rtt_ms", RTT_BUCKETS_MS)
+        self._m_server_queries = registry.labeled_counter("auth.queries")
 
     # -- registry -----------------------------------------------------------
     def register(self, server: Server, address: Optional[str] = None) -> None:
@@ -126,6 +151,7 @@ class Network:
         server = self._servers.get(dst_address)
         for _ in range(attempts):
             if server is None or self.loss.lost(dst_address):
+                self._m_lost.inc()
                 elapsed += timeout
                 continue
             site = server.endpoint_for(client, self.latency)
@@ -133,5 +159,9 @@ class Network:
             arrival = now + elapsed + rtt / 2.0
             response = server.handle_query(query, client, arrival)
             elapsed += rtt
+            self._m_exchanges.inc()
+            self._m_rtt.observe(rtt * 1000.0)
+            self._m_server_queries.inc(str(site))
             return response, elapsed
+        self._m_timeouts.inc()
         raise NetworkTimeout(f"no response from {dst_address}", elapsed)

@@ -26,11 +26,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.dns.name import Name
 from repro.dns.rdtypes import RdataClass, RdataType
 from repro.dns.record import RRset
+from repro.metrics.registry import NULL_COUNTER, NULL_GAUGE
+
+if TYPE_CHECKING:
+    from repro.metrics import MetricsRegistry
 
 CacheKey = tuple[Name, RdataType, RdataClass]
 
@@ -116,6 +120,7 @@ class Cache:
         max_ttl: Optional[int] = None,
         min_ttl: int = 0,
         max_entries: Optional[int] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         """``max_ttl``/``min_ttl`` clamp TTLs at insertion time.
 
@@ -125,6 +130,10 @@ class Cache:
         ``max_entries`` bounds the cache size with least-recently-used
         eviction, as production resolvers do; ``None`` means unbounded
         (the default — the paper's experiments never fill real caches).
+
+        ``metrics``: an optional shared registry; every cache attached to
+        it contributes to the world-wide ``cache.*`` counters (per-cache
+        counts stay available on :attr:`stats`).
         """
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
@@ -136,6 +145,20 @@ class Cache:
         self.min_ttl = min_ttl
         self.max_entries = max_entries
         self.stats = CacheStats()
+        if metrics is not None:
+            self._m_hits = metrics.counter("cache.hits")
+            self._m_misses = metrics.counter("cache.misses")
+            self._m_expired = metrics.counter("cache.expired")
+            self._m_stale = metrics.counter("cache.stale_served")
+            self._m_inserts = metrics.counter("cache.inserts")
+            self._m_refused = metrics.counter("cache.refused_downgrades")
+            self._m_evictions = metrics.counter("cache.evictions")
+            self._m_size_peak = metrics.gauge("cache.size_peak")
+        else:
+            self._m_hits = self._m_misses = self._m_expired = NULL_COUNTER
+            self._m_stale = self._m_inserts = self._m_refused = NULL_COUNTER
+            self._m_evictions = NULL_COUNTER
+            self._m_size_peak = NULL_GAUGE
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -199,6 +222,7 @@ class Cache:
             )
             if existing.pinned or not refreshable:
                 self.stats.refused_downgrades += 1
+                self._m_refused.inc()
                 return False
         generation = self._generations.get(key, 0) + 1
         self._generations[key] = generation
@@ -220,6 +244,8 @@ class Cache:
             source_zone=source_zone,
         )
         self.stats.inserts += 1
+        self._m_inserts.inc()
+        self._m_size_peak.record(len(self._entries))
         self._evict_if_full(now)
         return True
 
@@ -233,6 +259,7 @@ class Cache:
         for key in dead[:overflow]:
             del self._entries[key]
             self.stats.evictions += 1
+            self._m_evictions.inc()
             overflow -= 1
         if overflow <= 0:
             return
@@ -242,6 +269,7 @@ class Cache:
         for key in victims[:overflow]:
             del self._entries[key]
             self.stats.evictions += 1
+            self._m_evictions.inc()
 
     def put_negative(
         self,
@@ -293,12 +321,17 @@ class Cache:
         entry = self._entries.get((name, rdtype, rdclass))
         if entry is None:
             self.stats.misses += 1
+            self._m_misses.inc()
             return None
         dead = self._is_dead(entry, now) if follow_links else entry.is_expired(now)
         if dead or entry.credibility < min_credibility:
             self.stats.misses += 1
+            self._m_misses.inc()
+            if dead:
+                self._m_expired.inc()
             return None
         self.stats.hits += 1
+        self._m_hits.inc()
         if self.max_entries is not None:
             # Touch for LRU recency (only tracked when bounded).
             key = (name, rdtype, rdclass)
@@ -313,6 +346,7 @@ class Cache:
         entry = self._entries.get((name, rdtype, rdclass))
         if entry is not None:
             self.stats.stale_hits += 1
+            self._m_stale.inc()
         return entry
 
     def get_negative(

@@ -42,6 +42,10 @@ MAX_SUBRESOLUTION_DEPTH = 4
 #: a small non-zero value so downstreams do not re-query instantly).
 STALE_ANSWER_TTL = 30
 
+#: Referral-depth histogram buckets: one bucket per step up to the hard
+#: ceiling, so shard merges are exact and depth distributions lossless.
+_REFERRAL_DEPTH_BUCKETS = tuple(float(step) for step in range(1, MAX_REFERRAL_STEPS + 1))
+
 
 @dataclass
 class ResolutionResult:
@@ -105,10 +109,33 @@ class RecursiveResolver:
             from repro.server.axfr import LocalZoneMirror
 
             self._root_mirror = LocalZoneMirror(root_zone)
-        self.cache = Cache(max_ttl=self.policy.ttl_cap, min_ttl=self.policy.ttl_floor)
+        # The fabric's registry (attached via Network.attach_metrics before
+        # resolvers are built) aggregates resolver and cache metrics for
+        # the whole world; without one, null metrics keep hot paths cheap.
+        metrics = getattr(network, "metrics", None)
+        self.cache = Cache(
+            max_ttl=self.policy.ttl_cap,
+            min_ttl=self.policy.ttl_floor,
+            metrics=metrics,
+        )
         self._rotation: dict[Name, int] = {}
         self.queries_sent = 0
         self.client_queries = 0
+        self._last_iteration_steps = 0
+        if metrics is not None:
+            self._m_client_queries = metrics.counter("resolver.client_queries")
+            self._m_upstream = metrics.counter("resolver.upstream_queries")
+            self._m_servfail = metrics.counter("resolver.servfail")
+            self._m_served_stale = metrics.counter("resolver.served_stale")
+            self._m_referral_depth = metrics.histogram(
+                "resolver.referral_depth", _REFERRAL_DEPTH_BUCKETS
+            )
+        else:
+            from repro.metrics.registry import NULL_COUNTER, NULL_HISTOGRAM
+
+            self._m_client_queries = self._m_upstream = NULL_COUNTER
+            self._m_servfail = self._m_served_stale = NULL_COUNTER
+            self._m_referral_depth = NULL_HISTOGRAM
 
     def __repr__(self) -> str:
         return f"RecursiveResolver({self.endpoint.address}, {self.policy.describe()})"
@@ -125,6 +152,7 @@ class RecursiveResolver:
         ``elapsed`` is the upstream time spent beyond that instant.
         """
         self.client_queries += 1
+        self._m_client_queries.inc()
         name = Name(qname)
 
         negative = self.cache.get_negative(name, qtype, now)
@@ -144,7 +172,9 @@ class RecursiveResolver:
             stale = self._serve_stale(name, qtype)
             if stale is not None:
                 stale.elapsed = failure.elapsed
+                self._m_served_stale.inc()
                 return stale
+            self._m_servfail.inc()
             return ResolutionResult(rcode=Rcode.SERVFAIL, elapsed=failure.elapsed)
 
     def _maybe_prefetch(self, qname: Name, qtype: RdataType, now: float) -> None:
@@ -271,9 +301,24 @@ class RecursiveResolver:
         contacted: list[str],
     ) -> "_IterationOutcome":
         """Walk referrals for one owner name until an answer or failure."""
+        try:
+            return self._iterate_steps(qname, qtype, now, depth, contacted)
+        finally:
+            self._m_referral_depth.observe(self._last_iteration_steps)
+
+    def _iterate_steps(
+        self,
+        qname: Name,
+        qtype: RdataType,
+        now: float,
+        depth: int,
+        contacted: list[str],
+    ) -> "_IterationOutcome":
         elapsed = 0.0
         previous_cut_depth = -1
+        self._last_iteration_steps = 0
         for _ in range(MAX_REFERRAL_STEPS):
+            self._last_iteration_steps += 1
             cut, servers = self._best_servers(qname, now + elapsed)
 
             if cut.is_root and self._root_mirror is not None:
@@ -460,6 +505,7 @@ class RecursiveResolver:
             elapsed += exchange_time
             contacted.append(address)
             self.queries_sent += 1
+            self._m_upstream.inc()
             if response.rcode in (Rcode.REFUSED, Rcode.NOTIMP, Rcode.FORMERR):
                 # A lame server (not actually serving the zone): try the
                 # next one, as real resolvers do.
@@ -490,6 +536,7 @@ class RecursiveResolver:
         except NetworkTimeout:
             return
         self.queries_sent += 1
+        self._m_upstream.inc()
         if not (response.flags.aa and response.answer):
             return
         for rrset in response.rrsets(Section.ANSWER):

@@ -24,9 +24,21 @@ __all__ = [
 ]
 
 
+#: Version of the per-shard checkpoint payload layout.  Bumped when the
+#: shape of what shard functions return changes (v2: every shard returns
+#: ``{"results": ..., "queries": int, "metrics": snapshot payload}``), so
+#: run dirs written by an older layout fail loudly instead of merging
+#: garbage.
+SHARD_PAYLOAD_VERSION = 2
+
+
 def campaign_fingerprint(kind: str, **params: Any) -> dict[str, Any]:
     """The JSON-able identity of a campaign, used to guard run dirs."""
-    return {"kind": kind, "params": dict(sorted(params.items()))}
+    return {
+        "kind": kind,
+        "payload_version": SHARD_PAYLOAD_VERSION,
+        "params": dict(sorted(params.items())),
+    }
 
 
 # ------------------------------------------------------------- centricity
@@ -47,26 +59,37 @@ def centricity_shard(
     world_kwargs: dict[str, Any],
     spec_kwargs: dict[str, Any],
     qtype_name: str,
-) -> "ResultSet":
+) -> dict[str, Any]:
     """Run one shard of an active centricity campaign (§3.2/§3.3).
 
     Builds the shard's world from ``shard.seed``, attaches a population
     of ``shard.count`` probes whose ids start at ``shard.start``, and
-    runs the measurement spec against every vantage point.
+    runs the measurement spec against every vantage point.  Returns
+    ``{"results": ResultSet, "queries": int, "metrics": payload}`` —
+    the shard's sim-domain metrics snapshot rides along so the merged
+    campaign observes the whole simulated world exactly.
     """
     from repro.atlas.measurement import Measurement, MeasurementSpec
     from repro.core.experiment import make_population
     from repro.dns.rdtypes import RdataType
+    from repro.metrics.registry import MetricsRegistry
 
+    registry = MetricsRegistry()
     built = _world_builders()[builder](shard.seed, **world_kwargs)
     world = getattr(built, "world", built)
+    world.network.attach_metrics(registry)
     population = make_population(
         world, probes=shard.count, seed=shard.seed, probe_id_base=shard.start
     )
     spec = MeasurementSpec(qtype=RdataType[qtype_name], **spec_kwargs)
-    return Measurement(
+    results = Measurement(
         spec=spec, vantage_points=population.vantage_points(), seed=shard.seed
     ).run()
+    return {
+        "results": results,
+        "queries": len(results),
+        "metrics": registry.snapshot().to_payload(),
+    }
 
 
 # ------------------------------------------------------------- controlled TTL
@@ -74,7 +97,7 @@ def centricity_shard(
 
 def controlled_shard(
     shard: Shard, *, runs: list[dict[str, Any]]
-) -> "ControlledRun":
+) -> dict[str, Any]:
     """Run one of the §6.2 controlled experiments (one shard per run).
 
     ``runs[shard.index]`` carries exactly the arguments the serial
@@ -82,8 +105,15 @@ def controlled_shard(
     sharded campaign reproduces the serial scenario verbatim.
     """
     from repro.core.scenarios import _run_controlled
+    from repro.metrics.registry import MetricsRegistry
 
-    return _run_controlled(**runs[shard.index])
+    registry = MetricsRegistry()
+    run = _run_controlled(**runs[shard.index], metrics=registry)
+    return {
+        "results": run,
+        "queries": run.client_summary["queries"],
+        "metrics": registry.snapshot().to_payload(),
+    }
 
 
 # ------------------------------------------------------------- crawl
@@ -101,13 +131,21 @@ def crawl_shard(
 
     The universe is rebuilt from ``(scale, seed, lists)`` — identical in
     every shard — and the shard crawls ``domains[start:stop]``.  Returns
-    ``{"result": CrawlResult, "queries": int}`` so the executor's
-    progress telemetry can count simulated queries.
+    ``{"results": CrawlResult, "queries": int, "metrics": payload}`` so
+    the executor's progress telemetry can count simulated queries and
+    the merged campaign carries an exact metrics snapshot.
     """
     from repro.crawler.crawl import Crawler
     from repro.crawler.toplists import build_crawl_universe
+    from repro.metrics.registry import MetricsRegistry
 
+    registry = MetricsRegistry()
     universe = build_crawl_universe(scale=scale, seed=seed, lists=lists)
+    universe.network.attach_metrics(registry)
     crawler = Crawler(universe, timeout=timeout)
     result = crawler.crawl(universe.domains[shard.start : shard.stop])
-    return {"result": result, "queries": crawler.queries_sent}
+    return {
+        "results": result,
+        "queries": crawler.queries_sent,
+        "metrics": registry.snapshot().to_payload(),
+    }

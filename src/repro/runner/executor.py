@@ -36,11 +36,22 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from repro.metrics.registry import (
+    HOST,
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+    log_buckets,
+)
 from repro.runner.checkpoint import CheckpointStore
 from repro.runner.progress import ProgressTracker
 from repro.runner.shard import Shard
 
 __all__ = ["RetryPolicy", "ShardError", "ShardOutcome", "ShardExecutor"]
+
+#: Per-shard wall-time buckets: 1 ms .. 1 h.  Host-domain telemetry only —
+#: wall clocks never enter the deterministic (sim) snapshot.
+SHARD_WALL_BUCKETS = log_buckets(0.001, 3600.0, per_decade=2)
 
 
 @dataclass(frozen=True)
@@ -102,8 +113,29 @@ class ShardExecutor:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     checkpoint: Optional[CheckpointStore] = None
     tracker: Optional[ProgressTracker] = None
+    #: Host-domain execution telemetry lands here when set (wall times,
+    #: retries, checkpoint hits); sim-domain metrics come from the shards.
+    metrics: Optional[MetricsRegistry] = None
     #: Injectable sleep, so tests can pin backoff waits.
     sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.metrics is not None:
+            self._m_wall = self.metrics.histogram(
+                "runner.shard_wall_seconds", SHARD_WALL_BUCKETS, domain=HOST
+            )
+            self._m_completed = self.metrics.counter(
+                "runner.shards_completed", domain=HOST
+            )
+            self._m_cached = self.metrics.counter(
+                "runner.shards_cached", domain=HOST
+            )
+            self._m_retries = self.metrics.counter("runner.retries", domain=HOST)
+            self._m_failures = self.metrics.counter("runner.failures", domain=HOST)
+        else:
+            self._m_wall = NULL_HISTOGRAM
+            self._m_completed = self._m_cached = NULL_COUNTER
+            self._m_retries = self._m_failures = NULL_COUNTER
 
     def run(
         self,
@@ -145,6 +177,7 @@ class ShardExecutor:
                 cached.append(
                     ShardOutcome(shard=shard, value=value, attempts=0, cached=True)
                 )
+                self._m_cached.inc()
                 if self.tracker is not None:
                     self.tracker.shard_done(
                         shard.index, queries=_query_count(value), cached=True
@@ -156,6 +189,8 @@ class ShardExecutor:
     def _record(self, shard: Shard, value: Any, attempts: int, wall: float) -> ShardOutcome:
         if self.checkpoint is not None:
             self.checkpoint.save(shard.index, value)
+        self._m_completed.inc()
+        self._m_wall.observe(wall)
         if self.tracker is not None:
             self.tracker.shard_done(shard.index, queries=_query_count(value))
         return ShardOutcome(
@@ -163,6 +198,10 @@ class ShardExecutor:
         )
 
     def _note_failure(self, shard: Shard, attempt: int, final: bool) -> None:
+        if final:
+            self._m_failures.inc()
+        else:
+            self._m_retries.inc()
         if self.tracker is None:
             return
         if final:

@@ -16,8 +16,15 @@ from typing import Iterable, Optional
 
 from repro.atlas.results import MeasurementResult, ResultSet
 from repro.crawler.crawl import CrawlRecord, CrawlResult
+from repro.metrics.snapshot import MetricsSnapshot, merge_snapshots
 
-__all__ = ["MergeError", "merge_result_sets", "merge_crawl_results", "merge_counts"]
+__all__ = [
+    "MergeError",
+    "merge_result_sets",
+    "merge_crawl_results",
+    "merge_counts",
+    "merge_shard_metrics",
+]
 
 
 class MergeError(ValueError):
@@ -121,6 +128,21 @@ def merge_crawl_results(
             seen.add(name)
     total_queries = sum(queries) if queries is not None else 0
     return CrawlResult(records), total_queries
+
+
+def merge_shard_metrics(values: Iterable[dict]) -> MetricsSnapshot:
+    """Fold shard payloads' ``"metrics"`` entries into one exact snapshot.
+
+    Shards that predate the metrics payload (or report none) contribute
+    the empty identity, so resumed mixed-version runs still merge — the
+    fingerprint's payload version normally rules those out anyway.
+    """
+    parts = [
+        MetricsSnapshot.from_payload(value["metrics"])
+        for value in values
+        if isinstance(value, dict) and value.get("metrics") is not None
+    ]
+    return merge_snapshots(parts)
 
 
 def merge_counts(parts: Iterable[dict[str, int]]) -> dict[str, int]:

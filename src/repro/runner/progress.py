@@ -36,11 +36,21 @@ class ProgressEvent:
     attempt: int = 0
     #: True when the shard's result was loaded from a checkpoint.
     cached: bool = False
+    #: Queries restored from checkpoints (subset of ``queries``).  These
+    #: cost no wall time this run, so throughput excludes them — a
+    #: resumed campaign must not report inflated q/s.
+    cached_queries: int = 0
 
     @property
     def queries_per_second(self) -> float:
-        """Simulated-query throughput over the wall clock so far."""
-        return self.queries / self.elapsed if self.elapsed > 0 else 0.0
+        """Fresh-query throughput over the wall clock so far.
+
+        Checkpoint-restored queries are excluded: they were computed in
+        an earlier run, and dividing them by this run's near-zero elapsed
+        time would inflate the rate arbitrarily.
+        """
+        fresh = self.queries - self.cached_queries
+        return fresh / self.elapsed if self.elapsed > 0 else 0.0
 
     @property
     def fraction_done(self) -> float:
@@ -62,6 +72,7 @@ class ProgressTracker:
         self._started_at = self.clock()
         self._shards_done = 0
         self._queries = 0
+        self._cached_queries = 0
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> ProgressEvent:
@@ -72,6 +83,8 @@ class ProgressTracker:
     ) -> ProgressEvent:
         self._shards_done += 1
         self._queries += queries
+        if cached:
+            self._cached_queries += queries
         return self._emit("shard-done", shard_index=shard_index, cached=cached)
 
     def shard_retry(self, shard_index: int, attempt: int) -> ProgressEvent:
@@ -87,6 +100,10 @@ class ProgressTracker:
     @property
     def queries(self) -> int:
         return self._queries
+
+    @property
+    def cached_queries(self) -> int:
+        return self._cached_queries
 
     @property
     def elapsed(self) -> float:
@@ -109,6 +126,7 @@ class ProgressTracker:
             shard_index=shard_index,
             attempt=attempt,
             cached=cached,
+            cached_queries=self._cached_queries,
         )
         self.events.append(event)
         if self.callback is not None:
@@ -131,9 +149,15 @@ def render_event(event: ProgressEvent) -> str:
             f"after {event.attempt} attempts"
         )
     tag = " (checkpoint)" if event.cached else ""
+    cached_note = (
+        f" ({event.cached_queries:,} from checkpoints)"
+        if event.cached_queries
+        else ""
+    )
     line = (
         f"[{event.campaign}] {event.shards_done}/{event.shards_total} shards"
-        f" · {event.queries:,} queries · {event.queries_per_second:,.0f} q/s"
+        f" · {event.queries:,} queries{cached_note}"
+        f" · {event.queries_per_second:,.0f} q/s"
         f" · {event.elapsed:.1f}s"
     )
     if event.status == "shard-done":

@@ -39,6 +39,8 @@ class AnycastCluster:
             self.add_zone(zone)
         self.service_address = service_address
         self.query_log: Optional[QueryLog] = QueryLog() if log_queries else None
+        #: Total queries handled, counted even when the per-entry log is off.
+        self.queries_received = 0
         self._catchment_cache: dict[str, Endpoint] = {}
 
     def __repr__(self) -> str:
@@ -83,6 +85,7 @@ class AnycastCluster:
 
     # -- query handling ---------------------------------------------------------
     def handle_query(self, query: Message, client: Endpoint, now: float) -> Message:
+        self.queries_received += 1
         site = self.endpoint_for(client, self._latency)
         if query.question is not None and self.query_log is not None:
             self.query_log.append(

@@ -33,6 +33,8 @@ class AuthoritativeServer:
         for zone in zones or ():
             self.add_zone(zone)
         self.query_log: Optional[QueryLog] = QueryLog() if log_queries else None
+        #: Total queries handled, counted even when the per-entry log is off.
+        self.queries_received = 0
 
     def __repr__(self) -> str:
         origins = ",".join(str(origin) for origin in self._zones)
@@ -72,6 +74,7 @@ class AuthoritativeServer:
 
     # -- query handling ---------------------------------------------------------
     def handle_query(self, query: Message, client: Endpoint, now: float) -> Message:
+        self.queries_received += 1
         if query.question is not None and self.query_log is not None:
             self.query_log.append(
                 QueryLogEntry(

@@ -1,0 +1,130 @@
+"""Regenerate the wire-format regression corpus.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/dns/data/gen_corpus.py
+
+Each blob is a complete DNS message (12-byte header + body).  Files named
+``valid_*.bin`` must decode cleanly and re-encode; files named
+``reject_*.bin`` must raise ``WireError``/``ValueError`` — and, crucially,
+must *terminate*: the ``reject_pointer_*`` blobs pin the fix for the
+compression-pointer loop (pointers must point strictly backwards and
+successive targets must strictly decrease), which a naive decoder chases
+forever.  ``tests/dns/test_wire_roundtrip.py`` replays every blob.
+"""
+
+import pathlib
+
+HERE = pathlib.Path(__file__).parent
+
+#: Standard query header: id 0x1234, RD, one question, no records.
+QUERY_HEADER = bytes.fromhex("123401000001000000000000")
+#: Response header used by the historical pointer-loop reproducer.
+LOOP_HEADER = bytes.fromhex("123480000001000000000000")
+QTYPE_QCLASS = b"\x00\x01\x00\x01"  # A, IN
+
+
+def valid_response() -> bytes:
+    from repro.dns.message import Message, Section
+    from repro.dns.name import Name
+    from repro.dns.rdtypes import A, NS, RdataType
+    from repro.dns.record import ResourceRecord
+
+    query = Message.make_query("www.example.com", RdataType.A, id=0x1234)
+    response = query.make_response(authoritative=True)
+    response.add(
+        Section.ANSWER,
+        ResourceRecord(Name("www.example.com"), RdataType.A, 300, A("192.0.2.1")),
+    )
+    response.add(
+        Section.AUTHORITY,
+        ResourceRecord(
+            Name("example.com"), RdataType.NS, 3600, NS(Name("ns1.example.com"))
+        ),
+    )
+    return response.to_wire()
+
+
+def valid_compressed() -> bytes:
+    """Many records sharing suffixes: compression pointers all legal."""
+    from repro.dns.message import Message, Section
+    from repro.dns.name import Name
+    from repro.dns.rdtypes import A, NS, RdataType
+    from repro.dns.record import ResourceRecord
+
+    query = Message.make_query("a.b.c.example.com", RdataType.NS, id=0x0042)
+    response = query.make_response(authoritative=True)
+    for index, owner in enumerate(
+        ("a.b.c.example.com", "b.c.example.com", "c.example.com", "example.com")
+    ):
+        response.add(
+            Section.AUTHORITY,
+            ResourceRecord(
+                Name(owner), RdataType.NS, 3600, NS(Name(f"ns{index}.example.com"))
+            ),
+        )
+        response.add(
+            Section.ADDITIONAL,
+            ResourceRecord(
+                Name(f"ns{index}.example.com"), RdataType.A, 300,
+                A(f"192.0.2.{index + 1}"),
+            ),
+        )
+    return response.to_wire()
+
+
+CORPUS = {
+    # -- must decode ---------------------------------------------------------
+    "valid_response.bin": valid_response,
+    "valid_compressed_names.bin": valid_compressed,
+    # -- must be rejected (and must terminate) ------------------------------
+    # The historical reproducer: question name at offset 12 points to
+    # offset 14, where parsing runs into a pointer back to offset 12 — a
+    # mutual loop a naive decoder chases forever.
+    "reject_pointer_loop_mutual.bin": lambda: (
+        LOOP_HEADER + b"\xc0\x0e\x00\x01\x00\x01" + b"\xc0\x0c"
+    ),
+    # Question name is a pointer to itself (offset 12 -> 12).
+    "reject_pointer_self.bin": lambda: (
+        QUERY_HEADER + b"\xc0\x0c" + QTYPE_QCLASS
+    ),
+    # Pointer to a *later* offset (12 -> 32): forward references are
+    # illegal even when the target exists.
+    "reject_pointer_forward.bin": lambda: (
+        QUERY_HEADER + b"\xc0\x20" + QTYPE_QCLASS + b"\x00" * 32
+    ),
+    # A label followed by a pointer back to the label's own start: each
+    # traversal re-reads the label and hits the same pointer again —
+    # terminates only because successive pointer targets must strictly
+    # decrease.
+    "reject_pointer_stall.bin": lambda: (
+        QUERY_HEADER + b"\x01a\xc0\x0c" + QTYPE_QCLASS
+    ),
+    # Message ends in the middle of a two-octet compression pointer.
+    "reject_truncated_pointer.bin": lambda: QUERY_HEADER + b"\x01a\xc0",
+    # Question section cut off after the name.
+    "reject_truncated_question.bin": lambda: (
+        QUERY_HEADER + b"\x03www\x07example\x03com\x00\x00"
+    ),
+    # Four 63-octet labels: 256 encoded octets, over the 255-octet limit.
+    "reject_name_too_long.bin": lambda: (
+        QUERY_HEADER + (b"\x3f" + b"a" * 63) * 4 + b"\x00" + QTYPE_QCLASS
+    ),
+    # Label length with the reserved 0x80 type bits set.
+    "reject_reserved_label_type.bin": lambda: (
+        QUERY_HEADER + b"\x80a\x00" + QTYPE_QCLASS
+    ),
+    # Header promises a question that never appears.
+    "reject_empty_body.bin": lambda: QUERY_HEADER,
+}
+
+
+def main() -> None:
+    for filename, build in CORPUS.items():
+        path = HERE / filename
+        path.write_bytes(build())
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Wire-format regression corpus + encode/decode round-trip fuzz.
+
+The corpus under ``tests/dns/data/`` pins the compression-pointer-loop
+fix: every blob — valid or hostile — must make ``Message.from_wire``
+*terminate*, either with a clean parse or with ``WireError`` /
+``ValueError``.  The ``reject_pointer_*`` blobs are exactly the inputs a
+decoder without the strictly-decreasing-pointer rule chases forever, so
+running this file at all is the regression test.  Regenerate blobs with
+``PYTHONPATH=src python tests/dns/data/gen_corpus.py``.
+"""
+
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.message import Message, Section
+from repro.dns.wire import WireError
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+CORPUS = sorted(DATA_DIR.glob("*.bin"))
+
+
+def test_corpus_is_present():
+    names = {path.name for path in CORPUS}
+    # The historical reproducer must never silently vanish from the set.
+    assert "reject_pointer_loop_mutual.bin" in names
+    assert any(name.startswith("valid_") for name in names)
+    assert len(CORPUS) >= 8
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+def test_every_corpus_blob_terminates(path):
+    """Decode must terminate on every blob: parse cleanly or fail cleanly."""
+    blob = path.read_bytes()
+    try:
+        decoded = Message.from_wire(blob)
+    except (WireError, ValueError):
+        assert path.name.startswith("reject_"), (
+            f"{path.name}: a valid_* blob failed to decode"
+        )
+        return
+    assert path.name.startswith("valid_"), (
+        f"{path.name}: a reject_* blob decoded without error"
+    )
+    decoded.to_wire()  # whatever decodes must re-encode without crashing
+
+
+@pytest.mark.parametrize(
+    "path",
+    [p for p in CORPUS if p.name.startswith("valid_")],
+    ids=lambda p: p.name,
+)
+def test_valid_blobs_round_trip(path):
+    """Decode → encode → decode is a fixed point for the valid blobs."""
+    first = Message.from_wire(path.read_bytes())
+    second = Message.from_wire(first.to_wire())
+    assert second.id == first.id
+    assert second.rcode == first.rcode
+    assert second.question == first.question
+    for section in (Section.ANSWER, Section.AUTHORITY, Section.ADDITIONAL):
+        assert second.section(section) == first.section(section)
+
+
+@settings(max_examples=200)
+@given(
+    st.sampled_from([p for p in CORPUS if p.name.startswith("reject_")]),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=300),
+)
+def test_mutated_hostile_blobs_still_terminate(path, value, position):
+    """Single-byte mutations of the hostile corpus cannot re-open a loop."""
+    blob = bytearray(path.read_bytes())
+    blob[position % len(blob)] = value
+    try:
+        Message.from_wire(bytes(blob))
+    except (WireError, ValueError):
+        pass
+
+
+@settings(max_examples=100)
+@given(st.binary(min_size=12, max_size=64))
+def test_pointer_heavy_random_bodies_terminate(body):
+    """Random bodies salted with pointer octets: the worst case for a
+    decoder without the backwards-only rule."""
+    salted = bytes(
+        0xC0 if index % 3 == 0 else byte for index, byte in enumerate(body)
+    )
+    blob = bytes.fromhex("123401000001000000000000") + salted
+    try:
+        Message.from_wire(blob)
+    except (WireError, ValueError):
+        pass

@@ -1,0 +1,77 @@
+"""Shard-independence of exported metrics (the determinism contract).
+
+ISSUE 2 acceptance: a campaign run serially and the same campaign run
+with ``--parallel 4`` on the same shard plan must export *byte-identical*
+metrics JSON.  Sim-domain metrics are facts of the simulated world, so
+neither the worker count nor shard completion order may leak into them;
+host-domain telemetry (wall clocks, retries) is excluded from the export
+by default, which is exactly what makes the bytes comparable.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core.scenarios import scenario_uy_ns
+from repro.metrics.schema import validate_json
+
+SEED = 20191021
+PROBES = 32
+DURATION = 1200.0
+
+
+@pytest.fixture(scope="module")
+def serial_metrics():
+    run = scenario_uy_ns(
+        seed=SEED, probes=PROBES, duration=DURATION, parallelism=1, shards=4
+    )
+    assert run.metrics is not None
+    return run.metrics
+
+
+def test_serial_vs_parallel_4_byte_identical(serial_metrics):
+    parallel = scenario_uy_ns(
+        seed=SEED, probes=PROBES, duration=DURATION, parallelism=4, shards=4
+    )
+    assert parallel.metrics is not None
+    assert parallel.metrics.to_json() == serial_metrics.to_json()
+
+
+def test_exported_metrics_cover_the_instrumented_surface(serial_metrics):
+    exported = serial_metrics.without_host()
+    names = set(exported.metrics)
+    # One metric from each instrumented layer must survive the merge.
+    assert "resolver.client_queries" in names
+    assert "resolver.upstream_queries" in names
+    assert "cache.hits" in names
+    assert "net.exchanges" in names
+    assert "net.rtt_ms" in names
+    assert "auth.queries" in names
+    # Queries actually flowed through every layer.
+    assert exported.value("resolver.client_queries") > 0
+    assert exported.value("net.exchanges") > 0
+
+
+def test_host_telemetry_present_but_not_exported(serial_metrics):
+    # The campaign-level snapshot carries runner wall-clock telemetry...
+    assert serial_metrics.value("runner.shards_completed") == 4
+    # ...but the canonical export drops it.
+    assert "runner.shards_completed" not in serial_metrics.without_host().metrics
+    assert "runner" not in serial_metrics.to_json()
+
+
+def test_cli_run_metrics_files_byte_identical(tmp_path):
+    """`repro run --metrics` end to end: serial vs --parallel 4 file bytes."""
+    paths = {}
+    for label, parallel in (("serial", "1"), ("parallel", "4")):
+        out = tmp_path / f"{label}.json"
+        code = main([
+            "run", "t2-uy", "--probes", str(PROBES),
+            "--duration", str(int(DURATION)), "--seed", str(SEED),
+            "--parallel", parallel, "--shards", "4",
+            "--metrics", str(out), "--quiet",
+        ])
+        assert code == 0
+        paths[label] = out
+    serial_bytes = paths["serial"].read_bytes()
+    assert serial_bytes == paths["parallel"].read_bytes()
+    assert validate_json(serial_bytes.decode("ascii")) == []

@@ -2,7 +2,7 @@
 
 import string
 
-from hypothesis import given
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.dns.name import Name
@@ -91,3 +91,111 @@ def test_linked_entry_never_outlives_target(ns_ttl, a_ttl):
     effective_death = min(ns_ttl, a_ttl)
     assert cache.get(Name("srv.zone.example"), RdataType.A, now=effective_death - 0.5) is not None
     assert cache.get(Name("srv.zone.example"), RdataType.A, now=effective_death + 0.5) is None
+
+
+@given(
+    names,
+    st.integers(min_value=1, max_value=10**6),
+    credibilities,
+    credibilities,
+    times,
+)
+def test_live_entry_survives_lower_credibility_arrival(
+    name, ttl, cred_old, cred_new, fraction
+):
+    """An arriving RRset never displaces a live entry of strictly higher
+    credibility — the single rule that makes resolvers child-centric
+    (RFC 2181 §5.4.1; paper §4.1)."""
+    assume(cred_new < cred_old)
+    cache = Cache()
+    cache.put(rrset_for(name, ttl, 1), cred_old, now=0.0)
+    later = (fraction % 1.0) * (ttl - 0.5)  # any instant while still live
+    accepted = cache.put(rrset_for(name, ttl, 2), cred_new, now=later)
+    assert not accepted
+    entry = cache.peek(name, RdataType.A)
+    assert entry is not None
+    assert entry.credibility == cred_old
+    assert str(entry.rrset.rdatas[0]) == "192.0.2.1"  # original data intact
+    assert cache.stats.refused_downgrades == 1
+
+
+@given(
+    st.integers(min_value=2, max_value=10**5),
+    st.integers(min_value=2, max_value=10**5),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_linked_entry_dies_when_target_is_replaced(ns_ttl, a_ttl, fraction):
+    """Glue is tied to the *generation* of the NS set it arrived with: a
+    replacement of the NS entry (not just its expiry) kills the old glue,
+    so a later refresh never resurrects stale addresses (§4.2)."""
+    from repro.dns.rdtypes import NS, RdataClass
+
+    cache = Cache()
+    zone = Name("zone.example")
+    server = Name("srv.zone.example")
+    ns_key = (zone, RdataType.NS, RdataClass.IN)
+    ns = RRset(zone, RdataType.NS, ns_ttl, [NS(server)])
+    cache.put(ns, Credibility.AUTHORITY, now=0.0)
+    cache.put(
+        rrset_for(server, a_ttl, 1),
+        Credibility.ADDITIONAL,
+        now=0.0,
+        linked_to=ns_key,
+    )
+    # Replace the NS set while everything is still live: an authoritative
+    # answer outranks the referral's authority data, so the put succeeds
+    # and bumps the key's generation.
+    replace_at = fraction * (min(ns_ttl, a_ttl) - 1.0)
+    replaced = cache.put(
+        RRset(zone, RdataType.NS, ns_ttl, [NS(server)]),
+        Credibility.AUTH_ANSWER,
+        now=replace_at,
+    )
+    assert replaced
+    # The new NS entry is live, the glue's own TTL has not passed — yet
+    # the glue is dead, because its link names the previous generation.
+    probe_at = replace_at + 0.5
+    assert cache.get(zone, RdataType.NS, now=probe_at) is not None
+    assert cache.get(server, RdataType.A, now=probe_at) is None
+    # Only the generation link killed it: ignoring links it is still live.
+    assert (
+        cache.get(server, RdataType.A, now=probe_at, follow_links=False)
+        is not None
+    )
+
+
+@given(
+    st.lists(st.booleans(), min_size=2, max_size=12),
+    st.integers(min_value=1, max_value=8),
+)
+def test_lru_eviction_prefers_dead_entries(liveness, fresh_inserts):
+    """A bounded cache under pressure evicts dead entries (expired or
+    link-broken) before sacrificing any live one."""
+    assume(any(liveness))  # at least one live original, else trivial
+    cache = Cache(max_entries=len(liveness))
+    originals = []
+    for index, lives in enumerate(liveness):
+        name = Name(f"orig-{index}.example")
+        ttl = 10**6 if lives else 1  # dead entries expire at t=1
+        cache.put(rrset_for(name, ttl, index), Credibility.AUTH_ANSWER, now=0.0)
+        originals.append((name, lives))
+    now = 100.0  # every short-TTL entry is dead, every long one live
+    for index in range(fresh_inserts):
+        cache.put(
+            rrset_for(Name(f"fresh-{index}.example"), 10**6, index),
+            Credibility.AUTH_ANSWER,
+            now=now,
+        )
+        dead_remaining = [
+            name for name, lives in originals
+            if not lives and cache.peek(name, RdataType.A) is not None
+        ]
+        live_evicted = [
+            name for name, lives in originals
+            if lives and cache.peek(name, RdataType.A) is None
+        ]
+        # Invariant after every overflow: no live entry goes while a dead
+        # one stays.
+        assert not (dead_remaining and live_evicted)
+        assert len(cache) <= len(liveness)
+    assert cache.stats.evictions == fresh_inserts

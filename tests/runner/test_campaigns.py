@@ -121,7 +121,7 @@ CRAWL_SCALE = 0.0001
 def test_crawl_parallel_equals_plain_serial_crawl():
     universe = build_crawl_universe(scale=CRAWL_SCALE, seed=5)
     serial = Crawler(universe).crawl()
-    merged, queries = crawl_parallel(
+    merged, queries, _ = crawl_parallel(
         scale=CRAWL_SCALE, seed=5, parallelism=3, shards=5
     )
     assert merged.records == serial.records
@@ -130,18 +130,18 @@ def test_crawl_parallel_equals_plain_serial_crawl():
 
 
 def test_crawl_default_shards_ignore_worker_count():
-    one, _ = crawl_parallel(scale=CRAWL_SCALE, seed=5, parallelism=1)
-    two, _ = crawl_parallel(scale=CRAWL_SCALE, seed=5, parallelism=2)
+    one, _, _ = crawl_parallel(scale=CRAWL_SCALE, seed=5, parallelism=1)
+    two, _, _ = crawl_parallel(scale=CRAWL_SCALE, seed=5, parallelism=2)
     assert one.records == two.records
 
 
 def test_crawl_checkpoint_resume(tmp_path):
     run_dir = tmp_path / "crawl"
-    first, _ = crawl_parallel(
+    first, _, _ = crawl_parallel(
         scale=CRAWL_SCALE, seed=5, parallelism=1, shards=3, run_dir=str(run_dir)
     )
     events = []
-    second, _ = crawl_parallel(
+    second, _, _ = crawl_parallel(
         scale=CRAWL_SCALE, seed=5, parallelism=1, shards=3,
         run_dir=str(run_dir), progress=events.append,
     )

@@ -75,3 +75,40 @@ def test_zero_elapsed_has_zero_qps():
     )
     assert event.queries_per_second == 0.0
     assert event.fraction_done == 1.0
+
+
+def test_resumed_run_excludes_cached_queries_from_throughput():
+    # A resumed campaign restores most shards from checkpoints in near-zero
+    # wall time; their queries must not inflate q/s.  Three cached shards
+    # land instantly, one fresh shard takes 2 s of wall clock.
+    clock = _manual_clock([0.0, 0.1, 0.1, 0.1, 2.0])
+    tracker = ProgressTracker(campaign="t", shards_total=4, clock=clock)
+    tracker.shard_done(0, queries=1000, cached=True)
+    tracker.shard_done(1, queries=1000, cached=True)
+    tracker.shard_done(3, queries=1000, cached=True)
+    event = tracker.shard_done(2, queries=500)
+    assert event.queries == 3500
+    assert event.cached_queries == 3000
+    assert tracker.cached_queries == 3000
+    # Only the 500 fresh queries count against the 2 s elapsed.
+    assert event.queries_per_second == 250.0
+
+
+def test_fully_cached_resume_reports_zero_qps():
+    clock = _manual_clock([0.0, 0.05, 0.05])
+    tracker = ProgressTracker(campaign="t", shards_total=2, clock=clock)
+    tracker.shard_done(0, queries=800, cached=True)
+    event = tracker.shard_done(1, queries=200, cached=True)
+    assert event.queries == 1000
+    assert event.queries_per_second == 0.0
+
+
+def test_render_notes_checkpoint_queries():
+    event = ProgressEvent(
+        campaign="uy-NS", status="shard-done", shards_done=2, shards_total=4,
+        queries=1200, elapsed=2.0, shard_index=1, cached=True,
+        cached_queries=1000,
+    )
+    line = render_event(event)
+    assert "(1,000 from checkpoints)" in line
+    assert "100 q/s" in line  # (1200-1000)/2, not 1200/2

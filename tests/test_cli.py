@@ -162,3 +162,47 @@ class TestSimulationCommands:
         out = capsys.readouterr().out
         assert "out-of-bailiwick" in out
         assert "Alexa" in out
+
+
+class TestMetricsCommand:
+    def _snapshot_file(self, tmp_path):
+        from repro.metrics import MetricsRegistry, log_buckets
+
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(42)
+        registry.labeled_counter("auth.queries").inc("ns1.example", 7)
+        registry.histogram("net.rtt_ms", bounds=log_buckets(1.0, 1000.0)).observe(35.0)
+        path = tmp_path / "metrics.json"
+        path.write_text(registry.snapshot().to_json(include_host=True))
+        return path
+
+    def test_render(self, tmp_path, capsys):
+        path = self._snapshot_file(tmp_path)
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache.hits" in out and "42" in out
+        assert "auth.queries" in out and "net.rtt_ms" in out
+
+    def test_validate_only(self, tmp_path, capsys):
+        path = self._snapshot_file(tmp_path)
+        assert main(["metrics", str(path), "--validate-only"]) == 0
+        out = capsys.readouterr().out
+        assert "valid (3 metrics)" in out
+
+    def test_invalid_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"schema": "repro.metrics/v1", "metrics": {"c": '
+                        '{"kind": "counter", "domain": "sim", "value": -5}}}')
+        assert main(["metrics", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid" in err
+
+    def test_run_writes_metrics_file(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        assert main([
+            "run", "t2-uy", "--probes", "8", "--duration", "600",
+            "--metrics", str(out), "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(out), "--validate-only"]) == 0
+        assert "valid" in capsys.readouterr().out
