@@ -5,7 +5,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: install test bench bench-perf examples audit-demo reports clean
+.PHONY: install test bench bench-perf perf-check examples audit-demo reports clean
 
 install:
 	python setup.py develop
@@ -17,10 +17,16 @@ test:
 bench:
 	$(PYTEST) benchmarks/ --benchmark-only
 
-# Substrate micro-benches only; writes benchmarks/output/BENCH_perf.json,
-# the machine-readable perf trajectory PRs are compared against.
+# Substrate micro-benches only; merges results into
+# benchmarks/output/BENCH_perf.json, the machine-readable perf trajectory
+# PRs are compared against (git_rev + timestamp stamped per flush).
 bench-perf:
 	$(PYTEST) benchmarks/bench_perf_substrate.py --benchmark-only
+
+# The CI perf-smoke gate: fresh bench-perf numbers must stay within 25%
+# of the checked-in baseline_perf.json floors.
+perf-check:
+	PYTHONPATH=src python benchmarks/check_perf.py warm_resolution campaign_throughput --max-regression 0.25
 
 # The full deliverable run: logs captured alongside the repo.
 reports:

@@ -1,0 +1,67 @@
+"""CI perf-regression gate.
+
+Compares ``output/BENCH_perf.json`` (fresh ``make bench-perf`` results)
+against the checked-in ``baseline_perf.json`` and exits non-zero when a
+named bench's ``ops_per_s`` fell more than the allowed fraction below its
+baseline.  Faster-than-baseline is always a pass — the gate only guards
+against regressions, the baseline is a floor, not a pin.
+
+Usage::
+
+    python benchmarks/check_perf.py warm_resolution [campaign_throughput ...] \
+        [--max-regression 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.perf_records import RECORDS_PATH, load_baseline  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benches", nargs="+", help="bench names to gate (e.g. warm_resolution)")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop vs baseline ops_per_s (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    if not RECORDS_PATH.exists():
+        print(f"FAIL: {RECORDS_PATH} missing - run `make bench-perf` first")
+        return 1
+    current = json.loads(RECORDS_PATH.read_text()).get("benches", {})
+    baseline = load_baseline()
+
+    failed = False
+    for name in args.benches:
+        base = baseline.get(name, {}).get("ops_per_s")
+        ops = current.get(name, {}).get("ops_per_s")
+        if base is None:
+            print(f"SKIP {name}: no baseline ops_per_s recorded")
+            continue
+        if ops is None:
+            print(f"FAIL {name}: not present in {RECORDS_PATH.name}")
+            failed = True
+            continue
+        floor = base * (1.0 - args.max_regression)
+        verdict = "FAIL" if ops < floor else "ok"
+        print(
+            f"{verdict:>4} {name}: {ops:,.1f} ops/s vs baseline {base:,.1f} "
+            f"(floor {floor:,.1f}, {ops / base:.2f}x)"
+        )
+        if ops < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

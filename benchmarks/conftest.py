@@ -10,35 +10,20 @@ per session via fixtures; those benches then time their aggregation step.
 
 from __future__ import annotations
 
-import json
 import pathlib
 
 import pytest
 
+from benchmarks.perf_records import record_perf  # noqa: F401  (bench modules import it from here too)
+from benchmarks import perf_records
+
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
-
-#: Machine-readable perf records accumulated by the ``bench_perf_*``
-#: benches and flushed to ``output/BENCH_perf.json`` at session end —
-#: the perf-trajectory file PRs are compared against.
-PERF_RECORDS: dict[str, dict] = {}
-
-
-def record_perf(name: str, **fields) -> None:
-    """Add one bench's machine-readable result to ``BENCH_perf.json``."""
-    PERF_RECORDS[name] = fields
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not PERF_RECORDS:
-        return
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    path = OUTPUT_DIR / "BENCH_perf.json"
-    payload = {
-        "schema": "repro.bench/v1",
-        "benches": dict(sorted(PERF_RECORDS.items())),
-    }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"\n[perf records written to {path}]")
+    path = perf_records.flush()
+    if path is not None:
+        print(f"\n[perf records merged into {path}]")
 
 #: Default scales: large enough for stable shapes, small enough that the
 #: whole harness finishes in a few minutes.

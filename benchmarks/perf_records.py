@@ -1,0 +1,96 @@
+"""Machine-readable perf records for the ``bench_perf_*`` benches.
+
+One canonical module owns the record store so every import path
+(``benchmarks.conftest``, bench modules, CI scripts) shares a single
+dict.  ``flush()`` *merges* into the existing ``output/BENCH_perf.json``
+instead of overwriting it, so a partial run (``pytest -k warm``) updates
+only the benches it actually ran and the file stays a complete
+trajectory.  Each flush stamps the git revision and a UTC timestamp, and
+annotates every bench with its delta against ``baseline_perf.json`` (the
+checked-in pre-optimization numbers CI gates against).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+from datetime import datetime, timezone
+from typing import Optional
+
+BENCH_DIR = pathlib.Path(__file__).parent
+OUTPUT_DIR = BENCH_DIR / "output"
+RECORDS_PATH = OUTPUT_DIR / "BENCH_perf.json"
+BASELINE_PATH = BENCH_DIR / "baseline_perf.json"
+SCHEMA = "repro.bench/v2"
+
+#: Records accumulated by the ``bench_perf_*`` benches this session.
+PERF_RECORDS: dict[str, dict] = {}
+
+
+def record_perf(name: str, **fields) -> None:
+    """Add one bench's machine-readable result to ``BENCH_perf.json``."""
+    PERF_RECORDS[name] = fields
+
+
+def git_rev() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_DIR,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        rev = proc.stdout.strip()
+        return rev if proc.returncode == 0 and rev else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def load_baseline() -> dict[str, dict]:
+    """The checked-in pre-optimization numbers, ``{}`` when absent."""
+    if not BASELINE_PATH.exists():
+        return {}
+    payload = json.loads(BASELINE_PATH.read_text())
+    return payload.get("benches", {})
+
+
+def _existing_benches() -> dict[str, dict]:
+    if not RECORDS_PATH.exists():
+        return {}
+    try:
+        payload = json.loads(RECORDS_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return payload.get("benches", {})
+
+
+def flush() -> Optional[pathlib.Path]:
+    """Merge this session's records into ``BENCH_perf.json`` on disk.
+
+    Returns the path written, or ``None`` when no bench recorded
+    anything (non-perf bench sessions leave the file untouched).
+    """
+    if not PERF_RECORDS:
+        return None
+    benches = _existing_benches()
+    baseline = load_baseline()
+    for name, fields in PERF_RECORDS.items():
+        record = dict(fields)
+        base = baseline.get(name)
+        base_ops = base.get("ops_per_s") if base else None
+        ops = record.get("ops_per_s")
+        if base_ops and ops:
+            record["baseline_ops_per_s"] = base_ops
+            record["speedup_vs_baseline"] = round(ops / base_ops, 2)
+        benches[name] = record
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": SCHEMA,
+        "git_rev": git_rev(),
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "benches": dict(sorted(benches.items())),
+    }
+    RECORDS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return RECORDS_PATH

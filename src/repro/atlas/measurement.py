@@ -90,13 +90,20 @@ class Measurement:
         pending_events = sorted(self.events, key=lambda event: event.at)
         event_index = 0
         results: list[MeasurementResult] = []
+        # Each probe asks the same name every round: resolve the PROBEID
+        # substitution once per probe and reuse it across all rounds.
+        qname_memo: dict[int, Name] = {}
         for timestamp, round_index, vp in schedule:
             while event_index < len(pending_events) and (
                 pending_events[event_index].at <= timestamp
             ):
                 pending_events[event_index].action()
                 event_index += 1
-            qname = self.spec.qname_for(vp.probe.probe_id)
+            probe_id = vp.probe.probe_id
+            qname = qname_memo.get(probe_id)
+            if qname is None:
+                qname = self.spec.qname_for(probe_id)
+                qname_memo[probe_id] = qname
             answer = vp.stub.query(qname, self.spec.qtype, timestamp)
             results.append(
                 MeasurementResult(

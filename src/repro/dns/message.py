@@ -127,6 +127,9 @@ class Message:
     answer: list[ResourceRecord] = field(default_factory=list)
     authority: list[ResourceRecord] = field(default_factory=list)
     additional: list[ResourceRecord] = field(default_factory=list)
+    #: Per-section RRset grouping memo, validated by record count (records
+    #: are only ever appended via :meth:`add`).
+    _rrset_memo: Optional[dict] = field(default=None, init=False, repr=False, compare=False)
 
     # -- constructors -----------------------------------------------------------
     @classmethod
@@ -180,7 +183,17 @@ class Message:
                 yield section, record
 
     def rrsets(self, section: Section) -> list[RRset]:
-        return group_rrsets(self.section(section))
+        records = self.section(section)
+        memo = self._rrset_memo
+        if memo is None:
+            memo = {}
+            self._rrset_memo = memo
+        hit = memo.get(section)
+        if hit is not None and hit[0] == len(records):
+            return hit[1]
+        groups = group_rrsets(records)
+        memo[section] = (len(records), groups)
+        return groups
 
     def find_rrset(
         self,

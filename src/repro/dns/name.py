@@ -13,6 +13,14 @@ The class implements the relationships the paper's analysis needs:
   bailiwick of ``example.org``),
 - parent traversal and label slicing, and
 - canonical DNS ordering (RFC 4034 §6.1), used for deterministic output.
+
+Construction is *interned*: every label tuple maps to one canonical
+instance, so equal names are usually the same object (``==`` short-circuits
+on identity) and the simulator's hottest call — re-parsing the same handful
+of query names millions of times — collapses to a dict probe.  The intern
+tables are bounded (:data:`_INTERN_MAX` entries each) and simply reset when
+full; a name that outlives a reset stays valid, it just stops being the
+canonical instance for its labels, which only costs the identity fast path.
 """
 
 from __future__ import annotations
@@ -22,6 +30,18 @@ from typing import Iterable, Iterator
 
 MAX_LABEL_LENGTH = 63
 MAX_NAME_LENGTH = 255
+
+#: Bound on each intern table.  Paper campaigns use a few hundred distinct
+#: names; 4096 keeps even crawl-scale universes fully interned while capping
+#: worst-case memory for adversarial inputs (wire decode of hostile blobs).
+_INTERN_MAX = 4096
+
+#: Canonical instance per label tuple.
+_INTERN: dict[tuple[str, ...], "Name"] = {}
+
+#: Parse memo: raw constructor text -> canonical instance.  Keyed by the
+#: *unnormalized* text so the hot path skips rstrip/split/lower entirely.
+_TEXT_INTERN: dict[str, "Name"] = {}
 
 
 class NameError_(ValueError):
@@ -44,6 +64,22 @@ def _validate_label(label: str) -> str:
     return label.lower()
 
 
+def _check_wire_length(labels: tuple[str, ...]) -> None:
+    # +1 per label for the length octet, +1 for the root's null label.
+    wire_length = sum(len(lab) + 1 for lab in labels) + 1
+    if wire_length > MAX_NAME_LENGTH:
+        raise NameError_(f"name too long ({wire_length} > {MAX_NAME_LENGTH} octets)")
+
+
+def _interned_name(labels: tuple[str, ...]) -> "Name":
+    """Pickle entry point: route unpickled names through the intern table.
+
+    Shard workers ship Names across process boundaries; resolving through
+    the table keeps the identity fast path intact after a merge.
+    """
+    return Name.from_labels(labels)
+
+
 @total_ordering
 class Name:
     """An absolute domain name.
@@ -55,28 +91,53 @@ class Name:
     True
     """
 
-    __slots__ = ("_labels", "_hash")
+    __slots__ = ("_labels", "_hash", "_key")
 
     _labels: tuple[str, ...]
     _hash: int
+    _key: tuple[str, ...] | None
 
-    def __init__(self, text: str | Iterable[str] | "Name" = "") -> None:
-        if isinstance(text, Name):
-            labels: tuple[str, ...] = text._labels
-        elif isinstance(text, str):
+    def __new__(cls, text: str | Iterable[str] | "Name" = "") -> "Name":
+        if type(text) is Name:
+            return text
+        if isinstance(text, str):
+            cached = _TEXT_INTERN.get(text)
+            if cached is not None:
+                return cached
             stripped = text.rstrip(".")
             if stripped:
                 labels = tuple(_validate_label(lab) for lab in stripped.split("."))
             else:
                 labels = ()
-        else:
-            labels = tuple(_validate_label(lab) for lab in text)
-        # +1 per label for the length octet, +1 for the root's null label.
-        wire_length = sum(len(lab) + 1 for lab in labels) + 1
-        if wire_length > MAX_NAME_LENGTH:
-            raise NameError_(f"name too long ({wire_length} > {MAX_NAME_LENGTH} octets)")
-        object.__setattr__(self, "_labels", labels)
-        object.__setattr__(self, "_hash", hash(labels))
+            _check_wire_length(labels)
+            name = _intern(labels)
+            if len(_TEXT_INTERN) >= _INTERN_MAX:
+                _TEXT_INTERN.clear()
+            _TEXT_INTERN[text] = name
+            return name
+        if isinstance(text, Name):  # a subclass instance: canonicalize
+            return _intern(text._labels)
+        labels = tuple(_validate_label(lab) for lab in text)
+        _check_wire_length(labels)
+        return _intern(labels)
+
+    def __init__(self, text: str | Iterable[str] | "Name" = "") -> None:
+        # All construction work happens in __new__ (which may return an
+        # existing interned instance that must not be re-initialized).
+        pass
+
+    @classmethod
+    def from_labels(cls, labels: tuple[str, ...]) -> "Name":
+        """Trusted constructor: ``labels`` are already validated and lowercase.
+
+        Used by :meth:`parent`/:meth:`ancestors`/:meth:`split` (slices of a
+        validated name) and by wire decode (which enforces the wire-format
+        limits itself), skipping per-label re-validation.
+        """
+        cached = _INTERN.get(labels)
+        if cached is not None:
+            return cached
+        return _intern(labels)
 
     # -- immutability -------------------------------------------------------
     def __setattr__(self, name: str, value: object) -> None:
@@ -84,9 +145,15 @@ class Name:
 
     def __reduce__(self) -> tuple:
         # The default slot-state pickle path calls __setattr__ on load,
-        # which the immutability guard rejects; rebuild from labels
-        # instead (shard workers ship Names across process boundaries).
-        return (Name, (self._labels,))
+        # which the immutability guard rejects; rebuild through the intern
+        # table instead so unpickled names are canonical instances.
+        return (_interned_name, (self._labels,))
+
+    def __copy__(self) -> "Name":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Name":
+        return self
 
     # -- accessors -----------------------------------------------------------
     @property
@@ -119,6 +186,8 @@ class Name:
 
     # -- equality and ordering ------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:  # interning makes this the common case
+            return True
         if isinstance(other, Name):
             return self._labels == other._labels
         if isinstance(other, str):
@@ -139,16 +208,24 @@ class Name:
         return self._canonical_key() < other._canonical_key()
 
     def _canonical_key(self) -> tuple[str, ...]:
-        return tuple(reversed(self._labels))
+        key = self._key
+        if key is None:
+            key = tuple(reversed(self._labels))
+            object.__setattr__(self, "_key", key)
+        return key
 
     # -- construction helpers --------------------------------------------------
     def concatenate(self, suffix: "Name") -> "Name":
         """Return ``self`` + ``suffix``, e.g. ``ns1`` under ``example.com``."""
-        return Name(self._labels + suffix._labels)
+        labels = self._labels + suffix._labels
+        _check_wire_length(labels)
+        return Name.from_labels(labels)
 
     def prepend(self, label: str) -> "Name":
         """Return a new name with ``label`` added at the left."""
-        return Name((_validate_label(label),) + self._labels)
+        labels = (_validate_label(label),) + self._labels
+        _check_wire_length(labels)
+        return Name.from_labels(labels)
 
     def parent(self) -> "Name":
         """The name with the leftmost label removed.
@@ -158,7 +235,7 @@ class Name:
         """
         if not self._labels:
             raise NameError_("the root has no parent")
-        return Name(self._labels[1:])
+        return Name.from_labels(self._labels[1:])
 
     def ancestors(self) -> Iterator["Name"]:
         """Yield every proper ancestor, nearest first, ending with the root.
@@ -180,7 +257,7 @@ class Name:
         if depth < 0 or depth > len(self._labels):
             raise NameError_(f"cannot keep {depth} labels of {self}")
         cut = len(self._labels) - depth
-        return Name(self._labels[:cut]), Name(self._labels[cut:])
+        return Name.from_labels(self._labels[:cut]), Name.from_labels(self._labels[cut:])
 
     def relativize(self, origin: "Name") -> tuple[str, ...]:
         """Labels of ``self`` below ``origin`` (empty if equal).
@@ -232,7 +309,22 @@ class Name:
             if mine != theirs:
                 break
             shared.append(mine)
-        return Name(tuple(reversed(shared)))
+        return Name.from_labels(tuple(reversed(shared)))
+
+
+def _intern(labels: tuple[str, ...]) -> Name:
+    """Create (or fetch) the canonical instance for ``labels``."""
+    cached = _INTERN.get(labels)
+    if cached is not None:
+        return cached
+    name = object.__new__(Name)
+    object.__setattr__(name, "_labels", labels)
+    object.__setattr__(name, "_hash", hash(labels))
+    object.__setattr__(name, "_key", None)
+    if len(_INTERN) >= _INTERN_MAX:
+        _INTERN.clear()
+    _INTERN[labels] = name
+    return name
 
 
 #: The root name (``.``).

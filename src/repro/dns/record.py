@@ -160,8 +160,28 @@ class RRset:
     def key(self) -> tuple[Name, RdataType, RdataClass]:
         return (self.name, self.rdtype, self.rdclass)
 
+    @classmethod
+    def _build(
+        cls,
+        name: Name,
+        rdtype: RdataType,
+        ttl: int,
+        rdatas: tuple[Rdata, ...],
+        rdclass: RdataClass,
+    ) -> "RRset":
+        """Trusted constructor: fields come from an already-validated RRset
+        (or record group), so ``__post_init__``'s re-checks are skipped."""
+        rrset = object.__new__(cls)
+        rrset.name = name
+        rrset.rdtype = rdtype
+        rrset.ttl = ttl
+        rrset.rdatas = rdatas
+        rrset.rdclass = rdclass
+        return rrset
+
     def with_ttl(self, ttl: int) -> "RRset":
-        return RRset(self.name, self.rdtype, ttl, self.rdatas, self.rdclass)
+        validate_ttl(ttl)
+        return RRset._build(self.name, self.rdtype, ttl, self.rdatas, self.rdclass)
 
     def aged(self, seconds: int) -> "RRset":
         if seconds < 0:
@@ -184,14 +204,20 @@ def group_rrsets(records: Iterable[ResourceRecord]) -> list[RRset]:
         ordered.setdefault(record.key(), []).append(record)
     rrsets: list[RRset] = []
     for key, members in ordered.items():
+        if len(members) == 1:
+            record = members[0]
+            rrsets.append(
+                RRset._build(key[0], key[1], record.ttl, (record.rdata,), key[2])
+            )
+            continue
         ttl = min(record.ttl for record in members)
         rrsets.append(
-            RRset(
-                name=key[0],
-                rdtype=key[1],
-                ttl=ttl,
-                rdatas=tuple(record.rdata for record in members),
-                rdclass=key[2],
+            RRset._build(
+                key[0],
+                key[1],
+                ttl,
+                tuple(record.rdata for record in members),
+                key[2],
             )
         )
     return rrsets

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import struct
 
-from repro.dns.name import Name, NameError_
+from repro.dns.name import Name
 
 #: Two high bits set in a label length octet mark a compression pointer.
 _POINTER_MASK = 0xC0
@@ -175,12 +175,12 @@ class WireReader:
                 raise WireError("label runs off the end of the message")
             raw = self._data[cursor + 1 : cursor + 1 + length]
             try:
-                labels.append(raw.decode("ascii"))
+                labels.append(raw.decode("ascii").lower())
             except UnicodeDecodeError as exc:
                 raise WireError(f"non-ASCII label on the wire: {raw!r}") from exc
             cursor += 1 + length
         self._offset = end_after if end_after is not None else cursor
-        try:
-            return Name(labels)
-        except NameError_ as exc:
-            raise WireError(str(exc)) from exc
+        # Label and name lengths were enforced octet-by-octet above, and the
+        # labels are lowercased: the trusted constructor applies, skipping a
+        # second validation pass per decoded name.
+        return Name.from_labels(tuple(labels))

@@ -73,6 +73,9 @@ class LatencyModel:
         self._jitter_sigma = jitter_sigma
         self.last_mile_ms = last_mile_ms
         self._rng = random.Random(seed ^ 0x5A17)
+        # _path_offset_ms is a pure function of (addresses, seed); the
+        # sha256 per exchange shows up in campaign profiles, so memoize it.
+        self._offset_memo: dict[tuple[str, str], float] = {}
 
     # -- deterministic components ------------------------------------------------
     def base_rtt_ms(self, src: Endpoint, dst: Endpoint) -> float:
@@ -88,11 +91,18 @@ class LatencyModel:
 
     def _path_offset_ms(self, src: Endpoint, dst: Endpoint) -> float:
         """A stable per-path offset in [0, base/2), derived from addresses."""
-        key = "|".join(sorted((src.address, dst.address))) + f"|{self._seed}"
+        memo_key = (src.address, dst.address)
+        offset = self._offset_memo.get(memo_key)
+        if offset is not None:
+            return offset
+        key = "|".join(sorted(memo_key)) + f"|{self._seed}"
         digest = hashlib.sha256(key.encode("ascii")).digest()
         fraction = int.from_bytes(digest[:8], "big") / 2**64
         base = _REGION_RTT_MS[(src.region, dst.region)]
-        return fraction * base * 0.5
+        offset = fraction * base * 0.5
+        if len(self._offset_memo) < 65536:
+            self._offset_memo[memo_key] = offset
+        return offset
 
     # -- sampled RTTs ----------------------------------------------------------
     def rtt(self, src: Endpoint, dst: Endpoint, rng: Optional[random.Random] = None) -> float:

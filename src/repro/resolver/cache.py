@@ -20,11 +20,23 @@ Two extensions model behaviours the paper measures:
 Stale entries are retained (not purged) so serve-stale policies
 (draft-ietf-dnsop-serve-stale) can hand them out when all servers are
 unreachable.
+
+Maintenance is O(log n) amortized, not O(n) scans: a lazy min-heap of
+``(expires_at, seq, key, generation)`` records surfaces time-expired
+entries, and a reverse dependency index surfaces link-dead ones.  Heap
+records are never removed in place — they are validated when popped
+(superseded generations and extended lifetimes are discarded or
+re-pushed), so every mutation stays cheap.  Dead entries found this way
+are *marked* (``_time_dead`` / ``_link_dead``), not dropped: serve-stale
+still needs them.  The marks make them the preferred eviction victims;
+marks are re-validated before use, because a sticky refresh can revive a
+marked entry.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -67,6 +79,8 @@ class CacheEntry:
     pinned: bool = False
     #: The zone origin the data came from, for analysis/debugging.
     source_zone: Optional[Name] = None
+    #: Memoized aged view, reused while the whole-second TTL is unchanged.
+    _aged: Optional[RRset] = field(default=None, init=False, repr=False, compare=False)
 
     def is_expired(self, now: float) -> bool:
         return now >= self.expires_at
@@ -76,8 +90,22 @@ class CacheEntry:
         return max(0, int(self.expires_at - now))
 
     def aged_rrset(self, now: float) -> RRset:
-        """The RRset with its TTL decremented by time spent in cache."""
-        return self.rrset.with_ttl(self.remaining_ttl(now))
+        """The RRset with its TTL decremented by time spent in cache.
+
+        The view is a shared, treat-as-immutable object: repeated hits
+        within the same whole second return the same RRset instead of
+        rebuilding one per hit.
+        """
+        ttl = self.remaining_ttl(now)
+        rrset = self.rrset
+        if ttl == rrset.ttl:
+            return rrset
+        view = self._aged
+        if view is not None and view.ttl == ttl:
+            return view
+        view = rrset.with_ttl(ttl)
+        self._aged = view
+        return view
 
     def key(self) -> CacheKey:
         return (self.rrset.name, self.rrset.rdtype, self.rrset.rdclass)
@@ -105,6 +133,8 @@ class CacheStats:
     inserts: int = 0
     refused_downgrades: int = 0
     evictions: int = 0
+    negative_hits: int = 0
+    negative_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -141,6 +171,19 @@ class Cache:
         self._entries: dict[CacheKey, CacheEntry] = {}
         self._negatives: dict[tuple[Name, RdataType], NegativeEntry] = {}
         self._generations: dict[CacheKey, int] = {}
+        #: Lazy expiry heap: (expires_at, seq, key, generation).  ``seq`` is a
+        #: monotonic push counter so ties never compare keys.
+        self._expiry_heap: list[tuple[float, int, CacheKey, int]] = []
+        self._neg_heap: list[tuple[float, int, tuple[Name, RdataType]]] = []
+        self._seq = 0
+        #: Reverse link index: target key -> {dependent key: expected target
+        #: generation}.  Consulted when a target is replaced or expires so
+        #: link-dead dependents become preferred eviction victims.
+        self._dependents: dict[CacheKey, dict[CacheKey, int]] = {}
+        #: Ordered mark sets (dict-as-ordered-set) of entries believed dead;
+        #: re-validated before every use, since refreshes can revive them.
+        self._time_dead: dict[CacheKey, None] = {}
+        self._link_dead: dict[CacheKey, None] = {}
         self.max_ttl = max_ttl
         self.min_ttl = min_ttl
         self.max_entries = max_entries
@@ -153,11 +196,14 @@ class Cache:
             self._m_inserts = metrics.counter("cache.inserts")
             self._m_refused = metrics.counter("cache.refused_downgrades")
             self._m_evictions = metrics.counter("cache.evictions")
+            self._m_negative_hits = metrics.counter("cache.negative_hits")
+            self._m_negative_misses = metrics.counter("cache.negative_misses")
             self._m_size_peak = metrics.gauge("cache.size_peak")
         else:
             self._m_hits = self._m_misses = self._m_expired = NULL_COUNTER
             self._m_stale = self._m_inserts = self._m_refused = NULL_COUNTER
             self._m_evictions = NULL_COUNTER
+            self._m_negative_hits = self._m_negative_misses = NULL_COUNTER
             self._m_size_peak = NULL_GAUGE
 
     def __len__(self) -> int:
@@ -166,6 +212,11 @@ class Cache:
     def clear(self) -> None:
         self._entries.clear()
         self._negatives.clear()
+        self._expiry_heap.clear()
+        self._neg_heap.clear()
+        self._dependents.clear()
+        self._time_dead.clear()
+        self._link_dead.clear()
 
     # -- insertion -----------------------------------------------------------
     def effective_ttl(self, ttl: int) -> int:
@@ -177,14 +228,21 @@ class Cache:
 
     def _is_dead(self, entry: CacheEntry, now: float) -> bool:
         """Expired, or linked to an entry that has expired or been replaced."""
-        if entry.is_expired(now):
+        if now >= entry.expires_at:
             return True
-        if entry.linked_to is not None:
-            target_key, generation = entry.linked_to
+        link = entry.linked_to
+        if link is not None:
+            target_key, generation = link
             target = self._entries.get(target_key)
-            if target is None or target.generation != generation or target.is_expired(now):
+            if target is None or target.generation != generation or now >= target.expires_at:
                 return True
         return False
+
+    def _push(self, key: CacheKey, entry: CacheEntry) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._expiry_heap, (entry.expires_at, self._seq, key, entry.generation)
+        )
 
     def put(
         self,
@@ -226,14 +284,22 @@ class Cache:
                 return False
         generation = self._generations.get(key, 0) + 1
         self._generations[key] = generation
+        # Replacing this key kills anything linked to its previous
+        # generation: surface those dependents as eviction candidates.
+        dependents = self._dependents.pop(key, None)
+        if dependents:
+            for dep_key in dependents:
+                self._link_dead[dep_key] = None
         link: Optional[tuple[CacheKey, int]] = None
         if linked_to is not None:
             target = self._entries.get(linked_to)
             if target is not None:
                 link = (linked_to, target.generation)
+                self._dependents.setdefault(linked_to, {})[key] = target.generation
         ttl = self.effective_ttl(rrset.ttl)
-        self._entries.pop(key, None)  # re-insert at the recent end
-        self._entries[key] = CacheEntry(
+        if existing is not None:
+            del self._entries[key]  # re-insert at the recent end
+        entry = CacheEntry(
             rrset=rrset,
             credibility=credibility,
             inserted_at=now,
@@ -243,33 +309,99 @@ class Cache:
             pinned=pin,
             source_zone=source_zone,
         )
+        self._entries[key] = entry
+        # A fresh write invalidates any standing dead-mark for the key.
+        self._time_dead.pop(key, None)
+        self._link_dead.pop(key, None)
+        self._push(key, entry)
         self.stats.inserts += 1
         self._m_inserts.inc()
         self._m_size_peak.record(len(self._entries))
         self._evict_if_full(now)
         return True
 
+    def _surface_expired(self, now: float) -> None:
+        """Pop every heap record whose entry is time-expired at ``now``.
+
+        Expired entries are *marked* (``_time_dead``), not removed —
+        serve-stale retention is unchanged.  Records superseded by a newer
+        generation are discarded; records invalidated by an in-place
+        lifetime extension are re-pushed at the new expiry.  Dependents of
+        an expired link target are marked link-dead.
+        """
+        heap = self._expiry_heap
+        entries = self._entries
+        while heap:
+            expires_at, _, key, generation = heap[0]
+            if expires_at > now:
+                return
+            heapq.heappop(heap)
+            entry = entries.get(key)
+            if entry is None or entry.generation != generation:
+                continue  # superseded or gone: stale record
+            if entry.expires_at > now:
+                # Lifetime extended in place (sticky refresh / parent pin):
+                # track the new expiry.
+                self._push(key, entry)
+                continue
+            self._time_dead[key] = None
+            dependents = self._dependents.get(key)
+            if dependents:
+                # Do not pop the index: a revived target (same generation)
+                # must keep its dependents registered.  Marks are
+                # re-validated before use, so over-marking is safe.
+                for dep_key, expected in dependents.items():
+                    if expected == entry.generation:
+                        self._link_dead[dep_key] = None
+
+    def _evict_one(self, key: CacheKey) -> None:
+        del self._entries[key]
+        self.stats.evictions += 1
+        self._m_evictions.inc()
+
     def _evict_if_full(self, now: float) -> None:
         """LRU eviction: drop dead entries first, then the least recently
-        used live ones (pinned entries go last)."""
-        if self.max_entries is None or len(self._entries) <= self.max_entries:
+        used live ones (pinned entries go last).
+
+        Dead victims come from the expiry heap and the link-death marks
+        (O(log n) amortized); only a cache full of live entries walks the
+        recency order, and that walk stops at the first unpinned entry.
+        """
+        if self.max_entries is None:
             return
         overflow = len(self._entries) - self.max_entries
-        dead = [k for k, e in self._entries.items() if self._is_dead(e, now)]
-        for key in dead[:overflow]:
-            del self._entries[key]
-            self.stats.evictions += 1
-            self._m_evictions.inc()
-            overflow -= 1
         if overflow <= 0:
             return
-        victims = sorted(
-            self._entries, key=lambda k: self._entries[k].pinned
-        )  # stable: LRU order within unpinned, pinned last
-        for key in victims[:overflow]:
-            del self._entries[key]
-            self.stats.evictions += 1
-            self._m_evictions.inc()
+        self._surface_expired(now)
+        while overflow > 0 and self._time_dead:
+            key = next(iter(self._time_dead))
+            del self._time_dead[key]
+            entry = self._entries.get(key)
+            if entry is None:
+                continue
+            if not entry.is_expired(now):
+                self._push(key, entry)  # revived: restore its heap record
+                continue
+            self._evict_one(key)
+            overflow -= 1
+        while overflow > 0 and self._link_dead:
+            key = next(iter(self._link_dead))
+            del self._link_dead[key]
+            entry = self._entries.get(key)
+            if entry is None or not self._is_dead(entry, now):
+                continue  # stale mark (entry replaced or link revived)
+            self._evict_one(key)
+            overflow -= 1
+        while overflow > 0:
+            victim: Optional[CacheKey] = None
+            for key, entry in self._entries.items():
+                if not entry.pinned:
+                    victim = key
+                    break
+            if victim is None:
+                victim = next(iter(self._entries))  # all pinned: evict LRU
+            self._evict_one(victim)
+            overflow -= 1
 
     def put_negative(
         self,
@@ -288,13 +420,16 @@ class Cache:
             assert isinstance(soa_rdata, SOAData)
             ttl = min(soa.ttl, soa_rdata.minimum)
         ttl = self.effective_ttl(ttl)
-        self._negatives[(qname, qtype)] = NegativeEntry(
+        key = (qname, qtype)
+        self._negatives[key] = NegativeEntry(
             qname=qname,
             qtype=qtype,
             nxdomain=nxdomain,
             expires_at=now + ttl,
             soa=soa,
         )
+        self._seq += 1
+        heapq.heappush(self._neg_heap, (now + ttl, self._seq, key))
 
     # -- lookup ---------------------------------------------------------------
     def peek(
@@ -318,12 +453,25 @@ class Cache:
         is expired or missing counts as expired itself.  This is the tied
         NS/A lifetime of §4.2.
         """
-        entry = self._entries.get((name, rdtype, rdclass))
+        return self.get_entry((name, rdtype, rdclass), now, min_credibility, follow_links)
+
+    def get_entry(
+        self,
+        key: CacheKey,
+        now: float,
+        min_credibility: Credibility = Credibility.ADDITIONAL,
+        follow_links: bool = True,
+    ) -> Optional[CacheEntry]:
+        """:meth:`get` for callers that already hold a :data:`CacheKey`.
+
+        The warm path's form: one dict probe, no tuple rebuild.
+        """
+        entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             self._m_misses.inc()
             return None
-        dead = self._is_dead(entry, now) if follow_links else entry.is_expired(now)
+        dead = self._is_dead(entry, now) if follow_links else now >= entry.expires_at
         if dead or entry.credibility < min_credibility:
             self.stats.misses += 1
             self._m_misses.inc()
@@ -332,11 +480,12 @@ class Cache:
             return None
         self.stats.hits += 1
         self._m_hits.inc()
-        if self.max_entries is not None:
-            # Touch for LRU recency (only tracked when bounded).
-            key = (name, rdtype, rdclass)
-            self._entries.pop(key, None)
-            self._entries[key] = entry
+        entries = self._entries
+        if self.max_entries is not None and next(reversed(entries)) != key:
+            # Touch for LRU recency (only tracked when bounded, and only
+            # when the entry is not already the most recent).
+            del entries[key]
+            entries[key] = entry
         return entry
 
     def get_stale(
@@ -354,7 +503,11 @@ class Cache:
     ) -> Optional[NegativeEntry]:
         entry = self._negatives.get((qname, qtype))
         if entry is None or entry.is_expired(now):
+            self.stats.negative_misses += 1
+            self._m_negative_misses.inc()
             return None
+        self.stats.negative_hits += 1
+        self._m_negative_hits.inc()
         return entry
 
     # -- maintenance -------------------------------------------------------------
@@ -366,22 +519,39 @@ class Cache:
         lifetime = entry.expires_at - entry.inserted_at
         entry.inserted_at = now
         entry.expires_at = now + lifetime
+        self._push(key, entry)
 
     def expire_now(self, key: CacheKey, now: float) -> None:
         """Force-expire an entry (used by tests and cache-flush scenarios)."""
         entry = self._entries.get(key)
         if entry is not None:
             entry.expires_at = now
+            self._push(key, entry)
 
     def purge_expired(self, now: float) -> int:
-        """Drop expired entries; returns how many were removed."""
-        dead = [key for key, entry in self._entries.items() if entry.is_expired(now)]
-        for key in dead:
-            del self._entries[key]
-        dead_neg = [key for key, entry in self._negatives.items() if entry.is_expired(now)]
-        for key in dead_neg:
-            del self._negatives[key]
-        return len(dead) + len(dead_neg)
+        """Drop time-expired entries (counted as evictions); returns how
+        many were removed, negative entries included."""
+        self._surface_expired(now)
+        removed = 0
+        for key in list(self._time_dead):
+            del self._time_dead[key]
+            entry = self._entries.get(key)
+            if entry is None:
+                continue
+            if not entry.is_expired(now):
+                self._push(key, entry)  # revived since it was marked
+                continue
+            self._evict_one(key)
+            removed += 1
+        neg_heap = self._neg_heap
+        while neg_heap and neg_heap[0][0] <= now:
+            _, _, neg_key = heapq.heappop(neg_heap)
+            entry = self._negatives.get(neg_key)
+            if entry is None or not entry.is_expired(now):
+                continue  # replaced by a fresher negative (its own record follows)
+            del self._negatives[neg_key]
+            removed += 1
+        return removed
 
     def live_entries(self, now: float) -> list[CacheEntry]:
         return [entry for entry in self._entries.values() if not entry.is_expired(now)]

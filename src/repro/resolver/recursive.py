@@ -119,6 +119,7 @@ class RecursiveResolver:
             metrics=metrics,
         )
         self._rotation: dict[Name, int] = {}
+        self._query_skeletons: dict[tuple[Name, RdataType], Message] = {}
         self.queries_sent = 0
         self.client_queries = 0
         self._last_iteration_steps = 0
@@ -388,6 +389,23 @@ class RecursiveResolver:
             raise ResolutionError(f"lame response for {qname}", elapsed)
         raise ResolutionError(f"too many referrals for {qname}", elapsed)
 
+    def _make_query(self, qname: Name, qtype: RdataType) -> Message:
+        """A reusable non-RD query skeleton for (qname, qtype).
+
+        Servers treat queries as read-only (``make_response`` copies the
+        fields it echoes), so one skeleton per name/type serves every
+        referral step and repeat resolution without rebuilding the
+        Question/Flags objects.  The memo is bounded; overflow falls back
+        to fresh construction.
+        """
+        key = (qname, qtype)
+        query = self._query_skeletons.get(key)
+        if query is None:
+            query = Message.make_query(qname, qtype, recursion_desired=False)
+            if len(self._query_skeletons) < 1024:
+                self._query_skeletons[key] = query
+        return query
+
     # ------------------------------------------------------------- server choice
     def _best_servers(
         self, qname: Name, now: float
@@ -478,7 +496,7 @@ class RecursiveResolver:
     ) -> tuple[Optional[Message], float]:
         """Try the cut's servers in policy order; returns (response, time)."""
         elapsed = 0.0
-        query = Message.make_query(qname, qtype, recursion_desired=False)
+        query = self._make_query(qname, qtype)
         for server_name, address in self._order_servers(cut, servers):
             glue_only = False
             if address is None:
@@ -530,7 +548,7 @@ class RecursiveResolver:
             return
         if not server_name.is_subdomain_of(cut):
             return
-        fetch = Message.make_query(server_name, RdataType.A, recursion_desired=False)
+        fetch = self._make_query(server_name, RdataType.A)
         try:
             response, _ = self.network.exchange(self.endpoint, address, fetch, now)
         except NetworkTimeout:
@@ -597,7 +615,7 @@ class RecursiveResolver:
         than instantly.
         """
         assert self._root_mirror is not None
-        query = Message.make_query(qname, qtype, recursion_desired=False)
+        query = self._make_query(qname, qtype)
         return self._root_mirror.zone(now).respond(query)
 
     def _cache_response(self, response: Message, now: float) -> Optional[Name]:

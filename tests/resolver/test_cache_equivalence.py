@@ -1,0 +1,389 @@
+"""Differential tests: the heap-based cache vs an O(n)-scan reference.
+
+The production :class:`~repro.resolver.cache.Cache` keeps its maintenance
+O(log n) with a lazy expiry heap and link-death marks.  That machinery is
+an optimisation only: observable behaviour must match the specification,
+which this module states in its simplest possible form — an eager
+O(n)-scan reference model with no heap, no marks, no generation index
+beyond a counter.  Hypothesis drives both implementations through the
+same operation sequences and every return value, statistic, and membership
+snapshot must agree.
+
+Eviction under ``max_entries`` has intentionally unspecified victim
+*order* among equally-dead entries, so the bounded-cache test compares
+aggregates (size, eviction count, dead-before-live preference) rather
+than exact membership; the unbounded tests compare everything.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.name import Name
+from repro.dns.rdtypes import A, RdataClass, RdataType
+from repro.dns.record import RRset
+from repro.resolver.cache import Cache, CacheEntry, CacheStats, Credibility
+
+# A small closed world keeps collisions (refreshes, link chains, downgrades)
+# frequent enough for hypothesis to exercise every replacement rule.
+NAMES = [Name(f"n{i}.example") for i in range(5)]
+QTYPE = RdataType.A
+
+
+class ScanReferenceCache:
+    """The cache specification, implemented the obvious slow way.
+
+    Every lookup re-derives liveness by direct inspection and every purge
+    or eviction walks all entries.  No auxiliary structure exists that
+    could drift out of sync — which is exactly what makes it a trustworthy
+    oracle for the heap-based implementation.
+    """
+
+    def __init__(self, max_ttl=None, min_ttl=0, max_entries=None):
+        self._entries: dict[tuple, CacheEntry] = {}
+        self._negatives: dict[tuple, object] = {}
+        self._generations: dict[tuple, int] = {}
+        self.max_ttl = max_ttl
+        self.min_ttl = min_ttl
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def effective_ttl(self, ttl: int) -> int:
+        effective = ttl
+        if self.max_ttl is not None:
+            effective = min(effective, self.max_ttl)
+        return max(effective, self.min_ttl)
+
+    def _is_dead(self, entry: CacheEntry, now: float) -> bool:
+        if now >= entry.expires_at:
+            return True
+        if entry.linked_to is not None:
+            target_key, generation = entry.linked_to
+            target = self._entries.get(target_key)
+            if (
+                target is None
+                or target.generation != generation
+                or now >= target.expires_at
+            ):
+                return True
+        return False
+
+    def put(self, rrset, credibility, now, linked_to=None, pin=False) -> bool:
+        key = (rrset.name, rrset.rdtype, rrset.rdclass)
+        existing = self._entries.get(key)
+        if existing is not None and not self._is_dead(existing, now):
+            refreshable = credibility > existing.credibility or (
+                credibility == existing.credibility
+                and credibility >= Credibility.AUTH_ANSWER
+            )
+            if existing.pinned or not refreshable:
+                self.stats.refused_downgrades += 1
+                return False
+        generation = self._generations.get(key, 0) + 1
+        self._generations[key] = generation
+        link = None
+        if linked_to is not None:
+            target = self._entries.get(linked_to)
+            if target is not None:
+                link = (linked_to, target.generation)
+        ttl = self.effective_ttl(rrset.ttl)
+        if existing is not None:
+            del self._entries[key]
+        self._entries[key] = CacheEntry(
+            rrset=rrset,
+            credibility=credibility,
+            inserted_at=now,
+            expires_at=now + ttl,
+            generation=generation,
+            linked_to=link,
+            pinned=pin,
+        )
+        self.stats.inserts += 1
+        self._evict_if_full(now)
+        return True
+
+    def _evict_if_full(self, now: float) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            victim = None
+            for key, entry in self._entries.items():  # dead first, any order
+                if self._is_dead(entry, now):
+                    victim = key
+                    break
+            if victim is None:
+                for key, entry in self._entries.items():  # then LRU unpinned
+                    if not entry.pinned:
+                        victim = key
+                        break
+            if victim is None:
+                victim = next(iter(self._entries))  # all pinned
+            del self._entries[victim]
+            self.stats.evictions += 1
+
+    def peek(self, name, rdtype, rdclass=RdataClass.IN):
+        return self._entries.get((name, rdtype, rdclass))
+
+    def get(
+        self,
+        name,
+        rdtype,
+        now,
+        rdclass=RdataClass.IN,
+        min_credibility=Credibility.ADDITIONAL,
+        follow_links=True,
+    ):
+        key = (name, rdtype, rdclass)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        dead = self._is_dead(entry, now) if follow_links else now >= entry.expires_at
+        if dead or entry.credibility < min_credibility:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if self.max_entries is not None and next(reversed(self._entries)) != key:
+            del self._entries[key]
+            self._entries[key] = entry
+        return entry
+
+    def get_stale(self, name, rdtype, rdclass=RdataClass.IN):
+        entry = self._entries.get((name, rdtype, rdclass))
+        if entry is not None:
+            self.stats.stale_hits += 1
+        return entry
+
+    def put_negative(self, qname, qtype, nxdomain, now, ttl=300) -> None:
+        self._negatives[(qname, qtype)] = (nxdomain, now + self.effective_ttl(ttl))
+
+    def get_negative(self, qname, qtype, now):
+        cached = self._negatives.get((qname, qtype))
+        if cached is None or now >= cached[1]:
+            self.stats.negative_misses += 1
+            return None
+        self.stats.negative_hits += 1
+        return cached
+
+    def refresh_expiry(self, key, now) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        lifetime = entry.expires_at - entry.inserted_at
+        entry.inserted_at = now
+        entry.expires_at = now + lifetime
+
+    def expire_now(self, key, now) -> None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.expires_at = now
+
+    def purge_expired(self, now: float) -> int:
+        removed = 0
+        for key in [k for k, e in self._entries.items() if e.is_expired(now)]:
+            del self._entries[key]
+            self.stats.evictions += 1
+            removed += 1
+        for key in [k for k, (_, dies) in self._negatives.items() if now >= dies]:
+            del self._negatives[key]
+            removed += 1
+        return removed
+
+
+# -- operation language -------------------------------------------------------
+
+name_ix = st.integers(min_value=0, max_value=len(NAMES) - 1)
+ttls = st.integers(min_value=0, max_value=500)
+credibilities = st.sampled_from(list(Credibility))
+deltas = st.floats(min_value=0.0, max_value=400.0, allow_nan=False)
+
+operations = st.one_of(
+    st.tuples(
+        st.just("put"), name_ix, ttls, credibilities, st.booleans(),
+        st.one_of(st.none(), name_ix),  # linked_to target
+    ),
+    st.tuples(st.just("get"), name_ix, credibilities, st.booleans()),
+    st.tuples(st.just("peek"), name_ix),
+    st.tuples(st.just("stale"), name_ix),
+    st.tuples(st.just("put_neg"), name_ix, st.booleans(), ttls),
+    st.tuples(st.just("get_neg"), name_ix),
+    st.tuples(st.just("refresh"), name_ix),
+    st.tuples(st.just("expire"), name_ix),
+    st.tuples(st.just("purge"),),
+    st.tuples(st.just("advance"), deltas),
+)
+
+
+def _snapshot(entry: Optional[CacheEntry]):
+    """The observable projection of an entry (internal bookkeeping omitted)."""
+    if entry is None:
+        return None
+    return (
+        entry.rrset.name,
+        entry.rrset.rdtype,
+        entry.rrset.ttl,
+        tuple(str(r) for r in entry.rrset.rdatas),
+        entry.credibility,
+        entry.inserted_at,
+        entry.expires_at,
+        entry.pinned,
+    )
+
+
+def _stats_tuple(stats: CacheStats):
+    return (
+        stats.hits,
+        stats.misses,
+        stats.stale_hits,
+        stats.inserts,
+        stats.refused_downgrades,
+        stats.evictions,
+        stats.negative_hits,
+        stats.negative_misses,
+    )
+
+
+def _key(ix):
+    return (NAMES[ix], QTYPE, RdataClass.IN)
+
+
+def _drive(real: Cache, reference: ScanReferenceCache, ops, *, compare_membership):
+    now = 0.0
+    octet = 0
+    for op in ops:
+        kind = op[0]
+        if kind == "put":
+            _, ix, ttl, cred, pin, link_ix = op
+            octet += 1
+            rrset = RRset(NAMES[ix], QTYPE, ttl, [A(f"192.0.2.{octet % 256}")])
+            linked = _key(link_ix) if link_ix is not None else None
+            assert real.put(rrset, cred, now=now, linked_to=linked, pin=pin) == \
+                reference.put(rrset, cred, now=now, linked_to=linked, pin=pin)
+        elif kind == "get":
+            _, ix, min_cred, follow = op
+            assert _snapshot(
+                real.get(NAMES[ix], QTYPE, now=now, min_credibility=min_cred,
+                         follow_links=follow)
+            ) == _snapshot(
+                reference.get(NAMES[ix], QTYPE, now=now, min_credibility=min_cred,
+                              follow_links=follow)
+            )
+        elif kind == "peek":
+            if compare_membership:
+                assert _snapshot(real.peek(NAMES[op[1]], QTYPE)) == _snapshot(
+                    reference.peek(NAMES[op[1]], QTYPE)
+                )
+        elif kind == "stale":
+            if compare_membership:
+                assert _snapshot(real.get_stale(NAMES[op[1]], QTYPE)) == _snapshot(
+                    reference.get_stale(NAMES[op[1]], QTYPE)
+                )
+        elif kind == "put_neg":
+            _, ix, nxdomain, ttl = op
+            soa = None  # default 300 s negative TTL path
+            real.put_negative(NAMES[ix], QTYPE, nxdomain, now=now, soa=soa)
+            reference.put_negative(NAMES[ix], QTYPE, nxdomain, now=now)
+        elif kind == "get_neg":
+            got = real.get_negative(NAMES[op[1]], QTYPE, now=now)
+            expected = reference.get_negative(NAMES[op[1]], QTYPE, now=now)
+            assert (got is None) == (expected is None)
+            if got is not None:
+                assert (got.nxdomain, got.expires_at) == expected
+        elif kind == "refresh":
+            real.refresh_expiry(_key(op[1]), now=now)
+            reference.refresh_expiry(_key(op[1]), now=now)
+        elif kind == "expire":
+            real.expire_now(_key(op[1]), now=now)
+            reference.expire_now(_key(op[1]), now=now)
+        elif kind == "purge":
+            assert real.purge_expired(now) == reference.purge_expired(now)
+        elif kind == "advance":
+            now += op[1]
+        if compare_membership:
+            assert len(real) == len(reference)
+            assert _stats_tuple(real.stats) == _stats_tuple(reference.stats)
+    return now
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(operations, max_size=40))
+def test_unbounded_cache_matches_scan_reference(ops):
+    """With no size bound, every observable — return values, membership,
+    statistics — is identical between the heap cache and the eager scans."""
+    _drive(Cache(), ScanReferenceCache(), ops, compare_membership=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(operations, max_size=40),
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=30),
+)
+def test_clamped_cache_matches_scan_reference(ops, max_ttl, min_ttl):
+    """TTL clamping composes identically with every other rule."""
+    _drive(
+        Cache(max_ttl=max_ttl, min_ttl=min_ttl),
+        ScanReferenceCache(max_ttl=max_ttl, min_ttl=min_ttl),
+        ops,
+        compare_membership=True,
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(operations, max_size=40), st.integers(min_value=1, max_value=4))
+def test_bounded_cache_matches_scan_reference_aggregates(ops, max_entries):
+    """Under LRU pressure the victim order among dead entries is
+    unspecified, so membership may legally differ — but the size bound,
+    the insert/eviction totals, and the dead-before-live preference must
+    still agree with the reference."""
+    real = Cache(max_entries=max_entries)
+    reference = ScanReferenceCache(max_entries=max_entries)
+    now = _drive(real, reference, ops, compare_membership=False)
+    assert len(real) <= max_entries and len(reference) <= max_entries
+    assert len(real) == len(reference)
+    assert real.stats.inserts == reference.stats.inserts
+    assert real.stats.refused_downgrades == reference.stats.refused_downgrades
+    # Dead-preference: the reference always evicts a dead entry when one
+    # exists, so it retains at least as many live entries as possible; the
+    # real cache must match that count (its victim *identity* may differ,
+    # its dead/live split may not).
+    live_real = sum(1 for e in real._entries.values() if not real._is_dead(e, now))
+    live_ref = sum(
+        1 for e in reference._entries.values() if not reference._is_dead(e, now)
+    )
+    assert live_real == live_ref
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(operations, max_size=40), st.integers(min_value=1, max_value=4))
+def test_bounded_cache_eviction_counts_match(ops, max_entries):
+    """Both implementations evict exactly the overflow per put, so the
+    running eviction count (before any purge) is identical."""
+    real = Cache(max_entries=max_entries)
+    reference = ScanReferenceCache(max_entries=max_entries)
+    purged = {"real": 0, "ref": 0}
+    now = 0.0
+    octet = 0
+    for op in ops:
+        if op[0] == "put":
+            _, ix, ttl, cred, pin, link_ix = op
+            octet += 1
+            rrset = RRset(NAMES[ix], QTYPE, ttl, [A(f"192.0.2.{octet % 256}")])
+            linked = _key(link_ix) if link_ix is not None else None
+            real.put(rrset, cred, now=now, linked_to=linked, pin=pin)
+            reference.put(rrset, cred, now=now, linked_to=linked, pin=pin)
+            assert real.stats.evictions - purged["real"] == (
+                reference.stats.evictions - purged["ref"]
+            )
+            assert len(real) == len(reference)
+        elif op[0] == "advance":
+            now += op[1]
+        elif op[0] == "purge":
+            purged["real"] += real.purge_expired(now)
+            purged["ref"] += reference.purge_expired(now)
