@@ -5,7 +5,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: install test bench bench-perf perf-check examples audit-demo reports clean
+.PHONY: install test bench bench-perf perf-check docs-check examples audit-demo reports clean
 
 install:
 	python setup.py develop
@@ -27,6 +27,11 @@ bench-perf:
 # of the checked-in baseline_perf.json floors.
 perf-check:
 	PYTHONPATH=src python benchmarks/check_perf.py warm_resolution campaign_throughput --max-regression 0.25
+
+# Docs stay honest: every repro.* package documented in README + API.md,
+# every intra-repo markdown link resolves.  CI runs this as the docs job.
+docs-check:
+	python tools/check_docs.py
 
 # The full deliverable run: logs captured alongside the repo.
 reports:

@@ -5,89 +5,60 @@ A zone's authoritative servers go down for an hour (a DDoS, as in the
 2016 Dyn attack the paper cites).  Clients behind resolvers that cached
 the records *before* the attack keep getting answers as long as the TTL
 outlives the outage; short-TTL zones go dark almost immediately.
-Serve-stale resolvers (draft-ietf-dnsop-serve-stale) keep answering even
-past expiry.
+Serve-stale resolvers (RFC 8767) keep answering even past expiry.
+
+The outage is driven through ``repro.faults`` — a declarative, seeded
+:class:`FaultPlan` the scenario schedules against the virtual clock —
+so the same failure is reproducible, parallelizable, and observable in
+the metrics stream.  See docs/resilience.md for the fault-plan schema.
 
 Run:  python examples/ddos_resilience.py
 """
 
-from repro.dns.message import Rcode
-from repro.dns.rdtypes import A, NS, RdataType
-from repro.dns.zone import Zone
-from repro.net.topology import Region, Topology
-from repro.net.transport import Network
-from repro.resolver.policy import ResolverPolicy
-from repro.resolver.recursive import RecursiveResolver
-from repro.server.authoritative import AuthoritativeServer
+from repro.analysis.tables import Table
+from repro.core.scenarios import scenario_ddos_resilience
 
-ATTACK_START = 600.0
-ATTACK_END = ATTACK_START + 3600.0  # one hour of darkness
-
-
-def build_world(answer_ttl: int):
-    topology = Topology(seed=1)
-    network = Network(seed=1)
-
-    root_zone = Zone("", default_ttl=172800)
-    root_zone.add_soa("a.rootsrv.net.")
-    root_zone.add("", RdataType.NS, NS("a.rootsrv.net."), ttl=518400)
-    root_server = AuthoritativeServer(
-        topology.endpoint_in_region(Region.NA, "a.rootsrv.net"), [root_zone]
-    )
-    network.register(root_server)
-    root_zone.add("a.rootsrv.net.", RdataType.A, A(root_server.endpoint.address))
-
-    zone = Zone("shop.example.", default_ttl=answer_ttl)
-    zone.add_soa("ns1.shop.example.")
-    zone.add("shop.example.", RdataType.NS, NS("ns1.shop.example."), ttl=answer_ttl)
-    server = AuthoritativeServer(
-        topology.endpoint_in_region(Region.EU, "ns1.shop.example"), [zone]
-    )
-    network.register(server)
-    zone.add("ns1.shop.example.", RdataType.A, A(server.endpoint.address), ttl=answer_ttl)
-    zone.add("www.shop.example.", RdataType.A, A("203.0.113.10"), ttl=answer_ttl)
-    root_zone.add("shop.example.", RdataType.NS, NS("ns1.shop.example."), ttl=172800)
-    root_zone.add("ns1.shop.example.", RdataType.A, A(server.endpoint.address), ttl=172800)
-
-    hints = {"a.rootsrv.net.": root_server.endpoint.address}
-    from repro.dns.name import Name
-
-    return topology, network, {Name(k): v for k, v in hints.items()}, server
-
-
-def run(answer_ttl: int, policy: ResolverPolicy, label: str) -> None:
-    topology, network, hints, server = build_world(answer_ttl)
-    resolver = RecursiveResolver(
-        endpoint=topology.endpoint_in_region(Region.EU, "res"),
-        network=network,
-        root_hints=hints,
-        policy=policy,
-    )
-    # Warm the cache before the attack, then probe every 10 minutes.
-    outcomes = []
-    for t in range(0, int(ATTACK_END + 1200), 600):
-        if t == ATTACK_START:
-            network.loss.take_down(server.endpoint.address)
-        if t == ATTACK_END:
-            network.loss.bring_up(server.endpoint.address)
-        result = resolver.resolve("www.shop.example.", RdataType.A, now=float(t))
-        ok = result.rcode == Rcode.NOERROR and result.answers
-        stale = "~" if result.served_stale else ("+" if ok else "-")
-        outcomes.append(stale)
-    print(f"  {label:34s} |{''.join(outcomes)}|")
+TTLS = (60, 300, 1800, 3600, 86400)
+ATTACK_SECONDS = 3600.0
 
 
 def main() -> None:
-    print("One query per 10-minute slot; attack from t=10m to t=70m.")
-    print("'+' answered from cache/authoritative, '~' served stale, '-' SERVFAIL\n")
-    print(f"  {'configuration':34s} |{'0123456789'[:9]}| (slots)")
-    run(60, ResolverPolicy.child_centric(), "TTL 60s (CDN-style)")
-    run(3600, ResolverPolicy.child_centric(), "TTL 3600s (paper's floor)")
-    run(86400, ResolverPolicy.child_centric(), "TTL 86400s (paper's preference)")
-    run(60, ResolverPolicy.child_centric().with_(serve_stale=True),
-        "TTL 60s + serve-stale resolver")
-    print("\nLong TTLs ride out the outage (paper §6.1: 'caching is a key")
+    print("Probing warmed resolvers through a one-hour authoritative outage")
+    print("(one probe per 5-minute slot; the attack is a scheduled fault).\n")
+
+    run = scenario_ddos_resilience(ttls=TTLS, attack_seconds=ATTACK_SECONDS)
+
+    table = Table(
+        ["TTL", "availability", "with serve-stale", "served stale"],
+        title="§6.1: answer availability during the attack",
+    )
+    for ttl in TTLS:
+        plain = run.tier(ttl, serve_stale=False)
+        rescued = run.tier(ttl, serve_stale=True)
+        table.add_row(
+            f"{ttl}s",
+            f"{plain.availability * 100:.0f}%",
+            f"{rescued.availability * 100:.0f}%",
+            f"{rescued.served_stale_fraction * 100:.0f}%",
+        )
+    print(table.render())
+
+    metrics = run.metrics.to_payload()["metrics"]
+    dropped = metrics["faults.injected"]["values"]["server_outage"]
+    healed = metrics["faults.recovered"]["values"]["server_outage"]
+    print(f"\nFault ledger: {dropped} transmissions dropped, "
+          f"{healed} outage windows healed after the attack lifted.")
+    print("Long TTLs ride out the outage (paper §6.1: 'caching is a key")
     print("component of DNS resilience... TTLs must be longer than the attack').")
+
+    # The headline §6.1 shape, asserted so this example doubles as a check.
+    profile = run.availability_profile(serve_stale=False)
+    assert profile[60] == 0.0, profile
+    assert profile[3600] == 1.0 and profile[86400] == 1.0, profile
+    assert all(
+        value == 1.0
+        for value in run.availability_profile(serve_stale=True).values()
+    ), "serve-stale should rescue every tier"
 
 
 if __name__ == "__main__":

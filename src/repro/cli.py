@@ -8,7 +8,9 @@ Subcommands::
     python -m repro.cli demo-uy     [--probes 150]
     python -m repro.cli crawl       [--scale 0.001] [--seed 0]
     python -m repro.cli run t2-uy   --parallel 4 [--run-dir out/t2] [--metrics m.json]
+    python -m repro.cli run ddos    --faults plan.json [--metrics m.json]
     python -m repro.cli metrics     m.json [--validate-only]
+    python -m repro.cli faults      plan.json [--validate-only]
 
 Everything prints plain text; there is no network access — the "demo" and
 "crawl" subcommands run the simulation.
@@ -200,7 +202,14 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 # ------------------------------------------------------- sharded campaigns
 
 #: Campaigns `repro run` can execute through repro.runner.
-_RUN_CAMPAIGNS = ("t2-uy", "t2-anicuy", "t2-googleco", "t10-controlled", "crawl")
+_RUN_CAMPAIGNS = (
+    "t2-uy", "t2-anicuy", "t2-googleco", "t10-controlled", "crawl", "ddos"
+)
+
+#: Campaigns that accept a --faults schedule (the controlled-TTL and crawl
+#: campaigns build many isolated worlds whose endpoints a plan cannot
+#: meaningfully target, so they reject one instead of ignoring it).
+_FAULTABLE_CAMPAIGNS = ("t2-uy", "t2-anicuy", "t2-googleco", "ddos")
 
 
 def _centricity_report(title: str, run) -> str:
@@ -247,6 +256,32 @@ def _write_metrics(args: argparse.Namespace, snapshot) -> None:
         print(f"metrics written to {args.metrics}", file=sys.stderr)
 
 
+def _load_fault_plan(args: argparse.Namespace):
+    """Read and validate ``--faults``; returns ``(plan, exit_code)``."""
+    from repro.faults import FaultPlan, validate_json
+
+    if args.faults is None:
+        return None, 0
+    if args.campaign not in _FAULTABLE_CAMPAIGNS:
+        print(f"error: --faults is not supported for {args.campaign} "
+              f"(faultable campaigns: {', '.join(_FAULTABLE_CAMPAIGNS)})",
+              file=sys.stderr)
+        return None, 2
+    try:
+        with open(args.faults, "r", encoding="ascii") as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read fault plan {args.faults}: {exc.strerror}",
+              file=sys.stderr)
+        return None, 2
+    errors = validate_json(text)
+    if errors:
+        for error in errors:
+            print(f"invalid fault plan: {error}", file=sys.stderr)
+        return None, 2
+    return FaultPlan.from_json(text), 0
+
+
 def _cmd_run_inner(args: argparse.Namespace) -> int:
     from repro.runner.progress import render_event
 
@@ -254,6 +289,9 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
         if not args.quiet:
             print(render_event(event), file=sys.stderr, flush=True)
 
+    faults, status = _load_fault_plan(args)
+    if status:
+        return status
     common = dict(
         seed=args.seed,
         parallelism=args.parallel,
@@ -264,7 +302,8 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
         from repro.core.scenarios import scenario_uy_ns
 
         run = scenario_uy_ns(
-            probes=args.probes, duration=args.duration, shards=args.shards, **common
+            probes=args.probes, duration=args.duration, shards=args.shards,
+            faults=faults, **common
         )
         print(_centricity_report("T2: .uy-NS centricity campaign", run))
         _write_metrics(args, run.metrics)
@@ -272,7 +311,8 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
         from repro.core.scenarios import scenario_anicuy_a
 
         run = scenario_anicuy_a(
-            probes=args.probes, duration=args.duration, shards=args.shards, **common
+            probes=args.probes, duration=args.duration, shards=args.shards,
+            faults=faults, **common
         )
         print(_centricity_report("T2: a.nic.uy-A centricity campaign", run))
         _write_metrics(args, run.metrics)
@@ -280,9 +320,31 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
         from repro.core.scenarios import scenario_googleco_ns
 
         run = scenario_googleco_ns(
-            probes=args.probes, duration=args.duration, shards=args.shards, **common
+            probes=args.probes, duration=args.duration, shards=args.shards,
+            faults=faults, **common
         )
         print(_centricity_report("T2: google.co-NS centricity campaign", run))
+        _write_metrics(args, run.metrics)
+    elif args.campaign == "ddos":
+        from repro.core.scenarios import scenario_ddos_resilience
+
+        run = scenario_ddos_resilience(
+            attack_seconds=args.duration, faults=faults, **common
+        )
+        table = Table(
+            ["TTL (s)", "availability", "serve-stale", "stale fraction"],
+            title=f"§6.1 resilience: {args.duration:.0f}s authoritative outage",
+        )
+        for ttl in sorted({tier.ttl for tier in run.tiers}):
+            plain = run.tier(ttl, serve_stale=False)
+            rescued = run.tier(ttl, serve_stale=True)
+            table.add_row(
+                ttl,
+                f"{plain.availability * 100:.0f}%",
+                f"{rescued.availability * 100:.0f}%",
+                f"{rescued.served_stale_fraction * 100:.0f}%",
+            )
+        print(table.render())
         _write_metrics(args, run.metrics)
     elif args.campaign == "t10-controlled":
         from repro.analysis.cdf import ECDF
@@ -347,6 +409,49 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(f"{args.file}: valid ({len(snapshot)} metrics)")
         return 0
     print(render_snapshot(snapshot, title=args.file))
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Validate and render a fault plan for ``repro run --faults``."""
+    from repro.faults import FaultPlan, validate_json
+
+    try:
+        with open(args.file, "r", encoding="ascii") as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read fault plan {args.file}: {exc.strerror}",
+              file=sys.stderr)
+        return 2
+    errors = validate_json(text)
+    if errors:
+        for error in errors:
+            print(f"invalid: {error}", file=sys.stderr)
+        return 2
+    plan = FaultPlan.from_json(text)
+    if args.validate_only:
+        print(f"{args.file}: valid ({len(plan)} faults)")
+        return 0
+    start, end = plan.window()
+    title = f"Fault plan {plan.name or args.file} (seed {plan.seed}, " \
+            f"window {start:.0f}-{end:.0f}s)"
+    table = Table(["#", "kind", "start (s)", "duration (s)", "target", "detail"],
+                  title=title)
+    for index, spec in enumerate(plan):
+        details = []
+        if spec.rate is not None:
+            details.append(f"rate={spec.rate}")
+        if spec.delay_ms is not None:
+            details.append(f"delay={spec.delay_ms}ms")
+        if spec.site is not None:
+            details.append(f"site={spec.site}")
+        if spec.src is not None:
+            details.append(f"src={spec.src}")
+        table.add_row(
+            index, spec.kind, f"{spec.start:.0f}", f"{spec.duration:.0f}",
+            spec.target or "*", " ".join(details) or "-",
+        )
+    print(table.render())
     return 0
 
 
@@ -534,6 +639,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics-include-host", action="store_true",
                      help="also export host-domain execution telemetry "
                           "(wall times, retries); gives up byte-stability")
+    run.add_argument("--faults", default=None, metavar="PATH",
+                     help="fault plan JSON (repro.faults/v1) scheduling "
+                          "outages/loss/SERVFAILs against the campaign's "
+                          "virtual clock; deterministic at any --parallel")
     run.set_defaults(func=_cmd_run)
 
     metrics = sub.add_parser(
@@ -543,6 +652,14 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--validate-only", action="store_true",
                          help="check the file against the schema and exit")
     metrics.set_defaults(func=_cmd_metrics)
+
+    faults = sub.add_parser(
+        "faults", help="validate and render a fault plan (repro.faults/v1)"
+    )
+    faults.add_argument("file", help="plan JSON for `repro run --faults`")
+    faults.add_argument("--validate-only", action="store_true",
+                        help="check the file against the schema and exit")
+    faults.set_defaults(func=_cmd_faults)
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate one paper artifact at the terminal"

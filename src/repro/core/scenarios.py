@@ -35,13 +35,15 @@ from repro.core.worlds import (
     build_controlled_world,
     build_googleco_world,
     build_nl_world,
+    build_outage_world,
     build_uy_world,
 )
-from repro.dns.message import Message, Section
+from repro.dns.message import Message, Rcode, Section
 from repro.dns.name import Name
 from repro.dns.rdtypes import RdataType
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.metrics.registry import MetricsRegistry
-from repro.metrics.snapshot import MetricsSnapshot
+from repro.metrics.snapshot import MetricsSnapshot, merge_snapshots
 
 # ------------------------------------------------- sharded campaign plumbing
 
@@ -98,6 +100,20 @@ def _run_sharded_campaign(
     return outcomes, metrics
 
 
+def _normalize_fault_plan(faults) -> Optional[dict]:
+    """Accept a :class:`FaultPlan` or a payload dict; return the payload.
+
+    Payload form crosses the process boundary to shard workers and lands
+    in the campaign fingerprint, so checkpoint resumes replay the exact
+    schedule (a changed plan is a different campaign).
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return faults.to_payload()
+    return FaultPlan.from_payload(faults).to_payload()
+
+
 def _run_centricity_sharded(
     campaign: str,
     builder: str,
@@ -110,6 +126,7 @@ def _run_centricity_sharded(
     shards: Optional[int] = None,
     run_dir: Optional[str] = None,
     progress=None,
+    fault_plan: Optional[dict] = None,
 ) -> tuple[ResultSet, MetricsSnapshot]:
     """Shard an active centricity campaign over its probes and merge."""
     from repro.runner.campaigns import campaign_fingerprint, centricity_shard
@@ -121,6 +138,7 @@ def _run_centricity_sharded(
         "world_kwargs": world_kwargs,
         "spec_kwargs": spec_kwargs,
         "qtype_name": qtype.name,
+        "fault_plan": fault_plan,
     }
     fingerprint = campaign_fingerprint(
         "centricity",
@@ -229,6 +247,7 @@ def scenario_uy_ns(
     shards: Optional[int] = None,
     run_dir: Optional[str] = None,
     progress=None,
+    faults=None,
 ) -> CentricityRun:
     """The .uy-NS campaign (Table 2 col 1; Figure 1): parent 172800 s,
     child 300 s, queries every 10 min for 2 h.
@@ -237,8 +256,11 @@ def scenario_uy_ns(
     :mod:`repro.runner`: probes are sharded deterministically, shards
     execute on that many workers (1 = the serial in-process fallback),
     and the merged :class:`ResultSet` is identical for every worker
-    count.  ``run_dir`` enables checkpoint/resume.
+    count.  ``run_dir`` enables checkpoint/resume.  ``faults`` (a
+    :class:`FaultPlan` or its payload) schedules failures against the
+    campaign's virtual clock — see docs/resilience.md.
     """
+    fault_plan = _normalize_fault_plan(faults)
     spec_kwargs = dict(
         qname="uy.",
         interval=interval,
@@ -259,9 +281,14 @@ def scenario_uy_ns(
             shards=shards,
             run_dir=run_dir,
             progress=progress,
+            fault_plan=fault_plan,
         )
     else:
         uy = build_uy_world(seed, child_ns_ttl=child_ns_ttl)
+        if fault_plan is not None:
+            uy.world.network.attach_faults(
+                FaultInjector(FaultPlan.from_payload(fault_plan), seed=seed)
+            )
         population = make_population(uy.world, probes=probes, seed=seed)
         spec = MeasurementSpec(qtype=RdataType.NS, **spec_kwargs)
         results = Measurement(
@@ -290,9 +317,11 @@ def scenario_anicuy_a(
     shards: Optional[int] = None,
     run_dir: Optional[str] = None,
     progress=None,
+    faults=None,
 ) -> CentricityRun:
     """The a.nic.uy-A campaign (Table 2 col 2; Figure 1): parent glue
     172800 s, child A 120 s, every 10 min for 3 h."""
+    fault_plan = _normalize_fault_plan(faults)
     spec_kwargs = dict(
         qname="a.nic.uy.",
         interval=600.0,
@@ -313,9 +342,14 @@ def scenario_anicuy_a(
             shards=shards,
             run_dir=run_dir,
             progress=progress,
+            fault_plan=fault_plan,
         )
     else:
         uy = build_uy_world(seed)
+        if fault_plan is not None:
+            uy.world.network.attach_faults(
+                FaultInjector(FaultPlan.from_payload(fault_plan), seed=seed)
+            )
         population = make_population(uy.world, probes=probes, seed=seed)
         spec = MeasurementSpec(qtype=RdataType.A, **spec_kwargs)
         results = Measurement(
@@ -342,9 +376,11 @@ def scenario_googleco_ns(
     shards: Optional[int] = None,
     run_dir: Optional[str] = None,
     progress=None,
+    faults=None,
 ) -> CentricityRun:
     """The google.co-NS campaign (Table 2 col 3; Figure 2): parent 900 s,
     child 345600 s, every 10 min for 1 h."""
+    fault_plan = _normalize_fault_plan(faults)
     spec_kwargs = dict(
         qname="google.co.",
         interval=600.0,
@@ -365,9 +401,14 @@ def scenario_googleco_ns(
             shards=shards,
             run_dir=run_dir,
             progress=progress,
+            fault_plan=fault_plan,
         )
     else:
         world = build_googleco_world(seed)
+        if fault_plan is not None:
+            world.network.attach_faults(
+                FaultInjector(FaultPlan.from_payload(fault_plan), seed=seed)
+            )
         population = make_population(world, probes=probes, seed=seed)
         spec = MeasurementSpec(qtype=RdataType.NS, **spec_kwargs)
         results = Measurement(
@@ -832,3 +873,218 @@ def scenario_controlled_ttl(
         run.metrics = MetricsSnapshot.from_payload(outcome.value["metrics"])
         runs[run.label] = run
     return runs
+
+
+# ------------------------------------------------------------------- §6.1
+
+
+@dataclass(frozen=True)
+class DdosTierResult:
+    """One (TTL, serve-stale) cell of the resilience matrix."""
+
+    ttl: int
+    serve_stale: bool
+    seed: int
+    #: Probe slots during the attack window.
+    slots: int
+    #: Slots answered with records (fresh or stale).
+    answered: int
+    #: Slots answered from expired cache (serve-stale engagements).
+    stale_answers: int
+    #: Whether the post-attack recovery probe got a fresh answer.
+    recovered: bool
+
+    @property
+    def availability(self) -> float:
+        return self.answered / self.slots if self.slots else 0.0
+
+    @property
+    def served_stale_fraction(self) -> float:
+        return self.stale_answers / self.slots if self.slots else 0.0
+
+
+@dataclass
+class DdosResilienceRun:
+    """§6.1: answer availability under an authoritative outage.
+
+    The paper's claim — "longer caching is more robust to DDoS attacks",
+    sharpened by Moura et al. to "TTLs must be longer than the attack" —
+    falls out of the tier matrix: availability climbs from 0 to 1 as the
+    TTL crosses the attack duration, and serve-stale rescues every tier.
+    """
+
+    attack_seconds: float
+    probe_interval: float
+    attack_start: float
+    tiers: list[DdosTierResult]
+    #: Merged campaign metrics (fault events, retries, recoveries).
+    metrics: Optional[MetricsSnapshot] = None
+
+    def tier(self, ttl: int, serve_stale: bool) -> DdosTierResult:
+        for result in self.tiers:
+            if result.ttl == ttl and result.serve_stale == serve_stale:
+                return result
+        raise KeyError((ttl, serve_stale))
+
+    def availability_profile(self, serve_stale: bool) -> dict[int, float]:
+        """TTL -> availability, the headline curve of the scenario."""
+        return {
+            result.ttl: result.availability
+            for result in self.tiers
+            if result.serve_stale == serve_stale
+        }
+
+
+def _run_ddos_tier(
+    *,
+    ttl: int,
+    serve_stale: bool,
+    seed: int,
+    attack_seconds: float,
+    probe_interval: float,
+    attack_start: float,
+    fault_plan: Optional[dict] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> DdosTierResult:
+    """Probe one warmed resolver through an authoritative outage.
+
+    The outage is injected through :mod:`repro.faults` (never by mutating
+    the loss model directly), so every fault event is observable in the
+    metrics stream and extra faults can ride along via ``fault_plan``.
+    """
+    from repro.net.topology import Region
+    from repro.resolver.policy import ResolverPolicy
+    from repro.resolver.recursive import RecursiveResolver
+
+    outage = build_outage_world(ttl, seed)
+    world = outage.world
+    if metrics is not None:
+        world.network.attach_metrics(metrics)
+
+    specs = [
+        FaultSpec(
+            kind="server_outage",
+            start=attack_start,
+            duration=attack_seconds,
+            target=outage.target_address,
+        )
+    ]
+    plan_name, plan_seed = "ddos", seed
+    if fault_plan is not None:
+        extra = FaultPlan.from_payload(fault_plan)
+        specs.extend(extra.faults)
+        plan_name = extra.name or plan_name
+        plan_seed = extra.seed
+    plan = FaultPlan(faults=tuple(specs), name=plan_name, seed=plan_seed)
+    world.network.attach_faults(FaultInjector(plan, seed=seed))
+
+    policy = ResolverPolicy.child_centric().with_(serve_stale=serve_stale)
+    resolver = RecursiveResolver(
+        endpoint=world.topology.endpoint_in_region(Region.EU, "res"),
+        network=world.network,
+        root_hints=world.hints,
+        policy=policy,
+    )
+    # Warm the cache just before the attack begins.
+    warm = resolver.resolve("www.shop.example.", RdataType.A, now=0.0)
+    assert warm.rcode == Rcode.NOERROR and warm.answers
+
+    answered = stale = 0
+    slots = int(attack_seconds // probe_interval)
+    for k in range(1, slots + 1):
+        out = resolver.resolve("www.shop.example.", RdataType.A, now=k * probe_interval)
+        if out.rcode == Rcode.NOERROR and out.answers:
+            answered += 1
+            stale += out.served_stale
+    # One probe after the attack lifts: the tree answers again, and the
+    # delivery closes the fault's recovery clock in the metrics stream.
+    after = resolver.resolve(
+        "www.shop.example.", RdataType.A,
+        now=attack_start + attack_seconds + probe_interval,
+    )
+    recovered = bool(after.rcode == Rcode.NOERROR and after.answers)
+    return DdosTierResult(
+        ttl=ttl,
+        serve_stale=serve_stale,
+        seed=seed,
+        slots=slots,
+        answered=answered,
+        stale_answers=stale,
+        recovered=recovered,
+    )
+
+
+def scenario_ddos_resilience(
+    seed: int = 0,
+    ttls: tuple = (60, 300, 1800, 3600, 86400),
+    attack_seconds: float = 3600.0,
+    probe_interval: float = 300.0,
+    attack_start: Optional[float] = None,
+    faults=None,
+    parallelism: Optional[int] = None,
+    run_dir: Optional[str] = None,
+    progress=None,
+) -> DdosResilienceRun:
+    """§6.1: availability across TTL tiers during a 1 h authoritative DDoS.
+
+    Runs a (TTL × serve-stale) matrix of independent tiers: each warms a
+    child-centric resolver, takes the zone's only authoritative down via
+    a :class:`FaultPlan`, and probes every ``probe_interval``.  With
+    ``parallelism`` set the tiers run as one shard each through
+    :mod:`repro.runner` — byte-identical to the serial path for any
+    worker count.  ``faults`` schedules *additional* failures on top of
+    the attack in every tier.
+    """
+    if attack_start is None:
+        # Half a slot before the first probe: every probe lands mid-attack.
+        attack_start = probe_interval / 2
+    fault_plan = _normalize_fault_plan(faults)
+    tier_params = [
+        {
+            "ttl": ttl,
+            "serve_stale": serve_stale,
+            "seed": seed + index,
+            "attack_seconds": attack_seconds,
+            "probe_interval": probe_interval,
+            "attack_start": attack_start,
+            "fault_plan": fault_plan,
+        }
+        for index, (serve_stale, ttl) in enumerate(
+            (s, t) for s in (False, True) for t in ttls
+        )
+    ]
+
+    if parallelism is None:
+        tiers: list[DdosTierResult] = []
+        snapshots: list[MetricsSnapshot] = []
+        for params in tier_params:
+            registry = MetricsRegistry()
+            tiers.append(_run_ddos_tier(**params, metrics=registry))
+            snapshots.append(registry.snapshot())
+        metrics = merge_snapshots(snapshots)
+    else:
+        from repro.runner.campaigns import campaign_fingerprint, ddos_shard
+
+        fingerprint = campaign_fingerprint(
+            "ddos-resilience", seed=seed, tiers=tier_params
+        )
+        outcomes, metrics = _run_sharded_campaign(
+            "ddos-resilience",
+            fingerprint,
+            ddos_shard,
+            {"tiers": tier_params},
+            total_units=len(tier_params),
+            seed=seed,
+            parallelism=parallelism,
+            shards=len(tier_params),
+            run_dir=run_dir,
+            progress=progress,
+        )
+        tiers = [outcome.value["results"] for outcome in outcomes]
+    return DdosResilienceRun(
+        attack_seconds=attack_seconds,
+        probe_interval=probe_interval,
+        attack_start=attack_start,
+        tiers=tiers,
+        metrics=metrics,
+    )

@@ -93,20 +93,23 @@ def ddos_availability_sweep(
     al.'s finding — reproduced here — is that availability is ~1 while
     TTL ≥ attack duration and collapses below it.
     """
+    from repro.core.worlds import build_outage_world
+
     points: list[AvailabilityPoint] = []
     policy = ResolverPolicy.child_centric().with_(serve_stale=serve_stale)
     for ttl in ttls:
-        topology, network, hints, server = _build_outage_world(ttl, seed)
+        outage = build_outage_world(ttl, seed)
+        world, server = outage.world, outage.server
         resolver = RecursiveResolver(
-            endpoint=topology.endpoint_in_region(Region.EU, "res"),
-            network=network,
-            root_hints=hints,
+            endpoint=world.topology.endpoint_in_region(Region.EU, "res"),
+            network=world.network,
+            root_hints=world.hints,
             policy=policy,
         )
         # Warm the cache just before the attack begins.
         warm = resolver.resolve("www.shop.example.", RdataType.A, now=0.0)
         assert warm.rcode == Rcode.NOERROR
-        network.loss.take_down(server.endpoint.address)
+        world.network.loss.take_down(server.endpoint.address)
 
         answered = 0
         stale = 0
@@ -130,38 +133,3 @@ def ddos_availability_sweep(
     return points
 
 
-def _build_outage_world(ttl: int, seed: int):
-    from repro.dns.rdtypes import A, NS
-    from repro.dns.zone import Zone
-    from repro.net.topology import Topology
-    from repro.net.transport import Network
-    from repro.server.authoritative import AuthoritativeServer
-    from repro.dns.name import Name
-
-    topology = Topology(seed=seed)
-    network = Network(seed=seed)
-
-    root_zone = Zone("", default_ttl=172800)
-    root_zone.add_soa("a.rootsrv.net.")
-    root_zone.add("", RdataType.NS, NS("a.rootsrv.net."), ttl=518400)
-    root_server = AuthoritativeServer(
-        topology.endpoint_in_region(Region.NA, "a.rootsrv.net"), [root_zone]
-    )
-    network.register(root_server)
-    root_zone.add("a.rootsrv.net.", RdataType.A, A(root_server.endpoint.address))
-
-    zone = Zone("shop.example.", default_ttl=ttl)
-    zone.add_soa("ns1.shop.example.")
-    zone.add("shop.example.", RdataType.NS, NS("ns1.shop.example."), ttl=ttl)
-    server = AuthoritativeServer(
-        topology.endpoint_in_region(Region.EU, "ns1.shop.example"), [zone]
-    )
-    network.register(server)
-    zone.add("ns1.shop.example.", RdataType.A, A(server.endpoint.address), ttl=ttl)
-    zone.add("www.shop.example.", RdataType.A, A("203.0.113.10"), ttl=ttl)
-    root_zone.add("shop.example.", RdataType.NS, NS("ns1.shop.example."), ttl=172800)
-    root_zone.add(
-        "ns1.shop.example.", RdataType.A, A(server.endpoint.address), ttl=172800
-    )
-    hints = {Name("a.rootsrv.net."): root_server.endpoint.address}
-    return topology, network, hints, server

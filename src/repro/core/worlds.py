@@ -640,3 +640,77 @@ def build_controlled_world(seed: int = 0, anycast_sites: int = 45) -> Controlled
         unicast_server=unicast,
         anycast=cluster,
     )
+
+
+@dataclass
+class OutageWorld:
+    """The §6.1 DDoS testbed: one small zone behind one authoritative.
+
+    Everything the availability story needs and nothing more — a root
+    server, ``shop.example`` with every record at the tier's TTL, and the
+    single child server whose outage the fault plan schedules.
+    """
+
+    world: World
+    zone: Zone
+    server: AuthoritativeServer
+
+    @property
+    def target_address(self) -> str:
+        """The address a ``server_outage`` fault should target."""
+        return self.server.endpoint.address
+
+
+def build_outage_world(ttl: int, seed: int = 0) -> OutageWorld:
+    """Build the DDoS-resilience world for one TTL tier.
+
+    The root delegation keeps its realistic 2-day TTL; the child zone —
+    NS, in-bailiwick glue, and the ``www`` answer — all carry ``ttl``, so
+    the record under attack expires exactly ``ttl`` seconds after the
+    cache was warmed.
+    """
+    topology = Topology(seed=seed)
+    network = Network(seed=seed)
+    clock = SimClock()
+
+    root_zone = Zone("", default_ttl=172800)
+    root_zone.add_soa("a.rootsrv.net.")
+    root_zone.add("", RdataType.NS, NS(Name("a.rootsrv.net.")), ttl=518400)
+    root_server = AuthoritativeServer(
+        topology.endpoint_in_region(Region.NA, "a.rootsrv.net"), [root_zone]
+    )
+    network.register(root_server)
+    root_zone.add("a.rootsrv.net.", RdataType.A, A(root_server.endpoint.address))
+
+    zone = Zone("shop.example.", default_ttl=ttl)
+    zone.add_soa("ns1.shop.example.")
+    zone.add("shop.example.", RdataType.NS, NS(Name("ns1.shop.example.")), ttl=ttl)
+    server = AuthoritativeServer(
+        topology.endpoint_in_region(Region.EU, "ns1.shop.example"), [zone]
+    )
+    network.register(server)
+    zone.add("ns1.shop.example.", RdataType.A, A(server.endpoint.address), ttl=ttl)
+    zone.add("www.shop.example.", RdataType.A, A("203.0.113.10"), ttl=ttl)
+    root_zone.add(
+        "shop.example.", RdataType.NS, NS(Name("ns1.shop.example.")), ttl=172800
+    )
+    root_zone.add(
+        "ns1.shop.example.", RdataType.A, A(server.endpoint.address), ttl=172800
+    )
+    hints = {Name("a.rootsrv.net."): root_server.endpoint.address}
+
+    world = World(
+        seed=seed,
+        topology=topology,
+        network=network,
+        clock=clock,
+        root_zone=root_zone,
+        hints=hints,
+    )
+    world.add_zone(root_zone)
+    world.add_zone(zone)
+    world.servers["a.rootsrv.net"] = root_server
+    world.servers["ns1.shop.example"] = server
+    world._server_addresses["a.rootsrv.net"] = root_server.endpoint.address
+    world._server_addresses["ns1.shop.example"] = server.endpoint.address
+    return OutageWorld(world=world, zone=zone, server=server)

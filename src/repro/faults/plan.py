@@ -1,0 +1,326 @@
+"""Declarative, schedule-driven fault plans.
+
+A :class:`FaultPlan` is a JSON-serializable list of :class:`FaultSpec`
+entries, each a *window on the virtual clock* during which one failure
+mode is active.  Plans are data, not code: the same file drives a serial
+run, a ``--parallel 4`` run, and a checkpoint resume, and because every
+random choice the injector makes is seeded from ``(plan seed, shard
+seed)`` the three produce byte-identical metrics — the determinism
+contract of :mod:`repro.runner` extended to broken networks.
+
+Each fault kind models one §6.1-adjacent failure the paper's guidance
+speaks to (see docs/resilience.md for the full real-world mapping):
+
+==================  =====================================================
+kind                what breaks
+==================  =====================================================
+``loss``            probabilistic transmission loss between endpoints
+``delay``           extra one-way delay (congestion, scrubbing detours)
+``blackhole``       deterministic loss for an endpoint pair (routing
+                    leaks, ACL mistakes)
+``server_outage``   everything sent to one address is dropped — the
+                    paper's DDoS-on-the-authoritative scenario
+``servfail``        the server answers, but with SERVFAIL
+``truncate``        the server answers with TC=1 (forcing fallback)
+``ratelimit``       RRL: over-budget queries per second get a TC slip
+``anycast_site_down``  one anycast site stops announcing; BGP reroutes
+``resolver_restart``   a recursive resolver loses its cache (point event)
+``upstream_storm``     a resolver's upstream queries all time out
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+#: Schema identifier embedded in every serialized plan.
+SCHEMA_ID = "repro.faults/v1"
+
+#: Every fault kind the injector understands.
+KINDS = (
+    "loss",
+    "delay",
+    "blackhole",
+    "server_outage",
+    "servfail",
+    "truncate",
+    "ratelimit",
+    "anycast_site_down",
+    "resolver_restart",
+    "upstream_storm",
+)
+
+#: Kinds applied per transmission on the fabric (vs at the server or
+#: resolver).  Order matters nowhere, but membership drives dispatch.
+TRANSPORT_KINDS = frozenset(
+    {"loss", "delay", "blackhole", "server_outage", "upstream_storm"}
+)
+SERVER_KINDS = frozenset({"servfail", "truncate", "ratelimit"})
+
+
+class FaultPlanError(ValueError):
+    """A plan or spec that fails schema validation."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault window: a kind, a ``[start, end)`` interval, and targets.
+
+    ``target`` is the address the fault applies to (the destination for
+    transport and server faults, the resolver for restarts and storms);
+    ``None`` means "every matching party".  ``src`` further narrows
+    transport faults to one querying endpoint.  ``site`` names an anycast
+    site (by endpoint address or name) for ``anycast_site_down``.
+    """
+
+    kind: str
+    start: float
+    duration: float
+    target: Optional[str] = None
+    src: Optional[str] = None
+    site: Optional[str] = None
+    rate: Optional[float] = None
+    delay_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        errors = _spec_errors(self.to_payload(), index=None)
+        if errors:
+            raise FaultPlanError("; ".join(errors))
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active(self, t: float) -> bool:
+        """Whether the window covers virtual time ``t`` (half-open)."""
+        if self.duration == 0.0:
+            return t >= self.start
+        return self.start <= t < self.end
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "kind": self.kind,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        for key in ("target", "src", "site", "rate", "delay_ms"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "FaultSpec":
+        errors = _spec_errors(payload, index=None)
+        if errors:
+            raise FaultPlanError("; ".join(errors))
+        return cls(
+            kind=payload["kind"],
+            start=float(payload["start"]),
+            duration=float(payload["duration"]),
+            target=payload.get("target"),
+            src=payload.get("src"),
+            site=payload.get("site"),
+            rate=payload.get("rate"),
+            delay_ms=payload.get("delay_ms"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, validated schedule of faults."""
+
+    faults: tuple[FaultSpec, ...] = ()
+    name: str = ""
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def window(self) -> tuple[float, float]:
+        """The ``(earliest start, latest end)`` across all faults."""
+        if not self.faults:
+            return (0.0, 0.0)
+        return (
+            min(spec.start for spec in self.faults),
+            max(spec.end for spec in self.faults),
+        )
+
+    # -- serialization -------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_ID,
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [spec.to_payload() for spec in self.faults],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, fixed indent, trailing newline."""
+        return json.dumps(self.to_payload(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "FaultPlan":
+        errors = validate_payload(payload)
+        if errors:
+            raise FaultPlanError("; ".join(errors))
+        return cls(
+            faults=tuple(
+                FaultSpec.from_payload(spec) for spec in payload["faults"]
+            ),
+            name=payload.get("name", ""),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise FaultPlanError("top level must be a JSON object")
+        return cls.from_payload(payload)
+
+    # -- convenience builders ------------------------------------------------
+    @classmethod
+    def ddos(
+        cls,
+        target: str,
+        start: float,
+        duration: float,
+        name: str = "ddos",
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """The §6.1 scenario: one authoritative server fully down for
+        ``duration`` seconds starting at ``start``."""
+        return cls(
+            faults=(
+                FaultSpec(
+                    kind="server_outage", start=start, duration=duration,
+                    target=target,
+                ),
+            ),
+            name=name,
+            seed=seed,
+        )
+
+
+def derive_fault_seed(plan_seed: int, shard_seed: int) -> int:
+    """The injector RNG seed for one shard.
+
+    Mixes the plan's own seed with the shard's derived seed through a
+    keyed hash (same construction as :func:`repro.runner.shard.derive_seed`)
+    so fault randomness is independent of the world/latency RNG streams
+    while remaining a pure function of ``(plan, shard)`` — which is what
+    keeps serial and ``--parallel N`` runs byte-identical.
+    """
+    material = f"{plan_seed}:{shard_seed}".encode("ascii")
+    digest = hashlib.blake2b(
+        material, digest_size=8, person=b"repro.faults"
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+# ---------------------------------------------------------------- validation
+
+#: Per-kind required/forbidden parameter rules, dependency-free so the
+#: CLI can validate a plan file without constructing simulator objects.
+_RATE_KINDS = frozenset({"loss", "ratelimit"})
+
+
+def _spec_errors(payload: Any, index: Optional[int]) -> list[str]:
+    where = f"faults[{index}]" if index is not None else "fault"
+    if not isinstance(payload, dict):
+        return [f"{where}: must be an object"]
+    errors: list[str] = []
+    kind = payload.get("kind")
+    if kind not in KINDS:
+        return [f"{where}: unknown kind {kind!r} (expected one of {', '.join(KINDS)})"]
+    for key in ("start", "duration"):
+        value = payload.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where}: {key} must be a number")
+        elif value < 0:
+            errors.append(f"{where}: {key} must be >= 0")
+    for key in ("target", "src", "site"):
+        value = payload.get(key)
+        if value is not None and not isinstance(value, str):
+            errors.append(f"{where}: {key} must be a string")
+    rate = payload.get("rate")
+    delay_ms = payload.get("delay_ms")
+
+    if kind == "loss":
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool) or not (
+            0.0 < rate <= 1.0
+        ):
+            errors.append(f"{where}: loss needs rate in (0, 1]")
+    elif kind == "ratelimit":
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool) or rate < 0:
+            errors.append(f"{where}: ratelimit needs rate >= 0 (answers/second)")
+    elif rate is not None:
+        errors.append(f"{where}: rate is only valid for {', '.join(sorted(_RATE_KINDS))}")
+
+    if kind == "delay":
+        if (
+            not isinstance(delay_ms, (int, float))
+            or isinstance(delay_ms, bool)
+            or delay_ms <= 0
+        ):
+            errors.append(f"{where}: delay needs delay_ms > 0")
+    elif delay_ms is not None:
+        errors.append(f"{where}: delay_ms is only valid for delay")
+
+    if kind == "server_outage" and not payload.get("target"):
+        errors.append(f"{where}: server_outage needs a target address")
+    if kind == "blackhole" and not (payload.get("target") or payload.get("src")):
+        errors.append(f"{where}: blackhole needs target and/or src")
+    if kind == "anycast_site_down" and not payload.get("site"):
+        errors.append(f"{where}: anycast_site_down needs a site")
+    if kind == "resolver_restart" and payload.get("duration") not in (0, 0.0):
+        errors.append(f"{where}: resolver_restart is a point event (duration 0)")
+    if kind != "anycast_site_down" and payload.get("site") is not None:
+        errors.append(f"{where}: site is only valid for anycast_site_down")
+    if kind not in TRANSPORT_KINDS and payload.get("src") is not None:
+        errors.append(f"{where}: src is only valid for transport faults")
+    return errors
+
+
+def validate_payload(payload: Any) -> list[str]:
+    """Schema-check a plan payload; returns human-readable errors."""
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    errors: list[str] = []
+    schema = payload.get("schema")
+    if schema != SCHEMA_ID:
+        errors.append(f"schema must be {SCHEMA_ID!r} (got {schema!r})")
+    if "name" in payload and not isinstance(payload["name"], str):
+        errors.append("name must be a string")
+    seed = payload.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        errors.append("seed must be an integer")
+    faults = payload.get("faults")
+    if not isinstance(faults, list):
+        errors.append("faults must be a list")
+        return errors
+    for index, spec in enumerate(faults):
+        errors.extend(_spec_errors(spec, index))
+    return errors
+
+
+def validate_json(text: str) -> list[str]:
+    """Schema-check serialized JSON; returns human-readable errors."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"not valid JSON: {exc}"]
+    return validate_payload(payload)

@@ -20,6 +20,7 @@ from repro.net.latency import LatencyModel
 from repro.net.topology import Endpoint
 
 if TYPE_CHECKING:
+    from repro.faults import FaultInjector
     from repro.metrics import MetricsRegistry
 
 #: BIND-like defaults: resolvers retry a few times with a short timeout.
@@ -41,6 +42,65 @@ class NetworkTimeout(Exception):
     def __init__(self, message: str, elapsed: float) -> None:
         super().__init__(message)
         self.elapsed = elapsed
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """How a client waits between retransmissions.
+
+    The defaults reproduce the historical fixed-interval behaviour
+    (``factor=1.0``, no jitter, no budget), so existing experiments are
+    bit-for-bit unchanged.  :meth:`hardened` is the resilient profile the
+    fault-injection scenarios use: exponential backoff spreads retries
+    out of a congested window, jitter desynchronizes clients hammering a
+    recovering server, and the retry *budget* caps the total virtual
+    time burned waiting — a resolver under an upstream storm gives up
+    and falls back (sibling NS, serve-stale) instead of stalling clients
+    for the full retry ladder.
+    """
+
+    timeout: float = DEFAULT_TIMEOUT
+    retries: int = DEFAULT_RETRIES
+    #: Multiplier applied per attempt: wait_n = timeout * factor**n.
+    factor: float = 1.0
+    #: Fractional jitter in [0, 1): each wait is scaled by a uniform
+    #: draw from [1-jitter, 1+jitter] (from the fabric's own seeded RNG,
+    #: so jittered runs stay deterministic).
+    jitter: float = 0.0
+    #: Cap on total wait across all attempts; ``None`` means unbounded.
+    budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(f"timeout {self.timeout} must be > 0")
+        if self.retries < 0:
+            raise ValueError(f"retries {self.retries} must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError(f"backoff factor {self.factor} must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter {self.jitter} outside [0, 1)")
+        if self.budget is not None and self.budget <= 0:
+            raise ValueError(f"retry budget {self.budget} must be > 0")
+
+    def attempt_wait(self, attempt: int, rng: random.Random) -> float:
+        """The timeout burned by (lost) attempt number ``attempt``."""
+        wait = self.timeout * self.factor**attempt
+        if self.jitter:
+            wait *= 1.0 + self.jitter * (rng.random() * 2.0 - 1.0)
+        return wait
+
+    @classmethod
+    def hardened(
+        cls,
+        timeout: float = 0.4,
+        retries: int = 4,
+        budget: Optional[float] = 6.0,
+    ) -> "BackoffPolicy":
+        """Exponential backoff with jitter and a bounded retry budget."""
+        return cls(
+            timeout=timeout, retries=retries, factor=2.0, jitter=0.1,
+            budget=budget,
+        )
 
 
 class Server(Protocol):
@@ -101,10 +161,20 @@ class Network:
         self.loss = loss or LossModel(seed=seed)
         self._servers: dict[str, Server] = {}
         self._rng = random.Random(seed ^ 0x7E77)
+        #: Jitter draws come from their own stream so enabling backoff
+        #: jitter never perturbs the latency RNG (and thus the RTTs) of
+        #: an otherwise-identical run.
+        self._jitter_rng = random.Random(seed ^ 0x8ACF)
         self.metrics: Optional["MetricsRegistry"] = None
+        self.faults: Optional["FaultInjector"] = None
+        #: Fabric-wide default retry policy; ``None`` keeps the historical
+        #: per-call ``timeout``/``retries`` behaviour.
+        self.backoff: Optional[BackoffPolicy] = None
         self._m_exchanges = NULL_COUNTER
         self._m_timeouts = NULL_COUNTER
         self._m_lost = NULL_COUNTER
+        self._m_retries = NULL_COUNTER
+        self._m_budget_exhausted = NULL_COUNTER
         self._m_rtt = NULL_HISTOGRAM
         self._m_server_queries = NULL_COUNTER
 
@@ -116,12 +186,34 @@ class Network:
         self._m_exchanges = registry.counter("net.exchanges")
         self._m_timeouts = registry.counter("net.timeouts")
         self._m_lost = registry.counter("net.lost_transmissions")
+        self._m_retries = registry.counter("net.retries")
+        self._m_budget_exhausted = registry.counter("net.retry_budget_exhausted")
         self._m_rtt = registry.histogram("net.rtt_ms", RTT_BUCKETS_MS)
         self._m_server_queries = registry.labeled_counter("auth.queries")
+        if self.faults is not None:
+            self.faults.attach_metrics(registry)
+
+    def attach_faults(self, injector: "FaultInjector") -> None:
+        """Wire a fault injector into the fabric and every registered
+        server.  Call after :meth:`attach_metrics` so fault events land in
+        the same snapshot (either order works; metrics re-attach)."""
+        self.faults = injector
+        if self.metrics is not None:
+            injector.attach_metrics(self.metrics)
+        for server in self._servers.values():
+            self._wire_server_faults(server)
+
+    def _wire_server_faults(self, server: Server) -> None:
+        try:
+            server.faults = self.faults  # type: ignore[attr-defined]
+        except AttributeError:
+            pass  # read-only test doubles just skip server-side faults
 
     # -- registry -----------------------------------------------------------
     def register(self, server: Server, address: Optional[str] = None) -> None:
         self._servers[address or server.endpoint.address] = server
+        if self.faults is not None:
+            self._wire_server_faults(server)
 
     def deregister(self, address: str) -> None:
         self._servers.pop(address, None)
@@ -138,30 +230,72 @@ class Network:
         now: float,
         timeout: float = DEFAULT_TIMEOUT,
         retries: int = DEFAULT_RETRIES,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> tuple[Message, float]:
         """Send ``query`` and wait for the answer.
 
         Returns ``(response, elapsed_seconds)``.  Each lost transmission
-        burns ``timeout`` seconds; after ``retries`` extra attempts a
-        :class:`NetworkTimeout` carrying the total elapsed time is raised.
-        The server sees the query at ``now + elapsed + rtt/2``.
+        burns the attempt's wait (a flat ``timeout`` under the default
+        policy); after ``retries`` extra attempts a :class:`NetworkTimeout`
+        carrying the total elapsed time is raised.  The server sees the
+        query at ``now + elapsed + rtt/2``.
+
+        The retry schedule comes from, in order: the explicit ``backoff``
+        argument, the fabric-wide :attr:`backoff`, or a flat policy built
+        from ``timeout``/``retries``.  A policy budget caps the total
+        wait: the last wait is clipped to the remaining budget and no
+        further attempts are made once it is spent (counted in
+        ``net.retry_budget_exhausted``).
+
+        An attached :class:`FaultInjector` is consulted per transmission
+        (loss/blackhole/outage/storm windows, extra delay) and per
+        anycast delivery (down-site rerouting).
         """
+        policy = backoff if backoff is not None else self.backoff
+        if policy is None:
+            policy = BackoffPolicy(timeout=timeout, retries=retries)
         elapsed = 0.0
-        attempts = 1 + max(0, retries)
+        attempts = 1 + policy.retries
+        budget = policy.budget
         server = self._servers.get(dst_address)
-        for _ in range(attempts):
-            if server is None or self.loss.lost(dst_address):
+        faults = self.faults
+        src = client.address
+        for attempt in range(attempts):
+            if budget is not None and attempt > 0 and elapsed >= budget:
+                self._m_budget_exhausted.inc()
+                break
+            if attempt > 0:
+                self._m_retries.inc()
+            t = now + elapsed
+            lost = server is None or self.loss.lost(dst_address)
+            extra_delay = 0.0
+            if not lost and faults is not None:
+                lost, extra_delay = faults.transmission_fate(src, dst_address, t)
+            site: Optional[Endpoint] = None
+            if not lost:
+                site = server.endpoint_for(client, self.latency)
+                if faults is not None:
+                    site = faults.pick_site(
+                        server, dst_address, client, self.latency, site, t
+                    )
+                    lost = site is None
+            if lost:
+                wait = policy.attempt_wait(attempt, self._jitter_rng)
+                if budget is not None:
+                    wait = min(wait, max(0.0, budget - elapsed))
                 self._m_lost.inc()
-                elapsed += timeout
+                elapsed += wait
                 continue
-            site = server.endpoint_for(client, self.latency)
-            rtt = self.latency.rtt(client, site, self._rng)
-            arrival = now + elapsed + rtt / 2.0
+            assert site is not None
+            rtt = self.latency.rtt(client, site, self._rng) + extra_delay
+            arrival = t + rtt / 2.0
             response = server.handle_query(query, client, arrival)
             elapsed += rtt
             self._m_exchanges.inc()
             self._m_rtt.observe(rtt * 1000.0)
             self._m_server_queries.inc(str(site))
+            if faults is not None:
+                faults.note_delivery(src, dst_address, t + rtt)
             return response, elapsed
         self._m_timeouts.inc()
         raise NetworkTimeout(f"no response from {dst_address}", elapsed)

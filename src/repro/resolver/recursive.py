@@ -128,6 +128,8 @@ class RecursiveResolver:
             self._m_upstream = metrics.counter("resolver.upstream_queries")
             self._m_servfail = metrics.counter("resolver.servfail")
             self._m_served_stale = metrics.counter("resolver.served_stale")
+            self._m_failovers = metrics.counter("resolver.failovers")
+            self._m_restarts = metrics.counter("resolver.restarts")
             self._m_referral_depth = metrics.histogram(
                 "resolver.referral_depth", _REFERRAL_DEPTH_BUCKETS
             )
@@ -136,6 +138,7 @@ class RecursiveResolver:
 
             self._m_client_queries = self._m_upstream = NULL_COUNTER
             self._m_servfail = self._m_served_stale = NULL_COUNTER
+            self._m_failovers = self._m_restarts = NULL_COUNTER
             self._m_referral_depth = NULL_HISTOGRAM
 
     def __repr__(self) -> str:
@@ -152,6 +155,9 @@ class RecursiveResolver:
         ``now`` is the virtual time the query arrives; the result's
         ``elapsed`` is the upstream time spent beyond that instant.
         """
+        faults = getattr(self.network, "faults", None)
+        if faults is not None and faults.take_restart(self.address, now):
+            self.restart()
         self.client_queries += 1
         self._m_client_queries.inc()
         name = Name(qname)
@@ -177,6 +183,19 @@ class RecursiveResolver:
                 return stale
             self._m_servfail.inc()
             return ResolutionResult(rcode=Rcode.SERVFAIL, elapsed=failure.elapsed)
+
+    def restart(self) -> None:
+        """Simulate a resolver process restart (crash, deploy, reboot).
+
+        All runtime state — the cache, negative cache, rotation cursors —
+        is lost; the next query walks the tree from the root hints again.
+        This is the cold-cache cliff the paper's §6.1 guidance (long TTLs
+        as a resilience budget) cannot help with, which is why the fault
+        layer models it separately from outages.
+        """
+        self.cache.clear()
+        self._rotation.clear()
+        self._m_restarts.inc()
 
     def _maybe_prefetch(self, qname: Name, qtype: RdataType, now: float) -> None:
         """Unbound-style prefetch: refresh a hit that is close to expiry.
@@ -494,10 +513,19 @@ class RecursiveResolver:
         depth: int,
         contacted: list[str],
     ) -> tuple[Optional[Message], float]:
-        """Try the cut's servers in policy order; returns (response, time)."""
+        """Try the cut's servers in policy order; returns (response, time).
+
+        Sibling-NS failover: a timeout, a lame response, or a truncated
+        answer moves on to the next server of the cut (counted in
+        ``resolver.failovers`` when another candidate exists) — the
+        graceful-degradation path that keeps multi-NS zones answering
+        through a single-server outage.
+        """
         elapsed = 0.0
         query = self._make_query(qname, qtype)
-        for server_name, address in self._order_servers(cut, servers):
+        ordered = self._order_servers(cut, servers)
+        last = len(ordered) - 1
+        for index, (server_name, address) in enumerate(ordered):
             glue_only = False
             if address is None:
                 address, lookup_time = self._resolve_server_address(
@@ -519,6 +547,8 @@ class RecursiveResolver:
                 )
             except NetworkTimeout as timeout:
                 elapsed += timeout.elapsed
+                if index < last:
+                    self._m_failovers.inc()
                 continue
             elapsed += exchange_time
             contacted.append(address)
@@ -527,6 +557,14 @@ class RecursiveResolver:
             if response.rcode in (Rcode.REFUSED, Rcode.NOTIMP, Rcode.FORMERR):
                 # A lame server (not actually serving the zone): try the
                 # next one, as real resolvers do.
+                if index < last:
+                    self._m_failovers.inc()
+                continue
+            if response.flags.tc:
+                # Truncated (e.g. an RRL slip).  We model no TCP retry, so
+                # a TC answer is unusable — fail over to a sibling.
+                if index < last:
+                    self._m_failovers.inc()
                 continue
             if glue_only and depth == 0:
                 self._target_fetch(cut, server_name, address, now + elapsed)

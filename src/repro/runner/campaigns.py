@@ -20,6 +20,7 @@ __all__ = [
     "centricity_shard",
     "controlled_shard",
     "crawl_shard",
+    "ddos_shard",
     "campaign_fingerprint",
 ]
 
@@ -59,6 +60,7 @@ def centricity_shard(
     world_kwargs: dict[str, Any],
     spec_kwargs: dict[str, Any],
     qtype_name: str,
+    fault_plan: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
     """Run one shard of an active centricity campaign (§3.2/§3.3).
 
@@ -68,6 +70,11 @@ def centricity_shard(
     ``{"results": ResultSet, "queries": int, "metrics": payload}`` —
     the shard's sim-domain metrics snapshot rides along so the merged
     campaign observes the whole simulated world exactly.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan` payload) schedules
+    the same failures in every shard; the injector RNG is derived from
+    the plan seed *and* ``shard.seed``, so per-shard draws are
+    independent yet reproducible for any worker count.
     """
     from repro.atlas.measurement import Measurement, MeasurementSpec
     from repro.core.experiment import make_population
@@ -78,6 +85,12 @@ def centricity_shard(
     built = _world_builders()[builder](shard.seed, **world_kwargs)
     world = getattr(built, "world", built)
     world.network.attach_metrics(registry)
+    if fault_plan is not None:
+        from repro.faults import FaultInjector, FaultPlan
+
+        world.network.attach_faults(
+            FaultInjector(FaultPlan.from_payload(fault_plan), seed=shard.seed)
+        )
     population = make_population(
         world, probes=shard.count, seed=shard.seed, probe_id_base=shard.start
     )
@@ -112,6 +125,29 @@ def controlled_shard(
     return {
         "results": run,
         "queries": run.client_summary["queries"],
+        "metrics": registry.snapshot().to_payload(),
+    }
+
+
+# ------------------------------------------------------------- ddos resilience
+
+
+def ddos_shard(shard: Shard, *, tiers: list[dict[str, Any]]) -> dict[str, Any]:
+    """Run one TTL tier of the §6.1 resilience scenario (one shard per tier).
+
+    ``tiers[shard.index]`` carries exactly the arguments the serial
+    :func:`repro.core.scenarios._run_ddos_tier` receives, so the sharded
+    campaign reproduces the serial scenario verbatim — including the
+    fault schedule, which is part of the tier parameters.
+    """
+    from repro.core.scenarios import _run_ddos_tier
+    from repro.metrics.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    result = _run_ddos_tier(**tiers[shard.index], metrics=registry)
+    return {
+        "results": result,
+        "queries": result.slots + 2,
         "metrics": registry.snapshot().to_payload(),
     }
 

@@ -9,7 +9,7 @@ helps the tail.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.dns.message import Message, Rcode
 from repro.dns.name import Name
@@ -17,6 +17,9 @@ from repro.dns.zone import Zone
 from repro.net.latency import LatencyModel
 from repro.net.topology import Endpoint
 from repro.server.querylog import QueryLog, QueryLogEntry
+
+if TYPE_CHECKING:
+    from repro.faults import FaultInjector
 
 
 class AnycastCluster:
@@ -42,6 +45,8 @@ class AnycastCluster:
         #: Total queries handled, counted even when the per-entry log is off.
         self.queries_received = 0
         self._catchment_cache: dict[str, Endpoint] = {}
+        #: Set by ``Network.attach_faults``; consulted per query.
+        self.faults: Optional["FaultInjector"] = None
 
     def __repr__(self) -> str:
         return f"AnycastCluster({self.service_address}, {len(self._sites)} sites)"
@@ -69,6 +74,30 @@ class AnycastCluster:
         self._catchment_cache[client.address] = site
         return site
 
+    def failover_site(
+        self, client: Endpoint, latency: LatencyModel, exclude: Iterable[str]
+    ) -> Optional[Endpoint]:
+        """The best surviving site when some are withdrawn.
+
+        Models BGP reconvergence after a site stops announcing: the
+        client's packets land at the nearest *remaining* site.  Returns
+        ``None`` when the exclusion covers the whole cluster.  The
+        catchment cache is bypassed — failover routing is recomputed
+        while the outage lasts and snaps back when it lifts.
+        """
+        exclusions = list(exclude)
+        survivors = [
+            site
+            for site in self._sites
+            if not any(
+                site.address == ident or (site.name or "") == ident
+                for ident in exclusions
+            )
+        ]
+        if not survivors:
+            return None
+        return latency.nearest(client, survivors)
+
     # -- zone management -----------------------------------------------------
     def add_zone(self, zone: Zone) -> None:
         self._zones[zone.origin] = zone
@@ -87,6 +116,15 @@ class AnycastCluster:
     def handle_query(self, query: Message, client: Endpoint, now: float) -> Message:
         self.queries_received += 1
         site = self.endpoint_for(client, self._latency)
+        if self.faults is not None:
+            # Log the site that actually answered: during a site outage
+            # the catchment shifts to the surviving sites.
+            down = self.faults.down_sites(self.service_address, now)
+            if down and any(
+                site.address == ident or (site.name or "") == ident
+                for ident in down
+            ):
+                site = self.failover_site(client, self._latency, down) or site
         if query.question is not None and self.query_log is not None:
             self.query_log.append(
                 QueryLogEntry(
@@ -100,6 +138,12 @@ class AnycastCluster:
             )
         if query.question is None:
             return query.make_response(rcode=Rcode.FORMERR)
+        if self.faults is not None:
+            override = self.faults.intercept_server(
+                self.service_address, query, now
+            )
+            if override is not None:
+                return override
         zone = self.best_zone_for(query.question.qname)
         if zone is None:
             return query.make_response(rcode=Rcode.REFUSED)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.dns.message import Message, Rcode
 from repro.dns.name import Name
@@ -10,6 +10,9 @@ from repro.dns.zone import Zone
 from repro.net.latency import LatencyModel
 from repro.net.topology import Endpoint
 from repro.server.querylog import QueryLog, QueryLogEntry
+
+if TYPE_CHECKING:
+    from repro.faults import FaultInjector
 
 
 class AuthoritativeServer:
@@ -35,6 +38,8 @@ class AuthoritativeServer:
         self.query_log: Optional[QueryLog] = QueryLog() if log_queries else None
         #: Total queries handled, counted even when the per-entry log is off.
         self.queries_received = 0
+        #: Set by ``Network.attach_faults``; consulted per query.
+        self.faults: Optional["FaultInjector"] = None
 
     def __repr__(self) -> str:
         origins = ",".join(str(origin) for origin in self._zones)
@@ -88,6 +93,15 @@ class AuthoritativeServer:
             )
         if query.question is None:
             return query.make_response(rcode=Rcode.FORMERR)
+        if self.faults is not None:
+            # The query reached the server and is logged above — exactly
+            # like a real SERVFAIL/RRL incident, where the victim's logs
+            # fill up while clients see errors.
+            override = self.faults.intercept_server(
+                self._endpoint.address, query, now
+            )
+            if override is not None:
+                return override
         zone = self.best_zone_for(query.question.qname)
         if zone is None:
             return query.make_response(rcode=Rcode.REFUSED)

@@ -1,0 +1,141 @@
+"""Tests for repro.faults.plan (schema, validation, round-trips)."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    KINDS,
+    SCHEMA_ID,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    derive_fault_seed,
+    validate_json,
+    validate_payload,
+)
+
+
+def sample_plan() -> FaultPlan:
+    return FaultPlan(
+        faults=(
+            FaultSpec(kind="server_outage", start=150.0, duration=3600.0,
+                      target="198.51.100.53"),
+            FaultSpec(kind="loss", start=0.0, duration=600.0, rate=0.25),
+            FaultSpec(kind="delay", start=60.0, duration=60.0, delay_ms=250.0),
+            FaultSpec(kind="resolver_restart", start=900.0, duration=0.0),
+        ),
+        name="sample",
+        seed=11,
+    )
+
+
+class TestFaultSpec:
+    def test_window_is_half_open(self):
+        spec = FaultSpec(kind="servfail", start=10.0, duration=5.0)
+        assert not spec.active(9.999)
+        assert spec.active(10.0)
+        assert spec.active(14.999)
+        assert not spec.active(15.0)
+
+    def test_point_event_active_forever_after(self):
+        spec = FaultSpec(kind="resolver_restart", start=10.0, duration=0.0)
+        assert not spec.active(9.0)
+        assert spec.active(10.0)
+        assert spec.active(1e9)
+
+    def test_payload_omits_unset_fields(self):
+        spec = FaultSpec(kind="server_outage", start=0.0, duration=1.0,
+                         target="a")
+        payload = spec.to_payload()
+        assert "rate" not in payload and "site" not in payload
+        assert FaultSpec.from_payload(payload) == spec
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(kind="nonsense", start=0.0, duration=1.0),
+        dict(kind="loss", start=0.0, duration=1.0),            # missing rate
+        dict(kind="loss", start=0.0, duration=1.0, rate=1.5),  # rate > 1
+        dict(kind="delay", start=0.0, duration=1.0),           # missing delay_ms
+        dict(kind="server_outage", start=0.0, duration=1.0),   # missing target
+        dict(kind="blackhole", start=0.0, duration=1.0),       # needs target/src
+        dict(kind="anycast_site_down", start=0.0, duration=1.0),  # needs site
+        dict(kind="resolver_restart", start=0.0, duration=5.0),   # not a point
+        dict(kind="servfail", start=0.0, duration=1.0, site="x"),  # site misuse
+        dict(kind="servfail", start=-1.0, duration=1.0),       # negative start
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(**kwargs)
+
+
+class TestFaultPlan:
+    def test_round_trip_is_exact(self):
+        plan = sample_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_json_is_canonical(self):
+        text = sample_plan().to_json()
+        assert text.endswith("\n")
+        payload = json.loads(text)
+        assert payload["schema"] == SCHEMA_ID
+        # Canonical form: re-serializing the parsed payload reproduces it.
+        assert FaultPlan.from_payload(payload).to_json() == text
+
+    def test_window_spans_all_faults(self):
+        assert sample_plan().window() == (0.0, 150.0 + 3600.0)
+        assert FaultPlan().window() == (0.0, 0.0)
+
+    def test_ddos_builder(self):
+        plan = FaultPlan.ddos("198.51.100.53", start=100.0, duration=3600.0)
+        (spec,) = plan.faults
+        assert spec.kind == "server_outage"
+        assert spec.target == "198.51.100.53"
+        assert plan.window() == (100.0, 3700.0)
+
+    def test_from_payload_rejects_bad_schema(self):
+        payload = sample_plan().to_payload()
+        payload["schema"] = "something/else"
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_payload(payload)
+
+    def test_every_kind_is_constructible(self):
+        required = {
+            "loss": dict(rate=0.5),
+            "delay": dict(delay_ms=100.0),
+            "blackhole": dict(target="a"),
+            "server_outage": dict(target="a"),
+            "anycast_site_down": dict(site="s01"),
+            "ratelimit": dict(rate=10.0, target="a"),
+        }
+        for kind in KINDS:
+            duration = 0.0 if kind == "resolver_restart" else 10.0
+            spec = FaultSpec(kind=kind, start=0.0, duration=duration,
+                             **required.get(kind, {}))
+            assert FaultSpec.from_payload(spec.to_payload()) == spec
+
+
+class TestValidation:
+    def test_valid_payload_has_no_errors(self):
+        assert validate_payload(sample_plan().to_payload()) == []
+
+    def test_errors_name_the_offending_fault(self):
+        payload = sample_plan().to_payload()
+        payload["faults"][1]["rate"] = 2.0
+        errors = validate_payload(payload)
+        assert errors and any("faults[1]" in error for error in errors)
+
+    def test_validate_json_rejects_garbage(self):
+        assert validate_json("{not json")
+        assert validate_json(json.dumps({"schema": SCHEMA_ID, "faults": 3}))
+
+
+class TestSeedDerivation:
+    def test_stable_across_processes(self):
+        # blake2b, not hash(): the value must never depend on PYTHONHASHSEED.
+        assert derive_fault_seed(0, 0) == derive_fault_seed(0, 0)
+        assert derive_fault_seed(1, 0) != derive_fault_seed(0, 0)
+        assert derive_fault_seed(0, 1) != derive_fault_seed(0, 0)
+
+    def test_shards_get_independent_streams(self):
+        seeds = {derive_fault_seed(7, shard) for shard in range(64)}
+        assert len(seeds) == 64

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Docs-consistency check.
+
+Two invariants, enforced in CI (the ``docs`` job) and locally via
+``make docs-check``:
+
+1. **Coverage** — every package under ``src/repro/`` (a directory with
+   an ``__init__.py``) is mentioned as ``repro.<pkg>`` in both
+   ``README.md`` (the package table) and ``docs/API.md`` (the reference).
+   A new subsystem cannot land undocumented.
+2. **Link integrity** — every intra-repo markdown link in the top-level
+   docs and ``docs/*.md`` resolves to a real file.  Anchors are not
+   checked; external (``http``/``https``/``mailto``) links are skipped.
+
+Exits 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Documents whose repro-package coverage is mandatory.
+COVERAGE_DOCS = ("README.md", "docs/API.md")
+
+#: Documents whose intra-repo links must resolve.
+LINKED_DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+
+#: ``[text](target)`` — target split from an optional ``#fragment``.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def repro_packages() -> list[str]:
+    pkg_root = REPO / "src" / "repro"
+    return sorted(
+        entry.name
+        for entry in pkg_root.iterdir()
+        if entry.is_dir() and (entry / "__init__.py").is_file()
+    )
+
+
+def check_coverage(errors: list[str]) -> None:
+    for rel in COVERAGE_DOCS:
+        text = (REPO / rel).read_text(encoding="utf-8")
+        for pkg in repro_packages():
+            if f"repro.{pkg}" not in text:
+                errors.append(f"{rel}: package repro.{pkg} is not documented")
+
+
+def check_links(errors: list[str]) -> None:
+    docs = [REPO / rel for rel in LINKED_DOCS if (REPO / rel).is_file()]
+    docs.extend(sorted((REPO / "docs").glob("*.md")))
+    for doc in docs:
+        rel = doc.relative_to(REPO)
+        for lineno, line in enumerate(
+            doc.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(EXTERNAL_SCHEMES):
+                    continue
+                resolved = (doc.parent / target).resolve()
+                if not resolved.exists():
+                    errors.append(f"{rel}:{lineno}: broken link -> {target}")
+
+
+def main() -> int:
+    errors: list[str] = []
+    check_coverage(errors)
+    check_links(errors)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"docs-check: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"docs-check: {len(repro_packages())} packages covered, "
+        "all intra-repo links resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
