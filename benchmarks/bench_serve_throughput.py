@@ -1,0 +1,108 @@
+"""End-to-end serving throughput: loopback `repro serve` + loadgen.
+
+Not a paper artifact: this is the whole-stack wall-clock number the perf
+trajectory was missing — real sockets, real wire codec, the resolver and
+cache behind them.  Each bench boots a server subprocess (1 or 2
+SO_REUSEPORT workers), drives it with the closed-loop generator at fixed
+concurrency (so the achieved rate *is* the capacity), and files qps plus
+p50/p99 latency into ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from benchmarks.perf_records import record_perf
+from repro.loadgen.client import LoadgenConfig, run_loadgen
+
+#: Closed-loop offered concurrency; enough to saturate one worker.
+CONCURRENCY = 16
+DURATION_S = 2.0
+
+
+def _free_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _start_server(port: int, workers: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--world", "nl", "--port", str(port), "--workers", str(workers),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    ready = 0
+    deadline = time.monotonic() + 60.0
+    while ready < workers:
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("serve did not come up in 60 s")
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(f"serve exited early (rc={proc.poll()})")
+        if "listening on" in line:
+            ready += 1
+    return proc
+
+
+def _measure(workers: int) -> dict:
+    port = _free_port()
+    proc = _start_server(port, workers)
+    try:
+        # Closed-loop at fixed concurrency: achieved qps == capacity.
+        report = run_loadgen(
+            LoadgenConfig(
+                port=port,
+                mode="closed",
+                concurrency=CONCURRENCY,
+                duration_s=DURATION_S,
+                population=200,
+                seed=20191021,
+            )
+        )
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    assert report.received > 0
+    assert report.parse_errors == 0
+    latency = report.latency
+    return {
+        "workers": workers,
+        "ops_per_s": round(report.received / report.wall_s, 1),
+        "p50_ms": round(latency.median, 3),
+        "p99_ms": round(latency.p99, 3),
+        "loss_rate": round(report.loss_rate, 4),
+        "concurrency": CONCURRENCY,
+    }
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_serve_throughput(benchmark, workers):
+    if workers > 1 and not hasattr(socket, "SO_REUSEPORT"):
+        pytest.skip("SO_REUSEPORT unavailable on this platform")
+    result = benchmark.pedantic(_measure, args=(workers,), rounds=1, iterations=1)
+    record_perf(f"serve_throughput_w{workers}", **result)
+    print(
+        f"\nserve throughput ({workers} worker{'s' if workers > 1 else ''}): "
+        f"{result['ops_per_s']} qps, p50 {result['p50_ms']} ms, "
+        f"p99 {result['p99_ms']} ms"
+    )

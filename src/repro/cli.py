@@ -124,6 +124,8 @@ def _cmd_demo_uy(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     """Re-analyze an archived measurement dataset (JSON lines)."""
+    if getattr(args, "querylog", False):
+        return _cmd_analyze_querylog(args)
     from repro.analysis.cdf import ECDF
     from repro.analysis.centricity import classify_active_ttls
     from repro.atlas.datasets import load_results
@@ -210,6 +212,10 @@ _RUN_CAMPAIGNS = (
 #: campaigns build many isolated worlds whose endpoints a plan cannot
 #: meaningfully target, so they reject one instead of ignoring it).
 _FAULTABLE_CAMPAIGNS = ("t2-uy", "t2-anicuy", "t2-googleco", "ddos")
+
+#: Worlds `repro serve` can front; mirrors repro.serve.config.WORLD_BUILDERS
+#: (kept literal here so --help needs no heavyweight import).
+_SERVE_WORLDS = ("cl", "uy", "googleco", "nl", "controlled")
 
 
 def _centricity_report(title: str, run) -> str:
@@ -534,6 +540,88 @@ def _run_fig10(args) -> str:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve one of the simulated worlds on a real UDP+TCP port."""
+    from repro.serve.config import ServeConfig
+    from repro.serve.workers import run_workers
+
+    config = ServeConfig(
+        world=args.world,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        rrl_rate=args.rrl_rate,
+        max_udp_payload=args.max_udp_payload,
+        time_scale=args.time_scale,
+        querylog_path=args.querylog,
+        metrics_path=args.metrics,
+    )
+    return run_workers(config)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Fire wire-format queries at a live server and report."""
+    from repro.loadgen.client import LoadgenConfig, run_loadgen
+    from repro.metrics import MetricsRegistry
+
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        rate_qps=args.rate,
+        duration_s=args.duration,
+        mode=args.mode,
+        arrivals=args.arrivals,
+        concurrency=args.concurrency,
+        population=args.population,
+        zipf_exponent=args.zipf,
+        qname_template=args.qname_template,
+        seed=args.seed,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        use_edns=not args.no_edns,
+    )
+    report = run_loadgen(config)
+    print(report.render())
+    if args.metrics:
+        registry = MetricsRegistry()
+        report.to_metrics(registry)
+        with open(args.metrics, "w", encoding="utf-8") as stream:
+            stream.write(registry.snapshot().to_json(include_host=True) + "\n")
+    # A run that lost every query (or parsed nothing) is a failure.
+    return 0 if report.received > 0 else 1
+
+
+def _cmd_analyze_querylog(args: argparse.Namespace) -> int:
+    """§3.4-style passive analysis over a live server's query log."""
+    from repro.analysis.cdf import ECDF
+    from repro.analysis.interarrival import (
+        min_interarrival_per_group,
+        queries_per_group,
+    )
+    from repro.server.querylog import QueryLog
+
+    log = QueryLog.read_jsonl(args.dataset)
+    groups = log.by_group()
+    table = Table(["metric", "value"], title=f"Query log: {args.dataset}")
+    table.add_row("queries", len(log))
+    table.add_row("clients", len(log.unique_clients()))
+    table.add_row("groups (client, qname)", len(groups))
+    print(table.render())
+    counts = queries_per_group(groups)
+    if counts:
+        cdf = ECDF(counts)
+        print(f"\nqueries/group: n={len(cdf)} median={cdf.median:.0f} "
+              f"p90={cdf.quantile(0.9):.0f} max={cdf.max:.0f}")
+    minima = min_interarrival_per_group(groups)
+    if minima:
+        cdf = ECDF(minima)
+        print(f"min interarrival s: median={cdf.median:.1f} "
+              f"p25={cdf.quantile(0.25):.1f} p75={cdf.quantile(0.75):.1f}")
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     runner = _ARTIFACT_RUNNERS.get(args.artifact)
     if runner is None:
@@ -592,6 +680,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("dataset", help="JSON-lines file from repro.atlas.datasets")
     analyze.add_argument("--parent-ttl", type=int, default=None)
     analyze.add_argument("--child-ttl", type=int, default=None)
+    analyze.add_argument("--querylog", action="store_true",
+                         help="treat the file as a `repro serve --querylog` "
+                              "JSONL log and run the §3.4 interarrival "
+                              "analysis instead")
     analyze.set_defaults(func=_cmd_analyze)
 
     audit = sub.add_parser("audit", help="lint a zone file against §6.3")
@@ -660,6 +752,63 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--validate-only", action="store_true",
                         help="check the file against the schema and exit")
     faults.set_defaults(func=_cmd_faults)
+
+    serve = sub.add_parser(
+        "serve", help="serve a simulated world live on a UDP+TCP port"
+    )
+    serve.add_argument("--world", choices=sorted(_SERVE_WORLDS), default="nl",
+                       help="which canonical world the resolver fronts")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 = ephemeral (the ready line prints the port); "
+                            "--workers > 1 needs an explicit port")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="SO_REUSEPORT worker processes, one core each")
+    serve.add_argument("--max-inflight", type=int, default=256,
+                       help="admitted-but-unanswered budget before shedding "
+                            "with an early SERVFAIL")
+    serve.add_argument("--rrl-rate", type=int, default=0,
+                       help="per-client responses/second; 0 disables RRL")
+    serve.add_argument("--max-udp-payload", type=int, default=1232,
+                       help="largest UDP response; larger answers truncate")
+    serve.add_argument("--time-scale", type=float, default=1.0,
+                       help="sim seconds per wall second (TTLs age faster)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--querylog", default=None, metavar="PATH",
+                       help="append ENTRADA-style JSONL entries for "
+                            "`repro analyze --querylog`")
+    serve.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write a metrics snapshot (host domain included) "
+                            "on shutdown; workers are merged")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="open-loop wire-level load against a live server"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--rate", type=float, default=100.0,
+                         help="offered queries/second (open-loop)")
+    loadgen.add_argument("--duration", type=float, default=5.0)
+    loadgen.add_argument("--mode", choices=["open", "closed"], default="open")
+    loadgen.add_argument("--arrivals", choices=["poisson", "fixed"],
+                         default="poisson")
+    loadgen.add_argument("--concurrency", type=int, default=8,
+                         help="closed-loop: queries kept in flight")
+    loadgen.add_argument("--population", type=int, default=500,
+                         help="distinct qnames under the Zipf law")
+    loadgen.add_argument("--zipf", type=float, default=1.0,
+                         help="Zipf exponent (0 = uniform popularity)")
+    loadgen.add_argument("--qname-template", default="www.domain{}.nl.",
+                         help="rank -> qname template; {} is the Zipf rank")
+    loadgen.add_argument("--timeout", type=float, default=2.0)
+    loadgen.add_argument("--retries", type=int, default=2)
+    loadgen.add_argument("--no-edns", action="store_true",
+                         help="send plain 512-byte-limit queries")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--metrics", default=None, metavar="PATH",
+                         help="write the run's metrics snapshot JSON")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate one paper artifact at the terminal"

@@ -19,20 +19,34 @@ from repro.dns.rdtypes import (
     RRSIG,
     SOA,
     TXT,
+    OpaqueRdata,
     Rdata,
     RdataClass,
     RdataType,
 )
 from repro.dns.record import ResourceRecord, RRset
-from repro.dns.message import Flags, Message, Opcode, Question, Rcode, Section
+from repro.dns.message import (
+    CLASSIC_UDP_PAYLOAD,
+    DEFAULT_EDNS_PAYLOAD,
+    Edns,
+    Flags,
+    Message,
+    Opcode,
+    Question,
+    Rcode,
+    Section,
+)
 from repro.dns.zone import LookupResult, LookupStatus, Zone, ZoneError
 from repro.dns.ttl import TTL_MAX, clamp_ttl, format_ttl, parse_ttl, validate_ttl
 
 __all__ = [
     "A",
     "AAAA",
+    "CLASSIC_UDP_PAYLOAD",
     "CNAME",
+    "DEFAULT_EDNS_PAYLOAD",
     "DNSKEY",
+    "Edns",
     "Flags",
     "LookupResult",
     "LookupStatus",
@@ -42,6 +56,7 @@ __all__ = [
     "Name",
     "NameError_",
     "OPT",
+    "OpaqueRdata",
     "Opcode",
     "Question",
     "RRSIG",

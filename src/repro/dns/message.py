@@ -44,6 +44,41 @@ class Section(enum.Enum):
     ADDITIONAL = "additional"
 
 
+#: Messages without EDNS are limited to the classic RFC 1035 payload.
+CLASSIC_UDP_PAYLOAD = 512
+
+#: The payload size modern resolvers advertise (DNS flag day 2020).
+DEFAULT_EDNS_PAYLOAD = 1232
+
+
+@dataclass(frozen=True)
+class Edns:
+    """The EDNS0 parameters carried by an OPT pseudo-record (RFC 6891).
+
+    An OPT record abuses the RR fields: CLASS is the sender's UDP payload
+    size, the TTL packs extended-rcode/version/flags, and the rdata holds
+    opaque options.  It is therefore parsed into this sidecar rather than
+    into the additional section.
+    """
+
+    udp_payload: int = DEFAULT_EDNS_PAYLOAD
+    ext_rcode: int = 0
+    version: int = 0
+    dnssec_ok: bool = False
+    options: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.udp_payload <= 0xFFFF:
+            raise ValueError(f"EDNS payload {self.udp_payload} outside u16")
+        if self.version != 0:
+            raise ValueError(f"unsupported EDNS version {self.version}")
+
+    @property
+    def effective_payload(self) -> int:
+        """The advertised size, floored at 512 as RFC 6891 §6.2.5 requires."""
+        return max(CLASSIC_UDP_PAYLOAD, self.udp_payload)
+
+
 @dataclass(frozen=True)
 class Flags:
     """Header flag bits.
@@ -127,6 +162,8 @@ class Message:
     answer: list[ResourceRecord] = field(default_factory=list)
     authority: list[ResourceRecord] = field(default_factory=list)
     additional: list[ResourceRecord] = field(default_factory=list)
+    #: EDNS0 sidecar; ``None`` means the message carries no OPT record.
+    edns: Optional[Edns] = None
     #: Per-section RRset grouping memo, validated by record count (records
     #: are only ever appended via :meth:`add`).
     _rrset_memo: Optional[dict] = field(default=None, init=False, repr=False, compare=False)
@@ -165,6 +202,21 @@ class Message:
             ),
             question=self.question,
         )
+
+    # -- EDNS -----------------------------------------------------------------------
+    def use_edns(
+        self, udp_payload: int = DEFAULT_EDNS_PAYLOAD, dnssec_ok: bool = False
+    ) -> "Message":
+        """Attach an OPT record advertising ``udp_payload``; returns self."""
+        self.edns = Edns(udp_payload=udp_payload, dnssec_ok=dnssec_ok)
+        return self
+
+    @property
+    def udp_payload_limit(self) -> int:
+        """The largest UDP response this message's sender can accept."""
+        if self.edns is None:
+            return CLASSIC_UDP_PAYLOAD
+        return self.edns.effective_payload
 
     # -- section access ------------------------------------------------------------
     def section(self, section: Section) -> list[ResourceRecord]:
@@ -277,13 +329,47 @@ class Message:
         writer.write_u16(1 if self.question is not None else 0)
         writer.write_u16(len(self.answer))
         writer.write_u16(len(self.authority))
-        writer.write_u16(len(self.additional))
+        writer.write_u16(len(self.additional) + (1 if self.edns is not None else 0))
         if self.question is not None:
             self.question.to_wire(writer)
         for section in Section:
             for record in self.section(section):
                 record.to_wire(writer)
+        if self.edns is not None:
+            self._write_opt(writer, self.edns)
         return writer.getvalue()
+
+    @staticmethod
+    def _write_opt(writer: WireWriter, edns: Edns) -> None:
+        """Emit the OPT pseudo-record last in the additional section."""
+        writer.write_u8(0)  # owner: the root name, never compressed
+        writer.write_u16(int(RdataType.OPT))
+        writer.write_u16(edns.udp_payload)
+        ttl = (edns.ext_rcode & 0xFF) << 24 | (edns.version & 0xFF) << 16
+        if edns.dnssec_ok:
+            ttl |= 0x8000
+        writer.write_u32(ttl)
+        writer.write_u16(len(edns.options))
+        writer.write_bytes(edns.options)
+
+    @staticmethod
+    def _read_opt(name: Name, reader: WireReader) -> Edns:
+        if not name.is_root:
+            raise WireError(f"OPT record owned by {name}, not the root")
+        udp_payload = reader.read_u16()
+        ttl = reader.read_u32()
+        version = (ttl >> 16) & 0xFF
+        if version != 0:
+            raise WireError(f"unsupported EDNS version {version}")
+        rdlength = reader.read_u16()
+        options = reader.read_bytes(rdlength)
+        return Edns(
+            udp_payload=udp_payload,
+            ext_rcode=(ttl >> 24) & 0xFF,
+            version=version,
+            dnssec_ok=bool(ttl & 0x8000),
+            options=options,
+        )
 
     @classmethod
     def from_wire(cls, data: bytes) -> "Message":
@@ -306,7 +392,18 @@ class Message:
             (Section.ADDITIONAL, arcount),
         ):
             for _ in range(count):
-                message.section(section).append(ResourceRecord.from_wire(reader))
+                name = reader.read_name()
+                rdtype = RdataType(reader.read_u16())
+                if rdtype == RdataType.OPT:
+                    if section is not Section.ADDITIONAL:
+                        raise WireError(f"OPT record in the {section.name} section")
+                    if message.edns is not None:
+                        raise WireError("more than one OPT record")
+                    message.edns = cls._read_opt(name, reader)
+                    continue
+                message.section(section).append(
+                    ResourceRecord.from_wire_body(name, rdtype, reader)
+                )
         if reader.remaining:
             raise WireError(f"{reader.remaining} trailing octets after message")
         return message

@@ -19,8 +19,27 @@ from repro.dns.name import Name
 from repro.dns.wire import WireError, WireReader, WireWriter
 
 
+def _pseudo_member(cls, value: object, prefix: str):
+    """RFC 3597 generic names: any 16-bit value becomes a ``TYPE%d``-style
+    pseudo-member, so wire decoding of types and classes this module does
+    not implement never crashes.  Pseudo-members are cached on the enum,
+    making repeated lookups identity-stable."""
+    if not isinstance(value, int) or not 0 <= value <= 0xFFFF:
+        return None
+    member = int.__new__(cls, value)
+    member._name_ = f"{prefix}{value}"
+    member._value_ = value
+    return cls._value2member_map_.setdefault(value, member)
+
+
 class RdataType(enum.IntEnum):
-    """DNS RR TYPE values (subset)."""
+    """DNS RR TYPE values.
+
+    The named members are the types the paper's experiments exercise;
+    every other 16-bit value resolves to an RFC 3597 ``TYPE%d``
+    pseudo-member (real clients routinely ask for e.g. HTTPS/65), whose
+    rdata is carried opaquely by :class:`OpaqueRdata`.
+    """
 
     A = 1
     NS = 2
@@ -34,19 +53,38 @@ class RdataType(enum.IntEnum):
     DNSKEY = 48
 
     @classmethod
+    def _missing_(cls, value: object) -> "RdataType | None":
+        return _pseudo_member(cls, value, "TYPE")
+
+    @classmethod
     def from_text(cls, text: str) -> "RdataType":
         try:
             return cls[text.upper()]
-        except KeyError as exc:
-            raise ValueError(f"unknown RR type {text!r}") from exc
+        except KeyError:
+            pass
+        if text.upper().startswith("TYPE"):
+            try:
+                return cls(int(text[4:]))
+            except ValueError:
+                pass
+        raise ValueError(f"unknown RR type {text!r}")
 
 
 class RdataClass(enum.IntEnum):
-    """DNS RR CLASS values."""
+    """DNS RR CLASS values.
+
+    Unknown classes decode to ``CLASS%d`` pseudo-members (RFC 3597 §5)
+    rather than raising, for the same robustness reason as
+    :class:`RdataType`.
+    """
 
     IN = 1
     CH = 3
     ANY = 255
+
+    @classmethod
+    def _missing_(cls, value: object) -> "RdataClass | None":
+        return _pseudo_member(cls, value, "CLASS")
 
 
 class Rdata:
@@ -399,6 +437,33 @@ class OPT(Rdata):
         return cls(reader.read_bytes(rdlength))
 
 
+@dataclass(frozen=True)
+class OpaqueRdata(Rdata):
+    """RFC 3597 opaque rdata for types this module does not implement.
+
+    Carries its concrete type as an *instance* attribute (shadowing the
+    class-level marker), so records of unknown type round-trip through the
+    wire codec byte-for-byte.  Presentation form is the RFC 3597 §5
+    ``\\# <length> <hex>`` generic encoding.
+    """
+
+    rdtype: RdataType
+    data: bytes = b""
+
+    def to_text(self) -> str:
+        if not self.data:
+            return "\\# 0"
+        return f"\\# {len(self.data)} {self.data.hex()}"
+
+    def to_wire(self, writer: WireWriter) -> None:
+        # RFC 3597 §4: unknown rdata is never name-compressed.
+        writer.write_bytes(self.data)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "OpaqueRdata":
+        raise NotImplementedError("use read_rdata, which carries the type")
+
+
 _RDATA_CLASSES: dict[RdataType, type[Rdata]] = {
     RdataType.A: A,
     RdataType.AAAA: AAAA,
@@ -422,9 +487,18 @@ def rdata_class_for(rdtype: RdataType) -> type[Rdata]:
 
 
 def read_rdata(rdtype: RdataType, reader: WireReader, rdlength: int) -> Rdata:
-    """Decode one rdata of ``rdtype`` spanning ``rdlength`` octets."""
+    """Decode one rdata of ``rdtype`` spanning ``rdlength`` octets.
+
+    Types without a dedicated class decode into :class:`OpaqueRdata`
+    (RFC 3597), so a message carrying e.g. an HTTPS record parses cleanly
+    instead of crashing the reader.
+    """
     start = reader.offset
-    rdata = rdata_class_for(rdtype).from_wire(reader, rdlength)
+    implementation = _RDATA_CLASSES.get(rdtype)
+    if implementation is None:
+        rdata: Rdata = OpaqueRdata(rdtype, reader.read_bytes(rdlength))
+    else:
+        rdata = implementation.from_wire(reader, rdlength)
     consumed = reader.offset - start
     if consumed != rdlength:
         raise WireError(

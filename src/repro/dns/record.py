@@ -79,6 +79,18 @@ class ResourceRecord:
     def from_wire(cls, reader: WireReader) -> "ResourceRecord":
         name = reader.read_name()
         rdtype = RdataType(reader.read_u16())
+        return cls.from_wire_body(name, rdtype, reader)
+
+    @classmethod
+    def from_wire_body(
+        cls, name: Name, rdtype: RdataType, reader: WireReader
+    ) -> "ResourceRecord":
+        """Finish decoding a record whose name and type are already read.
+
+        The message codec peeks at the type to divert OPT pseudo-records
+        (EDNS, RFC 6891) before they reach the record constructor — an
+        OPT's CLASS field is a UDP payload size, not a class.
+        """
         rdclass = RdataClass(reader.read_u16())
         ttl = reader.read_u32()
         rdlength = reader.read_u16()

@@ -1,0 +1,28 @@
+"""repro.loadgen — an open-loop wire-level DNS load generator.
+
+`repro loadgen` fires real UDP queries at a live server (normally
+`repro serve`) with Poisson or fixed-rate arrivals and Zipf-distributed
+qname popularity, retries on the resolver's own backoff ladder, and
+reports achieved qps, loss, and latency percentiles.  See
+``docs/serving.md``.
+"""
+
+from repro.loadgen.arrivals import (
+    ZipfSampler,
+    fixed_schedule,
+    poisson_schedule,
+    qnames_for_ranks,
+)
+from repro.loadgen.client import LoadGenerator, LoadgenConfig, run_loadgen
+from repro.loadgen.report import LoadReport
+
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "LoadgenConfig",
+    "ZipfSampler",
+    "fixed_schedule",
+    "poisson_schedule",
+    "qnames_for_ranks",
+    "run_loadgen",
+]

@@ -1,0 +1,223 @@
+"""The wire-level UDP load generator.
+
+Open-loop by default: send times come from a precomputed schedule and do
+not wait for responses, so an overloaded server faces the arrival rate
+it would face from real, mutually oblivious clients (closed-loop
+generators flatter a slow server by self-throttling — kept here only as
+a baseline mode).  Each in-flight query is matched to its response by
+DNS message ID; timeouts and retransmissions follow the same
+:class:`BackoffPolicy` the simulated resolvers use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dns.message import Message
+from repro.dns.rdtypes import RdataType
+from repro.dns.wire import WireError
+from repro.loadgen.arrivals import ZipfSampler, fixed_schedule, poisson_schedule
+from repro.loadgen.report import LoadReport
+from repro.net.transport import BackoffPolicy
+
+#: DNS message IDs are 16-bit; the generator never has more outstanding.
+_ID_SPACE = 0x10000
+
+
+@dataclass
+class LoadgenConfig:
+    """One load-generation run against a live server."""
+
+    host: str = "127.0.0.1"
+    port: int = 53
+    rate_qps: float = 100.0
+    duration_s: float = 5.0
+    #: ``open`` (scheduled arrivals) or ``closed`` (fixed concurrency).
+    mode: str = "open"
+    #: ``poisson`` or ``fixed`` inter-arrival gaps (open-loop only).
+    arrivals: str = "poisson"
+    #: Closed-loop only: how many queries are kept in flight.
+    concurrency: int = 8
+    #: Zipf popularity over this many distinct names.
+    population: int = 500
+    zipf_exponent: float = 1.0
+    qname_template: str = "www.domain{}.nl."
+    qtype: RdataType = RdataType.A
+    seed: int = 0
+    timeout_s: float = 2.0
+    retries: int = 2
+    use_edns: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("open", "closed"):
+            raise ValueError(f"mode must be open or closed, not {self.mode!r}")
+        if self.arrivals not in ("poisson", "fixed"):
+            raise ValueError(f"arrivals must be poisson or fixed, not {self.arrivals!r}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, not {self.concurrency}")
+
+    def backoff(self) -> BackoffPolicy:
+        return BackoffPolicy(timeout=self.timeout_s, retries=self.retries)
+
+
+class _LoadgenProtocol(asyncio.DatagramProtocol):
+    """Matches responses to waiters by DNS message ID."""
+
+    def __init__(self) -> None:
+        self.waiters: dict[int, asyncio.Future] = {}
+        self.malformed = 0
+        self.unmatched = 0
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        if len(data) < 12:
+            self.malformed += 1
+            return
+        message_id = (data[0] << 8) | data[1]
+        future = self.waiters.pop(message_id, None)
+        if future is None:
+            self.unmatched += 1  # a late retransmit's answer; fine
+            return
+        if not future.done():
+            future.set_result(data)
+
+    def error_received(self, exc: Exception) -> None:  # ICMP errors
+        pass
+
+
+@dataclass
+class _Outcome:
+    """What one query attempt-chain produced."""
+
+    latency_ms: Optional[float]  # None = lost after all retries
+    attempts: int
+    rcode: Optional[int] = None
+    parse_error: bool = False
+
+
+class LoadGenerator:
+    """Drives one :class:`LoadgenConfig` run and produces a report."""
+
+    def __init__(self, config: LoadgenConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.sampler = ZipfSampler(config.population, config.zipf_exponent)
+        self._next_id = self.rng.randrange(_ID_SPACE)
+        self._protocol: Optional[_LoadgenProtocol] = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
+
+    # -- wire helpers ------------------------------------------------------
+    def _take_id(self) -> int:
+        assert self._protocol is not None
+        for _ in range(_ID_SPACE):
+            candidate = self._next_id
+            self._next_id = (self._next_id + 1) % _ID_SPACE
+            if candidate not in self._protocol.waiters:
+                return candidate
+        raise RuntimeError("all 65536 message IDs are in flight")
+
+    def _build_query(self, message_id: int) -> bytes:
+        rank = self.sampler.rank(self.rng)
+        query = Message.make_query(
+            self.config.qname_template.format(rank), self.config.qtype, id=message_id
+        )
+        if self.config.use_edns:
+            query.use_edns()
+        return query.to_wire()
+
+    async def _query_once(self, backoff: BackoffPolicy) -> _Outcome:
+        """Send one query, retrying per the backoff ladder."""
+        assert self._protocol is not None and self._transport is not None
+        message_id = self._take_id()
+        wire = self._build_query(message_id)
+        loop = asyncio.get_running_loop()
+        started = time.monotonic()
+        for attempt in range(backoff.retries + 1):
+            future: asyncio.Future = loop.create_future()
+            self._protocol.waiters[message_id] = future
+            self._transport.sendto(wire)
+            wait = backoff.attempt_wait(attempt, self.rng)
+            try:
+                data = await asyncio.wait_for(future, timeout=wait)
+            except asyncio.TimeoutError:
+                self._protocol.waiters.pop(message_id, None)
+                continue
+            latency_ms = (time.monotonic() - started) * 1000.0
+            try:
+                response = Message.from_wire(data)
+            except (WireError, ValueError):
+                return _Outcome(latency_ms, attempt + 1, parse_error=True)
+            return _Outcome(latency_ms, attempt + 1, rcode=int(response.rcode))
+        return _Outcome(None, backoff.retries + 1)
+
+    # -- run modes ---------------------------------------------------------
+    async def run(self) -> LoadReport:
+        """Execute the configured run against the live server."""
+        config = self.config
+        loop = asyncio.get_running_loop()
+        self._protocol = _LoadgenProtocol()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: self._protocol, remote_addr=(config.host, config.port)
+        )
+        backoff = config.backoff()
+        started = time.monotonic()
+        try:
+            if config.mode == "open":
+                outcomes = await self._run_open(backoff)
+            else:
+                outcomes = await self._run_closed(backoff)
+        finally:
+            self._transport.close()
+        wall_s = time.monotonic() - started
+        rcodes: dict[int, int] = {}
+        for outcome in outcomes:
+            if outcome.rcode is not None:
+                rcodes[outcome.rcode] = rcodes.get(outcome.rcode, 0) + 1
+        return LoadReport.from_outcomes(
+            mode=config.mode,
+            offered_qps=config.rate_qps,
+            wall_s=wall_s,
+            latencies_ms=[o.latency_ms for o in outcomes if o.latency_ms is not None],
+            lost=sum(1 for o in outcomes if o.latency_ms is None),
+            attempts=sum(o.attempts for o in outcomes),
+            rcodes=rcodes,
+            parse_errors=sum(1 for o in outcomes if o.parse_error)
+            + self._protocol.malformed,
+        )
+
+    async def _run_open(self, backoff: BackoffPolicy) -> list[_Outcome]:
+        config = self.config
+        if config.arrivals == "poisson":
+            schedule = poisson_schedule(config.rate_qps, config.duration_s, self.rng)
+        else:
+            schedule = fixed_schedule(config.rate_qps, config.duration_s)
+        loop = asyncio.get_running_loop()
+        epoch = loop.time()
+        tasks = []
+        for send_at in schedule:
+            delay = epoch + send_at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.create_task(self._query_once(backoff)))
+        return list(await asyncio.gather(*tasks))
+
+    async def _run_closed(self, backoff: BackoffPolicy) -> list[_Outcome]:
+        """Baseline mode: ``concurrency`` workers, each waiting its turn."""
+        config = self.config
+        deadline = asyncio.get_running_loop().time() + config.duration_s
+        outcomes: list[_Outcome] = []
+
+        async def worker() -> None:
+            while asyncio.get_running_loop().time() < deadline:
+                outcomes.append(await self._query_once(backoff))
+
+        await asyncio.gather(*(worker() for _ in range(config.concurrency)))
+        return outcomes
+
+
+def run_loadgen(config: LoadgenConfig) -> LoadReport:
+    """Synchronous entry point for the CLI and benches."""
+    return asyncio.run(LoadGenerator(config).run())

@@ -1,0 +1,28 @@
+"""repro.serve — a live asyncio DNS frontend over the simulated stack.
+
+`repro serve` binds a real UDP + TCP port, decodes wire-format queries
+with the :mod:`repro.dns` codec, and answers from a
+:class:`RecursiveResolver` whose cache fronts one of the canonical
+simulated worlds, with wall time bridged onto the sim clock so TTLs age
+for real.  See ``docs/serving.md``.
+"""
+
+from repro.serve.bridge import WallClockBridge
+from repro.serve.config import WORLD_BUILDERS, ServeConfig, build_frontend
+from repro.serve.frontend import DnsFrontend, ServeResult, servfail_wire
+from repro.serve.server import ServeServer, run_server
+from repro.serve.workers import run_worker, run_workers
+
+__all__ = [
+    "DnsFrontend",
+    "ServeConfig",
+    "ServeResult",
+    "ServeServer",
+    "WORLD_BUILDERS",
+    "WallClockBridge",
+    "build_frontend",
+    "run_server",
+    "run_worker",
+    "run_workers",
+    "servfail_wire",
+]

@@ -1,0 +1,125 @@
+"""Serving configuration and frontend assembly.
+
+A :class:`ServeConfig` names one of the canonical simulated worlds from
+:mod:`repro.core.worlds` and the knobs of the live frontend;
+:func:`build_frontend` turns it into a ready :class:`DnsFrontend` backed
+by a fresh world, resolver, and metrics registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.worlds import (
+    World,
+    build_cl_world,
+    build_controlled_world,
+    build_googleco_world,
+    build_nl_world,
+    build_uy_world,
+)
+from repro.dns.message import DEFAULT_EDNS_PAYLOAD
+from repro.metrics import MetricsRegistry
+from repro.net.topology import Region
+from repro.resolver.recursive import RecursiveResolver
+from repro.serve.bridge import WallClockBridge
+from repro.serve.frontend import DnsFrontend
+from repro.server.querylog import QueryLogWriter
+from repro.server.rrl import ResponseRateLimiter
+
+#: Canonical worlds a live server can front.  Wrapper dataclasses
+#: (NlWorld, UyWorld, ...) are unwrapped to the underlying World.
+WORLD_BUILDERS: dict[str, Callable[[int], World]] = {
+    "cl": lambda seed: build_cl_world(seed=seed),
+    "uy": lambda seed: build_uy_world(seed=seed).world,
+    "googleco": lambda seed: build_googleco_world(seed=seed),
+    "nl": lambda seed: build_nl_world(seed=seed).world,
+    "controlled": lambda seed: build_controlled_world(seed=seed).world,
+}
+
+
+@dataclass
+class ServeConfig:
+    """Everything `repro serve` needs to bring up one worker."""
+
+    world: str = "nl"
+    seed: int = 0
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (single worker only)
+    workers: int = 1
+    #: Queries admitted but not yet answered before shedding kicks in.
+    max_inflight: int = 256
+    #: Per-client responses per second; 0 disables RRL.
+    rrl_rate: int = 0
+    #: Largest UDP response we will send, EDNS or not.
+    max_udp_payload: int = DEFAULT_EDNS_PAYLOAD
+    #: Sim seconds per wall second (tests use >1 to age TTLs quickly).
+    time_scale: float = 1.0
+    sim_start: float = 0.0
+    querylog_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+    server_name: str = "serve"
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.world not in WORLD_BUILDERS:
+            known = ", ".join(sorted(WORLD_BUILDERS))
+            raise ValueError(f"unknown world {self.world!r} (have: {known})")
+        if self.workers < 1:
+            raise ValueError(f"need at least one worker, not {self.workers}")
+        if self.workers > 1 and self.port == 0:
+            raise ValueError(
+                "SO_REUSEPORT sharding needs an explicit --port; an ephemeral "
+                "port would give every worker a different socket"
+            )
+        if self.max_inflight < 1:
+            raise ValueError(f"in-flight budget must be positive, not {self.max_inflight}")
+
+
+def build_frontend(
+    config: ServeConfig,
+    wall_clock: Optional[Callable[[], float]] = None,
+    worker_index: int = 0,
+) -> tuple[DnsFrontend, MetricsRegistry]:
+    """Build a world, resolver, and frontend for one serving worker.
+
+    Each worker owns a private world and cache (the sim stack is
+    single-threaded by design); SO_REUSEPORT spreads clients across them
+    the way an anycast site spreads catchments.
+    """
+    registry = MetricsRegistry()
+    world = WORLD_BUILDERS[config.world](config.seed + worker_index)
+    world.network.attach_metrics(registry)
+    resolver = RecursiveResolver(
+        endpoint=world.topology.endpoint_in_region(
+            Region.EU, name=f"{config.server_name}-resolver"
+        ),
+        network=world.network,
+        root_hints=world.hints,
+        root_zone=world.root_zone,
+    )
+    querylog = None
+    if config.querylog_path:
+        path = config.querylog_path
+        if config.workers > 1:
+            path = f"{path}.worker{worker_index}"
+        querylog = QueryLogWriter(path)
+    frontend = DnsFrontend(
+        resolver=resolver,
+        bridge=WallClockBridge(
+            sim_start=config.sim_start,
+            time_scale=config.time_scale,
+            wall_clock=wall_clock,
+        ),
+        registry=registry,
+        rrl=ResponseRateLimiter(rate=config.rrl_rate),
+        querylog=querylog,
+        max_udp_payload=config.max_udp_payload,
+        server_name=(
+            config.server_name
+            if config.workers == 1
+            else f"{config.server_name}:{worker_index}"
+        ),
+    )
+    return frontend, registry

@@ -1,0 +1,223 @@
+"""The live DNS frontend: wire bytes in, wire bytes out.
+
+:class:`DnsFrontend` is transport-agnostic — the UDP and TCP servers in
+:mod:`repro.serve.server` hand it raw datagrams and it hands back raw
+responses (or ``None`` for "send nothing").  It decodes with the
+:mod:`repro.dns` codec, resolves through a :class:`RecursiveResolver`
+whose cache ages on the :class:`WallClockBridge` timeline, and applies
+the live-path policies a real resolver frontend needs: FORMERR for
+garbage, NOTIMP for exotic opcodes, RRL slip/drop, EDNS payload
+negotiation, and truncation with TC=1 for oversized UDP answers.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dns.message import Message, Opcode, Rcode, Section
+from repro.dns.wire import WireError
+from repro.metrics import HOST, MetricsRegistry, log_buckets
+from repro.resolver.recursive import RecursiveResolver
+from repro.serve.bridge import WallClockBridge
+from repro.server.querylog import QueryLogEntry, QueryLogWriter
+from repro.server.rrl import ResponseRateLimiter, RrlVerdict
+
+#: Wall-clock handling latency buckets: 10 µs .. 10 s, four per decade.
+LATENCY_BUCKETS_MS = log_buckets(0.01, 10_000.0, per_decade=4)
+
+#: Clients that advertise no EDNS get the classic RFC 1035 ceiling.
+_HEADER = struct.Struct(">HHHHHH")
+
+
+def servfail_wire(query_wire: bytes) -> Optional[bytes]:
+    """A bare SERVFAIL echoing only the 12-octet header.
+
+    Used on the shed path, where we refuse to spend decode work: the ID
+    comes straight from the first two octets, nothing else is trusted.
+    Returns ``None`` for datagrams too short to carry a header.
+    """
+    if len(query_wire) < 12:
+        return None
+    (query_id,) = struct.unpack_from(">H", query_wire)
+    # qr + rd + ra + SERVFAIL; question is not echoed (we never parsed it).
+    return _HEADER.pack(query_id, 0x8182, 0, 0, 0, 0)
+
+
+@dataclass
+class ServeResult:
+    """One handled datagram: the bytes to send (maybe none) and why."""
+
+    wire: Optional[bytes]
+    outcome: str  # answered | malformed | dropped | slipped | shed
+
+
+class DnsFrontend:
+    """Decode, resolve, and encode one query at a time.
+
+    Deliberately synchronous: the resolver and cache beneath it are
+    single-threaded, so the server runs one frontend per event loop and
+    scales across cores with SO_REUSEPORT workers instead of threads.
+    """
+
+    def __init__(
+        self,
+        resolver: RecursiveResolver,
+        bridge: WallClockBridge,
+        registry: Optional[MetricsRegistry] = None,
+        rrl: Optional[ResponseRateLimiter] = None,
+        querylog: Optional[QueryLogWriter] = None,
+        max_udp_payload: int = 1232,
+        server_name: str = "serve",
+    ) -> None:
+        self.resolver = resolver
+        self.bridge = bridge
+        self.rrl = rrl or ResponseRateLimiter(rate=0)
+        self.querylog = querylog
+        self.max_udp_payload = max_udp_payload
+        self.server_name = server_name
+        registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry
+        self._m_queries = registry.counter("serve.queries", domain=HOST)
+        self._m_malformed = registry.counter("serve.malformed", domain=HOST)
+        self._m_dropped = registry.counter("serve.dropped", domain=HOST)
+        self._m_truncated = registry.counter("serve.truncated", domain=HOST)
+        self._m_slipped = registry.counter("serve.rrl_slipped", domain=HOST)
+        self._m_tcp = registry.counter("serve.tcp_queries", domain=HOST)
+        self._m_cache_hits = registry.counter("serve.cache_hits", domain=HOST)
+        self._m_rcodes = registry.labeled_counter("serve.rcode", domain=HOST)
+        self._m_latency = registry.histogram(
+            "serve.latency_ms", LATENCY_BUCKETS_MS, domain=HOST
+        )
+        # serve.shed lives here too so one registry carries the whole
+        # serving story, but the *server* increments it (sheds happen
+        # before the frontend ever sees the datagram).
+        self.shed_counter = registry.counter("serve.shed", domain=HOST)
+
+    # -- entry point -------------------------------------------------------
+    def handle_wire(
+        self, data: bytes, client: str, via_tcp: bool = False
+    ) -> ServeResult:
+        """Process one query datagram; returns the response bytes, if any."""
+        started = time.monotonic()
+        self._m_queries.inc()
+        if via_tcp:
+            self._m_tcp.inc()
+        try:
+            query = Message.from_wire(data)
+        except (WireError, ValueError):
+            self._m_malformed.inc()
+            return ServeResult(self._formerr(data), "malformed")
+        if query.flags.qr or query.question is None:
+            # A response (or an empty query) aimed at a server: never
+            # answer, or two servers can be made to ping-pong forever.
+            self._m_dropped.inc()
+            return ServeResult(None, "dropped")
+
+        sim_now = self.bridge.now()
+        if not via_tcp and self.rrl.rate > 0:
+            verdict = self.rrl.check(client, self.bridge.wall_elapsed())
+            if verdict is RrlVerdict.SLIP:
+                self._m_slipped.inc()
+                response = query.make_response(recursion_available=True)
+                response.flags = _with_tc(response.flags)
+                self._finish(query, client, sim_now, started, response.rcode)
+                return ServeResult(response.to_wire(), "slipped")
+            if verdict is RrlVerdict.DROP:
+                self._m_dropped.inc()
+                return ServeResult(None, "dropped")
+
+        if query.opcode != Opcode.QUERY:
+            response = query.make_response(
+                rcode=Rcode.NOTIMP, recursion_available=True
+            )
+            wire = self._encode(query, response, via_tcp)
+            self._finish(query, client, sim_now, started, Rcode.NOTIMP)
+            return ServeResult(wire, "answered")
+
+        response = self._resolve(query, sim_now)
+        wire = self._encode(query, response, via_tcp)
+        self._finish(query, client, sim_now, started, response.rcode)
+        return ServeResult(wire, "answered")
+
+    # -- pieces ------------------------------------------------------------
+    def _resolve(self, query: Message, sim_now: float) -> Message:
+        question = query.question
+        assert question is not None
+        try:
+            result = self.resolver.resolve(question.qname, question.qtype, now=sim_now)
+        except Exception:
+            # The sim stack raising through the live path must not kill
+            # the event loop; a resolver bug becomes a SERVFAIL.
+            return query.make_response(
+                rcode=Rcode.SERVFAIL, recursion_available=True
+            )
+        if result.cache_hit:
+            self._m_cache_hits.inc()
+        response = query.make_response(rcode=result.rcode, recursion_available=True)
+        for rrset in result.answers:
+            response.add(Section.ANSWER, *rrset.records())
+        return response
+
+    def _encode(self, query: Message, response: Message, via_tcp: bool) -> bytes:
+        if query.edns is not None:
+            response.use_edns(udp_payload=self.max_udp_payload)
+        wire = response.to_wire()
+        if via_tcp:
+            return wire
+        limit = min(query.udp_payload_limit, self.max_udp_payload)
+        if len(wire) <= limit:
+            return wire
+        # Truncate section by section (additional, authority, answer)
+        # until the response fits, then flag TC so the client retries TCP.
+        self._m_truncated.inc()
+        for section in (Section.ADDITIONAL, Section.AUTHORITY, Section.ANSWER):
+            response.section(section).clear()
+            wire = response.to_wire()
+            if len(wire) <= limit:
+                break
+        response.flags = _with_tc(response.flags)
+        return response.to_wire()
+
+    def _formerr(self, data: bytes) -> Optional[bytes]:
+        """FORMERR for undecodable queries whose header still parses."""
+        if len(data) < 12:
+            return None
+        query_id, bits = struct.unpack_from(">HH", data)
+        if bits & 0x8000:  # malformed *response*: never answer
+            return None
+        return _HEADER.pack(query_id, 0x8001 | (bits & 0x0100), 0, 0, 0, 0)
+
+    def _finish(
+        self,
+        query: Message,
+        client: str,
+        sim_now: float,
+        started: float,
+        rcode: Rcode,
+    ) -> None:
+        self._m_rcodes.inc(rcode.name)
+        self._m_latency.observe((time.monotonic() - started) * 1000.0)
+        if self.querylog is not None and query.question is not None:
+            self.querylog.append(
+                QueryLogEntry(
+                    timestamp=sim_now,
+                    client_address=client,
+                    client_asn=0,
+                    qname=query.question.qname,
+                    qtype=query.question.qtype,
+                    server=self.server_name,
+                )
+            )
+
+    def close(self) -> None:
+        if self.querylog is not None:
+            self.querylog.close()
+
+
+def _with_tc(flags):
+    from dataclasses import replace
+
+    return replace(flags, tc=True)

@@ -1,0 +1,196 @@
+"""The asyncio serving loop: UDP datagrams, framed TCP, bounded in-flight.
+
+One :class:`ServeServer` is one event loop owning one
+:class:`DnsFrontend`.  The UDP socket is drained *eagerly* on every
+readiness event — a burst sitting in the kernel buffer is pulled into
+userspace in one callback — and admission into the bounded in-flight
+queue is where overload policy lives: a full queue answers straight from
+the receive path with a bare SERVFAIL.  Shedding early and explicitly is
+what keeps an overloaded server's latency bounded instead of its
+backlog; leaving the burst in the kernel buffer would just convert
+overload into silent drops.  (asyncio's DatagramProtocol reads one
+datagram per loop iteration, which interleaves 1:1 with the drain task
+and can never surface a burst — hence the raw ``add_reader`` socket.)
+TCP connections use the RFC 1035 §4.2.2 two-octet length framing and
+serve the truncation-retry path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from typing import Optional
+
+from repro.metrics import HOST
+from repro.serve.frontend import DnsFrontend, servfail_wire
+
+#: Longest framed TCP query we will read (RFC 1035 allows up to 64 KiB).
+MAX_TCP_QUERY = 0xFFFF
+
+#: Largest datagram one recvfrom accepts (EDNS can advertise up to 64 KiB).
+_RECV_SIZE = 0xFFFF
+
+
+class ServeServer:
+    """One worker: a UDP endpoint, a TCP listener, and a drain task."""
+
+    def __init__(
+        self,
+        frontend: DnsFrontend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 256,
+        reuse_port: bool = False,
+    ) -> None:
+        self.frontend = frontend
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        self.reuse_port = reuse_port
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_inflight)
+        self._udp_sock: Optional[socket.socket] = None
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._inflight_peak = 0
+        self.bound_port: Optional[int] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> int:
+        """Bind UDP + TCP and start draining; returns the bound port."""
+        loop = asyncio.get_running_loop()
+        udp_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        if self.reuse_port:
+            udp_sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        udp_sock.setblocking(False)
+        udp_sock.bind((self.host, self.port))
+        self.bound_port = udp_sock.getsockname()[1]
+        self._udp_sock = udp_sock
+        loop.add_reader(udp_sock.fileno(), self._on_udp_readable)
+        self._tcp_server = await asyncio.start_server(
+            self._serve_tcp,
+            host=self.host,
+            port=self.bound_port,
+            reuse_port=self.reuse_port or None,
+        )
+        self._drain_task = asyncio.create_task(self._drain())
+        return self.bound_port
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, answer what was admitted."""
+        loop = asyncio.get_running_loop()
+        if self._udp_sock is not None:
+            loop.remove_reader(self._udp_sock.fileno())
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        await self._queue.join()
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+        if self._udp_sock is not None:
+            self._udp_sock.close()
+            self._udp_sock = None
+        gauge = self.frontend.registry.gauge("serve.inflight_peak", domain=HOST)
+        gauge.record(self._inflight_peak)
+        self.frontend.close()
+
+    # -- UDP ---------------------------------------------------------------
+    def _on_udp_readable(self) -> None:
+        """Pull *everything* the kernel buffered; admit or shed each one.
+
+        Draining to EWOULDBLOCK in one callback is what makes overload
+        visible: a burst either fits the in-flight budget or is refused
+        with an early SERVFAIL right here, instead of rotting in (and
+        eventually overflowing) the kernel's receive buffer.
+        """
+        sock = self._udp_sock
+        if sock is None:
+            return
+        while True:
+            try:
+                data, addr = sock.recvfrom(_RECV_SIZE)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            try:
+                self._queue.put_nowait((data, addr))
+                depth = self._queue.qsize()
+                if depth > self._inflight_peak:
+                    self._inflight_peak = depth
+            except asyncio.QueueFull:
+                self.frontend.shed_counter.inc()
+                shed = servfail_wire(data)
+                if shed is not None:
+                    self._sendto(shed, addr)
+
+    def _sendto(self, wire: bytes, addr) -> None:
+        if self._udp_sock is None:
+            return
+        try:
+            self._udp_sock.sendto(wire, addr)
+        except (BlockingIOError, InterruptedError, OSError):
+            pass  # UDP is best-effort; a full send buffer is a drop
+
+    async def _drain(self) -> None:
+        while True:
+            data, addr = await self._queue.get()
+            try:
+                result = self.frontend.handle_wire(data, client=addr[0], via_tcp=False)
+                if result.wire is not None:
+                    self._sendto(result.wire, addr)
+            finally:
+                self._queue.task_done()
+            # One handled datagram per loop tick keeps TCP readers and
+            # signal handlers responsive under a UDP flood.
+            await asyncio.sleep(0)
+
+    # -- TCP ---------------------------------------------------------------
+    async def _serve_tcp(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if peer else "tcp"
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(2)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                (length,) = struct.unpack(">H", header)
+                if length == 0 or length > MAX_TCP_QUERY:
+                    break
+                try:
+                    data = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                result = self.frontend.handle_wire(data, client=client, via_tcp=True)
+                if result.wire is None:
+                    break
+                writer.write(struct.pack(">H", len(result.wire)) + result.wire)
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+async def run_server(
+    server: ServeServer, ready: Optional[asyncio.Event] = None
+) -> None:
+    """Start ``server`` and serve until cancelled, then drain gracefully."""
+    await server.start()
+    if ready is not None:
+        ready.set()
+    try:
+        await asyncio.Event().wait()  # sleep until cancelled
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

@@ -9,11 +9,23 @@ query into an ENTRADA-style :class:`QueryLog` for the passive analyses.
 
 from repro.server.authoritative import AuthoritativeServer
 from repro.server.anycast import AnycastCluster
-from repro.server.querylog import QueryLog, QueryLogEntry
+from repro.server.querylog import (
+    QueryLog,
+    QueryLogEntry,
+    QueryLogWriter,
+    entry_from_dict,
+    entry_to_dict,
+)
+from repro.server.rrl import ResponseRateLimiter, RrlVerdict
 
 __all__ = [
     "AnycastCluster",
     "AuthoritativeServer",
     "QueryLog",
     "QueryLogEntry",
+    "QueryLogWriter",
+    "ResponseRateLimiter",
+    "RrlVerdict",
+    "entry_from_dict",
+    "entry_to_dict",
 ]

@@ -8,8 +8,10 @@ per received query; the analysis package consumes the same
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from pathlib import Path
+from typing import IO, Callable, Iterable, Iterator, Optional, Union
 
 from repro.dns.name import Name
 from repro.dns.rdtypes import RdataType
@@ -87,6 +89,26 @@ class QueryLog:
             counts[entry.server] = counts.get(entry.server, 0) + 1
         return counts
 
+    # -- persistence -----------------------------------------------------------
+    def write_jsonl(self, path: Union[str, Path]) -> int:
+        """Write all entries as JSON lines; returns the entry count."""
+        with open(path, "w", encoding="utf-8") as stream:
+            for entry in self.entries:
+                stream.write(json.dumps(entry_to_dict(entry)) + "\n")
+        return len(self.entries)
+
+    @classmethod
+    def read_jsonl(cls, path: Union[str, Path]) -> "QueryLog":
+        """Load a log previously written by :meth:`write_jsonl` (or the
+        live server's streaming :class:`QueryLogWriter`)."""
+        log = cls()
+        with open(path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line:
+                    log.append(entry_from_dict(json.loads(line)))
+        return log
+
     def timeseries(
         self, bin_seconds: float, start: Optional[float] = None, end: Optional[float] = None
     ) -> dict[int, int]:
@@ -105,3 +127,63 @@ class QueryLog:
             index = int((entry.timestamp - low) // bin_seconds)
             counts[index] = counts.get(index, 0) + 1
         return counts
+
+
+# -- JSONL codec ---------------------------------------------------------------
+def entry_to_dict(entry: QueryLogEntry) -> dict:
+    """A JSON-safe dict for one entry (qtype by mnemonic, RFC 3597 style
+    ``TYPE%d`` for unknowns, which :meth:`RdataType.from_text` reverses)."""
+    return {
+        "timestamp": entry.timestamp,
+        "client_address": entry.client_address,
+        "client_asn": entry.client_asn,
+        "qname": str(entry.qname),
+        "qtype": entry.qtype.name,
+        "server": entry.server,
+    }
+
+
+def entry_from_dict(data: dict) -> QueryLogEntry:
+    return QueryLogEntry(
+        timestamp=float(data["timestamp"]),
+        client_address=str(data["client_address"]),
+        client_asn=int(data["client_asn"]),
+        qname=Name(data["qname"]),
+        qtype=RdataType.from_text(data["qtype"]),
+        server=str(data["server"]),
+    )
+
+
+class QueryLogWriter:
+    """Streaming JSONL sink for the live server.
+
+    Unlike :class:`QueryLog` this never accumulates entries in memory: the
+    live frontend appends one line per query, and ``repro analyze`` later
+    reads the file back with :meth:`QueryLog.read_jsonl`.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._stream: Optional[IO[str]] = open(self.path, "w", encoding="utf-8")
+        self.count = 0
+
+    def append(self, entry: QueryLogEntry) -> None:
+        if self._stream is None:
+            raise ValueError(f"query log {self.path} already closed")
+        self._stream.write(json.dumps(entry_to_dict(entry)) + "\n")
+        self.count += 1
+
+    def extend(self, entries: Iterable[QueryLogEntry]) -> None:
+        for entry in entries:
+            self.append(entry)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "QueryLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

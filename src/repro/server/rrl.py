@@ -1,0 +1,71 @@
+"""Response rate limiting for live serving.
+
+A small, allocation-lean reimplementation of BIND's RRL accounting for the
+live frontend: responses are counted per client in one-second buckets, and
+everything over the per-second budget is *slipped* — answered with a bare
+TC=1 response that tells a legitimate client to retry over TCP while
+costing an attacker a full round trip per amplification attempt.
+
+This mirrors the ``ratelimit`` fault in :mod:`repro.faults.injector` (the
+simulated twin) but is deliberately separate: the injector participates in
+the deterministic sim contract, while this module runs on the wall clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RrlVerdict(enum.Enum):
+    """What to do with one would-be response."""
+
+    ANSWER = "answer"  # under budget: send the real response
+    SLIP = "slip"  # over budget: send an empty TC=1 response
+    DROP = "drop"  # far over budget: send nothing at all
+
+
+@dataclass
+class ResponseRateLimiter:
+    """Per-client one-second token buckets with TC slip.
+
+    ``rate`` responses per client per second are answered in full.  The
+    next ``rate * slip_factor`` are slipped (TC=1); anything beyond that
+    is dropped outright.  ``rate <= 0`` disables limiting entirely.
+
+    >>> rrl = ResponseRateLimiter(rate=2)
+    >>> [rrl.check("198.51.100.7", now).name for now in (0.0, 0.1, 0.2)]
+    ['ANSWER', 'ANSWER', 'SLIP']
+    >>> rrl.check("198.51.100.7", 1.0).name  # new one-second bucket
+    'ANSWER'
+    """
+
+    rate: int = 0
+    slip_factor: int = 2
+    #: Buckets are pruned whenever the wall second advances, so the table
+    #: never holds more than one second of distinct clients.
+    _second: int = field(default=-1, repr=False)
+    _counts: dict[str, int] = field(default_factory=dict, repr=False)
+    answered: int = field(default=0, repr=False)
+    slipped: int = field(default=0, repr=False)
+    dropped: int = field(default=0, repr=False)
+
+    def check(self, client: str, now: float) -> RrlVerdict:
+        """Account one response for ``client`` at wall time ``now``."""
+        if self.rate <= 0:
+            self.answered += 1
+            return RrlVerdict.ANSWER
+        second = int(now)
+        if second != self._second:
+            self._second = second
+            self._counts.clear()
+        count = self._counts.get(client, 0) + 1
+        self._counts[client] = count
+        if count <= self.rate:
+            self.answered += 1
+            return RrlVerdict.ANSWER
+        if count <= self.rate * (1 + self.slip_factor):
+            self.slipped += 1
+            return RrlVerdict.SLIP
+        self.dropped += 1
+        return RrlVerdict.DROP

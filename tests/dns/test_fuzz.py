@@ -75,3 +75,66 @@ def test_pointer_loop_rejected():
     body = b"\xc0\x0e\x00\x01\x00\x01" + b"\xc0\x0c"
     with pytest.raises(WireError):
         Message.from_wire(header + body)
+
+
+def valid_edns_message() -> Message:
+    message = valid_message()
+    message.use_edns(udp_payload=1232, dnssec_ok=True)
+    return message
+
+
+@settings(max_examples=200)
+@given(
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=0, max_value=255),
+)
+def test_mutated_opt_messages_fail_cleanly(position, value):
+    blob = bytearray(valid_edns_message().to_wire())
+    position %= len(blob)
+    blob[position] = value
+    try:
+        decoded = Message.from_wire(bytes(blob))
+    except (WireError, ValueError):
+        return
+    decoded.to_wire()
+
+
+@settings(max_examples=200)
+@given(
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.binary(max_size=64),
+)
+def test_unknown_rdtype_rdata_never_crashes(type_code, rdata):
+    """Any 16-bit type with arbitrary rdata must parse opaquely or fail
+    cleanly — a live server sees every code point eventually."""
+    import struct
+
+    from repro.dns.rdtypes import RdataType
+
+    header = struct.pack(">HHHHHH", 0x1234, 0x8000, 0, 1, 0, 0)
+    record = (
+        b"\x03foo\x00"
+        + struct.pack(">HHIH", type_code, 1, 300, len(rdata))
+        + rdata
+    )
+    try:
+        decoded = Message.from_wire(header + record)
+    except (WireError, ValueError):
+        return
+    rdtype = decoded.answer[0].rdtype if decoded.answer else None
+    if rdtype is not None:
+        assert int(rdtype) == type_code
+        assert isinstance(rdtype, RdataType)
+    decoded.to_wire()
+
+
+@given(st.binary(max_size=32))
+def test_opt_with_garbage_options_round_trips_or_fails(options):
+    import struct
+
+    header = struct.pack(">HHHHHH", 7, 0x8000, 0, 0, 0, 1)
+    opt = b"\x00" + struct.pack(">HHIH", 41, 1232, 0, len(options)) + options
+    decoded = Message.from_wire(header + opt)
+    assert decoded.edns is not None
+    assert decoded.edns.options == options
+    assert Message.from_wire(decoded.to_wire()).edns == decoded.edns

@@ -1,0 +1,85 @@
+"""Arrival schedules and Zipf popularity sampling."""
+
+import math
+import random
+
+import pytest
+
+from repro.loadgen.arrivals import (
+    ZipfSampler,
+    fixed_schedule,
+    poisson_schedule,
+    qnames_for_ranks,
+)
+
+
+def test_fixed_schedule_spacing():
+    times = list(fixed_schedule(10.0, 1.0))
+    assert len(times) == 10
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(gap == pytest.approx(0.1) for gap in gaps)
+    assert times[0] == 0.0
+    assert times[-1] < 1.0
+
+
+def test_fixed_schedule_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        list(fixed_schedule(0.0, 1.0))
+    with pytest.raises(ValueError):
+        list(fixed_schedule(10.0, -1.0))
+
+
+def test_poisson_schedule_rate_and_bounds():
+    rng = random.Random(42)
+    times = list(poisson_schedule(1000.0, 5.0, rng))
+    assert all(0.0 < t < 5.0 for t in times)
+    assert times == sorted(times)
+    # Mean count is rate * duration = 5000; 4 sigma ≈ ±283.
+    assert 4700 < len(times) < 5300
+
+
+def test_poisson_schedule_is_seed_deterministic():
+    a = list(poisson_schedule(100.0, 2.0, random.Random(7)))
+    b = list(poisson_schedule(100.0, 2.0, random.Random(7)))
+    assert a == b
+
+
+def test_zipf_sampler_rank_distribution():
+    sampler = ZipfSampler(population=100, exponent=1.0)
+    rng = random.Random(1)
+    draws = sampler.ranks(20_000, rng)
+    assert all(0 <= rank < 100 for rank in draws)
+    counts = [0] * 100
+    for rank in draws:
+        counts[rank] += 1
+    # Under Zipf(1), rank 0 is twice as popular as rank 1, 10x rank 9.
+    assert counts[0] > counts[1] > counts[10]
+    harmonic = math.fsum(1.0 / k for k in range(1, 101))
+    expected_top = 20_000 / harmonic
+    assert counts[0] == pytest.approx(expected_top, rel=0.15)
+
+
+def test_zipf_exponent_zero_is_uniform():
+    sampler = ZipfSampler(population=10, exponent=0.0)
+    rng = random.Random(3)
+    draws = sampler.ranks(20_000, rng)
+    counts = [0] * 10
+    for rank in draws:
+        counts[rank] += 1
+    assert min(counts) > 0.8 * max(counts)
+
+
+def test_zipf_sampler_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ZipfSampler(population=0)
+    with pytest.raises(ValueError):
+        ZipfSampler(population=10, exponent=-1.0)
+
+
+def test_qnames_for_ranks_template():
+    assert qnames_for_ranks("www.domain{}.nl.", [0, 3]) == [
+        "www.domain0.nl.",
+        "www.domain3.nl.",
+    ]
+    with pytest.raises(ValueError):
+        qnames_for_ranks("www.example.com.", [0])

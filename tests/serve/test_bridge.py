@@ -1,0 +1,53 @@
+"""Wall-clock → sim-clock bridge semantics."""
+
+import pytest
+
+from repro.serve.bridge import WallClockBridge
+
+
+class FakeWall:
+    def __init__(self, at: float = 100.0) -> None:
+        self.at = at
+
+    def __call__(self) -> float:
+        return self.at
+
+
+def test_now_starts_at_sim_start():
+    wall = FakeWall()
+    bridge = WallClockBridge(sim_start=50.0, wall_clock=wall)
+    assert bridge.now() == 50.0
+
+
+def test_wall_elapsed_maps_one_to_one_by_default():
+    wall = FakeWall()
+    bridge = WallClockBridge(wall_clock=wall)
+    wall.at += 12.5
+    assert bridge.now() == pytest.approx(12.5)
+    assert bridge.wall_elapsed() == pytest.approx(12.5)
+
+
+def test_time_scale_accelerates_sim_time():
+    wall = FakeWall()
+    bridge = WallClockBridge(time_scale=100.0, wall_clock=wall)
+    wall.at += 3.0  # 3 wall seconds
+    assert bridge.now() == pytest.approx(300.0)  # a 300 s TTL just expired
+    assert bridge.wall_elapsed() == pytest.approx(3.0)
+
+
+def test_sim_time_never_regresses():
+    wall = FakeWall()
+    bridge = WallClockBridge(wall_clock=wall)
+    wall.at += 10.0
+    assert bridge.now() == pytest.approx(10.0)
+    wall.at -= 5.0  # a misbehaving clock steps backwards
+    assert bridge.now() == pytest.approx(10.0)  # high-water mark holds
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        WallClockBridge(time_scale=0.0)
+    with pytest.raises(ValueError):
+        WallClockBridge(time_scale=-1.0)
+    with pytest.raises(ValueError):
+        WallClockBridge(sim_start=-1.0)

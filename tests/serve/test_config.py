@@ -1,0 +1,33 @@
+"""ServeConfig validation and world registry."""
+
+import pytest
+
+from repro.serve.config import WORLD_BUILDERS, ServeConfig
+
+
+def test_known_worlds():
+    assert set(WORLD_BUILDERS) == {"cl", "uy", "googleco", "nl", "controlled"}
+
+
+def test_unknown_world_rejected():
+    with pytest.raises(ValueError, match="unknown world"):
+        ServeConfig(world="narnia")
+
+
+def test_multi_worker_requires_explicit_port():
+    with pytest.raises(ValueError, match="SO_REUSEPORT"):
+        ServeConfig(workers=2, port=0)
+    ServeConfig(workers=2, port=5353)  # fine
+
+
+def test_worker_and_budget_bounds():
+    with pytest.raises(ValueError):
+        ServeConfig(workers=0)
+    with pytest.raises(ValueError):
+        ServeConfig(max_inflight=0)
+
+
+def test_cli_worlds_mirror_registry():
+    from repro.cli import _SERVE_WORLDS
+
+    assert set(_SERVE_WORLDS) == set(WORLD_BUILDERS)

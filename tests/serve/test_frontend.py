@@ -1,0 +1,184 @@
+"""DnsFrontend unit tests: decode policy, EDNS negotiation, truncation.
+
+These drive the frontend synchronously with hand-built wire bytes — no
+sockets — so every policy branch is cheap to pin down.
+"""
+
+import struct
+
+import pytest
+
+from repro.dns.message import Message, Opcode, Rcode
+from repro.dns.rdtypes import RdataType
+from repro.serve.bridge import WallClockBridge
+from repro.serve.config import ServeConfig, build_frontend
+from repro.serve.frontend import servfail_wire
+from repro.server.rrl import ResponseRateLimiter
+
+
+class FakeWall:
+    def __init__(self, at: float = 0.0) -> None:
+        self.at = at
+
+    def __call__(self) -> float:
+        return self.at
+
+
+@pytest.fixture(scope="module")
+def frontend_and_wall():
+    wall = FakeWall()
+    frontend, _registry = build_frontend(ServeConfig(world="nl"), wall_clock=wall)
+    return frontend, wall
+
+
+def query_wire(qname="www.domain1.nl.", qtype=RdataType.A, id=1, edns=False):
+    query = Message.make_query(qname, qtype, id=id)
+    if edns:
+        query.use_edns()
+    return query.to_wire()
+
+
+def test_answers_a_plain_query(frontend_and_wall):
+    frontend, _ = frontend_and_wall
+    result = frontend.handle_wire(query_wire(id=11), client="10.0.0.1")
+    assert result.outcome == "answered"
+    response = Message.from_wire(result.wire)
+    assert response.id == 11
+    assert response.rcode == Rcode.NOERROR
+    assert response.flags.qr and response.flags.ra
+    assert response.answer
+
+
+def test_nxdomain_for_missing_name(frontend_and_wall):
+    frontend, _ = frontend_and_wall
+    result = frontend.handle_wire(
+        query_wire(qname="no-such-name.nl.", id=12), client="10.0.0.1"
+    )
+    response = Message.from_wire(result.wire)
+    assert response.rcode == Rcode.NXDOMAIN
+
+
+def test_edns_echoed_with_server_payload(frontend_and_wall):
+    frontend, _ = frontend_and_wall
+    result = frontend.handle_wire(query_wire(id=13, edns=True), client="10.0.0.1")
+    response = Message.from_wire(result.wire)
+    assert response.edns is not None
+    assert response.edns.udp_payload == frontend.max_udp_payload
+
+
+def test_no_edns_in_response_to_plain_query(frontend_and_wall):
+    frontend, _ = frontend_and_wall
+    result = frontend.handle_wire(query_wire(id=14), client="10.0.0.1")
+    assert Message.from_wire(result.wire).edns is None
+
+
+def test_garbage_gets_formerr_with_echoed_id(frontend_and_wall):
+    frontend, _ = frontend_and_wall
+    blob = struct.pack(">HHHHHH", 0xBEEF, 0x0100, 1, 0, 0, 0) + b"\xff\xff\xff"
+    result = frontend.handle_wire(blob, client="10.0.0.1")
+    assert result.outcome == "malformed"
+    response = Message.from_wire(result.wire)
+    assert response.id == 0xBEEF
+    assert response.rcode == Rcode.FORMERR
+    assert response.flags.qr
+
+
+def test_short_garbage_is_dropped_silently(frontend_and_wall):
+    frontend, _ = frontend_and_wall
+    result = frontend.handle_wire(b"\x01\x02\x03", client="10.0.0.1")
+    assert result.outcome == "malformed"
+    assert result.wire is None
+
+
+def test_responses_are_never_answered(frontend_and_wall):
+    frontend, _ = frontend_and_wall
+    query = Message.make_query("www.domain1.nl.", RdataType.A, id=15)
+    response_wire = query.make_response().to_wire()
+    result = frontend.handle_wire(response_wire, client="10.0.0.1")
+    assert result.outcome == "dropped"
+    assert result.wire is None
+
+
+def test_non_query_opcode_gets_notimp(frontend_and_wall):
+    frontend, _ = frontend_and_wall
+    query = Message.make_query("www.domain1.nl.", RdataType.A, id=16)
+    query.opcode = Opcode.STATUS
+    result = frontend.handle_wire(query.to_wire(), client="10.0.0.1")
+    response = Message.from_wire(result.wire)
+    assert response.rcode == Rcode.NOTIMP
+
+
+def test_oversize_udp_response_truncates_with_tc(frontend_and_wall):
+    frontend, _ = frontend_and_wall
+    original = frontend.max_udp_payload
+    frontend.max_udp_payload = 100  # the 4-record NS set cannot fit
+    try:
+        result = frontend.handle_wire(
+            query_wire(qname="nl.", qtype=RdataType.NS, id=17), client="10.0.0.1"
+        )
+        response = Message.from_wire(result.wire)
+        assert response.flags.tc
+        assert len(result.wire) <= 512  # client limit still respected
+    finally:
+        frontend.max_udp_payload = original
+
+
+def test_tcp_never_truncates(frontend_and_wall):
+    frontend, _ = frontend_and_wall
+    original = frontend.max_udp_payload
+    frontend.max_udp_payload = 100
+    try:
+        result = frontend.handle_wire(
+            query_wire(qname="nl.", qtype=RdataType.NS, id=18),
+            client="10.0.0.1",
+            via_tcp=True,
+        )
+        response = Message.from_wire(result.wire)
+        assert not response.flags.tc
+        assert response.answer
+    finally:
+        frontend.max_udp_payload = original
+
+
+def test_ttls_age_with_the_bridge(frontend_and_wall):
+    frontend, wall = frontend_and_wall
+    first = Message.from_wire(
+        frontend.handle_wire(query_wire(id=19), client="10.9.9.9").wire
+    )
+    ttl_start = first.answer[0].ttl
+    wall.at += 100.0
+    second = Message.from_wire(
+        frontend.handle_wire(query_wire(id=20), client="10.9.9.9").wire
+    )
+    assert second.answer[0].ttl <= ttl_start - 100 + 1  # aged in the cache
+
+
+def test_rrl_slips_tc_over_budget():
+    wall = FakeWall()
+    frontend, _ = build_frontend(ServeConfig(world="nl", rrl_rate=2), wall_clock=wall)
+    assert isinstance(frontend.rrl, ResponseRateLimiter)
+    outcomes = [
+        frontend.handle_wire(query_wire(id=30 + i), client="10.1.1.1").outcome
+        for i in range(4)
+    ]
+    assert outcomes[:2] == ["answered", "answered"]
+    assert "slipped" in outcomes[2:]
+
+
+def test_metrics_count_queries(frontend_and_wall):
+    frontend, _ = frontend_and_wall
+    snapshot = frontend.registry.snapshot()
+    assert snapshot.value("serve.queries") > 0
+    assert snapshot.value("serve.malformed") >= 2
+
+
+def test_servfail_wire_echoes_id():
+    wire = servfail_wire(query_wire(id=0x0102))
+    response = Message.from_wire(wire)
+    assert response.id == 0x0102
+    assert response.rcode == Rcode.SERVFAIL
+    assert response.flags.qr
+
+
+def test_servfail_wire_rejects_short_datagrams():
+    assert servfail_wire(b"\x00\x01") is None

@@ -1,0 +1,133 @@
+"""Overload behavior: bounded in-flight, early SERVFAIL, no queue growth.
+
+The point of open-loop shedding is that an arrival burst beyond the
+in-flight budget is refused *immediately* (bare SERVFAIL from the
+receive callback) instead of queueing without bound — an overloaded
+server must stay overloaded-but-responsive, not melt.
+"""
+
+import asyncio
+import socket
+
+from repro.dns.message import Message, Rcode
+from repro.dns.rdtypes import RdataType
+from repro.serve import ServeConfig, ServeServer, build_frontend
+
+
+class SlowWall:
+    """A controllable wall clock (the frontend never blocks on it)."""
+
+    def __init__(self) -> None:
+        self.at = 0.0
+
+    def __call__(self) -> float:
+        return self.at
+
+
+def test_burst_beyond_budget_is_shed_with_servfail():
+    budget = 4
+    burst = 64
+
+    async def scenario():
+        frontend, registry = build_frontend(ServeConfig(world="nl"))
+        server = ServeServer(frontend, max_inflight=budget)
+        port = await server.start()
+        loop = asyncio.get_running_loop()
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.setblocking(False)
+        sock.connect(("127.0.0.1", port))
+        # Fire the whole burst before yielding to the drain task: the
+        # datagrams all hit the protocol callback back-to-back, so at
+        # most `budget` can be admitted; the rest must shed.
+        for index in range(burst):
+            query = Message.make_query("www.domain1.nl.", RdataType.A, id=index)
+            sock.send(query.to_wire())
+        responses = []
+        try:
+            while len(responses) < burst:
+                responses.append(
+                    await asyncio.wait_for(loop.sock_recv(sock, 4096), timeout=2.0)
+                )
+        except asyncio.TimeoutError:
+            pass
+        sock.close()
+        await server.stop()
+        return responses, registry.snapshot(), server
+
+    responses, snapshot, server = asyncio.run(scenario())
+
+    shed = snapshot.value("serve.shed")
+    assert shed > 0, "burst larger than the budget must shed"
+    # Everything sent was answered one way or the other: full responses
+    # for admitted queries, bare SERVFAIL for shed ones.
+    assert len(responses) == burst
+    rcodes = [Message.from_wire(blob).rcode for blob in responses]
+    assert rcodes.count(Rcode.SERVFAIL) == shed
+    assert rcodes.count(Rcode.NOERROR) == burst - shed
+    # The in-flight budget really bounded the queue.
+    assert server._inflight_peak <= budget
+    assert snapshot.value("serve.inflight_peak") <= budget
+
+
+def test_shed_responses_echo_query_id():
+    async def scenario():
+        frontend, _ = build_frontend(ServeConfig(world="nl"))
+        server = ServeServer(frontend, max_inflight=1)
+        port = await server.start()
+        loop = asyncio.get_running_loop()
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.setblocking(False)
+        sock.connect(("127.0.0.1", port))
+        for index in range(32):
+            query = Message.make_query("www.domain3.nl.", RdataType.A, id=1000 + index)
+            sock.send(query.to_wire())
+        responses = []
+        try:
+            while len(responses) < 32:
+                responses.append(
+                    await asyncio.wait_for(loop.sock_recv(sock, 4096), timeout=2.0)
+                )
+        except asyncio.TimeoutError:
+            pass
+        sock.close()
+        await server.stop()
+        return responses
+
+    responses = asyncio.run(scenario())
+    ids = {Message.from_wire(blob).id for blob in responses}
+    assert ids <= set(range(1000, 1032))
+    assert len(responses) == 32  # every query got *some* answer
+
+
+def test_queue_drains_after_burst():
+    """After an overload burst, a fresh query is answered normally."""
+
+    async def scenario():
+        frontend, _ = build_frontend(ServeConfig(world="nl"))
+        server = ServeServer(frontend, max_inflight=2)
+        port = await server.start()
+        loop = asyncio.get_running_loop()
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.setblocking(False)
+        sock.connect(("127.0.0.1", port))
+        for index in range(16):
+            sock.send(
+                Message.make_query("www.domain4.nl.", RdataType.A, id=index).to_wire()
+            )
+        await asyncio.sleep(0.3)  # let the burst fully drain
+        while True:  # flush pending responses
+            try:
+                await asyncio.wait_for(loop.sock_recv(sock, 4096), timeout=0.05)
+            except asyncio.TimeoutError:
+                break
+        sock.send(
+            Message.make_query("www.domain5.nl.", RdataType.A, id=7777).to_wire()
+        )
+        blob = await asyncio.wait_for(loop.sock_recv(sock, 4096), timeout=2.0)
+        sock.close()
+        await server.stop()
+        return Message.from_wire(blob)
+
+    response = asyncio.run(scenario())
+    assert response.id == 7777
+    assert response.rcode == Rcode.NOERROR

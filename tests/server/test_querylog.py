@@ -92,3 +92,50 @@ class TestAggregation:
 
         with pytest.raises(ValueError):
             make_log([entry()]).timeseries(0)
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = make_log([entry(), entry(ts=1.5, qname="www.domain7.nl.")])
+        assert log.write_jsonl(path) == 2
+        back = QueryLog.read_jsonl(path)
+        assert back.entries == log.entries
+
+    def test_unknown_qtype_round_trips(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = make_log([entry(qtype=RdataType(999))])
+        log.write_jsonl(path)
+        back = QueryLog.read_jsonl(path)
+        assert back.entries[0].qtype == 999
+        assert back.entries[0].qtype.name == "TYPE999"
+
+    def test_streaming_writer(self, tmp_path):
+        from repro.server.querylog import QueryLogWriter
+
+        path = tmp_path / "stream.jsonl"
+        with QueryLogWriter(path) as writer:
+            writer.append(entry())
+            writer.extend([entry(ts=1.0), entry(ts=2.0)])
+            assert writer.count == 3
+        back = QueryLog.read_jsonl(path)
+        assert len(back) == 3
+        assert back.by_group()  # analysis-ready
+
+    def test_writer_rejects_use_after_close(self, tmp_path):
+        import pytest
+
+        from repro.server.querylog import QueryLogWriter
+
+        writer = QueryLogWriter(tmp_path / "x.jsonl")
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.append(entry())
+
+    def test_entry_dict_codec(self):
+        from repro.server.querylog import entry_from_dict, entry_to_dict
+
+        original = entry(ts=3.25, client="192.0.2.9", asn=7)
+        data = entry_to_dict(original)
+        assert data["qtype"] == "A"
+        assert entry_from_dict(data) == original

@@ -1,0 +1,50 @@
+"""Response rate limiting: per-client buckets, slip, drop, reset."""
+
+from repro.server.rrl import ResponseRateLimiter, RrlVerdict
+
+
+def test_disabled_rrl_answers_everything():
+    rrl = ResponseRateLimiter(rate=0)
+    assert all(
+        rrl.check("c", 0.0) is RrlVerdict.ANSWER for _ in range(100)
+    )
+    assert rrl.answered == 100
+
+
+def test_budget_then_slip_then_drop():
+    rrl = ResponseRateLimiter(rate=2, slip_factor=1)
+    verdicts = [rrl.check("c", 0.5) for _ in range(6)]
+    assert verdicts == [
+        RrlVerdict.ANSWER,
+        RrlVerdict.ANSWER,
+        RrlVerdict.SLIP,
+        RrlVerdict.SLIP,
+        RrlVerdict.DROP,
+        RrlVerdict.DROP,
+    ]
+    assert (rrl.answered, rrl.slipped, rrl.dropped) == (2, 2, 2)
+
+
+def test_bucket_resets_each_second():
+    rrl = ResponseRateLimiter(rate=1)
+    assert rrl.check("c", 0.0) is RrlVerdict.ANSWER
+    assert rrl.check("c", 0.9) is not RrlVerdict.ANSWER
+    assert rrl.check("c", 1.0) is RrlVerdict.ANSWER  # new second, new budget
+    assert rrl.check("c", 2.3) is RrlVerdict.ANSWER
+
+
+def test_clients_are_limited_independently():
+    rrl = ResponseRateLimiter(rate=1)
+    assert rrl.check("alice", 0.0) is RrlVerdict.ANSWER
+    assert rrl.check("bob", 0.0) is RrlVerdict.ANSWER
+    assert rrl.check("alice", 0.1) is not RrlVerdict.ANSWER
+    assert rrl.check("carol", 0.2) is RrlVerdict.ANSWER
+
+
+def test_bucket_table_is_pruned_on_rollover():
+    rrl = ResponseRateLimiter(rate=1)
+    for index in range(1000):
+        rrl.check(f"client-{index}", 0.0)
+    assert len(rrl._counts) == 1000
+    rrl.check("fresh", 1.0)
+    assert len(rrl._counts) == 1  # old second's table dropped wholesale

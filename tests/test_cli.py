@@ -206,3 +206,33 @@ class TestMetricsCommand:
         capsys.readouterr()
         assert main(["metrics", str(out), "--validate-only"]) == 0
         assert "valid" in capsys.readouterr().out
+
+
+class TestServeLoadgen:
+    def test_loadgen_requires_port(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["loadgen"])
+
+    def test_serve_rejects_unknown_world(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["serve", "--world", "narnia"])
+
+    def test_analyze_querylog_flag(self, tmp_path, capsys):
+        from repro.dns.name import Name
+        from repro.dns.rdtypes import RdataType
+        from repro.server.querylog import QueryLog, QueryLogEntry
+
+        log = QueryLog()
+        for ts in (0.0, 10.0, 3700.0):
+            log.append(QueryLogEntry(ts, "10.0.0.1", 0, Name("www.domain1.nl."),
+                                     RdataType.A, "serve"))
+        path = tmp_path / "live.jsonl"
+        log.write_jsonl(path)
+        assert main(["analyze", str(path), "--querylog"]) == 0
+        out = capsys.readouterr().out
+        assert "groups (client, qname)" in out
+        assert "min interarrival" in out
