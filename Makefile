@@ -26,7 +26,7 @@ bench-perf:
 # The CI perf-smoke gate: fresh bench-perf numbers must stay within 25%
 # of the checked-in baseline_perf.json floors.
 perf-check:
-	PYTHONPATH=src python benchmarks/check_perf.py warm_resolution campaign_throughput --max-regression 0.25
+	PYTHONPATH=src python benchmarks/check_perf.py warm_resolution campaign_throughput serve_throughput_w1 --max-regression 0.25
 
 # Docs stay honest: every repro.* package documented in README + API.md,
 # every intra-repo markdown link resolves.  CI runs this as the docs job.

@@ -70,6 +70,10 @@ class AtlasConfig:
             "opendns-like": ("parent", 0.30, 4),
         }
     )
+    #: Give every generated resolver a default :class:`PredictPolicy`
+    #: (refresh-ahead + RFC 8767 stale-while-revalidate) on top of its
+    #: centricity behaviour.
+    predict: bool = False
 
 
 _POLICY_FACTORIES = {
@@ -149,7 +153,7 @@ class AtlasPopulation:
         if pool and not force_new:
             return self._rng.choice(pool)
         label = self._pick_local_label()
-        policy = _POLICY_FACTORIES[label]()
+        policy = self._maybe_predictive(_POLICY_FACTORIES[label]())
         autonomous_system = next(
             a for a in self.topology.ases if a.asn == asn
         )
@@ -183,6 +187,13 @@ class AtlasPopulation:
         )
         return forwarder
 
+    def _maybe_predictive(self, policy: ResolverPolicy) -> ResolverPolicy:
+        if not self.config.predict:
+            return policy
+        from repro.predict import PredictPolicy
+
+        return policy.with_(predict=PredictPolicy())
+
     def _pick_local_label(self) -> str:
         labels = list(self.config.local_mix)
         weights = [self.config.local_mix[label] for label in labels]
@@ -205,7 +216,9 @@ class AtlasPopulation:
                     endpoint=endpoint,
                     network=self.network,
                     root_hints=self._root_hints,
-                    policy=_POLICY_FACTORIES[factory_name](),
+                    policy=self._maybe_predictive(
+                        _POLICY_FACTORIES[factory_name]()
+                    ),
                     root_zone=self._root_zone,
                 )
                 self.resolver_label[resolver.address] = service

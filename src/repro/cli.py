@@ -205,13 +205,18 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 
 #: Campaigns `repro run` can execute through repro.runner.
 _RUN_CAMPAIGNS = (
-    "t2-uy", "t2-anicuy", "t2-googleco", "t10-controlled", "crawl", "ddos"
+    "t2-uy", "t2-anicuy", "t2-googleco", "t10-controlled", "crawl", "ddos",
+    "prefetch",
 )
 
 #: Campaigns that accept a --faults schedule (the controlled-TTL and crawl
 #: campaigns build many isolated worlds whose endpoints a plan cannot
 #: meaningfully target, so they reject one instead of ignoring it).
 _FAULTABLE_CAMPAIGNS = ("t2-uy", "t2-anicuy", "t2-googleco", "ddos")
+
+#: Campaigns whose resolver populations can be armed with --predict
+#: (refresh-ahead + RFC 8767 serve-stale; see docs/prediction.md).
+_PREDICT_CAMPAIGNS = ("t2-uy", "t2-anicuy", "t2-googleco")
 
 #: Worlds `repro serve` can front; mirrors repro.serve.config.WORLD_BUILDERS
 #: (kept literal here so --help needs no heavyweight import).
@@ -298,6 +303,11 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
     faults, status = _load_fault_plan(args)
     if status:
         return status
+    if args.predict and args.campaign not in _PREDICT_CAMPAIGNS:
+        print(f"error: --predict is not supported for {args.campaign} "
+              f"(predictive campaigns: {', '.join(_PREDICT_CAMPAIGNS)})",
+              file=sys.stderr)
+        return 2
     common = dict(
         seed=args.seed,
         parallelism=args.parallel,
@@ -309,7 +319,7 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
 
         run = scenario_uy_ns(
             probes=args.probes, duration=args.duration, shards=args.shards,
-            faults=faults, **common
+            faults=faults, predict=args.predict, **common
         )
         print(_centricity_report("T2: .uy-NS centricity campaign", run))
         _write_metrics(args, run.metrics)
@@ -318,7 +328,7 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
 
         run = scenario_anicuy_a(
             probes=args.probes, duration=args.duration, shards=args.shards,
-            faults=faults, **common
+            faults=faults, predict=args.predict, **common
         )
         print(_centricity_report("T2: a.nic.uy-A centricity campaign", run))
         _write_metrics(args, run.metrics)
@@ -327,7 +337,7 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
 
         run = scenario_googleco_ns(
             probes=args.probes, duration=args.duration, shards=args.shards,
-            faults=faults, **common
+            faults=faults, predict=args.predict, **common
         )
         print(_centricity_report("T2: google.co-NS centricity campaign", run))
         _write_metrics(args, run.metrics)
@@ -349,6 +359,24 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
                 f"{plain.availability * 100:.0f}%",
                 f"{rescued.availability * 100:.0f}%",
                 f"{rescued.served_stale_fraction * 100:.0f}%",
+            )
+        print(table.render())
+        _write_metrics(args, run.metrics)
+    elif args.campaign == "prefetch":
+        from repro.core.scenarios import scenario_prefetch_tradeoff
+
+        run = scenario_prefetch_tradeoff(duration=args.duration, **common)
+        table = Table(
+            ["TTL (s)", "mode", "queries", "hit rate", "auth queries",
+             "p99 (ms)", "refreshes", "stale"],
+            title="Prefetch trade-off: client p99 and authoritative volume "
+                  "vs TTL",
+        )
+        for cell in run.cells:
+            table.add_row(
+                cell.ttl, cell.mode, cell.queries,
+                f"{cell.hit_rate * 100:.1f}%", cell.auth_queries,
+                f"{cell.p99_ms:.2f}", cell.refreshes, cell.stale_answered,
             )
         print(table.render())
         _write_metrics(args, run.metrics)
@@ -555,6 +583,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rrl_rate=args.rrl_rate,
         max_udp_payload=args.max_udp_payload,
         time_scale=args.time_scale,
+        predict=args.predict,
         querylog_path=args.querylog,
         metrics_path=args.metrics,
     )
@@ -735,6 +764,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fault plan JSON (repro.faults/v1) scheduling "
                           "outages/loss/SERVFAILs against the campaign's "
                           "virtual clock; deterministic at any --parallel")
+    run.add_argument("--predict", action="store_true",
+                     help="arm every resolver with the predictive policy: "
+                          "refresh-ahead for hot names plus RFC 8767 "
+                          "stale-while-revalidate")
     run.set_defaults(func=_cmd_run)
 
     metrics = sub.add_parser(
@@ -774,6 +807,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--time-scale", type=float, default=1.0,
                        help="sim seconds per wall second (TTLs age faster)")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--predict", action="store_true",
+                       help="refresh hot names ahead of expiry and serve "
+                            "stale while revalidating (RFC 8767)")
     serve.add_argument("--querylog", default=None, metavar="PATH",
                        help="append ENTRADA-style JSONL entries for "
                             "`repro analyze --querylog`")

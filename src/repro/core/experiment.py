@@ -15,6 +15,7 @@ def make_population(
     seed: Optional[int] = None,
     config: Optional[AtlasConfig] = None,
     probe_id_base: int = 0,
+    predict: bool = False,
 ) -> AtlasPopulation:
     """Attach an Atlas-like probe population to a world.
 
@@ -22,11 +23,14 @@ def make_population(
     Pass ``seed`` explicitly from scenarios (falling back to
     ``world.seed`` is kept for ad-hoc use); sharded campaigns pass
     ``probe_id_base`` so each shard's probe ids are globally unique.
+    ``predict`` arms every generated resolver with the default
+    :class:`repro.predict.PredictPolicy`.
     """
     cfg = config or AtlasConfig(
         probes=probes,
         seed=world.seed if seed is None else seed,
         probe_id_base=probe_id_base,
+        predict=predict,
     )
     return AtlasPopulation(
         config=cfg,

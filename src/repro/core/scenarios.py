@@ -34,6 +34,7 @@ from repro.core.worlds import (
     build_cl_world,
     build_controlled_world,
     build_googleco_world,
+    build_hotset_world,
     build_nl_world,
     build_outage_world,
     build_uy_world,
@@ -127,6 +128,7 @@ def _run_centricity_sharded(
     run_dir: Optional[str] = None,
     progress=None,
     fault_plan: Optional[dict] = None,
+    predict: bool = False,
 ) -> tuple[ResultSet, MetricsSnapshot]:
     """Shard an active centricity campaign over its probes and merge."""
     from repro.runner.campaigns import campaign_fingerprint, centricity_shard
@@ -140,6 +142,10 @@ def _run_centricity_sharded(
         "qtype_name": qtype.name,
         "fault_plan": fault_plan,
     }
+    if predict:
+        # Only present when armed, so run dirs checkpointed before the
+        # predict layer existed still fingerprint-match their campaigns.
+        kwargs["predict"] = True
     fingerprint = campaign_fingerprint(
         "centricity",
         campaign=campaign,
@@ -248,6 +254,7 @@ def scenario_uy_ns(
     run_dir: Optional[str] = None,
     progress=None,
     faults=None,
+    predict: bool = False,
 ) -> CentricityRun:
     """The .uy-NS campaign (Table 2 col 1; Figure 1): parent 172800 s,
     child 300 s, queries every 10 min for 2 h.
@@ -258,7 +265,9 @@ def scenario_uy_ns(
     and the merged :class:`ResultSet` is identical for every worker
     count.  ``run_dir`` enables checkpoint/resume.  ``faults`` (a
     :class:`FaultPlan` or its payload) schedules failures against the
-    campaign's virtual clock — see docs/resilience.md.
+    campaign's virtual clock — see docs/resilience.md.  ``predict``
+    arms every resolver with the default predictive policy
+    (refresh-ahead + RFC 8767) — see docs/prediction.md.
     """
     fault_plan = _normalize_fault_plan(faults)
     spec_kwargs = dict(
@@ -282,6 +291,7 @@ def scenario_uy_ns(
             run_dir=run_dir,
             progress=progress,
             fault_plan=fault_plan,
+            predict=predict,
         )
     else:
         uy = build_uy_world(seed, child_ns_ttl=child_ns_ttl)
@@ -289,7 +299,9 @@ def scenario_uy_ns(
             uy.world.network.attach_faults(
                 FaultInjector(FaultPlan.from_payload(fault_plan), seed=seed)
             )
-        population = make_population(uy.world, probes=probes, seed=seed)
+        population = make_population(
+            uy.world, probes=probes, seed=seed, predict=predict
+        )
         spec = MeasurementSpec(qtype=RdataType.NS, **spec_kwargs)
         results = Measurement(
             spec=spec, vantage_points=population.vantage_points(), seed=seed
@@ -318,6 +330,7 @@ def scenario_anicuy_a(
     run_dir: Optional[str] = None,
     progress=None,
     faults=None,
+    predict: bool = False,
 ) -> CentricityRun:
     """The a.nic.uy-A campaign (Table 2 col 2; Figure 1): parent glue
     172800 s, child A 120 s, every 10 min for 3 h."""
@@ -343,6 +356,7 @@ def scenario_anicuy_a(
             run_dir=run_dir,
             progress=progress,
             fault_plan=fault_plan,
+            predict=predict,
         )
     else:
         uy = build_uy_world(seed)
@@ -350,7 +364,9 @@ def scenario_anicuy_a(
             uy.world.network.attach_faults(
                 FaultInjector(FaultPlan.from_payload(fault_plan), seed=seed)
             )
-        population = make_population(uy.world, probes=probes, seed=seed)
+        population = make_population(
+            uy.world, probes=probes, seed=seed, predict=predict
+        )
         spec = MeasurementSpec(qtype=RdataType.A, **spec_kwargs)
         results = Measurement(
             spec=spec, vantage_points=population.vantage_points(), seed=seed
@@ -377,6 +393,7 @@ def scenario_googleco_ns(
     run_dir: Optional[str] = None,
     progress=None,
     faults=None,
+    predict: bool = False,
 ) -> CentricityRun:
     """The google.co-NS campaign (Table 2 col 3; Figure 2): parent 900 s,
     child 345600 s, every 10 min for 1 h."""
@@ -402,6 +419,7 @@ def scenario_googleco_ns(
             run_dir=run_dir,
             progress=progress,
             fault_plan=fault_plan,
+            predict=predict,
         )
     else:
         world = build_googleco_world(seed)
@@ -409,7 +427,9 @@ def scenario_googleco_ns(
             world.network.attach_faults(
                 FaultInjector(FaultPlan.from_payload(fault_plan), seed=seed)
             )
-        population = make_population(world, probes=probes, seed=seed)
+        population = make_population(
+            world, probes=probes, seed=seed, predict=predict
+        )
         spec = MeasurementSpec(qtype=RdataType.NS, **spec_kwargs)
         results = Measurement(
             spec=spec, vantage_points=population.vantage_points(), seed=seed
@@ -1086,5 +1106,213 @@ def scenario_ddos_resilience(
         probe_interval=probe_interval,
         attack_start=attack_start,
         tiers=tiers,
+        metrics=metrics,
+    )
+
+
+# ----------------------------------------------- prefetch/refresh-ahead figure
+
+
+#: Resolver behaviour per prefetch-tradeoff mode.
+_PREFETCH_MODES = ("off", "onhit", "ahead")
+
+
+@dataclass(frozen=True)
+class PrefetchCell:
+    """One (mode, TTL) cell of the prefetch trade-off matrix."""
+
+    mode: str
+    ttl: int
+    seed: int
+    #: Client queries driven through the resolver.
+    queries: int
+    #: Queries answered straight from live cache.
+    cache_hits: int
+    #: Queries the child authoritative answered (the volume axis).
+    auth_queries: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    #: Scheduler-executed refreshes + revalidations (0 for mode "off").
+    refreshes: int
+    #: RFC 8767 stale answers (mode "ahead" only).
+    stale_answered: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+
+@dataclass
+class PrefetchTradeoffRun:
+    """The prefetch figure: client p99 and authoritative volume vs TTL.
+
+    Pappas et al.'s renewal idea, quantified: at short TTLs refresh-ahead
+    buys the client hit-latency p99 at the price of budgeted refresh
+    traffic; at day-long TTLs prediction buys (and costs) nothing.
+    """
+
+    duration: float
+    rate_qps: float
+    names: int
+    cells: list[PrefetchCell]
+    metrics: Optional[MetricsSnapshot] = None
+
+    def cell(self, mode: str, ttl: int) -> PrefetchCell:
+        for cell in self.cells:
+            if cell.mode == mode and cell.ttl == ttl:
+                return cell
+        raise KeyError((mode, ttl))
+
+    def p99_profile(self, mode: str) -> dict[int, float]:
+        return {c.ttl: c.p99_ms for c in self.cells if c.mode == mode}
+
+    def auth_profile(self, mode: str) -> dict[int, int]:
+        return {c.ttl: c.auth_queries for c in self.cells if c.mode == mode}
+
+
+def _run_prefetch_cell(
+    *,
+    mode: str,
+    ttl: int,
+    seed: int,
+    names: int,
+    rate_qps: float,
+    duration: float,
+    metrics: Optional[MetricsRegistry] = None,
+) -> PrefetchCell:
+    """Drive one resolver through a Zipf workload against one TTL tier."""
+    from repro.loadgen.arrivals import poisson_schedule
+    from repro.net.topology import Region
+    from repro.resolver.policy import ResolverPolicy
+    from repro.resolver.recursive import RecursiveResolver
+    from repro.workload import ZipfSampler
+
+    hotset = build_hotset_world(ttl, seed, names=names)
+    world = hotset.world
+    if metrics is not None:
+        world.network.attach_metrics(metrics)
+    policy = {
+        "off": ResolverPolicy.child_centric,
+        "onhit": ResolverPolicy.prefetching,
+        "ahead": ResolverPolicy.predictive,
+    }[mode]()
+    resolver = RecursiveResolver(
+        endpoint=world.topology.endpoint_in_region(Region.EU, "prefetch-res"),
+        network=world.network,
+        root_hints=world.hints,
+        policy=policy,
+    )
+    rng = random.Random(seed ^ 0x50F7)
+    sampler = ZipfSampler(population=names, exponent=1.0)
+    latencies: list[float] = []
+    hits = 0
+    count = 0
+    for at in poisson_schedule(rate_qps, duration, rng):
+        qname = hotset.qnames[sampler.rank(rng)]
+        out = resolver.resolve(qname, RdataType.A, now=at)
+        latencies.append(out.elapsed * 1000.0)
+        hits += out.cache_hit
+        count += 1
+    cdf = ECDF(latencies) if latencies else None
+    refreshes = stale = 0
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        present = set(snapshot.metrics)
+        refreshes = int(
+            (snapshot.value("predict.refreshes") if "predict.refreshes" in present else 0)
+            + (snapshot.value("predict.revalidations")
+               if "predict.revalidations" in present else 0)
+        )
+        if "predict.stale_answered" in present:
+            stale = int(snapshot.value("predict.stale_answered"))
+    return PrefetchCell(
+        mode=mode,
+        ttl=ttl,
+        seed=seed,
+        queries=count,
+        cache_hits=hits,
+        auth_queries=hotset.auth_queries,
+        p50_ms=cdf.median if cdf else 0.0,
+        p95_ms=cdf.quantile(0.95) if cdf else 0.0,
+        p99_ms=cdf.quantile(0.99) if cdf else 0.0,
+        refreshes=refreshes,
+        stale_answered=stale,
+    )
+
+
+def scenario_prefetch_tradeoff(
+    seed: int = 0,
+    ttls: tuple = (60, 300, 3600, 86400),
+    modes: tuple = _PREFETCH_MODES,
+    names: int = 16,
+    rate_qps: float = 2.0,
+    duration: float = 1800.0,
+    parallelism: Optional[int] = None,
+    run_dir: Optional[str] = None,
+    progress=None,
+) -> PrefetchTradeoffRun:
+    """Authoritative volume and client p99 vs TTL, with prediction
+    off / on-hit prefetch / refresh-ahead.
+
+    Runs a (mode × TTL) matrix of independent cells, each a fresh
+    :func:`build_hotset_world` plus one resolver under a seeded Zipf
+    workload.  With ``parallelism`` set the cells run as one shard each
+    through :mod:`repro.runner` — byte-identical to the serial path for
+    any worker count, predict machinery included.
+    """
+    for mode in modes:
+        if mode not in _PREFETCH_MODES:
+            raise ValueError(
+                f"unknown prefetch mode {mode!r} (have: {', '.join(_PREFETCH_MODES)})"
+            )
+    if not ttls or not modes:
+        raise ValueError("scenario_prefetch_tradeoff needs >= 1 TTL and mode")
+    cell_params = [
+        {
+            "mode": mode,
+            "ttl": ttl,
+            "seed": seed + index,
+            "names": names,
+            "rate_qps": rate_qps,
+            "duration": duration,
+        }
+        for index, (mode, ttl) in enumerate(
+            (m, t) for m in modes for t in ttls
+        )
+    ]
+
+    if parallelism is None:
+        cells: list[PrefetchCell] = []
+        snapshots: list[MetricsSnapshot] = []
+        for params in cell_params:
+            registry = MetricsRegistry()
+            cells.append(_run_prefetch_cell(**params, metrics=registry))
+            snapshots.append(registry.snapshot())
+        metrics = merge_snapshots(snapshots)
+    else:
+        from repro.runner.campaigns import campaign_fingerprint, prefetch_shard
+
+        fingerprint = campaign_fingerprint(
+            "prefetch-tradeoff", seed=seed, cells=cell_params
+        )
+        outcomes, metrics = _run_sharded_campaign(
+            "prefetch-tradeoff",
+            fingerprint,
+            prefetch_shard,
+            {"cells": cell_params},
+            total_units=len(cell_params),
+            seed=seed,
+            parallelism=parallelism,
+            shards=len(cell_params),
+            run_dir=run_dir,
+            progress=progress,
+        )
+        cells = [outcome.value["results"] for outcome in outcomes]
+    return PrefetchTradeoffRun(
+        duration=duration,
+        rate_qps=rate_qps,
+        names=names,
+        cells=cells,
         metrics=metrics,
     )

@@ -714,3 +714,90 @@ def build_outage_world(ttl: int, seed: int = 0) -> OutageWorld:
     world._server_addresses["a.rootsrv.net"] = root_server.endpoint.address
     world._server_addresses["ns1.shop.example"] = server.endpoint.address
     return OutageWorld(world=world, zone=zone, server=server)
+
+
+# ---------------------------------------------------------- prefetch tradeoff
+@dataclass
+class HotsetWorld:
+    """A Zipf-skewed hot set behind one authoritative (prefetch study).
+
+    One zone, ``names`` leaf A records all at the cell's TTL, one child
+    server whose query counter is the "authoritative volume" axis of the
+    prefetch/refresh-ahead trade-off figure.
+    """
+
+    world: World
+    zone: Zone
+    server: AuthoritativeServer
+    #: The resolvable leaf names, rank order (``qnames[0]`` is rank 0 —
+    #: feed :class:`repro.workload.ZipfSampler` ranks straight in).
+    qnames: list[str]
+
+    @property
+    def auth_queries(self) -> int:
+        """Queries the child authoritative has answered so far."""
+        return self.server.queries_received
+
+
+def build_hotset_world(ttl: int, seed: int = 0, names: int = 16) -> HotsetWorld:
+    """Build the prefetch-tradeoff world for one TTL cell.
+
+    Mirrors :func:`build_outage_world`: a realistic 2-day root
+    delegation, and a child zone whose NS, glue, and all ``names`` leaf
+    answers carry ``ttl`` — so every record a client asks for expires
+    exactly ``ttl`` seconds after it was cached.
+    """
+    topology = Topology(seed=seed)
+    network = Network(seed=seed)
+    clock = SimClock()
+
+    root_zone = Zone("", default_ttl=172800)
+    root_zone.add_soa("a.rootsrv.net.")
+    root_zone.add("", RdataType.NS, NS(Name("a.rootsrv.net.")), ttl=518400)
+    root_server = AuthoritativeServer(
+        topology.endpoint_in_region(Region.NA, "a.rootsrv.net"), [root_zone]
+    )
+    network.register(root_server)
+    root_zone.add("a.rootsrv.net.", RdataType.A, A(root_server.endpoint.address))
+
+    zone = Zone("hot.example.", default_ttl=ttl)
+    zone.add_soa("ns1.hot.example.")
+    zone.add("hot.example.", RdataType.NS, NS(Name("ns1.hot.example.")), ttl=ttl)
+    server = AuthoritativeServer(
+        topology.endpoint_in_region(Region.EU, "ns1.hot.example"), [zone]
+    )
+    network.register(server)
+    zone.add("ns1.hot.example.", RdataType.A, A(server.endpoint.address), ttl=ttl)
+    qnames = []
+    for rank in range(names):
+        qname = f"www{rank}.hot.example."
+        zone.add(
+            qname,
+            RdataType.A,
+            A(str(ipaddress.IPv4Address(0xCB007100 + rank % 250))),
+            ttl=ttl,
+        )
+        qnames.append(qname)
+    root_zone.add(
+        "hot.example.", RdataType.NS, NS(Name("ns1.hot.example.")), ttl=172800
+    )
+    root_zone.add(
+        "ns1.hot.example.", RdataType.A, A(server.endpoint.address), ttl=172800
+    )
+    hints = {Name("a.rootsrv.net."): root_server.endpoint.address}
+
+    world = World(
+        seed=seed,
+        topology=topology,
+        network=network,
+        clock=clock,
+        root_zone=root_zone,
+        hints=hints,
+    )
+    world.add_zone(root_zone)
+    world.add_zone(zone)
+    world.servers["a.rootsrv.net"] = root_server
+    world.servers["ns1.hot.example"] = server
+    world._server_addresses["a.rootsrv.net"] = root_server.endpoint.address
+    world._server_addresses["ns1.hot.example"] = server.endpoint.address
+    return HotsetWorld(world=world, zone=zone, server=server, qnames=qnames)

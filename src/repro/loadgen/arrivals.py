@@ -5,16 +5,24 @@ do not slow down when the server does) needs a schedule fixed before the
 first packet leaves.  ``fixed_schedule`` spaces queries evenly;
 ``poisson_schedule`` draws exponential gaps, matching the §3.4 passive
 traces where independent clients superpose into a Poisson stream.  Qname
-popularity is Zipfian, the canonical shape of DNS demand (Jung et al.)
-and what gives a cache a hit rate to measure.
+popularity is Zipfian; the sampler lives in :mod:`repro.workload.zipf`
+(shared with the popularity tracker in :mod:`repro.predict`) and is
+re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import bisect
-import math
 import random
-from typing import Iterable, Iterator
+from typing import Iterator
+
+from repro.workload.zipf import ZipfSampler, qnames_for_ranks
+
+__all__ = [
+    "fixed_schedule",
+    "poisson_schedule",
+    "ZipfSampler",
+    "qnames_for_ranks",
+]
 
 
 def fixed_schedule(rate_qps: float, duration_s: float) -> Iterator[float]:
@@ -44,47 +52,3 @@ def poisson_schedule(
             yield at
 
     return generate()
-
-
-class ZipfSampler:
-    """Zipf(s) draws over ``population`` distinct items.
-
-    The CDF over ranks is precomputed once; each draw is a uniform
-    variate plus a bisect — O(log n), no rejection loop, and exactly
-    reproducible from the caller's seeded RNG.
-
-    >>> sampler = ZipfSampler(population=3, exponent=1.0)
-    >>> sampler.rank(random.Random(1)) in (0, 1, 2)
-    True
-    """
-
-    def __init__(self, population: int, exponent: float = 1.0) -> None:
-        if population < 1:
-            raise ValueError(f"population must be >= 1, not {population}")
-        if exponent < 0:
-            raise ValueError(f"exponent cannot be negative ({exponent})")
-        self.population = population
-        self.exponent = exponent
-        weights = [1.0 / math.pow(rank, exponent) for rank in range(1, population + 1)]
-        total = math.fsum(weights)
-        cumulative = []
-        running = 0.0
-        for weight in weights:
-            running += weight / total
-            cumulative.append(running)
-        cumulative[-1] = 1.0  # guard against fp shortfall
-        self._cdf = cumulative
-
-    def rank(self, rng: random.Random) -> int:
-        """One draw: a rank in ``[0, population)``, 0 the most popular."""
-        return bisect.bisect_left(self._cdf, rng.random())
-
-    def ranks(self, count: int, rng: random.Random) -> list[int]:
-        return [self.rank(rng) for _ in range(count)]
-
-
-def qnames_for_ranks(template: str, ranks: Iterable[int]) -> list[str]:
-    """Render ranks through a qname template like ``www.domain{}.nl.``."""
-    if "{}" not in template:
-        raise ValueError(f"qname template {template!r} has no {{}} placeholder")
-    return [template.format(rank) for rank in ranks]

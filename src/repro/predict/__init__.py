@@ -1,0 +1,31 @@
+"""Predictive caching: keep hot names warm off the client path.
+
+The paper's §7 gestures at renewal strategies ("pre-fetching before
+expiration"); this package makes them measurable.  Three cooperating
+pieces:
+
+- :class:`PopularityTracker` — a bounded, deterministic space-saving
+  top-K sketch deciding *which* names are worth keeping warm,
+- :class:`RefreshScheduler` — budgeted refresh jobs on the sim clock
+  deciding *when* hot names are re-resolved (shortly before expiry,
+  never on the client path, never past the refresh budget),
+- RFC 8767 stale-while-revalidate — implemented in
+  :mod:`repro.resolver.recursive` behind :class:`PredictPolicy`: a miss
+  with usable stale data answers immediately with a capped TTL while an
+  asynchronous revalidation job repopulates the cache.
+
+Everything is driven by explicit sim timestamps, so serial and sharded
+campaigns see byte-identical refresh traffic; :mod:`repro.serve` drives
+the same machinery live through its :class:`WallClockBridge`.
+"""
+
+from repro.predict.policy import PredictPolicy
+from repro.predict.popularity import PopularityTracker
+from repro.predict.scheduler import LEAD_BUCKETS_S, RefreshScheduler
+
+__all__ = [
+    "PredictPolicy",
+    "PopularityTracker",
+    "RefreshScheduler",
+    "LEAD_BUCKETS_S",
+]

@@ -1,0 +1,123 @@
+"""Knobs for predictive caching.
+
+A :class:`PredictPolicy` bundles one resolver's choices for the three
+cooperating mechanisms in :mod:`repro.predict`:
+
+- the **popularity tracker** (``track_top_k``, ``min_hits``) decides
+  which names are worth keeping warm,
+- the **refresh-ahead scheduler** (``lead_fraction``, ``min_lead_s``,
+  ``max_refresh_per_s``, ``refresh_burst``, the failure-backoff knobs)
+  decides when hot names are re-resolved and how hard the resolver may
+  lean on authoritatives doing so,
+- **RFC 8767 stale-while-revalidate** (``serve_stale_while_revalidate``,
+  ``stale_answer_ttl``, ``max_stale_s``) decides whether a miss with
+  stale data answers immediately while an asynchronous revalidation
+  runs.
+
+The policy is frozen and round-trips through plain-JSON payloads so
+campaign fingerprints (see :mod:`repro.runner.campaigns`) can include it
+without hashing Python object identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass(frozen=True)
+class PredictPolicy:
+    """One resolver's predictive-caching configuration."""
+
+    #: Tracker capacity: how many (qname, qtype) keys are counted.
+    track_top_k: int = 256
+    #: Arrivals before a key counts as hot (refresh-ahead eligible).
+    min_hits: int = 2
+    #: Refresh when remaining lifetime falls below this fraction of the
+    #: original lifetime (mirrors the on-hit prefetch window).
+    lead_fraction: float = 0.1
+    #: ...but always leave at least this many seconds of lead, so very
+    #: short TTLs still get refreshed before they expire.
+    min_lead_s: float = 1.0
+    #: How far ahead of now the expiry feed looks for refresh candidates.
+    feed_horizon_s: float = 60.0
+    #: Token-bucket budget on scheduler-issued refreshes (per sim second).
+    #: The budget is what keeps refresh-ahead from storming
+    #: authoritatives; 0 disables refreshes entirely.
+    max_refresh_per_s: float = 10.0
+    #: Token-bucket depth: refreshes that may burst back-to-back.
+    refresh_burst: int = 20
+    #: RFC 8767: answer a miss from stale data immediately (capped TTL)
+    #: and revalidate asynchronously, instead of SERVFAIL-or-wait.
+    serve_stale_while_revalidate: bool = True
+    #: TTL stamped on stale answers (RFC 8767 §5 recommends <= 30 s).
+    stale_answer_ttl: int = 30
+    #: How long past expiry data may still be served (RFC 8767 §5
+    #: suggests 1-3 days; we default to one).
+    max_stale_s: float = 86400.0
+    #: First per-key backoff after a failed refresh; doubles per failure.
+    failure_backoff_s: float = 30.0
+    #: Ceiling on the per-key failure backoff.
+    failure_backoff_cap_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.track_top_k < 1:
+            raise ValueError(f"track_top_k must be >= 1, not {self.track_top_k}")
+        if self.min_hits < 1:
+            raise ValueError(f"min_hits must be >= 1, not {self.min_hits}")
+        if not 0.0 < self.lead_fraction < 1.0:
+            raise ValueError(
+                f"lead_fraction must be in (0, 1), not {self.lead_fraction}"
+            )
+        if self.min_lead_s < 0:
+            raise ValueError(f"min_lead_s cannot be negative ({self.min_lead_s})")
+        if self.feed_horizon_s <= 0:
+            raise ValueError(
+                f"feed_horizon_s must be positive, not {self.feed_horizon_s}"
+            )
+        if self.max_refresh_per_s < 0:
+            raise ValueError(
+                f"max_refresh_per_s cannot be negative ({self.max_refresh_per_s})"
+            )
+        if self.refresh_burst < 1:
+            raise ValueError(f"refresh_burst must be >= 1, not {self.refresh_burst}")
+        if self.stale_answer_ttl < 0:
+            raise ValueError(
+                f"stale_answer_ttl cannot be negative ({self.stale_answer_ttl})"
+            )
+        if self.max_stale_s < 0:
+            raise ValueError(f"max_stale_s cannot be negative ({self.max_stale_s})")
+        if self.failure_backoff_s < 0:
+            raise ValueError(
+                f"failure_backoff_s cannot be negative ({self.failure_backoff_s})"
+            )
+        if self.failure_backoff_cap_s < self.failure_backoff_s:
+            raise ValueError(
+                f"failure_backoff_cap_s {self.failure_backoff_cap_s} below "
+                f"failure_backoff_s {self.failure_backoff_s}"
+            )
+
+    def with_(self, **overrides: object) -> "PredictPolicy":
+        """A copy with fields replaced (dataclasses.replace shorthand)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+    # -- payload round-trip --------------------------------------------------
+    def to_payload(self) -> dict:
+        """Plain-JSON form, stable across processes (fingerprint-safe)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PredictPolicy":
+        known = {field.name for field in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown PredictPolicy fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    def describe(self) -> str:
+        """Short label used in experiment outputs."""
+        parts = [f"top{self.track_top_k}", f"lead{self.lead_fraction:g}"]
+        if self.max_refresh_per_s:
+            parts.append(f"budget{self.max_refresh_per_s:g}/s")
+        if self.serve_stale_while_revalidate:
+            parts.append("swr")
+        return "predict(" + ",".join(parts) + ")"

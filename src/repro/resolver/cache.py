@@ -510,6 +510,40 @@ class Cache:
         self._m_negative_hits.inc()
         return entry
 
+    def due_expirations(self, now: float, horizon: float) -> list[tuple[CacheKey, float]]:
+        """Live entries expiring within ``horizon`` seconds of ``now``.
+
+        The refresh-ahead expiry feed: a read-only pass over the lazy
+        expiry heap.  Records inside the window are popped, validated
+        exactly as :meth:`_surface_expired` would (superseded records
+        discarded, extended lifetimes re-pushed), and every record that
+        still describes its entry is pushed back so later maintenance
+        sees the heap unchanged.  Already-expired entries are *not*
+        returned (stale-while-revalidate owns those) and not marked —
+        this method has no side effects on cache state.
+        """
+        deadline = now + horizon
+        heap = self._expiry_heap
+        entries = self._entries
+        due: list[tuple[CacheKey, float]] = []
+        keep: list[tuple[float, int, CacheKey, int]] = []
+        while heap and heap[0][0] <= deadline:
+            record = heapq.heappop(heap)
+            expires_at, _, key, generation = record
+            entry = entries.get(key)
+            if entry is None or entry.generation != generation:
+                continue  # superseded or gone: drop the stale record
+            if entry.expires_at > expires_at:
+                # Lifetime extended in place: track the new expiry.
+                self._push(key, entry)
+                continue
+            keep.append(record)
+            if expires_at > now:
+                due.append((key, expires_at))
+        for record in keep:
+            heapq.heappush(heap, record)
+        return due
+
     # -- maintenance -------------------------------------------------------------
     def refresh_expiry(self, key: CacheKey, now: float) -> None:
         """Reset an entry's lifetime as if freshly inserted (sticky refresh)."""

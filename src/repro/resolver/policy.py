@@ -23,6 +23,8 @@ import enum
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.predict.policy import PredictPolicy
+
 
 class Centricity(enum.Enum):
     """Which side of a delegation the resolver believes (paper §3)."""
@@ -85,6 +87,9 @@ class ResolverPolicy:
     prefetch: bool = False
     #: Fraction of lifetime remaining below which prefetch triggers.
     prefetch_window: float = 0.1
+    #: Predictive caching (repro.predict): popularity-driven refresh-ahead
+    #: and RFC 8767 stale-while-revalidate.  ``None`` disables all of it.
+    predict: Optional[PredictPolicy] = None
 
     def __post_init__(self) -> None:
         if self.ttl_cap is not None and self.ttl_cap < self.ttl_floor:
@@ -157,6 +162,8 @@ class ResolverPolicy:
             parts.append("validating")
         if self.prefetch:
             parts.append("prefetch")
+        if self.predict is not None:
+            parts.append(self.predict.describe())
         return "+".join(parts)
 
     @classmethod
@@ -169,3 +176,9 @@ class ResolverPolicy:
     def prefetching(cls) -> "ResolverPolicy":
         """Child-centric with Unbound-style prefetch."""
         return cls(prefetch=True)
+
+    @classmethod
+    def predictive(cls, predict: Optional[PredictPolicy] = None) -> "ResolverPolicy":
+        """Child-centric with the full repro.predict stack: popularity
+        tracking, budgeted refresh-ahead, and RFC 8767 serve-stale."""
+        return cls(predict=predict if predict is not None else PredictPolicy())

@@ -30,6 +30,7 @@ from repro.dns.record import RRset
 from repro.dns.zone import Zone
 from repro.net.topology import Endpoint
 from repro.net.transport import Network, NetworkTimeout
+from repro.predict import PopularityTracker, RefreshScheduler
 from repro.resolver.cache import Cache, CacheKey, Credibility
 from repro.resolver.policy import Centricity, ResolverPolicy, ServerSelection
 
@@ -41,6 +42,9 @@ MAX_SUBRESOLUTION_DEPTH = 4
 #: TTL handed to clients for answers served stale (serve-stale drafts use
 #: a small non-zero value so downstreams do not re-query instantly).
 STALE_ANSWER_TTL = 30
+
+#: Bound on the refreshed-generation memo behind ``predict.refresh_hits``.
+_MAX_REFRESHED_MEMO = 4096
 
 #: Referral-depth histogram buckets: one bucket per step up to the hard
 #: ceiling, so shard merges are exact and depth distributions lossless.
@@ -141,6 +145,38 @@ class RecursiveResolver:
             self._m_failovers = self._m_restarts = NULL_COUNTER
             self._m_referral_depth = NULL_HISTOGRAM
 
+        # Predictive caching (repro.predict).  The scheduler also backs
+        # plain on-hit prefetch — unbudgeted, matching Unbound — so a
+        # prefetch refresh is never charged to the triggering client.
+        predict = self.policy.predict
+        self._predict = predict
+        self._tracker: Optional[PopularityTracker] = None
+        self._scheduler: Optional[RefreshScheduler] = None
+        #: (qname, qtype) -> generation written by a scheduler refresh;
+        #: a client hit on that generation counts as a refresh hit.
+        self._refreshed: dict[tuple[Name, RdataType], int] = {}
+        if predict is not None:
+            self._tracker = PopularityTracker(
+                capacity=predict.track_top_k, min_hits=predict.min_hits
+            )
+            self._scheduler = RefreshScheduler(
+                self._scheduled_refresh,
+                max_refresh_per_s=predict.max_refresh_per_s,
+                refresh_burst=predict.refresh_burst,
+                failure_backoff_s=predict.failure_backoff_s,
+                failure_backoff_cap_s=predict.failure_backoff_cap_s,
+                metrics=metrics,
+            )
+        elif self.policy.prefetch:
+            self._scheduler = RefreshScheduler(self._scheduled_refresh, metrics=metrics)
+        if self._scheduler is not None and metrics is not None:
+            self._m_refresh_hits = metrics.counter("predict.refresh_hits")
+            self._m_stale_answered = metrics.counter("predict.stale_answered")
+        else:
+            from repro.metrics.registry import NULL_COUNTER
+
+            self._m_refresh_hits = self._m_stale_answered = NULL_COUNTER
+
     def __repr__(self) -> str:
         return f"RecursiveResolver({self.endpoint.address}, {self.policy.describe()})"
 
@@ -158,9 +194,15 @@ class RecursiveResolver:
         faults = getattr(self.network, "faults", None)
         if faults is not None and faults.take_restart(self.address, now):
             self.restart()
+        if self._scheduler is not None:
+            # Run maintenance *before* answering: due refreshes execute
+            # back-dated to their due time, off this client's latency.
+            self.pump(now)
         self.client_queries += 1
         self._m_client_queries.inc()
         name = Name(qname)
+        if self._tracker is not None:
+            self._tracker.record((name, qtype), now)
 
         negative = self.cache.get_negative(name, qtype, now)
         if negative is not None:
@@ -169,9 +211,23 @@ class RecursiveResolver:
 
         cached = self._answer_from_cache(name, qtype, now)
         if cached is not None:
+            if self._refreshed:
+                entry = self.cache.peek(name, qtype)
+                if (
+                    entry is not None
+                    and self._refreshed.get((name, qtype)) == entry.generation
+                ):
+                    self._m_refresh_hits.inc()
             if self.policy.prefetch:
                 self._maybe_prefetch(name, qtype, now)
+            elif self._predict is not None:
+                self._maybe_refresh_ahead(name, qtype, now)
             return cached
+
+        if self._predict is not None and self._predict.serve_stale_while_revalidate:
+            stale = self._stale_while_revalidate(name, qtype, now)
+            if stale is not None:
+                return stale
 
         try:
             return self._resolve_with_cnames(name, qtype, now, depth=0)
@@ -184,6 +240,45 @@ class RecursiveResolver:
             self._m_servfail.inc()
             return ResolutionResult(rcode=Rcode.SERVFAIL, elapsed=failure.elapsed)
 
+    def pump(self, now: float) -> int:
+        """Run due predictive maintenance; returns refreshes executed.
+
+        Called at the start of every :meth:`resolve` and, when serving
+        live, from the frontend's background loop — never between a
+        client's arrival and its answer.  Feeds the refresh scheduler
+        from the cache's expiry heap (hot names expiring soon get a
+        refresh job even without a triggering hit), then executes every
+        due job under the refresh budget.
+        """
+        scheduler = self._scheduler
+        if scheduler is None:
+            return 0
+        predict = self._predict
+        tracker = self._tracker
+        if predict is not None and tracker is not None:
+            for key, expires_at in self.cache.due_expirations(
+                now, predict.feed_horizon_s
+            ):
+                name, rdtype, rdclass = key
+                if rdclass is not RdataClass.IN:
+                    continue
+                if not tracker.is_hot((name, rdtype)):
+                    continue
+                entry = self.cache.peek(name, rdtype)
+                if entry is None:
+                    continue
+                lifetime = entry.expires_at - entry.inserted_at
+                if lifetime <= 0:
+                    continue
+                lead = max(predict.min_lead_s, predict.lead_fraction * lifetime)
+                scheduler.schedule(
+                    name,
+                    rdtype,
+                    due=max(now, entry.expires_at - lead),
+                    expires_at=entry.expires_at,
+                )
+        return scheduler.pump(now)
+
     def restart(self) -> None:
         """Simulate a resolver process restart (crash, deploy, reboot).
 
@@ -195,15 +290,22 @@ class RecursiveResolver:
         """
         self.cache.clear()
         self._rotation.clear()
+        if self._scheduler is not None:
+            self._scheduler.clear()
+        if self._tracker is not None:
+            self._tracker.clear()
+        self._refreshed.clear()
         self._m_restarts.inc()
 
     def _maybe_prefetch(self, qname: Name, qtype: RdataType, now: float) -> None:
         """Unbound-style prefetch: refresh a hit that is close to expiry.
 
         Runs out of band — the client's answer has already been served
-        from cache; the refresh repopulates the cache so the *next* client
-        never sees the miss latency.  This is the renewal strategy of
-        Pappas et al. the paper's related work discusses.
+        from cache; a refresh job due *now* lands in the scheduler and
+        executes on the next pump, repopulating the cache so the next
+        client never sees the miss latency (and this client never pays
+        for the refresh).  This is the renewal strategy of Pappas et al.
+        the paper's related work discusses.
         """
         entry = self.cache.peek(qname, qtype)
         if entry is None:
@@ -214,10 +316,52 @@ class RecursiveResolver:
         remaining = entry.expires_at - now
         if remaining > self.policy.prefetch_window * lifetime:
             return
+        assert self._scheduler is not None
+        self._scheduler.schedule(qname, qtype, due=now, expires_at=entry.expires_at)
+
+    def _maybe_refresh_ahead(self, qname: Name, qtype: RdataType, now: float) -> None:
+        """Schedule a refresh for a hot hit, ``lead`` seconds before expiry."""
+        predict = self._predict
+        tracker = self._tracker
+        assert predict is not None and tracker is not None
+        if not tracker.is_hot((qname, qtype)):
+            return
+        entry = self.cache.peek(qname, qtype)
+        if entry is None:
+            return
+        lifetime = entry.expires_at - entry.inserted_at
+        if lifetime <= 0:
+            return
+        lead = max(predict.min_lead_s, predict.lead_fraction * lifetime)
+        assert self._scheduler is not None
+        self._scheduler.schedule(
+            qname,
+            qtype,
+            due=max(now, entry.expires_at - lead),
+            expires_at=entry.expires_at,
+        )
+
+    def _scheduled_refresh(self, qname: Name, qtype: RdataType, when: float) -> bool:
+        """The scheduler's callback: one out-of-band re-resolution.
+
+        Runs back-dated to the job's due time (every cache and network
+        call takes an explicit timestamp, so this is exact).  Successful
+        refreshes note the written generation so later client hits on it
+        count as ``predict.refresh_hits``.
+        """
         try:
-            self._resolve_with_cnames(qname, qtype, now, depth=1)
+            result = self._resolve_with_cnames(qname, qtype, when, depth=1)
         except ResolutionError:
-            pass
+            return False
+        if result.rcode != Rcode.NOERROR or not result.answers:
+            return False
+        entry = self.cache.peek(qname, qtype)
+        if entry is not None:
+            refreshed = self._refreshed
+            refreshed[(qname, qtype)] = entry.generation
+            if len(refreshed) > _MAX_REFRESHED_MEMO:
+                del refreshed[next(iter(refreshed))]
+        return True
 
     # -------------------------------------------------------------- cache answers
     def _answer_min_credibility(self) -> Credibility:
@@ -251,6 +395,41 @@ class RecursiveResolver:
             assert isinstance(target, CNAME)
             current = target.target
         return None
+
+    def _stale_while_revalidate(
+        self, qname: Name, qtype: RdataType, now: float
+    ) -> Optional[ResolutionResult]:
+        """RFC 8767: answer a miss from stale data *immediately*.
+
+        Unlike the SERVFAIL-only fallback below — which first walks the
+        tree, fails, and only then reaches for stale data, charging the
+        whole failed resolution to the client — this path answers in
+        zero elapsed time with a capped TTL and queues an asynchronous
+        revalidation.  The revalidation's ``put`` replaces the stale
+        entry atomically (dead entries always lose to fresh data), so
+        later clients see either the old stale answer or the complete
+        new one, never a gap.  Data older than ``max_stale_s`` is not
+        served (RFC 8767 §5's bound); the exact (qname, qtype) key only,
+        no stale CNAME chain reassembly.
+        """
+        predict = self._predict
+        assert predict is not None
+        entry = self.cache.get_stale(qname, qtype)
+        if entry is None:
+            return None
+        if entry.credibility < self._answer_min_credibility():
+            return None
+        if now - entry.expires_at > predict.max_stale_s:
+            return None
+        assert self._scheduler is not None
+        self._scheduler.schedule(qname, qtype, due=now, kind="revalidate")
+        self._m_stale_answered.inc()
+        self._m_served_stale.inc()
+        return ResolutionResult(
+            rcode=Rcode.NOERROR,
+            answers=[entry.rrset.with_ttl(predict.stale_answer_ttl)],
+            served_stale=True,
+        )
 
     def _serve_stale(self, qname: Name, qtype: RdataType) -> Optional[ResolutionResult]:
         """Serve-stale fallback: expired data beats SERVFAIL (§3.1)."""

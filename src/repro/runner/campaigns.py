@@ -21,6 +21,7 @@ __all__ = [
     "controlled_shard",
     "crawl_shard",
     "ddos_shard",
+    "prefetch_shard",
     "campaign_fingerprint",
 ]
 
@@ -61,6 +62,7 @@ def centricity_shard(
     spec_kwargs: dict[str, Any],
     qtype_name: str,
     fault_plan: Optional[dict[str, Any]] = None,
+    predict: bool = False,
 ) -> dict[str, Any]:
     """Run one shard of an active centricity campaign (§3.2/§3.3).
 
@@ -92,7 +94,8 @@ def centricity_shard(
             FaultInjector(FaultPlan.from_payload(fault_plan), seed=shard.seed)
         )
     population = make_population(
-        world, probes=shard.count, seed=shard.seed, probe_id_base=shard.start
+        world, probes=shard.count, seed=shard.seed, probe_id_base=shard.start,
+        predict=predict,
     )
     spec = MeasurementSpec(qtype=RdataType[qtype_name], **spec_kwargs)
     results = Measurement(
@@ -148,6 +151,32 @@ def ddos_shard(shard: Shard, *, tiers: list[dict[str, Any]]) -> dict[str, Any]:
     return {
         "results": result,
         "queries": result.slots + 2,
+        "metrics": registry.snapshot().to_payload(),
+    }
+
+
+# ------------------------------------------------------------- prefetch
+
+
+def prefetch_shard(
+    shard: Shard, *, cells: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Run one (mode, TTL) cell of the prefetch trade-off (one shard per cell).
+
+    ``cells[shard.index]`` carries exactly the arguments the serial
+    :func:`repro.core.scenarios._run_prefetch_cell` receives, so the
+    sharded campaign reproduces the serial scenario verbatim — the
+    predict machinery runs on the sim clock and stays byte-identical
+    for any worker count.
+    """
+    from repro.core.scenarios import _run_prefetch_cell
+    from repro.metrics.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    result = _run_prefetch_cell(**cells[shard.index], metrics=registry)
+    return {
+        "results": result,
+        "queries": result.queries,
         "metrics": registry.snapshot().to_payload(),
     }
 

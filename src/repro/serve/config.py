@@ -22,6 +22,7 @@ from repro.core.worlds import (
 from repro.dns.message import DEFAULT_EDNS_PAYLOAD
 from repro.metrics import MetricsRegistry
 from repro.net.topology import Region
+from repro.resolver.policy import ResolverPolicy
 from repro.resolver.recursive import RecursiveResolver
 from repro.serve.bridge import WallClockBridge
 from repro.serve.frontend import DnsFrontend
@@ -57,6 +58,9 @@ class ServeConfig:
     #: Sim seconds per wall second (tests use >1 to age TTLs quickly).
     time_scale: float = 1.0
     sim_start: float = 0.0
+    #: Enable repro.predict: refresh-ahead for hot names plus RFC 8767
+    #: stale-while-revalidate instead of SERVFAIL on dead upstreams.
+    predict: bool = False
     querylog_path: Optional[str] = None
     metrics_path: Optional[str] = None
     server_name: str = "serve"
@@ -98,6 +102,11 @@ def build_frontend(
         network=world.network,
         root_hints=world.hints,
         root_zone=world.root_zone,
+        policy=(
+            ResolverPolicy.predictive()
+            if config.predict
+            else ResolverPolicy.child_centric()
+        ),
     )
     querylog = None
     if config.querylog_path:

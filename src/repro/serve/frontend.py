@@ -142,6 +142,16 @@ class DnsFrontend:
         self._finish(query, client, sim_now, started, response.rcode)
         return ServeResult(wire, "answered")
 
+    def pump(self) -> int:
+        """Run due predictive refreshes against the bridge's current time.
+
+        The server calls this from a background loop so hot names are
+        re-resolved shortly before expiry even when no query is in
+        flight; returns the number of refreshes executed (always 0 for
+        a resolver without a predict policy).
+        """
+        return self.resolver.pump(self.bridge.now())
+
     # -- pieces ------------------------------------------------------------
     def _resolve(self, query: Message, sim_now: float) -> Message:
         question = query.question

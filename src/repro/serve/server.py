@@ -42,16 +42,19 @@ class ServeServer:
         port: int = 0,
         max_inflight: int = 256,
         reuse_port: bool = False,
+        predict_interval: float = 1.0,
     ) -> None:
         self.frontend = frontend
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
         self.reuse_port = reuse_port
+        self.predict_interval = predict_interval
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_inflight)
         self._udp_sock: Optional[socket.socket] = None
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._drain_task: Optional[asyncio.Task] = None
+        self._predict_task: Optional[asyncio.Task] = None
         self._inflight_peak = 0
         self.bound_port: Optional[int] = None
 
@@ -74,6 +77,8 @@ class ServeServer:
             reuse_port=self.reuse_port or None,
         )
         self._drain_task = asyncio.create_task(self._drain())
+        if self.frontend.resolver.policy.predict is not None:
+            self._predict_task = asyncio.create_task(self._predict_pump())
         return self.bound_port
 
     async def stop(self) -> None:
@@ -84,6 +89,12 @@ class ServeServer:
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
+        if self._predict_task is not None:
+            self._predict_task.cancel()
+            try:
+                await self._predict_task
+            except asyncio.CancelledError:
+                pass
         await self._queue.join()
         if self._drain_task is not None:
             self._drain_task.cancel()
@@ -148,6 +159,21 @@ class ServeServer:
             # One handled datagram per loop tick keeps TCP readers and
             # signal handlers responsive under a UDP flood.
             await asyncio.sleep(0)
+
+    async def _predict_pump(self) -> None:
+        """The live refresh-ahead loop: re-resolve hot names off-path.
+
+        Runs due predictive work against the wall-clock bridge once per
+        interval so refreshes land before expiry even on an idle socket.
+        A resolver bug here must not kill the worker: the pump is
+        best-effort and the client path never depends on it.
+        """
+        while True:
+            await asyncio.sleep(self.predict_interval)
+            try:
+                self.frontend.pump()
+            except Exception:
+                continue
 
     # -- TCP ---------------------------------------------------------------
     async def _serve_tcp(

@@ -1,0 +1,12 @@
+"""Shared workload-shape primitives.
+
+Query popularity in DNS is Zipfian (Jung et al.), and two parts of this
+repo need the same machinery: the load generator draws qnames from a
+Zipf distribution to give caches a hit rate to measure, and the
+popularity tracker in :mod:`repro.predict` ranks observed names against
+the same shape.  One implementation lives here so the two cannot drift.
+"""
+
+from repro.workload.zipf import ZipfSampler, qnames_for_ranks
+
+__all__ = ["ZipfSampler", "qnames_for_ranks"]

@@ -59,6 +59,28 @@ def test_host_telemetry_present_but_not_exported(serial_metrics):
     assert "runner" not in serial_metrics.to_json()
 
 
+def test_predict_serial_vs_parallel_4_byte_identical():
+    """ISSUE 6 acceptance: the determinism contract survives the predict
+    layer — refresh-ahead and stale-while-revalidate run on the sim
+    clock, so worker count still cannot leak into the exported bytes."""
+    serial = scenario_uy_ns(
+        seed=SEED, probes=PROBES, duration=DURATION, parallelism=1,
+        shards=4, predict=True,
+    )
+    parallel = scenario_uy_ns(
+        seed=SEED, probes=PROBES, duration=DURATION, parallelism=4,
+        shards=4, predict=True,
+    )
+    assert serial.metrics is not None and parallel.metrics is not None
+    assert parallel.metrics.to_json() == serial.metrics.to_json()
+    # The predict layer actually engaged (child TTL 300 s, rounds 600 s
+    # apart: the second round is answered stale while revalidating) and
+    # its counters export in the sim domain.
+    exported = serial.metrics.without_host()
+    assert exported.value("predict.stale_answered") > 0
+    assert exported.value("predict.revalidations") > 0
+
+
 def test_cli_run_metrics_files_byte_identical(tmp_path):
     """`repro run --metrics` end to end: serial vs --parallel 4 file bytes."""
     paths = {}

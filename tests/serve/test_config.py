@@ -31,3 +31,19 @@ def test_cli_worlds_mirror_registry():
     from repro.cli import _SERVE_WORLDS
 
     assert set(_SERVE_WORLDS) == set(WORLD_BUILDERS)
+
+
+def test_predict_flag_builds_predictive_resolver():
+    from repro.serve.config import build_frontend
+
+    frontend, _ = build_frontend(ServeConfig(world="nl", predict=True))
+    assert frontend.resolver.policy.predict is not None
+    assert frontend.pump() == 0  # empty cache: nothing due, nothing breaks
+
+
+def test_default_config_has_no_predict_policy():
+    from repro.serve.config import build_frontend
+
+    frontend, _ = build_frontend(ServeConfig(world="nl"))
+    assert frontend.resolver.policy.predict is None
+    assert frontend.pump() == 0  # pump is a safe no-op without predict

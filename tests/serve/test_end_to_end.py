@@ -119,6 +119,49 @@ def test_udp_truncation_then_tcp_retry():
     assert len(tcp_response.answer) == 4  # the full .nl NS set
 
 
+def test_predict_refreshes_hot_name_in_background():
+    """The live refresh-ahead loop: a hot name is re-resolved before its
+    TTL runs out with *no* query in flight, so the follow-up query after
+    the original expiry is still a cache hit."""
+
+    async def scenario():
+        import socket
+
+        frontend, registry = build_frontend(
+            # 2000 sim s per wall s: the 3600 s TTL expires ~1.8 wall s in,
+            # and the 360 s refresh window spans several 20 ms pump ticks.
+            ServeConfig(world="nl", predict=True, time_scale=2000.0)
+        )
+        server = ServeServer(frontend, predict_interval=0.02)
+        port = await server.start()
+        loop = asyncio.get_running_loop()
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.setblocking(False)
+        sock.connect(("127.0.0.1", port))
+
+        async def ask(id):
+            query = Message.make_query("www.domain2.nl.", RdataType.A, id=id)
+            await loop.sock_sendall(sock, query.to_wire())
+            return Message.from_wire(
+                await asyncio.wait_for(loop.sock_recv(sock, 4096), 5)
+            )
+
+        await ask(1)
+        await ask(2)  # second arrival: the name is now hot
+        await asyncio.sleep(2.2)  # idle past the original expiry
+        late = await ask(3)
+        await server.stop()
+        sock.close()
+        return late, registry.snapshot()
+
+    late, snapshot = asyncio.run(scenario())
+    assert late.rcode == Rcode.NOERROR
+    assert snapshot.value("predict.refreshes") >= 1
+    # The background refresh kept the entry warm: the late query never
+    # paid a full recursive walk.
+    assert snapshot.value("serve.cache_hits") >= 2
+
+
 def test_querylog_records_live_traffic(tmp_path):
     log_path = tmp_path / "live.jsonl"
 
