@@ -1,0 +1,42 @@
+"""Worker-count scaling curve for `repro serve` over SO_REUSEPORT.
+
+One record per point (``serve_worker_scaling_w{N}`` for N in 1/2/4), all
+measured the same way: closed-loop loadgen at fixed concurrency over 16
+distinct kernel flows, so the reuseport hash actually spreads load
+instead of pinning every query to one worker.  ``check_perf`` reads the
+records back and enforces the curve shape — strictly increasing where
+the host has the cores to back it, flat-at-worst where it does not (the
+``cpus`` field in each record is what lets it tell which regime a run
+came from).
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from benchmarks.bench_serve_throughput import measure_capacity
+from benchmarks.perf_records import record_perf
+
+WORKER_COUNTS = [1, 2, 4]
+#: Distinct connected sockets = distinct kernel flows; 16 over at most
+#: 4 workers makes a degenerate all-on-one-worker hash vanishingly rare.
+SOCKETS = 16
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="SO_REUSEPORT unavailable on this platform",
+)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_serve_worker_scaling(benchmark, workers):
+    result = benchmark.pedantic(
+        measure_capacity, args=(workers, SOCKETS), rounds=1, iterations=1
+    )
+    record_perf(f"serve_worker_scaling_w{workers}", **result)
+    print(
+        f"\nworker scaling w={workers}: {result['ops_per_s']} qps "
+        f"({result['cpus']} cpu(s), {SOCKETS} flows)"
+    )

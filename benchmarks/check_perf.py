@@ -6,10 +6,19 @@ named bench's ``ops_per_s`` fell more than the allowed fraction below its
 baseline.  Faster-than-baseline is always a pass — the gate only guards
 against regressions, the baseline is a floor, not a pin.
 
+When the fresh records include the ``serve_worker_scaling_w{N}`` series
+the gate also checks the *shape* of the worker curve: adding workers
+must never cost throughput.  Where the host has at least as many CPUs
+as the larger worker count the curve must be strictly increasing;
+on smaller hosts (the 1-core CI container included) extra workers are
+pure context-switch overhead and loopback numbers are noisy, so the
+requirement relaxes to "no collapse": each step may cost at most the
+scaling tolerance.
+
 Usage::
 
     python benchmarks/check_perf.py warm_resolution [campaign_throughput ...] \
-        [--max-regression 0.25]
+        [--max-regression 0.25] [--scaling-tolerance 0.5]
 """
 
 from __future__ import annotations
@@ -23,6 +32,56 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
 from benchmarks.perf_records import RECORDS_PATH, load_baseline  # noqa: E402
 
+SCALING_PREFIX = "serve_worker_scaling_w"
+
+
+def check_worker_curve(current: dict, tolerance: float) -> bool:
+    """Validate the worker-scaling curve recorded by bench_serve_worker_scaling.
+
+    Returns True when the curve is acceptable (or absent).  Points are
+    compared pairwise in worker order; each record carries the ``cpus``
+    the run saw, which decides whether "more workers" may legitimately
+    fail to help.
+    """
+    points = []
+    for name, fields in current.items():
+        if not name.startswith(SCALING_PREFIX):
+            continue
+        try:
+            workers = int(name[len(SCALING_PREFIX):])
+        except ValueError:
+            continue
+        points.append((workers, fields))
+    if len(points) < 2:
+        return True
+
+    points.sort()
+    ok = True
+    for (prev_workers, prev), (next_workers, fields) in zip(points, points[1:]):
+        prev_ops, next_ops = prev.get("ops_per_s"), fields.get("ops_per_s")
+        if prev_ops is None or next_ops is None:
+            print(f"FAIL worker curve: w{prev_workers}->w{next_workers} missing ops_per_s")
+            ok = False
+            continue
+        cpus = fields.get("cpus") or 1
+        if cpus >= next_workers:
+            # Enough cores to use every worker: the point must win outright.
+            good = next_ops > prev_ops
+            rule = "strict increase"
+        else:
+            # Oversubscribed: extra workers can't help, but they must not
+            # collapse throughput either.
+            floor = prev_ops * (1.0 - tolerance)
+            good = next_ops >= floor
+            rule = f"within {tolerance:.0%} of w{prev_workers} ({cpus} cpu(s))"
+        verdict = "ok" if good else "FAIL"
+        print(
+            f"{verdict:>4} worker curve w{prev_workers}->w{next_workers}: "
+            f"{prev_ops:,.1f} -> {next_ops:,.1f} ops/s [{rule}]"
+        )
+        ok = ok and good
+    return ok
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -32,6 +91,13 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.25,
         help="allowed fractional drop vs baseline ops_per_s (default 0.25)",
+    )
+    parser.add_argument(
+        "--scaling-tolerance",
+        type=float,
+        default=0.5,
+        help="allowed per-step drop in the worker curve on CPU-starved hosts; "
+        "wide because 1-core loopback serving is noisy (default 0.5)",
     )
     args = parser.parse_args(argv)
 
@@ -60,6 +126,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         if ops < floor:
             failed = True
+
+    if not check_worker_curve(current, args.scaling_tolerance):
+        failed = True
     return 1 if failed else 0
 
 

@@ -584,6 +584,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_udp_payload=args.max_udp_payload,
         time_scale=args.time_scale,
         predict=args.predict,
+        batch_size=args.batch,
+        batching=not args.no_batch,
+        memo=not args.no_memo,
+        uvloop=args.uvloop,
+        prewarm=args.prewarm,
         querylog_path=args.querylog,
         metrics_path=args.metrics,
     )
@@ -610,9 +615,38 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         use_edns=not args.no_edns,
+        sockets=args.sockets,
+        count=args.count,
+        parse_responses=not args.no_parse,
+        dump_responses=args.dump_responses,
     )
     report = run_loadgen(config)
-    print(report.render())
+    if args.json:
+        import json
+
+        payload = {
+            "mode": report.mode,
+            "offered_qps": report.offered_qps,
+            "achieved_qps": report.achieved_qps,
+            "wall_s": report.wall_s,
+            "sent": report.sent,
+            "received": report.received,
+            "lost": report.lost,
+            "loss_rate": report.loss_rate,
+            "attempts": report.attempts,
+            "parse_errors": report.parse_errors,
+            "rcodes": {str(code): n for code, n in sorted(report.rcodes.items())},
+        }
+        if report.latency is not None:
+            payload["latency_ms"] = {
+                "p50": report.latency.median,
+                "p95": report.latency.p95,
+                "p99": report.latency.p99,
+                "mean": report.latency.mean,
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render())
     if args.metrics:
         registry = MetricsRegistry()
         report.to_metrics(registry)
@@ -638,6 +672,15 @@ def _cmd_analyze_querylog(args: argparse.Namespace) -> int:
     table.add_row("clients", len(log.unique_clients()))
     table.add_row("groups (client, qname)", len(groups))
     print(table.render())
+    by_server = log.query_count_by_server()
+    if len(by_server) > 1:
+        # Multi-worker logs: the per-worker split is how flow-steering
+        # imbalance (one worker taking all traffic) becomes visible.
+        split = Table(["server", "queries", "share"], title="Queries by server")
+        for server, count in sorted(by_server.items()):
+            split.add_row(server, count, f"{count / len(log):.1%}")
+        print()
+        print(split.render())
     counts = queries_per_group(groups)
     if counts:
         cdf = ECDF(counts)
@@ -807,6 +850,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--time-scale", type=float, default=1.0,
                        help="sim seconds per wall second (TTLs age faster)")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--batch", type=int, default=32, metavar="N",
+                       help="datagrams drained/flushed per syscall on the "
+                            "UDP hot path (default 32)")
+    serve.add_argument("--no-batch", action="store_true",
+                       help="force the portable one-datagram I/O loop "
+                            "instead of recvmmsg/sendmmsg")
+    serve.add_argument("--no-memo", action="store_true",
+                       help="disable the encode-once hot-response memo")
+    serve.add_argument("--uvloop", choices=["auto", "on", "off"],
+                       default="auto",
+                       help="event loop: auto uses uvloop when importable, "
+                            "on requires it, off sticks to stdlib asyncio")
+    serve.add_argument("--prewarm", type=int, default=0, metavar="N",
+                       help="resolve the top-N hot names into each worker's "
+                            "cache before serving (rank 0 = most popular)")
     serve.add_argument("--predict", action="store_true",
                        help="refresh hot names ahead of expiry and serve "
                             "stale while revalidating (RFC 8767)")
@@ -842,6 +900,21 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--no-edns", action="store_true",
                          help="send plain 512-byte-limit queries")
     loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--sockets", type=int, default=1, metavar="N",
+                         help="UDP source sockets to spread queries over "
+                              "(SO_REUSEPORT servers hash each socket to "
+                              "one worker; use several to reach them all)")
+    loadgen.add_argument("--count", type=int, default=None, metavar="N",
+                         help="closed-loop only: stop after exactly N "
+                              "queries instead of after --duration")
+    loadgen.add_argument("--no-parse", action="store_true",
+                         help="skip full response decoding; read the rcode "
+                              "from the header (for throughput benches)")
+    loadgen.add_argument("--dump-responses", default=None, metavar="PATH",
+                         help="write one sha256 per answered query "
+                              "(response bytes, ID zeroed) in arrival order")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the report as JSON instead of text")
     loadgen.add_argument("--metrics", default=None, metavar="PATH",
                          help="write the run's metrics snapshot JSON")
     loadgen.set_defaults(func=_cmd_loadgen)

@@ -7,14 +7,24 @@ generators flatter a slow server by self-throttling — kept here only as
 a baseline mode).  Each in-flight query is matched to its response by
 DNS message ID; timeouts and retransmissions follow the same
 :class:`BackoffPolicy` the simulated resolvers use.
+
+Driving a *batched* server hard needs the generator itself to be cheap
+and to look like many clients, so the hot path here mirrors the server's
+tricks: query wires are encoded once per qname rank and re-stamped with
+a fresh ID per send; ``parse_responses=False`` reads the rcode straight
+from the header instead of running the full decoder; and ``sockets=N``
+spreads queries over N source sockets — one connected UDP socket is one
+SO_REUSEPORT flow, so a single-socket generator can only ever exercise
+one worker no matter how many are listening.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.dns.message import Message
@@ -24,7 +34,7 @@ from repro.loadgen.arrivals import ZipfSampler, fixed_schedule, poisson_schedule
 from repro.loadgen.report import LoadReport
 from repro.net.transport import BackoffPolicy
 
-#: DNS message IDs are 16-bit; the generator never has more outstanding.
+#: DNS message IDs are 16-bit; one socket never has more outstanding.
 _ID_SPACE = 0x10000
 
 
@@ -51,6 +61,22 @@ class LoadgenConfig:
     timeout_s: float = 2.0
     retries: int = 2
     use_edns: bool = True
+    #: UDP source sockets to spread queries over (round-robin).  Each
+    #: connected socket is one kernel flow, so SO_REUSEPORT servers need
+    #: several to see traffic on more than one worker.
+    sockets: int = 1
+    #: Closed-loop only: stop after exactly this many queries instead of
+    #: after ``duration_s``.  With ``concurrency=1`` the query sequence
+    #: is fully deterministic — the byte-identity checks depend on that.
+    count: Optional[int] = None
+    #: False skips the response decoder: the rcode comes straight from
+    #: header byte 3.  The throughput benches use this so the generator
+    #: is never the bottleneck being measured.
+    parse_responses: bool = True
+    #: Write one line per answered query — sha256 of the response bytes
+    #: with the ID zeroed — in arrival order.  ``cmp`` between two runs
+    #: proves the answer bytes match.
+    dump_responses: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("open", "closed"):
@@ -59,13 +85,20 @@ class LoadgenConfig:
             raise ValueError(f"arrivals must be poisson or fixed, not {self.arrivals!r}")
         if self.concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, not {self.concurrency}")
+        if self.sockets < 1:
+            raise ValueError(f"need at least one socket, not {self.sockets}")
+        if self.count is not None:
+            if self.count < 1:
+                raise ValueError(f"count must be >= 1, not {self.count}")
+            if self.mode != "closed":
+                raise ValueError("count runs are closed-loop; use mode='closed'")
 
     def backoff(self) -> BackoffPolicy:
         return BackoffPolicy(timeout=self.timeout_s, retries=self.retries)
 
 
 class _LoadgenProtocol(asyncio.DatagramProtocol):
-    """Matches responses to waiters by DNS message ID."""
+    """Matches responses to waiters by DNS message ID (one per socket)."""
 
     def __init__(self) -> None:
         self.waiters: dict[int, asyncio.Future] = {}
@@ -89,6 +122,24 @@ class _LoadgenProtocol(asyncio.DatagramProtocol):
 
 
 @dataclass
+class _Endpoint:
+    """One source socket: its transport, waiter table, and ID cursor."""
+
+    protocol: _LoadgenProtocol
+    transport: asyncio.DatagramTransport
+    next_id: int = 0
+
+    def take_id(self) -> int:
+        waiters = self.protocol.waiters
+        for _ in range(_ID_SPACE):
+            candidate = self.next_id
+            self.next_id = (self.next_id + 1) % _ID_SPACE
+            if candidate not in waiters:
+                return candidate
+        raise RuntimeError("all 65536 message IDs are in flight on one socket")
+
+
+@dataclass
 class _Outcome:
     """What one query attempt-chain produced."""
 
@@ -105,47 +156,53 @@ class LoadGenerator:
         self.config = config
         self.rng = random.Random(config.seed)
         self.sampler = ZipfSampler(config.population, config.zipf_exponent)
-        self._next_id = self.rng.randrange(_ID_SPACE)
-        self._protocol: Optional[_LoadgenProtocol] = None
-        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._endpoints: list[_Endpoint] = []
+        self._round_robin = 0
+        #: Encode-once query wires by qname rank, ID zeroed; sends stamp
+        #: a fresh ID over the first two octets.
+        self._wire_cache: dict[int, bytes] = {}
+        self._digests: Optional[list[str]] = [] if config.dump_responses else None
 
     # -- wire helpers ------------------------------------------------------
-    def _take_id(self) -> int:
-        assert self._protocol is not None
-        for _ in range(_ID_SPACE):
-            candidate = self._next_id
-            self._next_id = (self._next_id + 1) % _ID_SPACE
-            if candidate not in self._protocol.waiters:
-                return candidate
-        raise RuntimeError("all 65536 message IDs are in flight")
-
-    def _build_query(self, message_id: int) -> bytes:
-        rank = self.sampler.rank(self.rng)
-        query = Message.make_query(
-            self.config.qname_template.format(rank), self.config.qtype, id=message_id
-        )
-        if self.config.use_edns:
-            query.use_edns()
-        return query.to_wire()
+    def _query_wire(self, rank: int, message_id: int) -> bytes:
+        base = self._wire_cache.get(rank)
+        if base is None:
+            query = Message.make_query(
+                self.config.qname_template.format(rank), self.config.qtype, id=0
+            )
+            if self.config.use_edns:
+                query.use_edns()
+            base = query.to_wire()
+            self._wire_cache[rank] = base
+        return message_id.to_bytes(2, "big") + base[2:]
 
     async def _query_once(self, backoff: BackoffPolicy) -> _Outcome:
         """Send one query, retrying per the backoff ladder."""
-        assert self._protocol is not None and self._transport is not None
-        message_id = self._take_id()
-        wire = self._build_query(message_id)
+        endpoint = self._endpoints[self._round_robin % len(self._endpoints)]
+        self._round_robin += 1
+        message_id = endpoint.take_id()
+        wire = self._query_wire(self.sampler.rank(self.rng), message_id)
         loop = asyncio.get_running_loop()
         started = time.monotonic()
         for attempt in range(backoff.retries + 1):
             future: asyncio.Future = loop.create_future()
-            self._protocol.waiters[message_id] = future
-            self._transport.sendto(wire)
+            endpoint.protocol.waiters[message_id] = future
+            endpoint.transport.sendto(wire)
             wait = backoff.attempt_wait(attempt, self.rng)
             try:
                 data = await asyncio.wait_for(future, timeout=wait)
             except asyncio.TimeoutError:
-                self._protocol.waiters.pop(message_id, None)
+                endpoint.protocol.waiters.pop(message_id, None)
                 continue
             latency_ms = (time.monotonic() - started) * 1000.0
+            if self._digests is not None:
+                self._digests.append(
+                    hashlib.sha256(b"\x00\x00" + data[2:]).hexdigest()
+                )
+            if not self.config.parse_responses:
+                # Header-only read: rcode is the low nibble of byte 3.
+                # The protocol already rejected anything under 12 octets.
+                return _Outcome(latency_ms, attempt + 1, rcode=data[3] & 0x0F)
             try:
                 response = Message.from_wire(data)
             except (WireError, ValueError):
@@ -158,10 +215,15 @@ class LoadGenerator:
         """Execute the configured run against the live server."""
         config = self.config
         loop = asyncio.get_running_loop()
-        self._protocol = _LoadgenProtocol()
-        self._transport, _ = await loop.create_datagram_endpoint(
-            lambda: self._protocol, remote_addr=(config.host, config.port)
-        )
+        for _ in range(config.sockets):
+            protocol = _LoadgenProtocol()
+            transport, _ = await loop.create_datagram_endpoint(
+                lambda protocol=protocol: protocol,
+                remote_addr=(config.host, config.port),
+            )
+            self._endpoints.append(
+                _Endpoint(protocol, transport, next_id=self.rng.randrange(_ID_SPACE))
+            )
         backoff = config.backoff()
         started = time.monotonic()
         try:
@@ -170,8 +232,13 @@ class LoadGenerator:
             else:
                 outcomes = await self._run_closed(backoff)
         finally:
-            self._transport.close()
+            for endpoint in self._endpoints:
+                endpoint.transport.close()
         wall_s = time.monotonic() - started
+        if self._digests is not None:
+            assert config.dump_responses is not None
+            with open(config.dump_responses, "w", encoding="utf-8") as stream:
+                stream.writelines(digest + "\n" for digest in self._digests)
         rcodes: dict[int, int] = {}
         for outcome in outcomes:
             if outcome.rcode is not None:
@@ -185,7 +252,7 @@ class LoadGenerator:
             attempts=sum(o.attempts for o in outcomes),
             rcodes=rcodes,
             parse_errors=sum(1 for o in outcomes if o.parse_error)
-            + self._protocol.malformed,
+            + sum(endpoint.protocol.malformed for endpoint in self._endpoints),
         )
 
     async def _run_open(self, backoff: BackoffPolicy) -> list[_Outcome]:
@@ -205,10 +272,30 @@ class LoadGenerator:
         return list(await asyncio.gather(*tasks))
 
     async def _run_closed(self, backoff: BackoffPolicy) -> list[_Outcome]:
-        """Baseline mode: ``concurrency`` workers, each waiting its turn."""
+        """Baseline mode: ``concurrency`` workers, each waiting its turn.
+
+        A ``count`` budget takes precedence over the wall-clock deadline;
+        with one worker the resulting query sequence (and so the server's
+        querylog and the response digests) is deterministic.
+        """
         config = self.config
-        deadline = asyncio.get_running_loop().time() + config.duration_s
         outcomes: list[_Outcome] = []
+
+        if config.count is not None:
+            remaining = config.count
+
+            async def counted_worker() -> None:
+                nonlocal remaining
+                while remaining > 0:
+                    remaining -= 1
+                    outcomes.append(await self._query_once(backoff))
+
+            await asyncio.gather(
+                *(counted_worker() for _ in range(config.concurrency))
+            )
+            return outcomes
+
+        deadline = asyncio.get_running_loop().time() + config.duration_s
 
         async def worker() -> None:
             while asyncio.get_running_loop().time() < deadline:

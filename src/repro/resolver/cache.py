@@ -38,7 +38,7 @@ from __future__ import annotations
 import enum
 import heapq
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.dns.name import Name
 from repro.dns.rdtypes import RdataClass, RdataType
@@ -188,6 +188,12 @@ class Cache:
         self.min_ttl = min_ttl
         self.max_entries = max_entries
         self.stats = CacheStats()
+        #: Change-notification hook: called with the owner :class:`Name` of
+        #: any entry whose served bytes may have changed (write, eviction,
+        #: forced expiry, lifetime refresh, negative insert), or ``None``
+        #: for a whole-cache flush.  Downstream wire-level caches (the
+        #: serve-path response memo) subscribe here; unset costs nothing.
+        self.on_change: Optional[Callable[[Optional[Name]], None]] = None
         if metrics is not None:
             self._m_hits = metrics.counter("cache.hits")
             self._m_misses = metrics.counter("cache.misses")
@@ -217,6 +223,8 @@ class Cache:
         self._dependents.clear()
         self._time_dead.clear()
         self._link_dead.clear()
+        if self.on_change is not None:
+            self.on_change(None)
 
     # -- insertion -----------------------------------------------------------
     def effective_ttl(self, ttl: int) -> int:
@@ -288,8 +296,11 @@ class Cache:
         # generation: surface those dependents as eviction candidates.
         dependents = self._dependents.pop(key, None)
         if dependents:
+            on_change = self.on_change
             for dep_key in dependents:
                 self._link_dead[dep_key] = None
+                if on_change is not None:
+                    on_change(dep_key[0])
         link: Optional[tuple[CacheKey, int]] = None
         if linked_to is not None:
             target = self._entries.get(linked_to)
@@ -317,6 +328,8 @@ class Cache:
         self.stats.inserts += 1
         self._m_inserts.inc()
         self._m_size_peak.record(len(self._entries))
+        if self.on_change is not None:
+            self.on_change(key[0])
         self._evict_if_full(now)
         return True
 
@@ -358,6 +371,8 @@ class Cache:
         del self._entries[key]
         self.stats.evictions += 1
         self._m_evictions.inc()
+        if self.on_change is not None:
+            self.on_change(key[0])
 
     def _evict_if_full(self, now: float) -> None:
         """LRU eviction: drop dead entries first, then the least recently
@@ -430,6 +445,8 @@ class Cache:
         )
         self._seq += 1
         heapq.heappush(self._neg_heap, (now + ttl, self._seq, key))
+        if self.on_change is not None:
+            self.on_change(qname)
 
     # -- lookup ---------------------------------------------------------------
     def peek(
@@ -498,6 +515,10 @@ class Cache:
             self._m_stale.inc()
         return entry
 
+    def peek_negative(self, qname: Name, qtype: RdataType) -> Optional[NegativeEntry]:
+        """The raw negative entry regardless of expiry; no stats."""
+        return self._negatives.get((qname, qtype))
+
     def get_negative(
         self, qname: Name, qtype: RdataType, now: float
     ) -> Optional[NegativeEntry]:
@@ -554,6 +575,8 @@ class Cache:
         entry.inserted_at = now
         entry.expires_at = now + lifetime
         self._push(key, entry)
+        if self.on_change is not None:
+            self.on_change(key[0])
 
     def expire_now(self, key: CacheKey, now: float) -> None:
         """Force-expire an entry (used by tests and cache-flush scenarios)."""
@@ -561,6 +584,8 @@ class Cache:
         if entry is not None:
             entry.expires_at = now
             self._push(key, entry)
+            if self.on_change is not None:
+                self.on_change(key[0])
 
     def purge_expired(self, now: float) -> int:
         """Drop time-expired entries (counted as evictions); returns how

@@ -240,6 +240,21 @@ class RecursiveResolver:
             self._m_servfail.inc()
             return ResolutionResult(rcode=Rcode.SERVFAIL, elapsed=failure.elapsed)
 
+    def note_memoized_answer(self, qname: Name, qtype: RdataType, now: float) -> None:
+        """Account for a client query answered from a wire-level memo.
+
+        The serve fast path answers repeat queries without entering
+        :meth:`resolve`; this keeps the per-client accounting and the
+        popularity tracker honest so hot-set statistics (and the
+        ``--predict`` refresh-ahead decisions built on them) see every
+        arrival, memoized or not.  Deliberately light — no pump, no cache
+        probe — so it stays off the fast path's critical cost.
+        """
+        self.client_queries += 1
+        self._m_client_queries.inc()
+        if self._tracker is not None:
+            self._tracker.record((qname, qtype), now)
+
     def pump(self, now: float) -> int:
         """Run due predictive maintenance; returns refreshes executed.
 

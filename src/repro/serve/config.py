@@ -20,12 +20,15 @@ from repro.core.worlds import (
     build_uy_world,
 )
 from repro.dns.message import DEFAULT_EDNS_PAYLOAD
+from repro.dns.rdtypes import RdataType
 from repro.metrics import MetricsRegistry
 from repro.net.topology import Region
 from repro.resolver.policy import ResolverPolicy
 from repro.resolver.recursive import RecursiveResolver
+from repro.serve.batchio import DEFAULT_BATCH_SIZE
 from repro.serve.bridge import WallClockBridge
 from repro.serve.frontend import DnsFrontend
+from repro.serve.memo import DEFAULT_MEMO_CAPACITY, ResponseMemo
 from repro.server.querylog import QueryLogWriter
 from repro.server.rrl import ResponseRateLimiter
 
@@ -61,6 +64,23 @@ class ServeConfig:
     #: Enable repro.predict: refresh-ahead for hot names plus RFC 8767
     #: stale-while-revalidate instead of SERVFAIL on dead upstreams.
     predict: bool = False
+    #: Datagrams drained/flushed per syscall on the UDP hot path.
+    batch_size: int = DEFAULT_BATCH_SIZE
+    #: False forces the portable one-datagram I/O loop (--no-batch).
+    batching: bool = True
+    #: False disables the encode-once response memo (--no-memo).
+    memo: bool = True
+    memo_capacity: int = DEFAULT_MEMO_CAPACITY
+    #: Event-loop policy: "auto" uses uvloop when importable, "on"
+    #: requires it, "off" sticks to the stdlib loop.
+    uvloop: str = "auto"
+    #: Resolve the top-N hot names into each worker's cache before it
+    #: starts accepting traffic (SO_REUSEPORT workers have private
+    #: caches, so without this every worker re-pays the cold start).
+    prewarm: int = 0
+    #: Qname pattern for prewarm, rank 0 = most popular (matches the
+    #: loadgen default over the nl world).
+    prewarm_template: str = "www.domain{}.nl."
     querylog_path: Optional[str] = None
     metrics_path: Optional[str] = None
     server_name: str = "serve"
@@ -79,6 +99,18 @@ class ServeConfig:
             )
         if self.max_inflight < 1:
             raise ValueError(f"in-flight budget must be positive, not {self.max_inflight}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch size must be positive, not {self.batch_size}")
+        if self.memo_capacity < 1:
+            raise ValueError(
+                f"memo capacity must be positive, not {self.memo_capacity}"
+            )
+        if self.uvloop not in ("auto", "on", "off"):
+            raise ValueError(
+                f"uvloop must be auto, on, or off, not {self.uvloop!r}"
+            )
+        if self.prewarm < 0:
+            raise ValueError(f"prewarm count must be >= 0, not {self.prewarm}")
 
 
 def build_frontend(
@@ -130,5 +162,25 @@ def build_frontend(
             if config.workers == 1
             else f"{config.server_name}:{worker_index}"
         ),
+        memo=ResponseMemo(config.memo_capacity) if config.memo else None,
     )
+    if config.prewarm > 0:
+        _prewarm(frontend, config)
     return frontend, registry
+
+
+def _prewarm(frontend: DnsFrontend, config: ServeConfig) -> None:
+    """Resolve the hot set into the worker's cache before it serves.
+
+    Rank 0 is the most popular name under the Zipf workloads, so warming
+    ranks ``0..prewarm-1`` front-loads exactly the names the memo will
+    live on.  Failures are ignored — a name the world cannot resolve
+    warms nothing but breaks nothing.
+    """
+    now = frontend.bridge.now()
+    resolver = frontend.resolver
+    for rank in range(config.prewarm):
+        try:
+            resolver.resolve(config.prewarm_template.format(rank), RdataType.A, now=now)
+        except Exception:
+            continue

@@ -12,6 +12,7 @@ negotiation, and truncation with TC=1 for oversized UDP answers.
 
 from __future__ import annotations
 
+import math
 import struct
 import time
 from dataclasses import dataclass
@@ -22,6 +23,7 @@ from repro.dns.wire import WireError
 from repro.metrics import HOST, MetricsRegistry, log_buckets
 from repro.resolver.recursive import RecursiveResolver
 from repro.serve.bridge import WallClockBridge
+from repro.serve.memo import ResponseMemo
 from repro.server.querylog import QueryLogEntry, QueryLogWriter
 from repro.server.rrl import ResponseRateLimiter, RrlVerdict
 
@@ -71,6 +73,7 @@ class DnsFrontend:
         querylog: Optional[QueryLogWriter] = None,
         max_udp_payload: int = 1232,
         server_name: str = "serve",
+        memo: Optional[ResponseMemo] = None,
     ) -> None:
         self.resolver = resolver
         self.bridge = bridge
@@ -78,6 +81,11 @@ class DnsFrontend:
         self.querylog = querylog
         self.max_udp_payload = max_udp_payload
         self.server_name = server_name
+        self.memo = memo
+        if memo is not None:
+            # Any cache mutation that can change served bytes drops the
+            # affected memo entries — see repro.serve.memo for the contract.
+            resolver.cache.on_change = memo.invalidate_name
         registry = registry if registry is not None else MetricsRegistry()
         self.registry = registry
         self._m_queries = registry.counter("serve.queries", domain=HOST)
@@ -87,7 +95,13 @@ class DnsFrontend:
         self._m_slipped = registry.counter("serve.rrl_slipped", domain=HOST)
         self._m_tcp = registry.counter("serve.tcp_queries", domain=HOST)
         self._m_cache_hits = registry.counter("serve.cache_hits", domain=HOST)
+        self._m_memo_hits = registry.counter("serve.memo_hits", domain=HOST)
         self._m_rcodes = registry.labeled_counter("serve.rcode", domain=HOST)
+        #: Per-worker query counts, labeled by server name, so merged
+        #: multi-worker snapshots keep the flow-steering balance visible.
+        self._m_worker_queries = registry.labeled_counter(
+            "serve.worker_queries", domain=HOST
+        )
         self._m_latency = registry.histogram(
             "serve.latency_ms", LATENCY_BUCKETS_MS, domain=HOST
         )
@@ -103,6 +117,7 @@ class DnsFrontend:
         """Process one query datagram; returns the response bytes, if any."""
         started = time.monotonic()
         self._m_queries.inc()
+        self._m_worker_queries.inc(self.server_name)
         if via_tcp:
             self._m_tcp.inc()
         try:
@@ -139,8 +154,111 @@ class DnsFrontend:
 
         response = self._resolve(query, sim_now)
         wire = self._encode(query, response, via_tcp)
+        if self.memo is not None and not via_tcp:
+            self._maybe_memoize(data, query, response, wire, sim_now)
         self._finish(query, client, sim_now, started, response.rcode)
         return ServeResult(wire, "answered")
+
+    def fast_answer(self, data: bytes, client: str) -> Optional[bytes]:
+        """Answer a repeat UDP query from the response memo, or ``None``.
+
+        The serving loop tries this before queueing a datagram for the
+        full pipeline.  A hit costs one dict probe plus a 2-byte ID
+        splice — no decode, no resolver — and is byte-identical to what
+        the slow path would have produced at this instant (the memo's
+        validity contract).  Full accounting still happens: query
+        counters, rcode, latency, popularity tracking, and the querylog
+        line, so fast-path answers are indistinguishable downstream.
+
+        Never used when RRL is armed (the limiter must see every client)
+        and never for TCP (framing differs; TCP repeats are rare).
+        """
+        memo = self.memo
+        if memo is None or self.rrl.rate > 0 or len(data) < 12:
+            return None
+        started = time.monotonic()
+        sim_now = self.bridge.now()
+        entry = memo.get(data[2:], sim_now)
+        if entry is None:
+            return None
+        self._m_queries.inc()
+        self._m_worker_queries.inc(self.server_name)
+        self._m_cache_hits.inc()
+        self._m_memo_hits.inc()
+        self.resolver.note_memoized_answer(entry.qname, entry.qtype, sim_now)
+        self._m_rcodes.inc(entry.rcode_name)
+        self._m_latency.observe((time.monotonic() - started) * 1000.0)
+        if self.querylog is not None:
+            self.querylog.append(
+                QueryLogEntry(
+                    timestamp=sim_now,
+                    client_address=client,
+                    client_asn=0,
+                    qname=entry.qname,
+                    qtype=entry.qtype,
+                    server=self.server_name,
+                )
+            )
+        return data[:2] + entry.wire[2:]
+
+    def _maybe_memoize(
+        self,
+        data: bytes,
+        query: Message,
+        response: Message,
+        wire: Optional[bytes],
+        sim_now: float,
+    ) -> None:
+        """Memoize an answered UDP response when it is provably reusable.
+
+        Only plain answered outcomes qualify — NOERROR/NXDOMAIN, not
+        truncated — and every answer RRset must be backed by a live,
+        link-free cache entry whose remaining TTL matches the encoded
+        one (rules out served-stale and records that never hit cache).
+        The validity bound is the instant before any encoded TTL ticks
+        down; see :mod:`repro.serve.memo` for the full contract.
+        """
+        if wire is None or len(data) < 12:
+            return
+        rcode = response.rcode
+        if rcode is not Rcode.NOERROR and rcode is not Rcode.NXDOMAIN:
+            return
+        if response.flags.tc:
+            return
+        question = query.question
+        assert question is not None
+        cache = self.resolver.cache
+        answers = response.rrsets(Section.ANSWER)
+        if answers:
+            valid_until = math.inf
+            for rrset in answers:
+                entry = cache.peek(rrset.name, rrset.rdtype, rrset.rdclass)
+                if (
+                    entry is None
+                    or entry.linked_to is not None
+                    or entry.expires_at <= sim_now
+                    or entry.remaining_ttl(sim_now) != rrset.ttl
+                ):
+                    return
+                valid_until = min(valid_until, entry.expires_at - rrset.ttl)
+        else:
+            # Negative (NXDOMAIN/NODATA) answers carry no TTL bytes; they
+            # are reusable while the negative entry lives.  Stop just
+            # short of the expiry instant, where the slow path would
+            # re-resolve (and re-query the authoritative).
+            negative = cache.peek_negative(question.qname, question.qtype)
+            if negative is None or negative.expires_at <= sim_now:
+                return
+            valid_until = math.nextafter(negative.expires_at, -math.inf)
+        self.memo.put(
+            bytes(data[2:]),
+            wire,
+            valid_until,
+            question.qname,
+            question.qtype,
+            rcode.name,
+            tuple(rrset.name for rrset in answers),
+        )
 
     def pump(self) -> int:
         """Run due predictive refreshes against the bridge's current time.

@@ -1,0 +1,169 @@
+"""Encode-once memoization of hot responses.
+
+A resolver frontend spends most of a hot query's budget on work whose
+result never changes between two arrivals of the *same* query while the
+underlying cache state holds still: decode, cache lookup, response
+assembly, wire encoding.  :class:`ResponseMemo` caches the final wire
+bytes keyed on everything after the 2-byte DNS ID (``query_wire[2:]``),
+so two queries that differ only in ID — the definition of a repeat —
+hit the memo, and two queries that differ in *anything* else (flags,
+qname case, EDNS payload, OPT options) cannot alias.  A hit costs one
+dict probe plus a 2-byte ID splice; the decoder never runs.
+
+Correctness contract — a memoized answer must be byte-identical to what
+a fresh encode would produce at the serving instant, which pins down
+exactly when an entry may be reused:
+
+- **TTL-tick validity**: a cached RRset's client-visible TTL is
+  ``int(expires_at - now)``, which decrements every time ``now`` crosses
+  ``expires_at - ttl``.  An entry encoded with TTLs ``T_i`` from cache
+  records expiring at ``E_i`` is therefore valid only while
+  ``now <= min(E_i - T_i)`` — the instant before any encoded TTL would
+  tick down.  Past that bound the entry is dropped on sight, so a
+  memoized answer can never overstate a TTL, and in particular can never
+  outlive one;
+- **write invalidation**: any cache write, eviction, forced expiry, or
+  negative insert for a name invalidates every memo entry whose response
+  used that name (the qname and every answer-section owner, so CNAME
+  chains are covered).  The hook is
+  :attr:`repro.resolver.cache.Cache.on_change` — which is what makes a
+  ``--predict`` refresh or a stale-revalidation drop the memo the moment
+  it lands, even though neither changes the entry's old expiry feed.
+
+The memo is bounded; at capacity the oldest entry is dropped (hot
+entries are re-memoized on their next slow pass, so FIFO here costs one
+extra resolution, not correctness).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataType
+
+#: Default bound on memoized responses (distinct post-ID query forms).
+DEFAULT_MEMO_CAPACITY = 4096
+
+
+class MemoEntry:
+    """One memoized response plus what the bookkeeping paths need."""
+
+    __slots__ = ("wire", "valid_until", "qname", "qtype", "rcode_name", "names")
+
+    def __init__(
+        self,
+        wire: bytes,
+        valid_until: float,
+        qname: Name,
+        qtype: RdataType,
+        rcode_name: str,
+        names: tuple[Name, ...],
+    ) -> None:
+        self.wire = wire
+        #: Last sim instant at which the encoded bytes are still exact.
+        self.valid_until = valid_until
+        self.qname = qname
+        self.qtype = qtype
+        self.rcode_name = rcode_name
+        #: Every owner name the response depends on (qname + answer owners).
+        self.names = names
+
+
+class ResponseMemo:
+    """Bounded wire-response cache keyed on the post-ID query bytes."""
+
+    def __init__(self, capacity: int = DEFAULT_MEMO_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"memo capacity must be positive, not {capacity}")
+        self.capacity = capacity
+        self._entries: dict[bytes, MemoEntry] = {}
+        #: Reverse index: owner name -> memo keys whose response used it.
+        self._by_name: dict[Name, set[bytes]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- the fast path -----------------------------------------------------
+    def get(self, key: bytes, sim_now: float) -> Optional[MemoEntry]:
+        """The entry for ``key`` still exact at ``sim_now``, else ``None``.
+
+        An entry past its validity bound is dropped on sight: at least
+        one of its encoded TTLs has ticked down since it was built.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if sim_now > entry.valid_until:
+            self._drop(key, entry)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: bytes,
+        wire: bytes,
+        valid_until: float,
+        qname: Name,
+        qtype: RdataType,
+        rcode_name: str,
+        answer_names: Iterable[Name] = (),
+    ) -> None:
+        entries = self._entries
+        old = entries.get(key)
+        if old is not None:
+            self._drop(key, old)
+        elif len(entries) >= self.capacity:
+            oldest_key = next(iter(entries))
+            self._drop(oldest_key, entries[oldest_key])
+        names = (qname,) + tuple(name for name in answer_names if name != qname)
+        entry = MemoEntry(wire, valid_until, qname, qtype, rcode_name, names)
+        entries[key] = entry
+        by_name = self._by_name
+        for name in names:
+            by_name.setdefault(name, set()).add(key)
+
+    # -- invalidation ------------------------------------------------------
+    def invalidate_name(self, name: Optional[Name]) -> int:
+        """Drop every entry whose response used ``name``; ``None`` → all.
+
+        This is the :attr:`Cache.on_change` callback target: writes,
+        evictions, forced expiry, and negative inserts all land here.
+        Returns the number of entries dropped.
+        """
+        if name is None:
+            dropped = len(self._entries)
+            self.invalidations += dropped
+            self._entries.clear()
+            self._by_name.clear()
+            return dropped
+        keys = self._by_name.get(name)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in list(keys):
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._drop(key, entry)
+                dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        self.invalidate_name(None)
+
+    def _drop(self, key: bytes, entry: MemoEntry) -> None:
+        del self._entries[key]
+        self.invalidations += 1
+        by_name = self._by_name
+        for name in entry.names:
+            keys = by_name.get(name)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del by_name[name]

@@ -1,18 +1,27 @@
-"""The asyncio serving loop: UDP datagrams, framed TCP, bounded in-flight.
+"""The asyncio serving loop: batched UDP, framed TCP, bounded in-flight.
 
 One :class:`ServeServer` is one event loop owning one
 :class:`DnsFrontend`.  The UDP socket is drained *eagerly* on every
 readiness event — a burst sitting in the kernel buffer is pulled into
-userspace in one callback — and admission into the bounded in-flight
-queue is where overload policy lives: a full queue answers straight from
-the receive path with a bare SERVFAIL.  Shedding early and explicitly is
-what keeps an overloaded server's latency bounded instead of its
-backlog; leaving the burst in the kernel buffer would just convert
-overload into silent drops.  (asyncio's DatagramProtocol reads one
-datagram per loop iteration, which interleaves 1:1 with the drain task
-and can never surface a burst — hence the raw ``add_reader`` socket.)
-TCP connections use the RFC 1035 §4.2.2 two-octet length framing and
-serve the truncation-retry path.
+userspace in batches (``recvmmsg`` where available, a portable loop
+otherwise; see :mod:`repro.serve.batchio`) — and each datagram takes one
+of three doors, cheapest first:
+
+1. **fast path** — a memoized hot response is spliced with the client's
+   DNS ID and collected for a batched ``sendmmsg`` flush, never touching
+   the queue, the decoder, or the resolver;
+2. **admission** — everything else enters the bounded in-flight queue
+   for the full decode→resolve→encode pipeline;
+3. **shed** — a full queue answers straight from the receive path with a
+   bare SERVFAIL.  Shedding early and explicitly is what keeps an
+   overloaded server's latency bounded instead of its backlog; leaving
+   the burst in the kernel buffer would just convert overload into
+   silent drops.
+
+(asyncio's DatagramProtocol reads one datagram per loop iteration, which
+interleaves 1:1 with the drain task and can never surface a burst —
+hence the raw ``add_reader`` socket.)  TCP connections use the RFC 1035
+§4.2.2 two-octet length framing and serve the truncation-retry path.
 """
 
 from __future__ import annotations
@@ -23,13 +32,17 @@ import struct
 from typing import Optional
 
 from repro.metrics import HOST
+from repro.serve.batchio import DEFAULT_BATCH_SIZE, make_batcher
 from repro.serve.frontend import DnsFrontend, servfail_wire
 
 #: Longest framed TCP query we will read (RFC 1035 allows up to 64 KiB).
 MAX_TCP_QUERY = 0xFFFF
 
-#: Largest datagram one recvfrom accepts (EDNS can advertise up to 64 KiB).
-_RECV_SIZE = 0xFFFF
+#: Readiness callbacks process at most this many receive batches before
+#: yielding, so a sustained flood of fast-path hits cannot starve the
+#: drain task, TCP readers, or signal handlers.  Level-triggered
+#: ``add_reader`` re-fires immediately if datagrams remain.
+MAX_BATCHES_PER_WAKEUP = 8
 
 
 class ServeServer:
@@ -43,6 +56,8 @@ class ServeServer:
         max_inflight: int = 256,
         reuse_port: bool = False,
         predict_interval: float = 1.0,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        batching: bool = True,
     ) -> None:
         self.frontend = frontend
         self.host = host
@@ -50,8 +65,11 @@ class ServeServer:
         self.max_inflight = max_inflight
         self.reuse_port = reuse_port
         self.predict_interval = predict_interval
+        self.batch_size = batch_size
+        self.batching = batching
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_inflight)
         self._udp_sock: Optional[socket.socket] = None
+        self.batcher = None  # built at start(), once the socket exists
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._drain_task: Optional[asyncio.Task] = None
         self._predict_task: Optional[asyncio.Task] = None
@@ -69,6 +87,11 @@ class ServeServer:
         udp_sock.bind((self.host, self.port))
         self.bound_port = udp_sock.getsockname()[1]
         self._udp_sock = udp_sock
+        # ``batching=False`` forces the portable one-datagram loop (the
+        # CI equivalence job and --no-batch); auto-detect otherwise.
+        self.batcher = make_batcher(
+            udp_sock, self.batch_size, prefer_mmsg=None if self.batching else False
+        )
         loop.add_reader(udp_sock.fileno(), self._on_udp_readable)
         self._tcp_server = await asyncio.start_server(
             self._serve_tcp,
@@ -105,39 +128,57 @@ class ServeServer:
         if self._udp_sock is not None:
             self._udp_sock.close()
             self._udp_sock = None
+            self.batcher = None
         gauge = self.frontend.registry.gauge("serve.inflight_peak", domain=HOST)
         gauge.record(self._inflight_peak)
         self.frontend.close()
 
     # -- UDP ---------------------------------------------------------------
     def _on_udp_readable(self) -> None:
-        """Pull *everything* the kernel buffered; admit or shed each one.
+        """Drain the kernel buffer in batches; answer, admit, or shed.
 
-        Draining to EWOULDBLOCK in one callback is what makes overload
-        visible: a burst either fits the in-flight budget or is refused
-        with an early SERVFAIL right here, instead of rotting in (and
-        eventually overflowing) the kernel's receive buffer.
+        Pulling the burst out in one callback is what makes overload
+        visible: every datagram is either answered inline from the memo,
+        admitted under the in-flight budget, or refused with an early
+        SERVFAIL right here, instead of rotting in (and eventually
+        overflowing) the kernel's receive buffer.  All inline responses
+        from one wakeup — fast-path hits and sheds alike — leave in a
+        single batched flush at the end.
         """
-        sock = self._udp_sock
-        if sock is None:
+        batcher = self.batcher
+        if batcher is None:
             return
-        while True:
+        frontend = self.frontend
+        fast_answer = frontend.fast_answer if frontend.memo is not None else None
+        queue = self._queue
+        out: list[tuple[bytes, tuple]] = []
+        for _ in range(MAX_BATCHES_PER_WAKEUP):
             try:
-                data, addr = sock.recvfrom(_RECV_SIZE)
-            except (BlockingIOError, InterruptedError):
-                return
+                batch = batcher.recv_batch()
             except OSError:
-                return
-            try:
-                self._queue.put_nowait((data, addr))
-                depth = self._queue.qsize()
-                if depth > self._inflight_peak:
-                    self._inflight_peak = depth
-            except asyncio.QueueFull:
-                self.frontend.shed_counter.inc()
-                shed = servfail_wire(data)
-                if shed is not None:
-                    self._sendto(shed, addr)
+                break
+            if not batch:
+                break
+            for data, addr in batch:
+                if fast_answer is not None:
+                    wire = fast_answer(data, addr[0])
+                    if wire is not None:
+                        out.append((wire, addr))
+                        continue
+                try:
+                    queue.put_nowait((data, addr))
+                    depth = queue.qsize()
+                    if depth > self._inflight_peak:
+                        self._inflight_peak = depth
+                except asyncio.QueueFull:
+                    frontend.shed_counter.inc()
+                    shed = servfail_wire(data)
+                    if shed is not None:
+                        out.append((shed, addr))
+            if len(batch) < batcher.batch_size:
+                break  # kernel buffer drained; skip the empty syscall
+        if out:
+            batcher.send_batch(out)
 
     def _sendto(self, wire: bytes, addr) -> None:
         if self._udp_sock is None:

@@ -1,0 +1,277 @@
+"""The response-memo contract: byte-identity, expiry, and invalidation.
+
+The fast path is only admissible if a memo hit is *indistinguishable on
+the wire* from running the full pipeline at the same instant.  The
+property test here drives a memoized frontend and a memo-less twin over
+the same query sequence with arbitrary fractional time advances and
+requires byte equality on every response — which exercises exactly the
+hard part, the TTL tick boundary.  The directed tests pin the lifecycle:
+validity bounds, write invalidation through ``Cache.on_change`` (incl. a
+``--predict`` refresh), FIFO eviction, and re-memoization afterwards.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.message import Message, Rcode, Section
+from repro.dns.name import Name
+from repro.dns.rdtypes import RdataType
+from repro.serve import ServeConfig, build_frontend
+from repro.serve.memo import ResponseMemo
+
+
+class SimBridge:
+    """A directly settable sim clock standing in for WallClockBridge."""
+
+    def __init__(self, at: float = 0.0) -> None:
+        self.at = at
+
+    def now(self) -> float:
+        return self.at
+
+    def wall_elapsed(self) -> float:
+        return self.at
+
+
+def make_frontend(*, memo: bool = True, at: float = 0.0, **config_kwargs):
+    frontend, registry = build_frontend(
+        ServeConfig(world="nl", memo=memo, **config_kwargs)
+    )
+    frontend.bridge = SimBridge(at)
+    return frontend, registry
+
+
+def query_wire(name: str, qtype=RdataType.A, id: int = 0, edns: bool = False) -> bytes:
+    query = Message.make_query(name, qtype, id=id)
+    if edns:
+        query.use_edns()
+    return query.to_wire()
+
+
+def serve(frontend, wire: bytes, client: str = "127.0.0.1"):
+    """What the server loop does: try the memo, else the full pipeline."""
+    fast = frontend.fast_answer(wire, client)
+    if fast is not None:
+        return fast, True
+    return frontend.handle_wire(wire, client).wire, False
+
+
+# -- the property: memoized == slow path, byte for byte --------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    steps=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),  # qname rank
+            st.integers(min_value=0, max_value=0xFFFF),  # DNS ID
+            st.booleans(),  # EDNS
+            st.floats(min_value=0.0, max_value=0.9),  # sim advance
+        ),
+        min_size=2,
+        max_size=25,
+    )
+)
+def test_memoized_responses_byte_identical_to_slow_path(steps):
+    """Any query sequence, any fractional clock advances: whenever the
+    memo answers, its bytes equal what the full pipeline produces for
+    the same wire at the same instant.
+
+    (The comparison is against the *same* frontend's slow path, not a
+    twin server: a memo hit legitimately skips one simulated resolution,
+    so a twin's stochastic resolution history — and with it the exact
+    insert instants behind its TTL bytes — diverges from the hot
+    frontend's.  The contract is equivalence at the serving instant.)
+    """
+    frontend, _ = make_frontend(memo=True, at=1000.0)
+    for rank, message_id, edns, advance in steps:
+        frontend.bridge.at += advance
+        wire = query_wire(f"www.domain{rank}.nl.", id=message_id, edns=edns)
+        fast = frontend.fast_answer(wire, "127.0.0.1")
+        slow = frontend.handle_wire(wire, "127.0.0.1").wire
+        if fast is not None:
+            assert fast == slow, f"rank={rank} at={frontend.bridge.at}"
+    # Same-instant repeats at the end: the memo must actually engage (and
+    # still match) or this property is testing nothing.  Two slow passes
+    # first — a *fresh* resolution's answer is aged by the simulated
+    # resolution latency, so only the repeat (a cache hit, aged at the
+    # serving instant) is guaranteed to memoize.
+    wire = query_wire("www.domain0.nl.", id=0xBEEF)
+    frontend.handle_wire(wire, "127.0.0.1")
+    frontend.handle_wire(wire, "127.0.0.1")
+    fast = frontend.fast_answer(wire, "127.0.0.1")
+    assert fast is not None
+    assert fast == frontend.handle_wire(wire, "127.0.0.1").wire
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ids=st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=2, max_size=8)
+)
+def test_memo_hit_differs_only_in_id(ids):
+    frontend, _ = make_frontend(at=50.0)
+    frontend.handle_wire(query_wire("www.domain2.nl.", id=ids[0]), "c")
+    repeat = frontend.handle_wire(query_wire("www.domain2.nl.", id=ids[0]), "c").wire
+    for message_id in ids[1:]:
+        hit = frontend.fast_answer(query_wire("www.domain2.nl.", id=message_id), "c")
+        assert hit is not None
+        assert hit[:2] == message_id.to_bytes(2, "big")
+        assert hit[2:] == repeat[2:]
+
+
+# -- TTL ticks -------------------------------------------------------------
+
+def test_no_memoized_ttl_outlives_a_tick():
+    """The served TTL must read ``int(expires_at - now)`` at every probe
+    instant — the memo may never serve yesterday's TTL byte."""
+    frontend, _ = make_frontend(at=10.0)
+    wire = query_wire("www.domain3.nl.", id=1)
+    frontend.handle_wire(wire, "c")  # fresh resolution fills the cache
+    repeat = frontend.handle_wire(wire, "c").wire  # cache hit: memoized
+    ttl = Message.from_wire(repeat).rrsets(Section.ANSWER)[0].ttl
+    entry = frontend.resolver.cache.peek(Name("www.domain3.nl."), RdataType.A)
+    boundary = entry.expires_at - ttl  # the instant before the next tick
+
+    frontend.bridge.at = boundary
+    at_boundary = frontend.fast_answer(query_wire("www.domain3.nl.", id=2), "c")
+    assert at_boundary is not None  # still exact: TTL has not ticked
+    assert Message.from_wire(at_boundary).rrsets(Section.ANSWER)[0].ttl == ttl
+
+    # One ulp past the bound the memo already declines (conservative),
+    # even while float rounding may keep int(expires - now) at the old
+    # value; a microsecond past it, the slow path's TTL has visibly
+    # ticked and the memo must not resurrect the old byte.
+    frontend.bridge.at = math.nextafter(boundary, math.inf)
+    _, was_fast = serve(frontend, query_wire("www.domain3.nl.", id=3))
+    assert not was_fast  # the stale entry was dropped on sight
+    frontend.bridge.at = boundary + 1e-6
+    after_tick, was_fast = serve(frontend, query_wire("www.domain3.nl.", id=4))
+    assert not was_fast
+    assert Message.from_wire(after_tick).rrsets(Section.ANSWER)[0].ttl == ttl - 1
+
+
+def test_negative_answer_memoized_until_expiry():
+    frontend, registry = make_frontend(at=0.0)
+    wire = query_wire("www.doesnotexist.nl.", id=7)
+    first = frontend.handle_wire(wire, "c").wire
+    assert Message.from_wire(first).rcode == Rcode.NXDOMAIN
+    negative = frontend.resolver.cache.peek_negative(
+        Name("www.doesnotexist.nl."), RdataType.A
+    )
+    assert negative is not None
+
+    frontend.bridge.at = math.nextafter(negative.expires_at, -math.inf)
+    hit = frontend.fast_answer(query_wire("www.doesnotexist.nl.", id=8), "c")
+    assert hit is not None  # reusable right up to the expiry instant
+    assert hit[2:] == first[2:]
+
+    frontend.bridge.at = negative.expires_at
+    assert frontend.fast_answer(query_wire("www.doesnotexist.nl.", id=9), "c") is None
+    assert registry.snapshot().value("serve.memo_hits") == 1
+
+
+# -- invalidation ----------------------------------------------------------
+
+def test_cache_write_invalidates_affected_entry_only():
+    frontend, _ = make_frontend(at=5.0)
+    for message_id, name in enumerate(("www.domain1.nl.", "www.domain2.nl.")):
+        frontend.handle_wire(query_wire(name, id=message_id), "c")
+        frontend.handle_wire(query_wire(name, id=message_id), "c")  # memoize
+    memo = frontend.memo
+    assert len(memo) == 2
+
+    # Any cache mutation for the name lands in the memo via on_change;
+    # forced expiry is the bluntest such write.
+    cache = frontend.resolver.cache
+    entry = cache.peek(Name("www.domain1.nl."), RdataType.A)
+    cache.expire_now(entry.key(), now=frontend.bridge.at)
+
+    assert len(memo) == 1
+    assert frontend.fast_answer(query_wire("www.domain1.nl.", id=3), "c") is None
+    assert frontend.fast_answer(query_wire("www.domain2.nl.", id=4), "c") is not None
+
+
+def test_predict_refresh_invalidates_and_slow_path_rememoizes():
+    """A ``--predict`` refresh rewrites the cache entry behind a hot
+    name; the memoized bytes (older TTL feed) must die with it."""
+    frontend, _ = make_frontend(at=0.0, predict=True)
+    memo = frontend.memo
+    # Two arrivals make the name hot for the popularity tracker (the
+    # second, a cache hit, is also the one guaranteed to memoize).
+    frontend.handle_wire(query_wire("www.domain4.nl.", id=1), "c")
+    frontend.handle_wire(query_wire("www.domain4.nl.", id=2), "c")
+    hit = frontend.fast_answer(query_wire("www.domain4.nl.", id=3), "c")
+    assert hit is not None
+
+    cache = frontend.resolver.cache
+    entry = cache.peek(Name("www.domain4.nl."), RdataType.A)
+    old_expiry = entry.expires_at
+    # Jump to just inside the refresh lead window and run the background
+    # pump — exactly what the server's predict loop does.
+    frontend.bridge.at = old_expiry - 60.0
+    invalidations_before = memo.invalidations
+    assert frontend.pump() >= 1
+
+    refreshed = cache.peek(Name("www.domain4.nl."), RdataType.A)
+    assert refreshed.expires_at > old_expiry  # the refresh really landed
+    assert memo.invalidations > invalidations_before
+    # The old entry is gone; the next query pays one slow pass and then
+    # the memo is hot again with the *new* expiry feed.
+    served, was_fast = serve(frontend, query_wire("www.domain4.nl.", id=3))
+    assert not was_fast
+    rehit = frontend.fast_answer(query_wire("www.domain4.nl.", id=4), "c")
+    assert rehit is not None
+    assert rehit[2:] == served[2:]
+
+
+def test_cache_clear_empties_memo():
+    frontend, _ = make_frontend(at=5.0)
+    for message_id in (1, 2):
+        frontend.handle_wire(query_wire("www.domain1.nl.", id=message_id), "c")
+    assert len(frontend.memo) > 0
+    frontend.resolver.cache.clear()
+    assert len(frontend.memo) == 0
+
+
+# -- the memo object itself ------------------------------------------------
+
+def test_capacity_evicts_oldest_first():
+    memo = ResponseMemo(capacity=2)
+    names = [Name(f"n{index}.example.") for index in range(3)]
+    for index, name in enumerate(names):
+        memo.put(
+            bytes([index]), b"wire%d" % index, 100.0, name, RdataType.A, "NOERROR"
+        )
+    assert len(memo) == 2
+    assert memo.get(bytes([0]), 0.0) is None  # oldest went first
+    assert memo.get(bytes([1]), 0.0) is not None
+    assert memo.get(bytes([2]), 0.0) is not None
+
+
+def test_memo_counters_and_validity_window():
+    memo = ResponseMemo(capacity=8)
+    name = Name("x.example.")
+    memo.put(b"k", b"w", valid_until=10.0, qname=name, qtype=RdataType.A,
+             rcode_name="NOERROR")
+    assert memo.get(b"k", 10.0) is not None  # inclusive bound
+    assert memo.get(b"k", math.nextafter(10.0, math.inf)) is None  # dropped
+    assert memo.get(b"k", 0.0) is None  # really gone
+    assert (memo.hits, memo.misses) == (1, 2)
+    assert memo.invalidations == 1
+
+
+def test_invalidate_name_covers_answer_owners():
+    """A CNAME-style response depends on every answer owner, not just
+    the qname; invalidating either must drop it."""
+    memo = ResponseMemo()
+    qname = Name("alias.example.")
+    target = Name("canonical.example.")
+    memo.put(b"k", b"w", 100.0, qname, RdataType.A, "NOERROR",
+             answer_names=(qname, target))
+    assert memo.invalidate_name(target) == 1
+    assert len(memo) == 0
+    memo.put(b"k", b"w", 100.0, qname, RdataType.A, "NOERROR",
+             answer_names=(qname, target))
+    assert memo.invalidate_name(qname) == 1
+    assert memo.invalidate_name(Name("other.example.")) == 0

@@ -1,0 +1,122 @@
+"""Multi-worker serving over SO_REUSEPORT, observed end to end.
+
+SO_REUSEPORT needs real processes sharing a real port, so this test
+boots `repro serve --workers 2` as a subprocess and drives it with the
+multi-socket load generator (one connected UDP socket is one kernel
+flow — a single-socket client can only ever exercise one worker).  It
+then checks the whole accounting chain: both workers actually served,
+the parent's merged metrics snapshot equals the sum of the per-worker
+querylogs, and nothing was lost on the way.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.loadgen import LoadgenConfig, run_loadgen
+from repro.server.querylog import QueryLog
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="SO_REUSEPORT unavailable on this platform",
+)
+
+WORKERS = 2
+#: Kernel flow-hashing over 2 workers: 16 distinct flows make an
+#: all-on-one-worker split astronomically unlikely (2 * 2**-16).
+SOCKETS = 16
+
+
+def _start_server(tmp_path):
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        "src",
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--world", "nl", "--port", str(port), "--workers", str(WORKERS),
+            "--metrics", str(tmp_path / "metrics.json"),
+            "--querylog", str(tmp_path / "querylog.jsonl"),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    ready = 0
+    deadline = time.monotonic() + 60.0
+    while ready < WORKERS:
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("workers did not come up in 60 s")
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(f"serve exited early (rc={proc.poll()})")
+        # count() not containment: worker ready lines share one pipe and
+        # could arrive merged if a write ever tears.
+        ready += line.count("listening on")
+    return proc, port
+
+
+def test_two_workers_both_serve_and_accounting_adds_up(tmp_path):
+    proc, port = _start_server(tmp_path)
+    try:
+        report = run_loadgen(
+            LoadgenConfig(
+                port=port,
+                mode="closed",
+                concurrency=SOCKETS,
+                sockets=SOCKETS,
+                duration_s=1.5,
+                population=50,
+                seed=11,
+            )
+        )
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=20)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise
+
+    assert report.lost == 0
+    assert report.parse_errors == 0
+    assert report.received > 100
+
+    # Merged snapshot: written by the parent from per-worker files.
+    with open(tmp_path / "metrics.json", "r", encoding="utf-8") as stream:
+        merged = json.load(stream)["metrics"]
+    assert merged["serve.queries"]["value"] == report.attempts
+
+    # Both workers actually served: the labeled per-worker counter has
+    # one label per worker, every one of them non-zero.
+    worker_counts = merged["serve.worker_queries"]["values"]
+    assert len(worker_counts) == WORKERS, worker_counts
+    assert all(count > 0 for count in worker_counts.values()), worker_counts
+    assert sum(worker_counts.values()) == report.attempts
+
+    # Per-worker querylogs agree with the merged metrics, label by label.
+    log_counts: dict[str, int] = {}
+    total_lines = 0
+    for index in range(WORKERS):
+        path = tmp_path / f"querylog.jsonl.worker{index}"
+        assert path.exists()
+        log = QueryLog.read_jsonl(path)
+        total_lines += len(log)
+        for server, count in log.query_count_by_server().items():
+            log_counts[server] = log_counts.get(server, 0) + count
+    assert total_lines == report.attempts
+    assert log_counts == worker_counts
