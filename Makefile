@@ -24,9 +24,11 @@ bench-perf:
 	$(PYTEST) benchmarks/bench_perf_substrate.py benchmarks/bench_serve_throughput.py benchmarks/bench_serve_worker_scaling.py --benchmark-only
 
 # The CI perf-smoke gate: fresh bench-perf numbers must stay within 25%
-# of the checked-in baseline_perf.json floors.
+# of the checked-in baseline_perf.json floors.  campaign_large also runs
+# the cpu-aware campaign gate (single-worker uplift vs the
+# campaign_throughput baseline; 4-worker speedup or bounded overhead).
 perf-check:
-	PYTHONPATH=src python benchmarks/check_perf.py warm_resolution campaign_throughput serve_throughput_w1 --max-regression 0.25
+	PYTHONPATH=src python benchmarks/check_perf.py warm_resolution campaign_throughput campaign_large serve_throughput_w1 --max-regression 0.25
 
 # Docs stay honest: every repro.* package documented in README + API.md,
 # every intra-repo markdown link resolves.  CI runs this as the docs job.

@@ -33,6 +33,75 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 from benchmarks.perf_records import RECORDS_PATH, load_baseline  # noqa: E402
 
 SCALING_PREFIX = "serve_worker_scaling_w"
+CAMPAIGN_BENCH = "campaign_large"
+
+
+def check_campaign_gate(
+    current: dict,
+    baseline: dict,
+    *,
+    min_uplift: float,
+    speedup_floor: float,
+    overhead_cap: float,
+) -> bool:
+    """Validate the large-campaign numbers recorded by bench_perf_campaign_large.
+
+    Two checks, both skipped when the record is absent (partial bench
+    runs):
+
+    - single-worker throughput must reach ``min_uplift`` times the
+      checked-in ``campaign_throughput`` baseline — the flattened-kernel
+      dividend, judged against the *pre-optimization* floor;
+    - the 4-worker run is judged by host class (the record's ``cpus``):
+      with >= 4 CPUs the speedup must reach ``speedup_floor``; on
+      smaller hosts (1-core CI) parallel workers cannot help, so the
+      requirement relaxes to bounded overhead — parallel-4 wall within
+      ``overhead_cap`` of serial wall.
+    """
+    record = current.get(CAMPAIGN_BENCH)
+    if record is None:
+        return True
+    ok = True
+
+    base = baseline.get("campaign_throughput", {}).get("ops_per_s")
+    ops = record.get("ops_per_s")
+    if base is None or ops is None:
+        print(f"FAIL {CAMPAIGN_BENCH}: missing ops_per_s or campaign_throughput baseline")
+        ok = False
+    else:
+        floor = base * min_uplift
+        good = ops >= floor
+        print(
+            f"{'ok' if good else 'FAIL':>4} {CAMPAIGN_BENCH} single-worker: "
+            f"{ops:,.1f} q/s vs {min_uplift:.2f}x campaign_throughput "
+            f"baseline {base:,.1f} (floor {floor:,.1f}, {ops / base:.2f}x)"
+        )
+        ok = ok and good
+
+    cpus = record.get("cpus") or 1
+    speedup = record.get("speedup")
+    serial = record.get("serial_wall_s")
+    parallel = record.get("parallel4_wall_s")
+    if cpus >= 4:
+        good = speedup is not None and speedup >= speedup_floor
+        print(
+            f"{'ok' if good else 'FAIL':>4} {CAMPAIGN_BENCH} 4-worker: "
+            f"speedup {speedup}x vs required {speedup_floor}x ({cpus} cpus)"
+        )
+    elif serial is None or parallel is None:
+        print(f"FAIL {CAMPAIGN_BENCH}: missing serial/parallel wall times")
+        good = False
+    else:
+        # CPU-starved host: workers can't speed anything up, but the
+        # pool must not cost more than bounded overhead either.
+        cap = serial * overhead_cap
+        good = parallel <= cap
+        print(
+            f"{'ok' if good else 'FAIL':>4} {CAMPAIGN_BENCH} 4-worker: "
+            f"wall {parallel:.2f}s vs serial {serial:.2f}s "
+            f"(cap {cap:.2f}s = {overhead_cap:.2f}x, {cpus} cpu(s))"
+        )
+    return ok and good
 
 
 def check_worker_curve(current: dict, tolerance: float) -> bool:
@@ -99,6 +168,27 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed per-step drop in the worker curve on CPU-starved hosts; "
         "wide because 1-core loopback serving is noisy (default 0.5)",
     )
+    parser.add_argument(
+        "--campaign-min-uplift",
+        type=float,
+        default=1.3,
+        help="required campaign_large single-worker q/s as a multiple of the "
+        "campaign_throughput baseline (default 1.3)",
+    )
+    parser.add_argument(
+        "--campaign-speedup",
+        type=float,
+        default=3.0,
+        help="required 4-worker speedup for campaign_large on hosts with "
+        ">=4 CPUs (default 3.0)",
+    )
+    parser.add_argument(
+        "--campaign-overhead",
+        type=float,
+        default=1.15,
+        help="on <4-CPU hosts: max parallel-4 wall as a multiple of serial "
+        "wall for campaign_large (default 1.15)",
+    )
     args = parser.parse_args(argv)
 
     if not RECORDS_PATH.exists():
@@ -128,6 +218,14 @@ def main(argv: list[str] | None = None) -> int:
             failed = True
 
     if not check_worker_curve(current, args.scaling_tolerance):
+        failed = True
+    if not check_campaign_gate(
+        current,
+        baseline,
+        min_uplift=args.campaign_min_uplift,
+        speedup_floor=args.campaign_speedup,
+        overhead_cap=args.campaign_overhead,
+    ):
         failed = True
     return 1 if failed else 0
 

@@ -13,6 +13,7 @@ checked-in pre-optimization numbers CI gates against).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import subprocess
 from datetime import datetime, timezone
@@ -29,7 +30,13 @@ PERF_RECORDS: dict[str, dict] = {}
 
 
 def record_perf(name: str, **fields) -> None:
-    """Add one bench's machine-readable result to ``BENCH_perf.json``."""
+    """Add one bench's machine-readable result to ``BENCH_perf.json``.
+
+    Every record carries the host's CPU count so gates (check_perf.py)
+    can judge parallel-speedup numbers by host class — a 1-core CI box
+    legitimately sees no speedup where a 4-core dev box must.
+    """
+    fields.setdefault("cpus", os.cpu_count() or 1)
     PERF_RECORDS[name] = fields
 
 

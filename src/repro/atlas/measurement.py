@@ -54,6 +54,23 @@ class ScheduledEvent:
 
 
 @dataclass
+class MeasurementState:
+    """A picklable mid-run cursor for :meth:`Measurement.run`.
+
+    Everything the flattened kernel needs to continue from query
+    ``position``: the results so far and how many events have fired.
+    The schedule itself is *recomputed* on resume — it is a pure
+    function of (spec, vantage points, seed), which a pickled
+    :class:`Measurement` carries.  Checkpoint callbacks receive the live
+    results list (pickle it immediately, don't keep it).
+    """
+
+    position: int
+    event_index: int
+    results: list[MeasurementResult]
+
+
+@dataclass
 class Measurement:
     """Runs a spec against a set of vantage points."""
 
@@ -71,72 +88,158 @@ class Measurement:
     def schedule(self, at: float, action: Callable[[], None], label: str = "") -> None:
         self.events.append(ScheduledEvent(at=at, action=action, label=label))
 
-    def run(self) -> ResultSet:
-        """Execute every round; returns the collected results."""
-        rng = random.Random(self.seed ^ 0x3EA5)
-        offsets = {
-            vp.vp_id: (rng.uniform(0.0, self.spec.interval) if self.spec.jitter else 0.0)
-            for vp in self.vantage_points
-        }
-        # Build the full (time, vp, round) schedule, then run in time order
-        # so cache warm-up across VPs sharing a resolver is realistic.
-        schedule: list[tuple[float, int, VantagePoint]] = []
-        for round_index in range(self.spec.rounds()):
-            round_start = self.spec.start + round_index * self.spec.interval
-            for vp in self.vantage_points:
-                schedule.append((round_start + offsets[vp.vp_id], round_index, vp))
-        schedule.sort(key=lambda item: item[0])
+    def run(
+        self,
+        *,
+        resume: Optional[MeasurementState] = None,
+        checkpoint_every: int = 0,
+        checkpoint: Optional[Callable[[MeasurementState], None]] = None,
+    ) -> ResultSet:
+        """Execute every round; returns the collected results.
 
-        pending_events = sorted(self.events, key=lambda event: event.at)
-        event_index = 0
-        results: list[MeasurementResult] = []
-        # Each probe asks the same name every round: resolve the PROBEID
-        # substitution once per probe and reuse it across all rounds.
+        The hot loop is flattened: all per-probe state (qnames, bound
+        stub queries, probe/VP columns) and the full time-sorted
+        schedule are precomputed once per campaign, so each query costs
+        one stub call plus one result row.  The RNG draw order is
+        byte-identical to the historical per-probe loop.
+
+        ``checkpoint`` (with ``checkpoint_every > 0``) is called with a
+        :class:`MeasurementState` every that-many queries — the world
+        snapshot hook.  ``resume`` continues a previous run from its
+        cursor; the prelude (offsets, schedule) is deterministically
+        recomputed, so only the cursor and results need to have been
+        saved.
+        """
+        spec = self.spec
+        vps = self.vantage_points
+        interval = spec.interval
+        jitter = spec.jitter
+        rng = random.Random(self.seed ^ 0x3EA5)
+        # Historical draw order: one uniform per VP, in VP order, only
+        # when jitter is on (`jitter and ...` must not draw otherwise).
+        offsets = [
+            (rng.uniform(0.0, interval) if jitter else 0.0) for _ in vps
+        ]
+
+        # Flattened schedule: slot r*n+v is (round r, vp v); run in time
+        # order so cache warm-up across VPs sharing a resolver is
+        # realistic.  sorted() is stable, matching the historical
+        # list.sort over round-major tuples.
+        n_vps = len(vps)
+        rounds = spec.rounds()
+        total = rounds * n_vps
+        times = [0.0] * total
+        start = spec.start
+        pos = 0
+        for round_index in range(rounds):
+            round_start = start + round_index * interval
+            for v in range(n_vps):
+                times[pos] = round_start + offsets[v]
+                pos += 1
+        order = sorted(range(total), key=times.__getitem__)
+
+        # Per-VP columns, hoisted out of the hot loop.  Each probe asks
+        # the same name every round: resolve the PROBEID substitution
+        # once per probe and share it across all rounds.
+        probe_ids = [vp.probe.probe_id for vp in vps]
+        vp_ids = [vp.vp_id for vp in vps]
+        resolver_addrs = [vp.resolver_address for vp in vps]
+        regions = [vp.probe.region for vp in vps]
+        asns = [vp.probe.asn for vp in vps]
+        query_fns = [vp.stub.query for vp in vps]
+        qtype = spec.qtype
         qname_memo: dict[int, Name] = {}
-        for timestamp, round_index, vp in schedule:
-            while event_index < len(pending_events) and (
-                pending_events[event_index].at <= timestamp
-            ):
-                pending_events[event_index].action()
-                event_index += 1
-            probe_id = vp.probe.probe_id
+        qnames: list[Name] = []
+        for probe_id in probe_ids:
             qname = qname_memo.get(probe_id)
             if qname is None:
-                qname = self.spec.qname_for(probe_id)
+                qname = spec.qname_for(probe_id)
                 qname_memo[probe_id] = qname
-            answer = vp.stub.query(qname, self.spec.qtype, timestamp)
-            results.append(
+            qnames.append(qname)
+
+        pending_events = sorted(self.events, key=lambda event: event.at)
+        n_events = len(pending_events)
+        if resume is not None:
+            results = list(resume.results)
+            event_index = resume.event_index
+            first = resume.position
+        else:
+            results = []
+            event_index = 0
+            first = 0
+
+        # Answer tuples repeat massively (cache hits return the same
+        # rrset), so memoize the rendered tuple per rdata tuple — rdatas
+        # are frozen dataclasses, hashable by value.
+        answer_memo: dict = {}
+        progress = self.progress
+        progress_every = self.progress_every
+        append = results.append
+        for i in range(first, total):
+            slot = order[i]
+            timestamp = times[slot]
+            v = slot % n_vps
+            while event_index < n_events and pending_events[event_index].at <= timestamp:
+                pending_events[event_index].action()
+                event_index += 1
+            qname = qnames[v]
+            answer = query_fns[v](qname, qtype, timestamp)
+            rrsets = answer.answers
+            if not rrsets:
+                answers: tuple[str, ...] = ()
+                ttl = None
+            elif len(rrsets) == 1:
+                rdatas = rrsets[0].rdatas
+                answers = answer_memo.get(rdatas)
+                if answers is None:
+                    answers = tuple(str(rdata) for rdata in rdatas)
+                    answer_memo[rdatas] = answers
+                ttl = rrsets[-1].ttl
+            else:
+                answers = tuple(
+                    str(rdata) for rrset in rrsets for rdata in rrset.rdatas
+                )
+                ttl = rrsets[-1].ttl
+            append(
                 MeasurementResult(
-                    probe_id=vp.probe.probe_id,
-                    vp_id=vp.vp_id,
-                    resolver_address=vp.resolver_address,
-                    region=vp.probe.region,
-                    asn=vp.probe.asn,
-                    round_index=round_index,
+                    probe_id=probe_ids[v],
+                    vp_id=vp_ids[v],
+                    resolver_address=resolver_addrs[v],
+                    region=regions[v],
+                    asn=asns[v],
+                    round_index=slot // n_vps,
                     timestamp=timestamp,
                     qname=qname,
-                    qtype=self.spec.qtype,
+                    qtype=qtype,
                     rcode=answer.rcode,
-                    ttl=answer.ttl(),
-                    answers=tuple(
-                        str(rdata)
-                        for rrset in answer.answers
-                        for rdata in rrset.rdatas
-                    ),
+                    ttl=ttl,
+                    answers=answers,
                     rtt=answer.rtt,
                     cache_hit=answer.cache_hit,
                     served_stale=answer.served_stale,
                 )
             )
-            if self.progress is not None and len(results) % self.progress_every == 0:
-                self.progress(len(results), len(schedule))
-        if self.progress is not None:
-            self.progress(len(results), len(schedule))
+            done = len(results)
+            if progress is not None and done % progress_every == 0:
+                progress(done, total)
+            if (
+                checkpoint is not None
+                and checkpoint_every > 0
+                and (i + 1) % checkpoint_every == 0
+                and i + 1 < total
+            ):
+                checkpoint(
+                    MeasurementState(
+                        position=i + 1, event_index=event_index, results=results
+                    )
+                )
+        if progress is not None:
+            progress(len(results), total)
         # Fire any events scheduled after the last query (end-of-run state).
-        while event_index < len(pending_events):
+        while event_index < n_events:
             pending_events[event_index].action()
             event_index += 1
-        return ResultSet(results, spec=self.spec)
+        return ResultSet(results, spec=spec)
 
 
 def run_once(

@@ -218,6 +218,12 @@ _FAULTABLE_CAMPAIGNS = ("t2-uy", "t2-anicuy", "t2-googleco", "ddos")
 #: (refresh-ahead + RFC 8767 serve-stale; see docs/prediction.md).
 _PREDICT_CAMPAIGNS = ("t2-uy", "t2-anicuy", "t2-googleco")
 
+#: Campaigns that can spill mid-shard world snapshots (--snapshot-every):
+#: the centricity campaigns, whose shards run one long Measurement with a
+#: resumable cursor.  The others' shards are single world-build-and-run
+#: cells too short to be worth snapshotting.
+_SNAPSHOT_CAMPAIGNS = ("t2-uy", "t2-anicuy", "t2-googleco")
+
 #: Worlds `repro serve` can front; mirrors repro.serve.config.WORLD_BUILDERS
 #: (kept literal here so --help needs no heavyweight import).
 _SERVE_WORLDS = ("cl", "uy", "googleco", "nl", "controlled")
@@ -237,9 +243,22 @@ def _centricity_report(title: str, run) -> str:
 def _cmd_run(args: argparse.Namespace) -> int:
     """Run one campaign sharded, with progress telemetry on stderr."""
     from repro.runner.checkpoint import CheckpointMismatch
-    from repro.runner.progress import render_event
 
     try:
+        if args.profile is not None and args.parallel <= 1:
+            # Serial: profile the whole campaign in-process.  Under
+            # --parallel the executor profiles each shard instead
+            # (PATH.shard-NNNN), since workers are separate processes.
+            import cProfile
+
+            profiler = cProfile.Profile()
+            try:
+                status = profiler.runcall(_cmd_run_inner, args)
+            finally:
+                profiler.dump_stats(args.profile)
+                if not args.quiet:
+                    print(f"profile written to {args.profile}", file=sys.stderr)
+            return status
         return _cmd_run_inner(args)
     except CheckpointMismatch as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -308,18 +327,33 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
               f"(predictive campaigns: {', '.join(_PREDICT_CAMPAIGNS)})",
               file=sys.stderr)
         return 2
+    if args.snapshot_every:
+        if args.campaign not in _SNAPSHOT_CAMPAIGNS:
+            print(f"error: --snapshot-every is not supported for "
+                  f"{args.campaign} (snapshot campaigns: "
+                  f"{', '.join(_SNAPSHOT_CAMPAIGNS)})",
+                  file=sys.stderr)
+            return 2
+        if args.run_dir is None:
+            print("error: --snapshot-every needs --run-dir (snapshots live "
+                  "in the checkpoint directory)", file=sys.stderr)
+            return 2
     common = dict(
         seed=args.seed,
         parallelism=args.parallel,
         run_dir=args.run_dir,
         progress=progress,
+        # Serial --profile is handled whole-campaign by _cmd_run; only the
+        # pool path profiles per shard here.
+        profile=args.profile if args.parallel > 1 else None,
     )
     if args.campaign == "t2-uy":
         from repro.core.scenarios import scenario_uy_ns
 
         run = scenario_uy_ns(
             probes=args.probes, duration=args.duration, shards=args.shards,
-            faults=faults, predict=args.predict, **common
+            faults=faults, predict=args.predict,
+            snapshot_every=args.snapshot_every, **common
         )
         print(_centricity_report("T2: .uy-NS centricity campaign", run))
         _write_metrics(args, run.metrics)
@@ -328,7 +362,8 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
 
         run = scenario_anicuy_a(
             probes=args.probes, duration=args.duration, shards=args.shards,
-            faults=faults, predict=args.predict, **common
+            faults=faults, predict=args.predict,
+            snapshot_every=args.snapshot_every, **common
         )
         print(_centricity_report("T2: a.nic.uy-A centricity campaign", run))
         _write_metrics(args, run.metrics)
@@ -337,7 +372,8 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
 
         run = scenario_googleco_ns(
             probes=args.probes, duration=args.duration, shards=args.shards,
-            faults=faults, predict=args.predict, **common
+            faults=faults, predict=args.predict,
+            snapshot_every=args.snapshot_every, **common
         )
         print(_centricity_report("T2: google.co-NS centricity campaign", run))
         _write_metrics(args, run.metrics)
@@ -416,6 +452,7 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
             shards=args.shards,
             run_dir=args.run_dir,
             progress=progress,
+            profile=args.profile if args.parallel > 1 else None,
         )
         counts = record_counts(result)
         table = Table(["list", "domains", "responsive"],
@@ -811,6 +848,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="arm every resolver with the predictive policy: "
                           "refresh-ahead for hot names plus RFC 8767 "
                           "stale-while-revalidate")
+    run.add_argument("--profile", default=None, metavar="PATH",
+                     help="write cProfile stats: the whole campaign to PATH "
+                          "when serial, one PATH.shard-NNNN per shard under "
+                          "--parallel (inspect with pstats / snakeviz)")
+    run.add_argument("--snapshot-every", type=int, default=0, metavar="N",
+                     help="with --run-dir on a t2-* campaign: spill a world "
+                          "snapshot every N queries so a killed run resumes "
+                          "mid-shard instead of restarting the shard "
+                          "(0 = shard-boundary checkpoints only)")
     run.set_defaults(func=_cmd_run)
 
     metrics = sub.add_parser(

@@ -60,6 +60,9 @@ def _run_sharded_campaign(
     shards: Optional[int] = None,
     run_dir: Optional[str] = None,
     progress=None,
+    profile: Optional[str] = None,
+    initializer=None,
+    initargs: tuple = (),
 ):
     """Run a campaign through :mod:`repro.runner` and return the outcomes.
 
@@ -70,12 +73,19 @@ def _run_sharded_campaign(
     the fixed :data:`repro.runner.shard.DEFAULT_SHARDS`, never the
     worker count, so that contract holds for the defaults too.
 
+    ``profile`` dumps per-shard cProfile stats to
+    ``f"{profile}.shard-NNNN"``; ``initializer``/``initargs`` run once
+    per worker process (world-cache prewarm).
+
     Returns ``(outcomes, metrics)``: the per-shard outcomes in shard
-    order plus one merged :class:`MetricsSnapshot` — the shards'
-    sim-domain metrics folded exactly, with the executor's host-domain
-    telemetry (wall times, retries, checkpoint hits) alongside.
+    order — each ``outcome.value`` already decoded from its codec
+    envelope to ``{"results", "queries", "metrics"}`` — plus one merged
+    :class:`MetricsSnapshot`: the shards' sim-domain metrics folded
+    exactly, with the executor's host-domain telemetry (wall times,
+    retries, checkpoint hits) alongside.
     """
     from repro.runner.checkpoint import CheckpointStore
+    from repro.runner.codec import decode_shard_payload
     from repro.runner.executor import ShardExecutor
     from repro.runner.merge import merge_shard_metrics
     from repro.runner.progress import ProgressTracker
@@ -93,8 +103,13 @@ def _run_sharded_campaign(
         checkpoint=checkpoint,
         tracker=tracker,
         metrics=host_registry,
+        initializer=initializer,
+        initargs=initargs,
+        profile_path=profile,
     )
     outcomes = executor.run(fn, plan, kwargs)
+    for outcome in outcomes:
+        outcome.value = decode_shard_payload(outcome.value)
     metrics = merge_shard_metrics(
         [outcome.value for outcome in outcomes]
     ).merge(host_registry.snapshot())
@@ -129,11 +144,21 @@ def _run_centricity_sharded(
     progress=None,
     fault_plan: Optional[dict] = None,
     predict: bool = False,
+    profile: Optional[str] = None,
+    snapshot_every: int = 0,
 ) -> tuple[ResultSet, MetricsSnapshot]:
-    """Shard an active centricity campaign over its probes and merge."""
+    """Shard an active centricity campaign over its probes and merge.
+
+    ``snapshot_every`` (with ``run_dir``) makes each shard checkpoint
+    its world-level state every that-many queries, so a killed run
+    resumes mid-shard.  Snapshot cadence is deliberately *not* part of
+    the fingerprint — it changes when state hits disk, never the
+    results.
+    """
     from repro.runner.campaigns import campaign_fingerprint, centricity_shard
     from repro.runner.merge import merge_result_sets
     from repro.runner.shard import DEFAULT_SHARDS
+    from repro.runner.worldcache import prewarm
 
     kwargs = {
         "builder": builder,
@@ -154,6 +179,12 @@ def _run_centricity_sharded(
         shards=shards if shards is not None else DEFAULT_SHARDS,
         **kwargs,
     )
+    if run_dir is not None and snapshot_every > 0:
+        kwargs["snapshot"] = {
+            "run_dir": str(run_dir),
+            "fingerprint": fingerprint,
+            "every": int(snapshot_every),
+        }
     outcomes, metrics = _run_sharded_campaign(
         campaign,
         fingerprint,
@@ -165,6 +196,9 @@ def _run_centricity_sharded(
         shards=shards,
         run_dir=run_dir,
         progress=progress,
+        profile=profile,
+        initializer=prewarm,
+        initargs=(builder, world_kwargs),
     )
     merged = merge_result_sets([outcome.value["results"] for outcome in outcomes])
     return merged, metrics
@@ -255,6 +289,8 @@ def scenario_uy_ns(
     progress=None,
     faults=None,
     predict: bool = False,
+    profile: Optional[str] = None,
+    snapshot_every: int = 0,
 ) -> CentricityRun:
     """The .uy-NS campaign (Table 2 col 1; Figure 1): parent 172800 s,
     child 300 s, queries every 10 min for 2 h.
@@ -263,11 +299,13 @@ def scenario_uy_ns(
     :mod:`repro.runner`: probes are sharded deterministically, shards
     execute on that many workers (1 = the serial in-process fallback),
     and the merged :class:`ResultSet` is identical for every worker
-    count.  ``run_dir`` enables checkpoint/resume.  ``faults`` (a
-    :class:`FaultPlan` or its payload) schedules failures against the
-    campaign's virtual clock — see docs/resilience.md.  ``predict``
-    arms every resolver with the default predictive policy
-    (refresh-ahead + RFC 8767) — see docs/prediction.md.
+    count.  ``run_dir`` enables checkpoint/resume; ``snapshot_every``
+    additionally checkpoints world-level state mid-shard (see
+    docs/performance.md).  ``faults`` (a :class:`FaultPlan` or its
+    payload) schedules failures against the campaign's virtual clock —
+    see docs/resilience.md.  ``predict`` arms every resolver with the
+    default predictive policy (refresh-ahead + RFC 8767) — see
+    docs/prediction.md.  ``profile`` writes per-shard cProfile stats.
     """
     fault_plan = _normalize_fault_plan(faults)
     spec_kwargs = dict(
@@ -292,6 +330,8 @@ def scenario_uy_ns(
             progress=progress,
             fault_plan=fault_plan,
             predict=predict,
+            profile=profile,
+            snapshot_every=snapshot_every,
         )
     else:
         uy = build_uy_world(seed, child_ns_ttl=child_ns_ttl)
@@ -331,6 +371,8 @@ def scenario_anicuy_a(
     progress=None,
     faults=None,
     predict: bool = False,
+    profile: Optional[str] = None,
+    snapshot_every: int = 0,
 ) -> CentricityRun:
     """The a.nic.uy-A campaign (Table 2 col 2; Figure 1): parent glue
     172800 s, child A 120 s, every 10 min for 3 h."""
@@ -357,6 +399,8 @@ def scenario_anicuy_a(
             progress=progress,
             fault_plan=fault_plan,
             predict=predict,
+            profile=profile,
+            snapshot_every=snapshot_every,
         )
     else:
         uy = build_uy_world(seed)
@@ -394,6 +438,8 @@ def scenario_googleco_ns(
     progress=None,
     faults=None,
     predict: bool = False,
+    profile: Optional[str] = None,
+    snapshot_every: int = 0,
 ) -> CentricityRun:
     """The google.co-NS campaign (Table 2 col 3; Figure 2): parent 900 s,
     child 345600 s, every 10 min for 1 h."""
@@ -420,6 +466,8 @@ def scenario_googleco_ns(
             progress=progress,
             fault_plan=fault_plan,
             predict=predict,
+            profile=profile,
+            snapshot_every=snapshot_every,
         )
     else:
         world = build_googleco_world(seed)
@@ -843,6 +891,7 @@ def scenario_controlled_ttl(
     parallelism: Optional[int] = None,
     run_dir: Optional[str] = None,
     progress=None,
+    profile: Optional[str] = None,
 ) -> dict[str, ControlledRun]:
     """Table 10 / Figure 11: the five controlled experiments.
 
@@ -886,6 +935,7 @@ def scenario_controlled_ttl(
         shards=len(run_params),
         run_dir=run_dir,
         progress=progress,
+        profile=profile,
     )
     runs: dict[str, ControlledRun] = {}
     for outcome in outcomes:
@@ -1044,6 +1094,7 @@ def scenario_ddos_resilience(
     parallelism: Optional[int] = None,
     run_dir: Optional[str] = None,
     progress=None,
+    profile: Optional[str] = None,
 ) -> DdosResilienceRun:
     """§6.1: availability across TTL tiers during a 1 h authoritative DDoS.
 
@@ -1099,6 +1150,7 @@ def scenario_ddos_resilience(
             shards=len(tier_params),
             run_dir=run_dir,
             progress=progress,
+            profile=profile,
         )
         tiers = [outcome.value["results"] for outcome in outcomes]
     return DdosResilienceRun(
@@ -1251,6 +1303,7 @@ def scenario_prefetch_tradeoff(
     parallelism: Optional[int] = None,
     run_dir: Optional[str] = None,
     progress=None,
+    profile: Optional[str] = None,
 ) -> PrefetchTradeoffRun:
     """Authoritative volume and client p99 vs TTL, with prediction
     off / on-hit prefetch / refresh-ahead.
@@ -1307,6 +1360,7 @@ def scenario_prefetch_tradeoff(
             shards=len(cell_params),
             run_dir=run_dir,
             progress=progress,
+            profile=profile,
         )
         cells = [outcome.value["results"] for outcome in outcomes]
     return PrefetchTradeoffRun(

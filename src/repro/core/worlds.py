@@ -18,10 +18,24 @@ from repro.dns.rdtypes import AAAA, A, NS, RdataType
 from repro.dns.zone import Zone
 from repro.net.clock import SimClock
 from repro.net.latency import LatencyModel
-from repro.net.topology import Endpoint, Region, Topology
+from repro.net.topology import Endpoint, Region, Topology, TopologyMark
 from repro.net.transport import LossModel, Network
 from repro.server.anycast import AnycastCluster
 from repro.server.authoritative import AuthoritativeServer
+
+
+@dataclass(frozen=True)
+class WorldBaseline:
+    """A rewind point for :meth:`World.restore_baseline`.
+
+    World *structure* (which servers/zones exist, their addresses) is a
+    pure function of the builder arguments and never of the seed — all
+    builders place infrastructure with explicit regions, so the topology
+    RNG is untouched during construction.  That makes the baseline tiny:
+    a topology mark is enough, and everything else resets in place.
+    """
+
+    topology_mark: TopologyMark
 
 #: The root zone's delegation TTL — 2 days, as for real TLDs (Table 1).
 ROOT_DELEGATION_TTL = 172800
@@ -41,6 +55,32 @@ class World:
     servers: dict[str, AuthoritativeServer] = field(default_factory=dict)
     clusters: dict[str, AnycastCluster] = field(default_factory=dict)
     _server_addresses: dict[str, str] = field(default_factory=dict)
+
+    # -- worldcache reuse ---------------------------------------------------
+    def capture_baseline(self) -> WorldBaseline:
+        """Capture the just-built state for later :meth:`restore_baseline`.
+
+        The campaign worldcache calls this once per (builder, kwargs) and
+        then restores between shards — a seeded reset instead of a full
+        rebuild.  The contract: campaign code must not mutate zones of a
+        cached world (centricity shards never do; scenarios that schedule
+        zone events run through their own worlds).
+        """
+        return WorldBaseline(topology_mark=self.topology.mark())
+
+    def restore_baseline(self, baseline: WorldBaseline, seed: int) -> None:
+        """Return to ``baseline`` under ``seed``, as if freshly built.
+
+        Equivalent to ``builder(seed, **same_kwargs)`` because world
+        structure is seed-independent: the topology rewinds (dropping
+        endpoints the previous shard's population allocated) and reseeds,
+        the fabric's RNG streams/metrics/faults reset, every server
+        forgets its query traffic, and the clock restarts at zero.
+        """
+        self.seed = seed
+        self.topology.reset_to(baseline.topology_mark, seed)
+        self.network.reset_runtime(seed)
+        self.clock = SimClock()
 
     # -- infrastructure -----------------------------------------------------
     def address_of(self, server_name: str) -> str:

@@ -240,6 +240,7 @@ def crawl_parallel(
     run_dir: Optional[str] = None,
     progress=None,
     timeout: float = 1.0,
+    profile: Optional[str] = None,
 ) -> tuple[CrawlResult, int, "MetricsSnapshot"]:
     """Run the crawl sharded over the list entries via :mod:`repro.runner`.
 
@@ -255,6 +256,7 @@ def crawl_parallel(
     from repro.metrics.registry import MetricsRegistry
     from repro.runner.campaigns import campaign_fingerprint, crawl_shard
     from repro.runner.checkpoint import CheckpointStore
+    from repro.runner.codec import decode_shard_payload
     from repro.runner.executor import ShardExecutor
     from repro.runner.merge import merge_crawl_results, merge_shard_metrics
     from repro.runner.progress import ProgressTracker
@@ -274,8 +276,11 @@ def crawl_parallel(
         checkpoint=checkpoint,
         tracker=tracker,
         metrics=host_registry,
+        profile_path=profile,
     )
     outcomes = executor.run(crawl_shard, plan_shards(total, num_shards, seed), kwargs)
+    for outcome in outcomes:
+        outcome.value = decode_shard_payload(outcome.value)
     result, total_queries = merge_crawl_results(
         [outcome.value["results"] for outcome in outcomes],
         queries=[outcome.value["queries"] for outcome in outcomes],

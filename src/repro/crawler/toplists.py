@@ -275,6 +275,23 @@ class CrawlUniverse:
     def domains_for(self, list_name: str) -> list[GeneratedDomain]:
         return self.lists[list_name]
 
+    # -- worldcache reuse ---------------------------------------------------
+    def capture_baseline(self):
+        """Topology mark for :meth:`restore_baseline` (crawl worldcache)."""
+        return self.topology.mark()
+
+    def restore_baseline(self, baseline, seed: int) -> None:
+        """Reset runtime state so the universe can serve another shard.
+
+        The crawl universe is identical in every shard (it is built from
+        the campaign seed, not the shard seed), so the reset only drops
+        per-shard runtime residue: the crawler's client endpoint rewinds
+        off the topology, server query logs clear, and the fabric's RNG
+        streams restart.
+        """
+        self.topology.reset_to(baseline, seed)
+        self.network.reset_runtime(seed)
+
 
 #: .nl content-category profile (Tables 6/7): share among classified
 #: domains and the per-type TTLs that realize the table's medians (hours:

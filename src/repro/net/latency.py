@@ -77,6 +77,17 @@ class LatencyModel:
         # sha256 per exchange shows up in campaign profiles, so memoize it.
         self._offset_memo: dict[tuple[str, str], float] = {}
 
+    def reseed(self, seed: int) -> None:
+        """Restore the just-constructed state under a new seed.
+
+        Path offsets are seed-dependent, so the memo is dropped with the
+        RNG — after this call the model is indistinguishable from
+        ``LatencyModel(seed, ...)`` with the same tuning.
+        """
+        self._seed = seed
+        self._rng = random.Random(seed ^ 0x5A17)
+        self._offset_memo.clear()
+
     # -- deterministic components ------------------------------------------------
     def base_rtt_ms(self, src: Endpoint, dst: Endpoint) -> float:
         """The deterministic RTT between two endpoints, in milliseconds.

@@ -85,6 +85,26 @@ class AddressAllocator:
     def allocate_many(self, count: int) -> list[str]:
         return [self.allocate() for _ in range(count)]
 
+    def mark(self) -> int:
+        """The allocator's position, for :meth:`reset_to`."""
+        return self._next
+
+    def reset_to(self, mark: int) -> None:
+        """Rewind to a previously captured :meth:`mark`."""
+        if mark > self._next:
+            raise ValueError(f"allocator mark {mark} is ahead of position {self._next}")
+        self._next = mark
+
+
+@dataclass(frozen=True)
+class TopologyMark:
+    """A rewind point for :meth:`Topology.reset_to` (world baselines)."""
+
+    ases: int
+    endpoints: int
+    next_asn: int
+    allocator: int
+
 
 class Topology:
     """A population of ASes and endpoints with regional weighting."""
@@ -102,6 +122,33 @@ class Topology:
         self._ases: list[AutonomousSystem] = []
         self._endpoints: list[Endpoint] = []
         self._next_asn = 64512  # private ASN range
+
+    def mark(self) -> TopologyMark:
+        """Capture the current population extent, for :meth:`reset_to`."""
+        return TopologyMark(
+            ases=len(self._ases),
+            endpoints=len(self._endpoints),
+            next_asn=self._next_asn,
+            allocator=self._allocator.mark(),
+        )
+
+    def reset_to(self, mark: TopologyMark, seed: int) -> None:
+        """Rewind to ``mark`` and reseed the placement RNG.
+
+        World builders create every AS/endpoint with an *explicit*
+        region, so the RNG is never drawn during construction — which is
+        what makes "reset a cached world to a new seed" exactly
+        equivalent to "rebuild the world from that seed": the structural
+        state rewinds to the baseline and the RNG restarts from the same
+        state a fresh ``Topology(seed)`` would have.
+        """
+        if mark.ases > len(self._ases) or mark.endpoints > len(self._endpoints):
+            raise ValueError("topology mark is ahead of the current population")
+        self._rng = random.Random(seed)
+        del self._ases[mark.ases:]
+        del self._endpoints[mark.endpoints:]
+        self._next_asn = mark.next_asn
+        self._allocator.reset_to(mark.allocator)
 
     @property
     def ases(self) -> list[AutonomousSystem]:

@@ -147,6 +147,12 @@ class LossModel:
             return True
         return self.rate > 0 and self._rng.random() < self.rate
 
+    def reseed(self, seed: int) -> None:
+        """Restore the just-constructed state under a new seed."""
+        self.seed = seed
+        self._rng = random.Random(seed ^ 0x10552)
+        self._down.clear()
+
 
 class Network:
     """The datagram fabric: address → server registry plus latency/loss."""
@@ -177,6 +183,43 @@ class Network:
         self._m_budget_exhausted = NULL_COUNTER
         self._m_rtt = NULL_HISTOGRAM
         self._m_server_queries = NULL_COUNTER
+
+    def reset_runtime(self, seed: int) -> None:
+        """Return the fabric to its just-built state under ``seed``.
+
+        The campaign worldcache calls this between shards instead of
+        rebuilding the world: RNG streams restart exactly where a fresh
+        ``Network(seed=seed)`` would, attached metrics/faults/backoff are
+        dropped back to ``None`` (shards attach their own), and every
+        registered server's runtime state (query tallies, logs, fault
+        hooks, catchment caches) is reset.  The server *registry* itself
+        is structural and untouched — builders never register servers
+        conditionally on the seed.
+        """
+        self.latency.reseed(seed)
+        self.loss.reseed(seed)
+        self._rng = random.Random(seed ^ 0x7E77)
+        self._jitter_rng = random.Random(seed ^ 0x8ACF)
+        self.metrics = None
+        self.faults = None
+        self.backoff = None
+        self._m_exchanges = NULL_COUNTER
+        self._m_timeouts = NULL_COUNTER
+        self._m_lost = NULL_COUNTER
+        self._m_retries = NULL_COUNTER
+        self._m_budget_exhausted = NULL_COUNTER
+        self._m_rtt = NULL_HISTOGRAM
+        self._m_server_queries = NULL_COUNTER
+        seen: set[int] = set()
+        for server in self._servers.values():
+            if id(server) in seen:  # anycast registers sites + service addr
+                continue
+            seen.add(id(server))
+            reset = getattr(server, "reset_runtime_state", None)
+            if reset is not None:
+                reset()
+            else:
+                self._wire_server_faults(server)  # at least drop fault hooks
 
     def attach_metrics(self, registry: "MetricsRegistry") -> None:
         """Instrument the fabric (and per-server query tallies) into

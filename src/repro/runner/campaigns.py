@@ -1,19 +1,28 @@
 """Picklable per-shard entry points for the paper's campaigns.
 
 Worker processes cannot ship a live simulated Internet across a pipe, so
-each shard *rebuilds* its slice of the campaign from the shard seed: a
-fresh world, a fresh probe population covering only the shard's unit
-range (probe ids offset by ``shard.start`` so merged ids stay globally
-unique), and a fresh measurement.  Everything a shard does is a pure
-function of ``(shard, kwargs)`` — the determinism contract of
+each shard *derives* its slice of the campaign from the shard seed: a
+world leased from the per-process :mod:`repro.runner.worldcache` (built
+once per worker, then reset to the shard seed instead of reconstructed),
+a fresh probe population covering only the shard's unit range (probe ids
+offset by ``shard.start`` so merged ids stay globally unique), and a
+fresh measurement.  Everything a shard does is a pure function of
+``(shard, kwargs)`` — the determinism contract of
 :mod:`repro.runner.shard` — so any worker, any worker count, and any
-resume order produce byte-identical shard outputs.
+resume order produce byte-identical shard outputs.  Seeded world reset
+is exactly equivalent to a rebuild because world *structure* never
+depends on the seed (asserted by the worldcache tests).
+
+Shard return values are :func:`repro.runner.codec.encode_shard_payload`
+envelopes; the scenario layer decodes them after the executor returns.
 """
 
 from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.runner.codec import PAYLOAD_VERSION as SHARD_PAYLOAD_VERSION
+from repro.runner.codec import encode_shard_payload
 from repro.runner.shard import Shard
 
 __all__ = [
@@ -23,15 +32,8 @@ __all__ = [
     "ddos_shard",
     "prefetch_shard",
     "campaign_fingerprint",
+    "SHARD_PAYLOAD_VERSION",
 ]
-
-
-#: Version of the per-shard checkpoint payload layout.  Bumped when the
-#: shape of what shard functions return changes (v2: every shard returns
-#: ``{"results": ..., "queries": int, "metrics": snapshot payload}``), so
-#: run dirs written by an older layout fail loudly instead of merging
-#: garbage.
-SHARD_PAYLOAD_VERSION = 2
 
 
 def campaign_fingerprint(kind: str, **params: Any) -> dict[str, Any]:
@@ -63,49 +65,124 @@ def centricity_shard(
     qtype_name: str,
     fault_plan: Optional[dict[str, Any]] = None,
     predict: bool = False,
+    snapshot: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
     """Run one shard of an active centricity campaign (§3.2/§3.3).
 
-    Builds the shard's world from ``shard.seed``, attaches a population
-    of ``shard.count`` probes whose ids start at ``shard.start``, and
-    runs the measurement spec against every vantage point.  Returns
-    ``{"results": ResultSet, "queries": int, "metrics": payload}`` —
-    the shard's sim-domain metrics snapshot rides along so the merged
+    Leases the shard's world from the per-process
+    :mod:`repro.runner.worldcache` (reset to ``shard.seed`` rather than
+    rebuilt), attaches a population of ``shard.count`` probes whose ids
+    start at ``shard.start``, and runs the measurement spec against
+    every vantage point.  Returns a
+    :func:`repro.runner.codec.encode_shard_payload` envelope — the
+    shard's sim-domain metrics snapshot rides along so the merged
     campaign observes the whole simulated world exactly.
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan` payload) schedules
     the same failures in every shard; the injector RNG is derived from
     the plan seed *and* ``shard.seed``, so per-shard draws are
     independent yet reproducible for any worker count.
+
+    ``snapshot`` configures mid-shard world-snapshot/resume (not part
+    of the campaign fingerprint — it changes *when* state hits disk,
+    never the results)::
+
+        {"run_dir": path, "fingerprint": dict, "every": int,
+         "crash_after": int | None, "crash_hard": bool}
+
+    With ``every > 0`` the measurement kernel checkpoints the whole
+    world-level campaign state (measurement + run state + metrics
+    registry, one pickled graph) every ``every`` queries.  If a
+    snapshot exists when the shard starts, the run resumes from it —
+    worldcache bypassed, the pickled world already carries the exact
+    mid-run RNG/cache/fault state.  ``crash_after``/``crash_hard`` are
+    test hooks: after the first snapshot at or past that query count a
+    fresh (non-resumed) run raises (or ``os._exit(2)`` when hard,
+    killing the pool worker) so the resume path can be exercised.
     """
     from repro.atlas.measurement import Measurement, MeasurementSpec
     from repro.core.experiment import make_population
     from repro.dns.rdtypes import RdataType
     from repro.metrics.registry import MetricsRegistry
+    from repro.runner import worldcache
 
-    registry = MetricsRegistry()
-    built = _world_builders()[builder](shard.seed, **world_kwargs)
-    world = getattr(built, "world", built)
-    world.network.attach_metrics(registry)
-    if fault_plan is not None:
-        from repro.faults import FaultInjector, FaultPlan
+    config = snapshot or {}
+    every = int(config.get("every") or 0)
+    store = None
+    if config.get("run_dir") is not None:
+        from repro.runner.checkpoint import CheckpointStore
 
-        world.network.attach_faults(
-            FaultInjector(FaultPlan.from_payload(fault_plan), seed=shard.seed)
+        store = CheckpointStore(config["run_dir"], config["fingerprint"])
+
+    measurement = None
+    state = None
+    registry = None
+    if store is not None:
+        snap = store.load_world_snapshot(shard.index)
+        if snap is not None:
+            measurement = snap["measurement"]
+            state = snap["state"]
+            registry = snap["registry"]
+    resumed = measurement is not None
+    if not resumed:
+        registry = MetricsRegistry()
+        built = worldcache.lease(
+            worldcache.cache_key(builder, world_kwargs),
+            lambda: _world_builders()[builder](shard.seed, **world_kwargs),
+            seed=shard.seed,
         )
-    population = make_population(
-        world, probes=shard.count, seed=shard.seed, probe_id_base=shard.start,
-        predict=predict,
+        world = getattr(built, "world", built)
+        world.network.attach_metrics(registry)
+        if fault_plan is not None:
+            from repro.faults import FaultInjector, FaultPlan
+
+            world.network.attach_faults(
+                FaultInjector(FaultPlan.from_payload(fault_plan), seed=shard.seed)
+            )
+        population = make_population(
+            world, probes=shard.count, seed=shard.seed, probe_id_base=shard.start,
+            predict=predict,
+        )
+        spec = MeasurementSpec(qtype=RdataType[qtype_name], **spec_kwargs)
+        measurement = Measurement(
+            spec=spec, vantage_points=population.vantage_points(), seed=shard.seed
+        )
+
+    checkpoint_cb = None
+    if store is not None and every > 0:
+        crash_after = config.get("crash_after")
+        crash_hard = bool(config.get("crash_hard"))
+
+        def checkpoint_cb(run_state):
+            store.save_world_snapshot(
+                shard.index,
+                {
+                    "measurement": measurement,
+                    "state": run_state,
+                    "registry": registry,
+                },
+            )
+            if crash_after is not None and not resumed and run_state.position >= crash_after:
+                if crash_hard:
+                    import os
+
+                    os._exit(2)
+                raise RuntimeError(
+                    f"injected crash after {run_state.position} queries (test hook)"
+                )
+
+    results = measurement.run(
+        resume=state, checkpoint_every=every, checkpoint=checkpoint_cb
     )
-    spec = MeasurementSpec(qtype=RdataType[qtype_name], **spec_kwargs)
-    results = Measurement(
-        spec=spec, vantage_points=population.vantage_points(), seed=shard.seed
-    ).run()
-    return {
-        "results": results,
-        "queries": len(results),
-        "metrics": registry.snapshot().to_payload(),
-    }
+    if store is not None:
+        # The shard is complete: its mid-run snapshot is obsolete (and
+        # the executor is about to spill the final payload anyway).
+        store.discard_world_snapshot(shard.index)
+    return encode_shard_payload(
+        results=results,
+        queries=len(results),
+        metrics=registry.snapshot().to_payload(),
+    )
 
 
 # ------------------------------------------------------------- controlled TTL
@@ -125,11 +202,11 @@ def controlled_shard(
 
     registry = MetricsRegistry()
     run = _run_controlled(**runs[shard.index], metrics=registry)
-    return {
-        "results": run,
-        "queries": run.client_summary["queries"],
-        "metrics": registry.snapshot().to_payload(),
-    }
+    return encode_shard_payload(
+        results=run,
+        queries=run.client_summary["queries"],
+        metrics=registry.snapshot().to_payload(),
+    )
 
 
 # ------------------------------------------------------------- ddos resilience
@@ -148,11 +225,11 @@ def ddos_shard(shard: Shard, *, tiers: list[dict[str, Any]]) -> dict[str, Any]:
 
     registry = MetricsRegistry()
     result = _run_ddos_tier(**tiers[shard.index], metrics=registry)
-    return {
-        "results": result,
-        "queries": result.slots + 2,
-        "metrics": registry.snapshot().to_payload(),
-    }
+    return encode_shard_payload(
+        results=result,
+        queries=result.slots + 2,
+        metrics=registry.snapshot().to_payload(),
+    )
 
 
 # ------------------------------------------------------------- prefetch
@@ -174,11 +251,11 @@ def prefetch_shard(
 
     registry = MetricsRegistry()
     result = _run_prefetch_cell(**cells[shard.index], metrics=registry)
-    return {
-        "results": result,
-        "queries": result.queries,
-        "metrics": registry.snapshot().to_payload(),
-    }
+    return encode_shard_payload(
+        results=result,
+        queries=result.queries,
+        metrics=registry.snapshot().to_payload(),
+    )
 
 
 # ------------------------------------------------------------- crawl
@@ -194,23 +271,35 @@ def crawl_shard(
 ) -> dict[str, Any]:
     """Crawl one contiguous slice of the generated list universe.
 
-    The universe is rebuilt from ``(scale, seed, lists)`` — identical in
-    every shard — and the shard crawls ``domains[start:stop]``.  Returns
-    ``{"results": CrawlResult, "queries": int, "metrics": payload}`` so
-    the executor's progress telemetry can count simulated queries and
-    the merged campaign carries an exact metrics snapshot.
+    The universe — identical in every shard — is leased from the
+    per-process :mod:`repro.runner.worldcache` (built once per worker
+    from ``(scale, seed, lists)``, reset between shards) and the shard
+    crawls ``domains[start:stop]``.  Returns a codec envelope so the
+    executor's progress telemetry can count simulated queries and the
+    merged campaign carries an exact metrics snapshot.
     """
     from repro.crawler.crawl import Crawler
-    from repro.crawler.toplists import build_crawl_universe
     from repro.metrics.registry import MetricsRegistry
+    from repro.runner import worldcache
+
+    def build():
+        from repro.crawler.toplists import build_crawl_universe
+
+        return build_crawl_universe(scale=scale, seed=seed, lists=lists)
 
     registry = MetricsRegistry()
-    universe = build_crawl_universe(scale=scale, seed=seed, lists=lists)
+    universe = worldcache.lease(
+        worldcache.cache_key(
+            "crawl_universe", {"scale": scale, "seed": seed, "lists": lists}
+        ),
+        build,
+        seed=seed,
+    )
     universe.network.attach_metrics(registry)
     crawler = Crawler(universe, timeout=timeout)
     result = crawler.crawl(universe.domains[shard.start : shard.stop])
-    return {
-        "results": result,
-        "queries": crawler.queries_sent,
-        "metrics": registry.snapshot().to_payload(),
-    }
+    return encode_shard_payload(
+        results=result,
+        queries=crawler.queries_sent,
+        metrics=registry.snapshot().to_payload(),
+    )

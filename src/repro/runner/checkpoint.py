@@ -7,6 +7,17 @@ a ``manifest.json`` records the campaign fingerprint — the parameters
 that determine the shard plan and per-shard results.  Reopening a run
 directory with a different fingerprint fails loudly instead of silently
 merging results from a different campaign.
+
+Shard-boundary checkpoints are too coarse for 100k+-query campaigns, so
+the store also holds **world snapshots**: versioned ``wsnap-NNNN.pkl``
+records carrying a shard's *mid-run* campaign state (the measurement,
+its run-state cursor, and the metrics registry, pickled as one graph so
+object identity — e.g. the registry the world's fabric holds — is
+preserved).  A killed worker resumes from its last snapshot instead of
+restarting the shard; completing a shard discards its snapshot.  The
+snapshot record is versioned independently of the shard payload layout
+(:data:`_WSNAP_VERSION`) because it stores live object graphs, not
+codec envelopes.
 """
 
 from __future__ import annotations
@@ -21,6 +32,8 @@ __all__ = ["CheckpointMismatch", "CheckpointStore"]
 
 _MANIFEST = "manifest.json"
 _FORMAT_VERSION = 1
+#: Version of the world-snapshot record layout (mid-shard resume state).
+_WSNAP_VERSION = 1
 
 
 class CheckpointMismatch(RuntimeError):
@@ -29,6 +42,10 @@ class CheckpointMismatch(RuntimeError):
 
 def _shard_filename(index: int) -> str:
     return f"shard-{index:04d}.pkl"
+
+
+def _wsnap_filename(index: int) -> str:
+    return f"wsnap-{index:04d}.pkl"
 
 
 class CheckpointStore:
@@ -66,6 +83,8 @@ class CheckpointStore:
     def save(self, shard_index: int, payload: Any) -> None:
         path = self.run_dir / _shard_filename(shard_index)
         _atomic_write_bytes(path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        # A completed shard's mid-run snapshot is obsolete.
+        self.discard_world_snapshot(shard_index)
 
     def load(self, shard_index: int) -> Any:
         path = self.run_dir / _shard_filename(shard_index)
@@ -89,9 +108,52 @@ class CheckpointStore:
             path.unlink()
 
     def clear(self) -> None:
-        """Drop every shard payload (keeps the manifest)."""
+        """Drop every shard payload and world snapshot (keeps the manifest)."""
         for index in self.completed_indices():
             self.discard(index)
+        for path in self.run_dir.glob("wsnap-*.pkl"):
+            path.unlink()
+
+    # -- world snapshots (mid-shard resume) ----------------------------------
+    def save_world_snapshot(self, shard_index: int, state: Any) -> None:
+        """Atomically spill one shard's mid-run campaign state.
+
+        ``state`` is pickled as a single object graph; callers pass every
+        piece that must share identity (measurement, run state, metrics
+        registry) in one container.
+        """
+        record = {"version": _WSNAP_VERSION, "shard": shard_index, "state": state}
+        path = self.run_dir / _wsnap_filename(shard_index)
+        _atomic_write_bytes(
+            path, pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def load_world_snapshot(self, shard_index: int) -> Optional[Any]:
+        """The shard's saved mid-run state, or ``None`` when absent."""
+        path = self.run_dir / _wsnap_filename(shard_index)
+        if not path.exists():
+            return None
+        with path.open("rb") as handle:
+            record = pickle.load(handle)
+        if not isinstance(record, dict) or record.get("version") != _WSNAP_VERSION:
+            raise CheckpointMismatch(
+                f"{path}: unsupported world-snapshot version "
+                f"{record.get('version') if isinstance(record, dict) else record!r}"
+            )
+        if record.get("shard") != shard_index:
+            raise CheckpointMismatch(
+                f"{path}: snapshot belongs to shard {record.get('shard')!r}, "
+                f"not {shard_index}"
+            )
+        return record["state"]
+
+    def has_world_snapshot(self, shard_index: int) -> bool:
+        return (self.run_dir / _wsnap_filename(shard_index)).exists()
+
+    def discard_world_snapshot(self, shard_index: int) -> None:
+        path = self.run_dir / _wsnap_filename(shard_index)
+        if path.exists():
+            path.unlink()
 
 
 def _normalize(fingerprint: dict[str, Any]) -> dict[str, Any]:

@@ -44,6 +44,7 @@ from repro.metrics.registry import (
     log_buckets,
 )
 from repro.runner.checkpoint import CheckpointStore
+from repro.runner.codec import query_count as _query_count
 from repro.runner.progress import ProgressTracker
 from repro.runner.shard import Shard
 
@@ -91,17 +92,21 @@ class ShardOutcome:
     wall_seconds: float = 0.0
 
 
-def _query_count(value: Any) -> int:
-    """Best-effort simulated-query count for progress telemetry."""
-    if isinstance(value, dict) and "queries" in value:
-        try:
-            return int(value["queries"])
-        except (TypeError, ValueError):
-            return 0
+def _call_profiled(
+    fn: Callable[..., Any], path: str, shard: Shard, kwargs: dict[str, Any]
+) -> Any:
+    """Pool-side wrapper: run one shard under cProfile, dump to ``path``.
+
+    Module-level so it pickles into workers; the stats file is written
+    even when the shard raises, so a crashing shard still leaves data.
+    """
+    import cProfile
+
+    profile = cProfile.Profile()
     try:
-        return len(value)
-    except TypeError:
-        return 0
+        return profile.runcall(fn, shard, **kwargs)
+    finally:
+        profile.dump_stats(path)
 
 
 @dataclass
@@ -118,6 +123,18 @@ class ShardExecutor:
     metrics: Optional[MetricsRegistry] = None
     #: Injectable sleep, so tests can pin backoff waits.
     sleep: Callable[[float], None] = time.sleep
+    #: Run once in every worker process before any shard executes (and
+    #: once in-process on the serial path, for symmetry).  Campaigns use
+    #: it to prewarm the per-process world cache so the first shard a
+    #: worker receives doesn't pay world construction.  Must be a
+    #: module-level callable; ``initargs`` must pickle.
+    initializer: Optional[Callable[..., None]] = None
+    initargs: tuple = ()
+    #: When set, each shard attempt runs under cProfile and dumps to
+    #: ``f"{profile_path}.shard-NNNN"`` (per attempt; the last attempt
+    #: wins).  Works in both pool and serial modes — ``repro run
+    #: --profile`` prefers a single whole-campaign profile when serial.
+    profile_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.metrics is not None:
@@ -209,10 +226,15 @@ class ShardExecutor:
         else:
             self.tracker.shard_retry(shard.index, attempt)
 
+    def _shard_profile_path(self, index: int) -> str:
+        return f"{self.profile_path}.shard-{index:04d}"
+
     # -- serial fallback -----------------------------------------------------
     def _run_serial(
         self, fn: Callable[..., Any], shards: Sequence[Shard], kwargs: dict[str, Any]
     ) -> list[ShardOutcome]:
+        if shards and self.initializer is not None:
+            self.initializer(*self.initargs)
         outcomes: list[ShardOutcome] = []
         for shard in shards:
             attempt = 0
@@ -220,7 +242,12 @@ class ShardExecutor:
                 attempt += 1
                 started = time.monotonic()
                 try:
-                    value = fn(shard, **kwargs)
+                    if self.profile_path is not None:
+                        value = _call_profiled(
+                            fn, self._shard_profile_path(shard.index), shard, kwargs
+                        )
+                    else:
+                        value = fn(shard, **kwargs)
                     elapsed = time.monotonic() - started
                     if self.timeout is not None and elapsed > self.timeout:
                         # Serial mode can't interrupt a running shard, so
@@ -246,11 +273,26 @@ class ShardExecutor:
 
     # -- process pool --------------------------------------------------------
     def _new_pool(self) -> concurrent.futures.ProcessPoolExecutor:
-        return concurrent.futures.ProcessPoolExecutor(max_workers=self.parallelism)
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.parallelism,
+            initializer=self.initializer,
+            initargs=self.initargs,
+        )
 
     def _run_pool(
         self, fn: Callable[..., Any], shards: Sequence[Shard], kwargs: dict[str, Any]
     ) -> list[ShardOutcome]:
+        import gc
+
+        # Workers fork from this process (Linux default).  Freezing the
+        # parent's GC generations first keeps the children's collector
+        # from traversing — and so copy-on-write faulting — every page
+        # the parent heap holds at fork time; with a large ResultSet
+        # already in memory (serial-vs-parallel comparisons, multi-stage
+        # campaigns) that thrash costs ~20% of 4-worker wall time on a
+        # 1-core host.  Unfrozen once the pool is done.
+        gc.collect()
+        gc.freeze()
         outcomes: list[ShardOutcome] = []
         attempts = {shard.index: 0 for shard in shards}
         by_index = {shard.index: shard for shard in shards}
@@ -260,7 +302,16 @@ class ShardExecutor:
 
         def submit(index: int) -> None:
             started[index] = time.monotonic()
-            pending[index] = pool.submit(fn, by_index[index], **kwargs)
+            if self.profile_path is not None:
+                pending[index] = pool.submit(
+                    _call_profiled,
+                    fn,
+                    self._shard_profile_path(index),
+                    by_index[index],
+                    kwargs,
+                )
+            else:
+                pending[index] = pool.submit(fn, by_index[index], **kwargs)
 
         def rebuild_pool() -> None:
             # A worker died hard (segfault, OOM kill): the pool is
@@ -328,4 +379,5 @@ class ShardExecutor:
             # wait=False: a hung worker must not stall shutdown (the
             # abandoned process is reaped at interpreter exit).
             pool.shutdown(wait=False, cancel_futures=True)
+            gc.unfreeze()
         return outcomes

@@ -17,6 +17,7 @@ from typing import Iterable, Optional
 from repro.atlas.results import MeasurementResult, ResultSet
 from repro.crawler.crawl import CrawlRecord, CrawlResult
 from repro.metrics.snapshot import MetricsSnapshot, merge_snapshots
+from repro.runner.codec import metrics_payload
 
 __all__ = [
     "MergeError",
@@ -133,14 +134,16 @@ def merge_crawl_results(
 def merge_shard_metrics(values: Iterable[dict]) -> MetricsSnapshot:
     """Fold shard payloads' ``"metrics"`` entries into one exact snapshot.
 
-    Shards that predate the metrics payload (or report none) contribute
-    the empty identity, so resumed mixed-version runs still merge — the
-    fingerprint's payload version normally rules those out anyway.
+    Payload-shape knowledge lives in :mod:`repro.runner.codec`; this
+    accepts encoded envelopes and decoded dicts alike.  Shards that
+    report no metrics contribute the empty identity, so resumed
+    mixed-version runs still merge — the fingerprint's payload version
+    normally rules those out anyway.
     """
     parts = [
-        MetricsSnapshot.from_payload(value["metrics"])
-        for value in values
-        if isinstance(value, dict) and value.get("metrics") is not None
+        MetricsSnapshot.from_payload(payload)
+        for payload in (metrics_payload(value) for value in values)
+        if payload is not None
     ]
     return merge_snapshots(parts)
 

@@ -41,12 +41,24 @@ class AnycastCluster:
         for zone in zones or ():
             self.add_zone(zone)
         self.service_address = service_address
+        self._log_queries = log_queries
         self.query_log: Optional[QueryLog] = QueryLog() if log_queries else None
         #: Total queries handled, counted even when the per-entry log is off.
         self.queries_received = 0
         self._catchment_cache: dict[str, Endpoint] = {}
         #: Set by ``Network.attach_faults``; consulted per query.
         self.faults: Optional["FaultInjector"] = None
+
+    def reset_runtime_state(self) -> None:
+        """Forget everything query traffic produced (worldcache reuse).
+
+        The catchment cache goes too: catchment follows the latency
+        model's per-path offsets, which are seed-dependent.
+        """
+        self.query_log = QueryLog() if self._log_queries else None
+        self.queries_received = 0
+        self._catchment_cache.clear()
+        self.faults = None
 
     def __repr__(self) -> str:
         return f"AnycastCluster({self.service_address}, {len(self._sites)} sites)"

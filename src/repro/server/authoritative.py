@@ -35,11 +35,22 @@ class AuthoritativeServer:
         self._zones: dict[Name, Zone] = {}
         for zone in zones or ():
             self.add_zone(zone)
+        self._log_queries = log_queries
         self.query_log: Optional[QueryLog] = QueryLog() if log_queries else None
         #: Total queries handled, counted even when the per-entry log is off.
         self.queries_received = 0
         #: Set by ``Network.attach_faults``; consulted per query.
         self.faults: Optional["FaultInjector"] = None
+
+    def reset_runtime_state(self) -> None:
+        """Forget everything query traffic produced (worldcache reuse).
+
+        Zones and the endpoint are structural and survive; the query log,
+        tally, and fault hook return to their just-constructed state.
+        """
+        self.query_log = QueryLog() if self._log_queries else None
+        self.queries_received = 0
+        self.faults = None
 
     def __repr__(self) -> str:
         origins = ",".join(str(origin) for origin in self._zones)

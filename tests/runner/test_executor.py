@@ -73,6 +73,14 @@ def hard_crash_once(shard, *, marker_dir, fail_index):
     return list(shard.unit_range())
 
 
+def mark_initialized(marker_dir):
+    """Initializer hook: leaves one marker per process it ran in."""
+    import os
+    import pathlib
+
+    (pathlib.Path(marker_dir) / f"init-{os.getpid()}").touch()
+
+
 def _values(outcomes):
     return [outcome.value for outcome in outcomes]
 
@@ -237,6 +245,65 @@ def test_pool_rebuilt_after_hard_worker_crash(tmp_path):
     # The crashing shard really ran twice: once killing its worker, once
     # to completion on the rebuilt pool.
     assert len(list(tmp_path.glob("hard-1-*"))) == 2
+
+
+def test_initializer_runs_once_in_serial_mode(tmp_path):
+    plan = plan_shards(6, 3, campaign_seed=9)
+    executor = ShardExecutor(
+        parallelism=1, initializer=mark_initialized, initargs=(str(tmp_path),)
+    )
+    executor.run(unit_list, plan)
+    # One process, one init call — not one per shard.
+    assert len(list(tmp_path.glob("init-*"))) == 1
+
+
+def test_initializer_runs_once_per_pool_worker(tmp_path):
+    plan = plan_shards(8, 4, campaign_seed=9)
+    executor = ShardExecutor(
+        parallelism=2, initializer=mark_initialized, initargs=(str(tmp_path),)
+    )
+    executor.run(unit_list, plan)
+    markers = list(tmp_path.glob("init-*"))
+    assert 1 <= len(markers) <= 2
+    assert all(m.name != f"init-{__import__('os').getpid()}" for m in markers)
+
+
+def test_initializer_skipped_when_nothing_to_run(tmp_path):
+    executor = ShardExecutor(
+        parallelism=1, initializer=mark_initialized, initargs=(str(tmp_path),)
+    )
+    executor.run(unit_list, [])
+    assert list(tmp_path.glob("init-*")) == []
+
+
+def test_profile_path_writes_per_shard_stats(tmp_path):
+    import pstats
+
+    plan = plan_shards(6, 3, campaign_seed=10)
+    base = tmp_path / "campaign.pstats"
+    for parallelism in (1, 2):
+        executor = ShardExecutor(parallelism=parallelism, profile_path=str(base))
+        executor.run(unit_list, plan)
+        for shard in plan:
+            path = tmp_path / f"campaign.pstats.shard-{shard.index:04d}"
+            assert path.exists()
+            # The dump must be loadable profile data, not an empty file.
+            assert pstats.Stats(str(path)).total_calls > 0
+            path.unlink()
+
+
+def test_profile_written_even_when_shard_crashes(tmp_path):
+    plan = plan_shards(2, 2, campaign_seed=10)
+    base = tmp_path / "crash.pstats"
+    executor = ShardExecutor(
+        parallelism=1,
+        profile_path=str(base),
+        retry=RetryPolicy(max_attempts=1),
+        sleep=lambda _: None,
+    )
+    with pytest.raises(ShardError):
+        executor.run(always_fails, plan)
+    assert (tmp_path / "crash.pstats.shard-0000").exists()
 
 
 def test_tracker_sees_lifecycle_events(tmp_path):

@@ -1,0 +1,131 @@
+"""The per-process world cache: seeded reset must equal a fresh build."""
+
+import pytest
+
+from repro.runner import worldcache
+from repro.runner.campaigns import centricity_shard, crawl_shard
+from repro.runner.codec import decode_shard_payload
+from repro.runner.shard import plan_shards
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    worldcache.clear()
+    yield
+    worldcache.clear()
+
+
+UY_KWARGS = dict(
+    builder="uy",
+    world_kwargs={"child_ns_ttl": 300},
+    spec_kwargs=dict(qname="uy.", interval=600.0, duration=1800.0, description="wc"),
+    qtype_name="NS",
+)
+
+
+def _run(shard, **overrides):
+    return decode_shard_payload(centricity_shard(shard, **{**UY_KWARGS, **overrides}))
+
+
+def test_reused_world_reproduces_fresh_build_exactly():
+    shards = plan_shards(24, 3, 17)
+    # One process, one cached world: shards 1 and 2 run on shard 0's world.
+    reused = [_run(shard) for shard in shards]
+    stats = worldcache.stats()
+    assert stats["builds"] == 1
+    assert stats["reuses"] == len(shards) - 1
+
+    # Fresh build per shard: what a cold worker process would compute.
+    fresh = []
+    for shard in shards:
+        worldcache.clear()
+        fresh.append(_run(shard))
+
+    for a, b in zip(reused, fresh):
+        assert a["results"].results == b["results"].results
+        assert a["metrics"] == b["metrics"]
+
+
+def test_reset_is_seed_exact_not_just_structural():
+    shard_a, shard_b = plan_shards(16, 2, 5)
+    first = _run(shard_a)
+    _run(shard_b)  # drains the cached world's RNG streams under seed B
+    again = _run(shard_a)  # reset must rewind them to seed A exactly
+    assert again["results"].results == first["results"].results
+    assert again["metrics"] == first["metrics"]
+
+
+def test_reused_world_reproduces_faulted_run():
+    plan = {
+        "schema": "repro.faults/v1", "name": "wc", "seed": 2,
+        "faults": [{"kind": "loss", "start": 0.0, "duration": 900.0, "rate": 0.4}],
+    }
+    from repro.faults import FaultPlan
+
+    payload = FaultPlan.from_json(__import__("json").dumps(plan)).to_payload()
+    shards = plan_shards(16, 2, 9)
+    reused = [_run(shard, fault_plan=payload) for shard in shards]
+    worldcache.clear()
+    fresh = []
+    for shard in shards:
+        worldcache.clear()
+        fresh.append(_run(shard, fault_plan=payload))
+    for a, b in zip(reused, fresh):
+        assert a["results"].results == b["results"].results
+        assert a["metrics"] == b["metrics"]
+
+
+def test_reused_world_reproduces_predict_run():
+    shards = plan_shards(16, 2, 13)
+    reused = [_run(shard, predict=True) for shard in shards]
+    fresh = []
+    for shard in shards:
+        worldcache.clear()
+        fresh.append(_run(shard, predict=True))
+    for a, b in zip(reused, fresh):
+        assert a["results"].results == b["results"].results
+        assert a["metrics"] == b["metrics"]
+
+
+def test_crawl_universe_reuse_matches_fresh_build():
+    kwargs = dict(scale=0.0001, seed=4, lists=None)
+    shards = plan_shards(12, 2, 4)
+    reused = [decode_shard_payload(crawl_shard(shard, **kwargs)) for shard in shards]
+    assert worldcache.stats()["builds"] == 1
+    fresh = []
+    for shard in shards:
+        worldcache.clear()
+        fresh.append(decode_shard_payload(crawl_shard(shard, **kwargs)))
+    for a, b in zip(reused, fresh):
+        assert a["results"].records == b["results"].records
+        assert a["queries"] == b["queries"]
+        assert a["metrics"] == b["metrics"]
+
+
+def test_distinct_world_kwargs_get_distinct_cache_entries():
+    shard = plan_shards(8, 1, 3)[0]
+    _run(shard)
+    _run(shard, world_kwargs={"child_ns_ttl": 86400})
+    assert worldcache.stats()["builds"] == 2
+
+
+def test_cache_is_bounded_lru():
+    shard = plan_shards(8, 1, 3)[0]
+    for ttl in range(60, 60 + (worldcache.MAX_WORLDS + 2) * 10, 10):
+        _run(shard, world_kwargs={"child_ns_ttl": ttl})
+    assert len(worldcache._cache) == worldcache.MAX_WORLDS
+
+
+def test_prewarm_builds_once_and_lease_reuses():
+    worldcache.prewarm("uy", {"child_ns_ttl": 300})
+    assert worldcache.stats()["builds"] == 1
+    shard = plan_shards(8, 1, 3)[0]
+    _run(shard)
+    stats = worldcache.stats()
+    assert stats["builds"] == 1
+    assert stats["reuses"] >= 1
+
+
+def test_prewarm_ignores_unknown_builder():
+    worldcache.prewarm("no-such-builder", {})
+    assert worldcache.stats()["builds"] == 0

@@ -208,6 +208,57 @@ class TestMetricsCommand:
         assert "valid" in capsys.readouterr().out
 
 
+class TestRunProfileAndSnapshots:
+    def test_serial_profile_writes_whole_campaign_stats(self, tmp_path, capsys):
+        import pstats
+
+        stats = tmp_path / "campaign.pstats"
+        assert main([
+            "run", "t2-uy", "--probes", "8", "--duration", "600",
+            "--profile", str(stats), "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        assert stats.exists()
+        assert pstats.Stats(str(stats)).total_calls > 0
+
+    def test_parallel_profile_writes_per_shard_stats(self, tmp_path, capsys):
+        stats = tmp_path / "campaign.pstats"
+        assert main([
+            "run", "t2-uy", "--probes", "8", "--duration", "600",
+            "--parallel", "2", "--shards", "2",
+            "--profile", str(stats), "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        assert not stats.exists()  # per-shard dumps only under --parallel
+        shard_files = sorted(p.name for p in tmp_path.glob("campaign.pstats.shard-*"))
+        assert shard_files == ["campaign.pstats.shard-0000",
+                               "campaign.pstats.shard-0001"]
+
+    def test_snapshot_every_requires_run_dir(self, capsys):
+        assert main([
+            "run", "t2-uy", "--probes", "8", "--duration", "600",
+            "--snapshot-every", "50", "--quiet",
+        ]) == 2
+        assert "--run-dir" in capsys.readouterr().err
+
+    def test_snapshot_every_rejects_non_centricity_campaign(self, tmp_path, capsys):
+        assert main([
+            "run", "ddos", "--run-dir", str(tmp_path / "run"),
+            "--snapshot-every", "50", "--quiet",
+        ]) == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_snapshot_run_completes_and_leaves_no_wsnap(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main([
+            "run", "t2-uy", "--probes", "8", "--duration", "600",
+            "--run-dir", str(run_dir), "--snapshot-every", "10", "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        assert list(run_dir.glob("shard-*.pkl"))
+        assert not list(run_dir.glob("wsnap-*.pkl"))
+
+
 class TestServeLoadgen:
     def test_loadgen_requires_port(self):
         import pytest
