@@ -206,7 +206,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 #: Campaigns `repro run` can execute through repro.runner.
 _RUN_CAMPAIGNS = (
     "t2-uy", "t2-anicuy", "t2-googleco", "t10-controlled", "crawl", "ddos",
-    "prefetch",
+    "prefetch", "ecs",
 )
 
 #: Campaigns that accept a --faults schedule (the controlled-TTL and crawl
@@ -416,6 +416,24 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
             )
         print(table.render())
         _write_metrics(args, run.metrics)
+    elif args.campaign == "ecs":
+        from repro.core.scenarios import scenario_ecs_cdn
+
+        run = scenario_ecs_cdn(duration=args.duration, **common)
+        table = Table(
+            ["TTL (s)", "mode", "queries", "hit rate", "auth queries",
+             "p50 (ms)", "p95 (ms)", "local site", "scoped"],
+            title="ECS + CDN: client-to-content latency and hit rate vs TTL",
+        )
+        for cell in run.cells:
+            table.add_row(
+                cell.ttl, cell.mode, cell.queries,
+                f"{cell.hit_rate * 100:.1f}%", cell.auth_queries,
+                f"{cell.p50_ms:.2f}", f"{cell.p95_ms:.2f}",
+                f"{cell.local_site_rate * 100:.0f}%", cell.scoped_entries,
+            )
+        print(table.render())
+        _write_metrics(args, run.metrics)
     elif args.campaign == "t10-controlled":
         from repro.analysis.cdf import ECDF
         from repro.core.scenarios import scenario_controlled_ttl
@@ -621,6 +639,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_udp_payload=args.max_udp_payload,
         time_scale=args.time_scale,
         predict=args.predict,
+        ecs=args.ecs,
         batch_size=args.batch,
         batching=not args.no_batch,
         memo=not args.no_memo,
@@ -656,6 +675,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         count=args.count,
         parse_responses=not args.no_parse,
         dump_responses=args.dump_responses,
+        ecs_subnets=args.ecs_subnets,
     )
     report = run_loadgen(config)
     if args.json:
@@ -911,6 +931,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--prewarm", type=int, default=0, metavar="N",
                        help="resolve the top-N hot names into each worker's "
                             "cache before serving (rank 0 = most popular)")
+    serve.add_argument("--ecs", action="store_true",
+                       help="accept RFC 7871 client-subnet options, forward "
+                            "them upstream, and cache scoped answers per "
+                            "subnet (see docs/ecs.md)")
     serve.add_argument("--predict", action="store_true",
                        help="refresh hot names ahead of expiry and serve "
                             "stale while revalidating (RFC 8767)")
@@ -959,6 +983,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--dump-responses", default=None, metavar="PATH",
                          help="write one sha256 per answered query "
                               "(response bytes, ID zeroed) in arrival order")
+    loadgen.add_argument("--ecs-subnets", type=int, default=0, metavar="N",
+                         help="attach an RFC 7871 ECS option sampling N "
+                              "distinct client /24s (0 = no ECS); pair "
+                              "with `repro serve --ecs`")
     loadgen.add_argument("--json", action="store_true",
                          help="print the report as JSON instead of text")
     loadgen.add_argument("--metrics", default=None, metavar="PATH",

@@ -33,6 +33,7 @@ from repro.core.worlds import (
     build_cachetest_world,
     build_cl_world,
     build_controlled_world,
+    build_ecs_cdn_world,
     build_googleco_world,
     build_hotset_world,
     build_nl_world,
@@ -1367,6 +1368,260 @@ def scenario_prefetch_tradeoff(
         duration=duration,
         rate_qps=rate_qps,
         names=names,
+        cells=cells,
+        metrics=metrics,
+    )
+
+
+# ------------------------------------------------------ ECS + CDN interplay
+
+
+#: Resolution architectures compared by the ECS/CDN scenario.
+_ECS_MODES = ("isp", "public", "public-ecs")
+
+
+@dataclass(frozen=True)
+class EcsCell:
+    """One (mode, TTL) cell of the ECS/CDN matrix."""
+
+    mode: str
+    ttl: int
+    seed: int
+    #: Client queries driven through the resolvers.
+    queries: int
+    #: Queries answered from resolver cache (global or subnet-scoped).
+    cache_hits: int
+    #: Queries the CDN authoritative answered (cache-miss volume).
+    auth_queries: int
+    #: Client-to-content latency: DNS resolution plus one RTT to the
+    #: answered site — the end-to-end number the CDN papers compare.
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    #: Fraction of queries answered with the client's region-local site.
+    local_site_rate: float
+    #: Per-site answer tallies, sorted by site name.
+    site_counts: tuple[tuple[str, int], ...]
+    #: Subnet-scoped cache entries at end of run (the cardinality axis).
+    scoped_entries: int
+    #: Scoped hits served to a different covered subnet than the one
+    #: that fetched the answer.
+    scope_merges: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+
+@dataclass
+class EcsCdnRun:
+    """The ECS/CDN figure: end-to-end latency and hit rate vs TTL for
+    ISP resolvers, a public resolver without ECS, and one with it.
+
+    The expected shape: "isp" and "public-ecs" route clients to nearby
+    sites (low p50), "public" sends every catchment to the egress's site
+    (high tail for far clients); "public-ecs" pays for the repair with
+    subnet-scoped cache cardinality and a lower hit rate at equal TTL.
+    """
+
+    duration: float
+    rate_qps: float
+    subnets: int
+    cells: list[EcsCell]
+    metrics: Optional[MetricsSnapshot] = None
+
+    def cell(self, mode: str, ttl: int) -> EcsCell:
+        for cell in self.cells:
+            if cell.mode == mode and cell.ttl == ttl:
+                return cell
+        raise KeyError((mode, ttl))
+
+    def latency_profile(self, mode: str) -> dict[int, float]:
+        return {c.ttl: c.p50_ms for c in self.cells if c.mode == mode}
+
+    def hit_profile(self, mode: str) -> dict[int, float]:
+        return {c.ttl: c.hit_rate for c in self.cells if c.mode == mode}
+
+
+def _run_ecs_cell(
+    *,
+    mode: str,
+    ttl: int,
+    seed: int,
+    subnets: int,
+    rate_qps: float,
+    duration: float,
+    metrics: Optional[MetricsRegistry] = None,
+) -> EcsCell:
+    """Drive one resolution architecture through the CDN workload."""
+    from repro.core.worlds import _ECS_SITE_OF_REGION
+    from repro.loadgen.arrivals import poisson_schedule
+    from repro.resolver.policy import EcsPolicy, ResolverPolicy
+    from repro.resolver.recursive import RecursiveResolver
+
+    testbed = build_ecs_cdn_world(ttl, seed, subnets=subnets)
+    world = testbed.world
+    if metrics is not None:
+        world.network.attach_metrics(metrics)
+        testbed.cdn.attach_metrics(metrics)
+
+    policy = ResolverPolicy.child_centric()
+    if mode == "public-ecs":
+        policy = policy.with_(ecs=EcsPolicy())
+    if mode == "isp":
+        resolvers = {
+            region: RecursiveResolver(
+                endpoint=endpoint,
+                network=world.network,
+                root_hints=world.hints,
+                policy=policy,
+            )
+            for region, endpoint in testbed.isp_endpoints.items()
+        }
+        resolver_of = lambda client: resolvers[client.region]  # noqa: E731
+    else:
+        resolvers = {
+            egress: RecursiveResolver(
+                endpoint=endpoint,
+                network=world.network,
+                root_hints=world.hints,
+                policy=policy,
+            )
+            for egress, endpoint in testbed.egress_endpoints.items()
+        }
+        resolver_of = lambda client: resolvers[client.egress]  # noqa: E731
+
+    site_of_address = {site.address: name for name, site in testbed.sites.items()}
+    local_site = {
+        client.index: _ECS_SITE_OF_REGION[client.region]
+        for client in testbed.clients
+    }
+    rng = random.Random(seed ^ 0xEC5D)
+    clients = testbed.clients
+    latencies: list[float] = []
+    hits = 0
+    count = 0
+    local_answers = 0
+    for at in poisson_schedule(rate_qps, duration, rng):
+        client = clients[rng.randrange(len(clients))]
+        resolver = resolver_of(client)
+        out = resolver.resolve(
+            testbed.content_name,
+            RdataType.A,
+            now=at,
+            client_subnet=client.subnet if mode == "public-ecs" else None,
+        )
+        total_ms = out.elapsed * 1000.0
+        if out.answers:
+            rdata = out.answers[-1].rdatas[0]
+            site_name = site_of_address.get(getattr(rdata, "address", None))
+            if site_name is not None:
+                total_ms += (
+                    world.network.latency.rtt(
+                        client.endpoint, testbed.site_endpoints[site_name], rng
+                    )
+                    * 1000.0
+                )
+                if site_name == local_site[client.index]:
+                    local_answers += 1
+        latencies.append(total_ms)
+        hits += out.cache_hit
+        count += 1
+    cdf = ECDF(latencies) if latencies else None
+    scope_merges = 0
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        if "ecs.scope_merges" in snapshot.metrics:
+            scope_merges = int(snapshot.value("ecs.scope_merges"))
+    return EcsCell(
+        mode=mode,
+        ttl=ttl,
+        seed=seed,
+        queries=count,
+        cache_hits=hits,
+        auth_queries=testbed.auth_queries,
+        p50_ms=cdf.median if cdf else 0.0,
+        p95_ms=cdf.quantile(0.95) if cdf else 0.0,
+        p99_ms=cdf.quantile(0.99) if cdf else 0.0,
+        local_site_rate=local_answers / count if count else 0.0,
+        site_counts=tuple(sorted(testbed.cdn.site_answers.items())),
+        scoped_entries=sum(
+            resolver.cache.ecs_scoped_len() for resolver in resolvers.values()
+        ),
+        scope_merges=scope_merges,
+    )
+
+
+def scenario_ecs_cdn(
+    seed: int = 0,
+    ttls: tuple = (60, 300, 3600),
+    modes: tuple = _ECS_MODES,
+    subnets: int = 12,
+    rate_qps: float = 2.0,
+    duration: float = 1800.0,
+    parallelism: Optional[int] = None,
+    run_dir: Optional[str] = None,
+    progress=None,
+    profile: Optional[str] = None,
+) -> EcsCdnRun:
+    """Client-to-content latency and cache hit rate across TTLs for ISP
+    resolvers vs a public resolver without and with ECS.
+
+    Runs a (mode × TTL) matrix of independent cells, each a fresh
+    :func:`build_ecs_cdn_world` plus its resolver set under a seeded
+    workload.  With ``parallelism`` set the cells run as one shard each
+    through :mod:`repro.runner` — byte-identical to the serial path for
+    any worker count, scoped-cache metrics included.
+    """
+    for mode in modes:
+        if mode not in _ECS_MODES:
+            raise ValueError(
+                f"unknown ECS mode {mode!r} (have: {', '.join(_ECS_MODES)})"
+            )
+    if not ttls or not modes:
+        raise ValueError("scenario_ecs_cdn needs >= 1 TTL and mode")
+    cell_params = [
+        {
+            "mode": mode,
+            "ttl": ttl,
+            "seed": seed + index,
+            "subnets": subnets,
+            "rate_qps": rate_qps,
+            "duration": duration,
+        }
+        for index, (mode, ttl) in enumerate((m, t) for m in modes for t in ttls)
+    ]
+
+    if parallelism is None:
+        cells: list[EcsCell] = []
+        snapshots: list[MetricsSnapshot] = []
+        for params in cell_params:
+            registry = MetricsRegistry()
+            cells.append(_run_ecs_cell(**params, metrics=registry))
+            snapshots.append(registry.snapshot())
+        metrics = merge_snapshots(snapshots)
+    else:
+        from repro.runner.campaigns import campaign_fingerprint, ecs_shard
+
+        fingerprint = campaign_fingerprint("ecs-cdn", seed=seed, cells=cell_params)
+        outcomes, metrics = _run_sharded_campaign(
+            "ecs-cdn",
+            fingerprint,
+            ecs_shard,
+            {"cells": cell_params},
+            total_units=len(cell_params),
+            seed=seed,
+            parallelism=parallelism,
+            shards=len(cell_params),
+            run_dir=run_dir,
+            progress=progress,
+            profile=profile,
+        )
+        cells = [outcome.value["results"] for outcome in outcomes]
+    return EcsCdnRun(
+        duration=duration,
+        rate_qps=rate_qps,
+        subnets=subnets,
         cells=cells,
         metrics=metrics,
     )

@@ -841,3 +841,200 @@ def build_hotset_world(ttl: int, seed: int = 0, names: int = 16) -> HotsetWorld:
     world._server_addresses["a.rootsrv.net"] = root_server.endpoint.address
     world._server_addresses["ns1.hot.example"] = server.endpoint.address
     return HotsetWorld(world=world, zone=zone, server=server, qnames=qnames)
+
+
+# ------------------------------------------------------------------ ECS + CDN
+@dataclass(frozen=True)
+class EcsClient:
+    """One simulated client population: a /24 and a place on the map."""
+
+    index: int
+    endpoint: Endpoint
+    subnet: "ClientSubnet"
+    region: Region
+    #: Which public-resolver egress this subnet's anycast routing lands on
+    #: ("eu" or "na") — the catchment that decouples client location from
+    #: resolver location.
+    egress: str
+
+
+@dataclass
+class EcsCdnWorld:
+    """The ECS/CDN interplay testbed (RFC 7871 scenario family).
+
+    One CDN zone whose content answer depends on where the query comes
+    from: ``sites`` per region, a deterministic subnet→site map, client
+    /24s spread over three regions, and public-resolver egress points
+    whose anycast catchment sends AS clients to the EU egress — the
+    misdirection that ECS exists to repair.
+    """
+
+    world: World
+    zone: Zone
+    cdn: "CdnAuthoritativeServer"
+    content_name: str
+    sites: dict[str, "CdnSite"]
+    site_endpoints: dict[str, Endpoint]
+    clients: list[EcsClient]
+    #: Per-region ISP resolver endpoints (clients use their own region's).
+    isp_endpoints: dict[Region, Endpoint]
+    #: Public-resolver egress endpoints, keyed "eu"/"na".
+    egress_endpoints: dict[str, Endpoint]
+
+    @property
+    def auth_queries(self) -> int:
+        """Queries the CDN authoritative has answered so far."""
+        return self.cdn.queries_received
+
+
+_ECS_REGION_CYCLE = (Region.EU, Region.NA, Region.AS)
+_ECS_SITE_OF_REGION = {Region.EU: "eu", Region.NA: "na", Region.AS: "as"}
+#: Anycast catchment: AS clients land on the EU egress (no AS egress),
+#: which is exactly the client/resolver decoupling the papers measure.
+_ECS_EGRESS_OF_REGION = {Region.EU: "eu", Region.NA: "na", Region.AS: "eu"}
+
+
+def _ecs_client_network(index: int) -> str:
+    """The /24 network address for client population ``index``.
+
+    Uses the RFC 2544 benchmarking block upward from 198.18.0.0, giving
+    distinct /24s for as many populations as the cardinality bench asks
+    for (1024 needs 198.18.0.0 through 198.21.255.0).
+    """
+    return f"198.{18 + index // 256}.{index % 256}.0"
+
+
+def build_ecs_cdn_world(ttl: int, seed: int = 0, subnets: int = 8) -> EcsCdnWorld:
+    """Build the ECS + CDN world for one (ttl, subnets) cell.
+
+    Mirrors :func:`build_hotset_world`'s single-zone shape, but the child
+    authoritative is a :class:`~repro.server.cdn.CdnAuthoritativeServer`
+    answering ``www.cdn.example.`` with a per-region site address: by ECS
+    subnet when the query carries one, by the resolver's own address
+    otherwise.  Per-site TTLs all carry the cell's ``ttl`` so cache decay
+    is uniform across sites and the TTL sweep stays interpretable.
+    """
+    from repro.dns.ecs import ClientSubnet
+    from repro.server.cdn import CdnAuthoritativeServer, CdnSite
+
+    if subnets < 1:
+        raise ValueError(f"need at least one client subnet, got {subnets}")
+    topology = Topology(seed=seed)
+    network = Network(seed=seed)
+    clock = SimClock()
+
+    root_zone = Zone("", default_ttl=172800)
+    root_zone.add_soa("a.rootsrv.net.")
+    root_zone.add("", RdataType.NS, NS(Name("a.rootsrv.net.")), ttl=518400)
+    root_server = AuthoritativeServer(
+        topology.endpoint_in_region(Region.NA, "a.rootsrv.net"), [root_zone]
+    )
+    network.register(root_server)
+    root_zone.add("a.rootsrv.net.", RdataType.A, A(root_server.endpoint.address))
+
+    # Content sites, one per region, in TEST-NET-3 address space.
+    site_specs = (
+        ("eu", Region.EU, "203.0.113.1"),
+        ("na", Region.NA, "203.0.113.2"),
+        ("as", Region.AS, "203.0.113.3"),
+    )
+    sites: dict[str, CdnSite] = {}
+    site_endpoints: dict[str, Endpoint] = {}
+    for site_name, region, address in site_specs:
+        allocated = topology.endpoint_in_region(region, name=f"cdn-site-{site_name}")
+        site_endpoints[site_name] = Endpoint(
+            address=address,
+            region=allocated.region,
+            asn=allocated.asn,
+            name=f"cdn-site-{site_name}",
+        )
+        sites[site_name] = CdnSite(
+            name=site_name, address=address, ttl=ttl, region=region
+        )
+
+    # Resolver seats are allocated here so the CDN map can route their
+    # addresses; the scenario builds RecursiveResolvers on these exact
+    # endpoints.
+    isp_endpoints = {
+        region: topology.endpoint_in_region(region, name=f"isp-res-{region.name.lower()}")
+        for region in _ECS_REGION_CYCLE
+    }
+    egress_endpoints = {
+        "eu": topology.endpoint_in_region(Region.EU, name="public-egress-eu"),
+        "na": topology.endpoint_in_region(Region.NA, name="public-egress-na"),
+    }
+
+    clients: list[EcsClient] = []
+    site_map: list[tuple[str, str]] = []
+    for index in range(subnets):
+        region = _ECS_REGION_CYCLE[index % len(_ECS_REGION_CYCLE)]
+        network_address = _ecs_client_network(index)
+        allocated = topology.endpoint_in_region(region, name=f"client-{index}")
+        endpoint = Endpoint(
+            address=network_address[:-1] + "10",
+            region=allocated.region,
+            asn=allocated.asn,
+            name=f"client-{index}",
+        )
+        clients.append(
+            EcsClient(
+                index=index,
+                endpoint=endpoint,
+                subnet=ClientSubnet.from_ip(network_address, 24),
+                region=region,
+                egress=_ECS_EGRESS_OF_REGION[region],
+            )
+        )
+        site_map.append((f"{network_address}/24", _ECS_SITE_OF_REGION[region]))
+    for region, endpoint in isp_endpoints.items():
+        site_map.append((f"{endpoint.address}/32", _ECS_SITE_OF_REGION[region]))
+    site_map.append((f"{egress_endpoints['eu'].address}/32", "eu"))
+    site_map.append((f"{egress_endpoints['na'].address}/32", "na"))
+
+    zone = Zone("cdn.example.", default_ttl=ttl)
+    zone.add_soa("ns1.cdn.example.")
+    zone.add("cdn.example.", RdataType.NS, NS(Name("ns1.cdn.example.")), ttl=ttl)
+    content_name = "www.cdn.example."
+    cdn = CdnAuthoritativeServer(
+        topology.endpoint_in_region(Region.EU, "ns1.cdn.example"),
+        [zone],
+        content_names=[content_name],
+        sites=sites.values(),
+        site_map=site_map,
+        default_site="eu",
+    )
+    network.register(cdn)
+    zone.add("ns1.cdn.example.", RdataType.A, A(cdn.endpoint.address), ttl=ttl)
+    root_zone.add(
+        "cdn.example.", RdataType.NS, NS(Name("ns1.cdn.example.")), ttl=172800
+    )
+    root_zone.add(
+        "ns1.cdn.example.", RdataType.A, A(cdn.endpoint.address), ttl=172800
+    )
+    hints = {Name("a.rootsrv.net."): root_server.endpoint.address}
+
+    world = World(
+        seed=seed,
+        topology=topology,
+        network=network,
+        clock=clock,
+        root_zone=root_zone,
+        hints=hints,
+    )
+    world.add_zone(root_zone)
+    world.add_zone(zone)
+    world.servers["a.rootsrv.net"] = root_server
+    world.servers["ns1.cdn.example"] = cdn
+    world._server_addresses["a.rootsrv.net"] = root_server.endpoint.address
+    world._server_addresses["ns1.cdn.example"] = cdn.endpoint.address
+    return EcsCdnWorld(
+        world=world,
+        zone=zone,
+        cdn=cdn,
+        content_name=content_name,
+        sites=sites,
+        site_endpoints=site_endpoints,
+        clients=clients,
+        isp_endpoints=isp_endpoints,
+        egress_endpoints=egress_endpoints,
+    )

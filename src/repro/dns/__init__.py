@@ -7,6 +7,12 @@ and header flags, a wire-format codec with name compression, and zones with
 delegations and glue.
 """
 
+from repro.dns.ecs import (
+    OPTION_CLIENT_SUBNET,
+    ClientSubnet,
+    extract_client_subnet,
+    replace_client_subnet,
+)
 from repro.dns.name import Name, NameError_, root
 from repro.dns.rdtypes import (
     A,
@@ -44,6 +50,7 @@ __all__ = [
     "AAAA",
     "CLASSIC_UDP_PAYLOAD",
     "CNAME",
+    "ClientSubnet",
     "DEFAULT_EDNS_PAYLOAD",
     "DNSKEY",
     "Edns",
@@ -56,6 +63,7 @@ __all__ = [
     "Name",
     "NameError_",
     "OPT",
+    "OPTION_CLIENT_SUBNET",
     "OpaqueRdata",
     "Opcode",
     "Question",
@@ -73,8 +81,10 @@ __all__ = [
     "Zone",
     "ZoneError",
     "clamp_ttl",
+    "extract_client_subnet",
     "format_ttl",
     "parse_ttl",
+    "replace_client_subnet",
     "root",
     "validate_ttl",
 ]

@@ -205,10 +205,17 @@ class Message:
 
     # -- EDNS -----------------------------------------------------------------------
     def use_edns(
-        self, udp_payload: int = DEFAULT_EDNS_PAYLOAD, dnssec_ok: bool = False
+        self,
+        udp_payload: int = DEFAULT_EDNS_PAYLOAD,
+        dnssec_ok: bool = False,
+        options: bytes = b"",
     ) -> "Message":
-        """Attach an OPT record advertising ``udp_payload``; returns self."""
-        self.edns = Edns(udp_payload=udp_payload, dnssec_ok=dnssec_ok)
+        """Attach an OPT record advertising ``udp_payload``; returns self.
+
+        ``options`` is the raw EDNS option blob (e.g. an ECS TLV built by
+        :mod:`repro.dns.ecs`); the message layer carries it opaquely.
+        """
+        self.edns = Edns(udp_payload=udp_payload, dnssec_ok=dnssec_ok, options=options)
         return self
 
     @property

@@ -77,8 +77,20 @@ class LoadgenConfig:
     #: with the ID zeroed — in arrival order.  ``cmp`` between two runs
     #: proves the answer bytes match.
     dump_responses: Optional[str] = None
+    #: Attach an RFC 7871 ECS option sampling this many distinct client
+    #: /24s (0 = no ECS).  Each query carries one subnet drawn uniformly,
+    #: so a `repro serve --ecs` target sees a subnet-diverse client mix.
+    ecs_subnets: int = 0
 
     def __post_init__(self) -> None:
+        if self.ecs_subnets < 0:
+            raise ValueError(f"ecs_subnets must be >= 0, not {self.ecs_subnets}")
+        if self.ecs_subnets > 4096:
+            raise ValueError(
+                f"ecs_subnets {self.ecs_subnets} exceeds the 4096 /24s in 172.16/12"
+            )
+        if self.ecs_subnets and not self.use_edns:
+            raise ValueError("ECS rides in the OPT record; drop --no-edns")
         if self.mode not in ("open", "closed"):
             raise ValueError(f"mode must be open or closed, not {self.mode!r}")
         if self.arrivals not in ("poisson", "fixed"):
@@ -158,22 +170,32 @@ class LoadGenerator:
         self.sampler = ZipfSampler(config.population, config.zipf_exponent)
         self._endpoints: list[_Endpoint] = []
         self._round_robin = 0
-        #: Encode-once query wires by qname rank, ID zeroed; sends stamp
-        #: a fresh ID over the first two octets.
-        self._wire_cache: dict[int, bytes] = {}
+        #: Encode-once query wires by (qname rank, ECS subnet index — -1
+        #: when ECS is off), ID zeroed; sends stamp a fresh ID over the
+        #: first two octets.
+        self._wire_cache: dict[tuple[int, int], bytes] = {}
         self._digests: Optional[list[str]] = [] if config.dump_responses else None
 
     # -- wire helpers ------------------------------------------------------
-    def _query_wire(self, rank: int, message_id: int) -> bytes:
-        base = self._wire_cache.get(rank)
+    def _query_wire(self, rank: int, message_id: int, subnet: int = -1) -> bytes:
+        key = (rank, subnet)
+        base = self._wire_cache.get(key)
         if base is None:
             query = Message.make_query(
                 self.config.qname_template.format(rank), self.config.qtype, id=0
             )
             if self.config.use_edns:
-                query.use_edns()
+                if subnet >= 0:
+                    from repro.dns.ecs import ClientSubnet
+
+                    network = f"172.{16 + (subnet >> 8)}.{subnet & 255}.0"
+                    query.use_edns(
+                        options=ClientSubnet.from_ip(network, 24).to_wire()
+                    )
+                else:
+                    query.use_edns()
             base = query.to_wire()
-            self._wire_cache[rank] = base
+            self._wire_cache[key] = base
         return message_id.to_bytes(2, "big") + base[2:]
 
     async def _query_once(self, backoff: BackoffPolicy) -> _Outcome:
@@ -181,7 +203,13 @@ class LoadGenerator:
         endpoint = self._endpoints[self._round_robin % len(self._endpoints)]
         self._round_robin += 1
         message_id = endpoint.take_id()
-        wire = self._query_wire(self.sampler.rank(self.rng), message_id)
+        rank = self.sampler.rank(self.rng)
+        subnet = (
+            self.rng.randrange(self.config.ecs_subnets)
+            if self.config.ecs_subnets
+            else -1
+        )
+        wire = self._query_wire(rank, message_id, subnet)
         loop = asyncio.get_running_loop()
         started = time.monotonic()
         for attempt in range(backoff.retries + 1):

@@ -40,6 +40,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.dns.ecs import ClientSubnet
 from repro.dns.name import Name
 from repro.dns.rdtypes import RdataClass, RdataType
 from repro.dns.record import RRset
@@ -109,6 +110,46 @@ class CacheEntry:
 
     def key(self) -> CacheKey:
         return (self.rrset.name, self.rrset.rdtype, self.rrset.rdclass)
+
+
+@dataclass
+class ScopedEntry:
+    """One subnet-scoped RRset in the ECS overlay (RFC 7871 §7.3.1).
+
+    ``network`` is the answer's covered network as a left-aligned integer
+    (the first ``scope`` bits are significant); ``source_network`` is the
+    client subnet that originally fetched the answer, kept so hits from
+    *other* covered subnets can be counted as scope merges.
+    """
+
+    rrset: RRset
+    family: int
+    scope: int
+    network: int
+    source_network: int
+    inserted_at: float
+    expires_at: float
+    _aged: Optional[RRset] = field(default=None, init=False, repr=False, compare=False)
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def remaining_ttl(self, now: float) -> int:
+        return max(0, int(self.expires_at - now))
+
+    def aged_rrset(self, now: float) -> RRset:
+        """The TTL-decremented view; shared per whole second, like
+        :meth:`CacheEntry.aged_rrset`."""
+        ttl = self.remaining_ttl(now)
+        rrset = self.rrset
+        if ttl == rrset.ttl:
+            return rrset
+        view = self._aged
+        if view is not None and view.ttl == ttl:
+            return view
+        view = rrset.with_ttl(ttl)
+        self._aged = view
+        return view
 
 
 @dataclass
@@ -194,6 +235,15 @@ class Cache:
         #: for a whole-cache flush.  Downstream wire-level caches (the
         #: serve-path response memo) subscribe here; unset costs nothing.
         self.on_change: Optional[Callable[[Optional[Name]], None]] = None
+        #: ECS overlay (RFC 7871): per-key lists of subnet-scoped answers.
+        #: Scope-0 answers never land here — they go through :meth:`put`
+        #: unchanged — so a resolver that never sends ECS never touches
+        #: this dict and its metrics instruments are never created,
+        #: keeping non-ECS metrics output byte-identical.
+        self._ecs: dict[CacheKey, list[ScopedEntry]] = {}
+        self._metrics_registry = metrics
+        self._m_ecs_entries = None
+        self._m_scope_merges = None
         if metrics is not None:
             self._m_hits = metrics.counter("cache.hits")
             self._m_misses = metrics.counter("cache.misses")
@@ -217,6 +267,7 @@ class Cache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._ecs.clear()
         self._negatives.clear()
         self._expiry_heap.clear()
         self._neg_heap.clear()
@@ -447,6 +498,114 @@ class Cache:
         heapq.heappush(self._neg_heap, (now + ttl, self._seq, key))
         if self.on_change is not None:
             self.on_change(qname)
+
+    # -- ECS scoped overlay (RFC 7871) ---------------------------------------
+    def _ecs_instruments(self) -> None:
+        """Create the ECS metrics lazily, on the first scoped insert.
+
+        Non-ECS runs must produce byte-identical metrics snapshots to a
+        build without ECS at all, so these instruments must not exist
+        until a scoped answer actually enters the cache.
+        """
+        if self._m_ecs_entries is None:
+            registry = self._metrics_registry
+            if registry is not None:
+                self._m_ecs_entries = registry.gauge("cache.ecs_scoped_entries")
+                self._m_scope_merges = registry.counter("ecs.scope_merges")
+            else:
+                self._m_ecs_entries = NULL_GAUGE
+                self._m_scope_merges = NULL_COUNTER
+
+    def put_scoped(
+        self, rrset: RRset, subnet: ClientSubnet, scope: int, now: float
+    ) -> None:
+        """Cache ``rrset`` as valid only for the first ``scope`` bits of
+        ``subnet``'s network.
+
+        An existing entry for the same (scope, network) is replaced; other
+        scopes and networks coexist under the same key — this is where the
+        100–1000x cache-cardinality multiplier lives.
+        """
+        if not 1 <= scope <= subnet.source_prefix:
+            raise ValueError(
+                f"scope {scope} outside 1..{subnet.source_prefix}; "
+                "scope-0 answers belong in put() (global cache)"
+            )
+        self._ecs_instruments()
+        bits = 32 if subnet.family == 1 else 128
+        network = subnet.network_bits() >> (bits - scope) << (bits - scope)
+        key: CacheKey = (rrset.name, rrset.rdtype, rrset.rdclass)
+        bucket = self._ecs.get(key)
+        if bucket is None:
+            bucket = self._ecs[key] = []
+        else:
+            bucket[:] = [entry for entry in bucket if not entry.is_expired(now)]
+        entry = ScopedEntry(
+            rrset=rrset,
+            family=subnet.family,
+            scope=scope,
+            network=network,
+            source_network=subnet.network_bits(),
+            inserted_at=now,
+            expires_at=now + self.effective_ttl(rrset.ttl),
+        )
+        for index, existing in enumerate(bucket):
+            if existing.family == entry.family and existing.scope == scope and existing.network == network:
+                bucket[index] = entry
+                break
+        else:
+            bucket.append(entry)
+        self.stats.inserts += 1
+        self._m_inserts.inc()
+        self._m_ecs_entries.record(self.ecs_scoped_len())
+        if self.on_change is not None:
+            self.on_change(key[0])
+
+    def get_scoped(
+        self,
+        name: Name,
+        rdtype: RdataType,
+        subnet: ClientSubnet,
+        now: float,
+        rdclass: RdataClass = RdataClass.IN,
+    ) -> Optional[ScopedEntry]:
+        """The live scoped answer covering ``subnet``, most specific first.
+
+        A miss is *not* counted here: the caller falls through to the
+        global cache, whose :meth:`get` does the accounting — so a query
+        answered globally still counts exactly one hit or miss.
+        """
+        bucket = self._ecs.get((name, rdtype, rdclass))
+        if not bucket:
+            return None
+        query_bits = subnet.network_bits()
+        family_bits = 32 if subnet.family == 1 else 128
+        best: Optional[ScopedEntry] = None
+        alive = [entry for entry in bucket if not entry.is_expired(now)]
+        if len(alive) != len(bucket):
+            bucket[:] = alive
+        for entry in alive:
+            if entry.family != subnet.family or subnet.source_prefix < entry.scope:
+                continue
+            if (entry.network ^ query_bits) >> (family_bits - entry.scope):
+                continue
+            if best is None or entry.scope > best.scope:
+                best = entry
+        if best is None:
+            return None
+        self.stats.hits += 1
+        self._m_hits.inc()
+        if best.source_network != query_bits:
+            # A different covered subnet fetched this answer: the scope
+            # declared by the authoritative merged two client subnets
+            # into one cache entry.
+            self._m_scope_merges.inc()
+        return best
+
+    def ecs_scoped_len(self) -> int:
+        """Total scoped entries across all keys (dead ones included until
+        their bucket is next touched)."""
+        return sum(len(bucket) for bucket in self._ecs.values())
 
     # -- lookup ---------------------------------------------------------------
     def peek(

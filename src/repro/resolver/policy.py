@@ -26,6 +26,54 @@ from typing import Optional
 from repro.predict.policy import PredictPolicy
 
 
+@dataclass(frozen=True)
+class EcsPolicy:
+    """RFC 7871 EDNS Client Subnet behaviour for one resolver.
+
+    A resolver with ECS armed truncates the client's address to
+    ``source_prefix_v4``/``source_prefix_v6`` bits (the privacy-motivated
+    defaults large public resolvers use), attaches it to upstream queries
+    for whitelisted domains, and caches non-zero-scope answers in the
+    subnet-scoped overlay.  ``whitelist`` is a tuple of domain suffixes
+    (``None`` = send ECS for every domain), mirroring the opt-in lists
+    public resolvers maintain for CDN operators.
+    """
+
+    source_prefix_v4: int = 24
+    source_prefix_v6: int = 56
+    whitelist: Optional[tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.source_prefix_v4 <= 32:
+            raise ValueError(
+                f"source_prefix_v4 {self.source_prefix_v4} outside 1..32"
+            )
+        if not 0 < self.source_prefix_v6 <= 128:
+            raise ValueError(
+                f"source_prefix_v6 {self.source_prefix_v6} outside 1..128"
+            )
+
+    def source_prefix(self, family: int) -> int:
+        return self.source_prefix_v4 if family == 1 else self.source_prefix_v6
+
+    def allows(self, qname: object) -> bool:
+        """Whether ``qname`` (a :class:`~repro.dns.name.Name`) gets ECS."""
+        if self.whitelist is None:
+            return True
+        text = str(qname).rstrip(".").lower()
+        for suffix in self.whitelist:
+            suffix = suffix.rstrip(".").lower()
+            if text == suffix or text.endswith("." + suffix):
+                return True
+        return False
+
+    def describe(self) -> str:
+        scope = f"ecs/{self.source_prefix_v4}"
+        if self.whitelist is not None:
+            scope += f"+wl{len(self.whitelist)}"
+        return scope
+
+
 class Centricity(enum.Enum):
     """Which side of a delegation the resolver believes (paper §3)."""
 
@@ -90,6 +138,11 @@ class ResolverPolicy:
     #: Predictive caching (repro.predict): popularity-driven refresh-ahead
     #: and RFC 8767 stale-while-revalidate.  ``None`` disables all of it.
     predict: Optional[PredictPolicy] = None
+    #: RFC 7871 EDNS Client Subnet: attach truncated client prefixes to
+    #: upstream queries and cache scoped answers per subnet.  ``None``
+    #: (the default) leaves every code path byte-identical to a build
+    #: without ECS.
+    ecs: Optional[EcsPolicy] = None
 
     def __post_init__(self) -> None:
         if self.ttl_cap is not None and self.ttl_cap < self.ttl_floor:
@@ -164,6 +217,8 @@ class ResolverPolicy:
             parts.append("prefetch")
         if self.predict is not None:
             parts.append(self.predict.describe())
+        if self.ecs is not None:
+            parts.append(self.ecs.describe())
         return "+".join(parts)
 
     @classmethod

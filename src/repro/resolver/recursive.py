@@ -23,8 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.dns.ecs import ClientSubnet, extract_client_subnet
 from repro.dns.message import Message, Rcode, Section
 from repro.dns.name import Name, root
+from repro.dns.wire import WireError
 from repro.dns.rdtypes import CNAME, NS, RdataClass, RdataType
 from repro.dns.record import RRset
 from repro.dns.zone import Zone
@@ -63,6 +65,9 @@ class ResolutionResult:
     served_stale: bool = False
     #: Addresses of authoritative servers contacted, in order.
     servers_contacted: list[str] = field(default_factory=list)
+    #: RFC 7871 scope of the answer (None when ECS was not in play,
+    #: 0 when the authoritative declared the answer global).
+    ecs_scope: Optional[int] = None
 
     @property
     def answer_rrset(self) -> Optional[RRset]:
@@ -124,6 +129,12 @@ class RecursiveResolver:
         )
         self._rotation: dict[Name, int] = {}
         self._query_skeletons: dict[tuple[Name, RdataType], Message] = {}
+        #: ECS context for the resolution in flight (single-threaded): the
+        #: truncated client subnet attached to upstream queries, and the
+        #: scope the final answer came back with.  Always ``None`` when
+        #: the policy leaves ECS off.
+        self._ecs_subnet: Optional[ClientSubnet] = None
+        self._ecs_scope: Optional[int] = None
         self.queries_sent = 0
         self.client_queries = 0
         self._last_iteration_steps = 0
@@ -185,11 +196,25 @@ class RecursiveResolver:
         return self.endpoint.address
 
     # ------------------------------------------------------------------ client API
-    def resolve(self, qname: Name | str, qtype: RdataType, now: float) -> ResolutionResult:
+    def resolve(
+        self,
+        qname: Name | str,
+        qtype: RdataType,
+        now: float,
+        client_subnet: Optional[ClientSubnet] = None,
+    ) -> ResolutionResult:
         """Answer a client query, recursing as needed.
 
         ``now`` is the virtual time the query arrives; the result's
         ``elapsed`` is the upstream time spent beyond that instant.
+
+        ``client_subnet`` is the querying client's subnet; it is only
+        acted on when the policy arms :class:`~repro.resolver.policy.
+        EcsPolicy` *and* the domain is whitelisted — the resolver then
+        checks the scoped cache overlay first and attaches the truncated
+        prefix to upstream queries (RFC 7871).  Scope-0 answers take the
+        exact non-ECS path, so an all-global run is byte-identical to one
+        that never heard of ECS.
         """
         faults = getattr(self.network, "faults", None)
         if faults is not None and faults.take_restart(self.address, now):
@@ -204,10 +229,33 @@ class RecursiveResolver:
         if self._tracker is not None:
             self._tracker.record((name, qtype), now)
 
+        subnet: Optional[ClientSubnet] = None
+        ecs_policy = self.policy.ecs
+        if (
+            ecs_policy is not None
+            and client_subnet is not None
+            and ecs_policy.allows(name)
+        ):
+            subnet = client_subnet.truncate(
+                ecs_policy.source_prefix(client_subnet.family)
+            )
+            if subnet.scope_prefix:
+                subnet = subnet.with_scope(0)
+
         negative = self.cache.get_negative(name, qtype, now)
         if negative is not None:
             rcode = Rcode.NXDOMAIN if negative.nxdomain else Rcode.NOERROR
             return ResolutionResult(rcode=rcode, cache_hit=True)
+
+        if subnet is not None:
+            scoped = self.cache.get_scoped(name, qtype, subnet, now)
+            if scoped is not None:
+                return ResolutionResult(
+                    rcode=Rcode.NOERROR,
+                    answers=[scoped.aged_rrset(now)],
+                    cache_hit=True,
+                    ecs_scope=scoped.scope,
+                )
 
         cached = self._answer_from_cache(name, qtype, now)
         if cached is not None:
@@ -229,8 +277,14 @@ class RecursiveResolver:
             if stale is not None:
                 return stale
 
+        if subnet is not None:
+            self._ecs_subnet = subnet
+            self._ecs_scope = None
         try:
-            return self._resolve_with_cnames(name, qtype, now, depth=0)
+            result = self._resolve_with_cnames(name, qtype, now, depth=0)
+            if subnet is not None:
+                result.ecs_scope = self._ecs_scope
+            return result
         except ResolutionError as failure:
             stale = self._serve_stale(name, qtype)
             if stale is not None:
@@ -239,6 +293,9 @@ class RecursiveResolver:
                 return stale
             self._m_servfail.inc()
             return ResolutionResult(rcode=Rcode.SERVFAIL, elapsed=failure.elapsed)
+        finally:
+            if subnet is not None:
+                self._ecs_subnet = None
 
     def note_memoized_answer(self, qname: Name, qtype: RdataType, now: float) -> None:
         """Account for a client query answered from a wire-level memo.
@@ -716,7 +773,15 @@ class RecursiveResolver:
         through a single-server outage.
         """
         elapsed = 0.0
-        query = self._make_query(qname, qtype)
+        subnet = self._ecs_subnet
+        if subnet is not None and self.policy.ecs.allows(qname):
+            # ECS queries are built fresh, never memoized: the option
+            # bytes vary by client subnet, and sub-resolutions for other
+            # (non-whitelisted) names must stay subnet-free.
+            query = Message.make_query(qname, qtype, recursion_desired=False)
+            query.use_edns(options=subnet.to_wire())
+        else:
+            query = self._make_query(qname, qtype)
         ordered = self._order_servers(cut, servers)
         last = len(ordered) - 1
         for index, (server_name, address) in enumerate(ordered):
@@ -855,6 +920,19 @@ class RecursiveResolver:
         authoritative = response.flags.aa
         parent_side = not authoritative and self.policy.centricity is Centricity.PARENT
 
+        # RFC 7871 §7.3.1: only ANSWER records are subnet-scoped; the
+        # authority and additional sections below stay global.  A server
+        # echoing scope 0 (or no ECS at all) takes the unchanged path.
+        subnet = self._ecs_subnet
+        scope = 0
+        if subnet is not None and response.edns is not None and response.edns.options:
+            try:
+                echo = extract_client_subnet(response.edns.options)
+            except WireError:
+                echo = None
+            if echo is not None and echo.family == subnet.family:
+                scope = min(echo.scope_prefix, subnet.source_prefix)
+
         for rrset in response.rrsets(Section.ANSWER):
             credibility = (
                 Credibility.AUTH_ANSWER if authoritative else Credibility.NONAUTH_ANSWER
@@ -867,7 +945,13 @@ class RecursiveResolver:
                     # RFC 4035 §5.3.3: the signed (child) TTL is the
                     # ceiling — the §2 argument for child-centricity.
                     rrset = clamp_to_signed_ttl(rrset, rrsig)
-            self.cache.put(rrset, credibility, now)
+            if scope:
+                self.cache.put_scoped(rrset, subnet, scope, now)
+                self._ecs_scope = scope
+            else:
+                self.cache.put(rrset, credibility, now)
+                if subnet is not None:
+                    self._ecs_scope = 0
 
         ns_owner: Optional[Name] = None
         for rrset in response.rrsets(Section.AUTHORITY):

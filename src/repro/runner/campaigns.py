@@ -30,6 +30,7 @@ __all__ = [
     "controlled_shard",
     "crawl_shard",
     "ddos_shard",
+    "ecs_shard",
     "prefetch_shard",
     "campaign_fingerprint",
     "SHARD_PAYLOAD_VERSION",
@@ -251,6 +252,31 @@ def prefetch_shard(
 
     registry = MetricsRegistry()
     result = _run_prefetch_cell(**cells[shard.index], metrics=registry)
+    return encode_shard_payload(
+        results=result,
+        queries=result.queries,
+        metrics=registry.snapshot().to_payload(),
+    )
+
+
+# ------------------------------------------------------------- ecs-cdn
+
+
+def ecs_shard(
+    shard: Shard, *, cells: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Run one (mode, TTL) cell of the ECS/CDN matrix (one shard per cell).
+
+    ``cells[shard.index]`` carries exactly the arguments the serial
+    :func:`repro.core.scenarios._run_ecs_cell` receives, so the sharded
+    campaign reproduces the serial scenario verbatim — subnet-scoped
+    cache metrics included.
+    """
+    from repro.core.scenarios import _run_ecs_cell
+    from repro.metrics.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    result = _run_ecs_cell(**cells[shard.index], metrics=registry)
     return encode_shard_payload(
         results=result,
         queries=result.queries,

@@ -64,6 +64,10 @@ class ServeConfig:
     #: Enable repro.predict: refresh-ahead for hot names plus RFC 8767
     #: stale-while-revalidate instead of SERVFAIL on dead upstreams.
     predict: bool = False
+    #: Accept RFC 7871 ECS options from clients, attach them upstream,
+    #: and cache scoped answers per subnet (--ecs).  Off by default so
+    #: the serving hot path stays byte-identical without it.
+    ecs: bool = False
     #: Datagrams drained/flushed per syscall on the UDP hot path.
     batch_size: int = DEFAULT_BATCH_SIZE
     #: False forces the portable one-datagram I/O loop (--no-batch).
@@ -127,6 +131,15 @@ def build_frontend(
     registry = MetricsRegistry()
     world = WORLD_BUILDERS[config.world](config.seed + worker_index)
     world.network.attach_metrics(registry)
+    policy = (
+        ResolverPolicy.predictive()
+        if config.predict
+        else ResolverPolicy.child_centric()
+    )
+    if config.ecs:
+        from repro.resolver.policy import EcsPolicy
+
+        policy = policy.with_(ecs=EcsPolicy())
     resolver = RecursiveResolver(
         endpoint=world.topology.endpoint_in_region(
             Region.EU, name=f"{config.server_name}-resolver"
@@ -134,11 +147,7 @@ def build_frontend(
         network=world.network,
         root_hints=world.hints,
         root_zone=world.root_zone,
-        policy=(
-            ResolverPolicy.predictive()
-            if config.predict
-            else ResolverPolicy.child_centric()
-        ),
+        policy=policy,
     )
     querylog = None
     if config.querylog_path:

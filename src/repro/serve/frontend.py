@@ -274,8 +274,24 @@ class DnsFrontend:
     def _resolve(self, query: Message, sim_now: float) -> Message:
         question = query.question
         assert question is not None
+        subnet = None
+        if self.resolver.policy.ecs is not None and query.edns is not None:
+            # RFC 7871 §7.1: a resolver accepts ECS from its clients the
+            # same way it would derive a subnet from their address.  The
+            # gate on policy.ecs keeps ECS-off serving byte-identical.
+            from repro.dns.ecs import extract_client_subnet
+
+            try:
+                subnet = extract_client_subnet(query.edns.options)
+            except WireError:
+                return query.make_response(
+                    rcode=Rcode.FORMERR, recursion_available=True
+                )
         try:
-            result = self.resolver.resolve(question.qname, question.qtype, now=sim_now)
+            result = self.resolver.resolve(
+                question.qname, question.qtype, now=sim_now,
+                client_subnet=subnet,
+            )
         except Exception:
             # The sim stack raising through the live path must not kill
             # the event loop; a resolver bug becomes a SERVFAIL.
@@ -287,11 +303,20 @@ class DnsFrontend:
         response = query.make_response(rcode=result.rcode, recursion_available=True)
         for rrset in result.answers:
             response.add(Section.ANSWER, *rrset.records())
+        if subnet is not None:
+            # Echo the subnet with the scope the resolution produced
+            # (0 when the answer is global); _encode keeps the option.
+            response.use_edns(
+                options=subnet.with_scope(result.ecs_scope or 0).to_wire()
+            )
         return response
 
     def _encode(self, query: Message, response: Message, via_tcp: bool) -> bytes:
         if query.edns is not None:
-            response.use_edns(udp_payload=self.max_udp_payload)
+            response.use_edns(
+                udp_payload=self.max_udp_payload,
+                options=response.edns.options if response.edns is not None else b"",
+            )
         wire = response.to_wire()
         if via_tcp:
             return wire

@@ -9,6 +9,7 @@ query into an ENTRADA-style :class:`QueryLog` for the passive analyses.
 
 from repro.server.authoritative import AuthoritativeServer
 from repro.server.anycast import AnycastCluster
+from repro.server.cdn import CdnAuthoritativeServer, CdnSite
 from repro.server.querylog import (
     QueryLog,
     QueryLogEntry,
@@ -21,6 +22,8 @@ from repro.server.rrl import ResponseRateLimiter, RrlVerdict
 __all__ = [
     "AnycastCluster",
     "AuthoritativeServer",
+    "CdnAuthoritativeServer",
+    "CdnSite",
     "QueryLog",
     "QueryLogEntry",
     "QueryLogWriter",

@@ -73,10 +73,54 @@ def valid_compressed() -> bytes:
     return response.to_wire()
 
 
+def valid_ecs_query() -> bytes:
+    """A query carrying an RFC 7871 ECS option (192.0.2.0/24, scope 0)."""
+    from repro.dns.ecs import ClientSubnet
+    from repro.dns.message import Message
+    from repro.dns.rdtypes import RdataType
+
+    query = Message.make_query("www.cdn.example", RdataType.A, id=0x7871)
+    query.use_edns(options=ClientSubnet.from_ip("192.0.2.0", 24).to_wire())
+    return query.to_wire()
+
+
+def valid_ecs_v6_scoped() -> bytes:
+    """A response echoing a v6 ECS option with a non-zero scope."""
+    from repro.dns.ecs import ClientSubnet
+    from repro.dns.message import Message, Section
+    from repro.dns.name import Name
+    from repro.dns.rdtypes import A, RdataType
+    from repro.dns.record import ResourceRecord
+
+    query = Message.make_query("www.cdn.example", RdataType.A, id=0x7872)
+    response = query.make_response(authoritative=True)
+    response.add(
+        Section.ANSWER,
+        ResourceRecord(Name("www.cdn.example"), RdataType.A, 60, A("203.0.113.1")),
+    )
+    subnet = ClientSubnet.from_ip("2001:db8::", 56, scope=48)
+    response.use_edns(options=subnet.to_wire())
+    return response.to_wire()
+
+
+def reject_ecs_opt_overrun() -> bytes:
+    """OPT rdlength promises 12 octets of ECS data; the message ends at 5."""
+    header = bytes.fromhex("787101000001000000000001")
+    question = b"\x03www\x07example\x03com\x00" + QTYPE_QCLASS
+    # Root owner, type OPT (41), class 4096, TTL 0, rdlength 12 — then
+    # only 5 octets of option data before the message ends.
+    opt = b"\x00" + b"\x00\x29" + b"\x10\x00" + b"\x00" * 4 + b"\x00\x0c"
+    return header + question + opt + b"\x00\x08\x00\x01\x00"
+
+
 CORPUS = {
     # -- must decode ---------------------------------------------------------
     "valid_response.bin": valid_response,
     "valid_compressed_names.bin": valid_compressed,
+    "valid_ecs_query.bin": valid_ecs_query,
+    "valid_ecs_v6_scoped.bin": valid_ecs_v6_scoped,
+    # OPT rdlength overruns the message: must fail at the message codec.
+    "reject_ecs_opt_overrun.bin": reject_ecs_opt_overrun,
     # -- must be rejected (and must terminate) ------------------------------
     # The historical reproducer: question name at offset 12 points to
     # offset 14, where parsing runs into a pointer back to offset 12 — a

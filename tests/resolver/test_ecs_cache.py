@@ -1,0 +1,141 @@
+"""The subnet-scoped cache overlay (RFC 7871 §7.3).
+
+Scoped entries coexist beside the global cache under the same (name,
+type, class) key; these tests pin the matching rules — longest scope
+wins, families never mix, a query less specific than the scope misses —
+and the two ECS instruments: the entries gauge and the scope-merge
+counter, both created lazily so ECS-off runs stay byte-identical.
+"""
+
+import pytest
+
+from repro.dns.ecs import ClientSubnet
+from repro.dns.name import Name
+from repro.dns.rdtypes import A, RdataType
+from repro.dns.record import RRset
+from repro.metrics import MetricsRegistry
+from repro.resolver.cache import Cache, Credibility
+
+NAME = Name("www.cdn.example.")
+
+
+def rrset(address: str = "203.0.113.1", ttl: int = 300) -> RRset:
+    return RRset(NAME, RdataType.A, ttl, [A(address)])
+
+
+def subnet(ip: str, prefix: int = 24) -> ClientSubnet:
+    return ClientSubnet.from_ip(ip, prefix)
+
+
+class TestScopedPutGet:
+    def test_scoped_answer_serves_only_its_subnet(self):
+        cache = Cache()
+        cache.put_scoped(rrset("203.0.113.1"), subnet("198.18.0.0"), 24, now=0.0)
+        hit = cache.get_scoped(NAME, RdataType.A, subnet("198.18.0.0"), now=1.0)
+        assert hit is not None
+        assert hit.scope == 24
+        assert cache.get_scoped(NAME, RdataType.A, subnet("198.18.1.0"), now=1.0) is None
+        assert cache.ecs_scoped_len() == 1
+
+    def test_global_cache_is_untouched(self):
+        cache = Cache()
+        cache.put_scoped(rrset(), subnet("198.18.0.0"), 24, now=0.0)
+        assert cache.get(NAME, RdataType.A, now=1.0) is None
+        assert len(cache) == 0
+
+    def test_wider_scope_covers_sibling_subnets(self):
+        cache = Cache()
+        cache.put_scoped(rrset(), subnet("198.18.0.0"), 16, now=0.0)
+        for ip in ("198.18.0.0", "198.18.1.0", "198.18.255.0"):
+            assert cache.get_scoped(NAME, RdataType.A, subnet(ip), now=1.0)
+        assert cache.get_scoped(NAME, RdataType.A, subnet("198.19.0.0"), now=1.0) is None
+
+    def test_longest_scope_wins(self):
+        cache = Cache()
+        cache.put_scoped(rrset("203.0.113.1"), subnet("198.18.0.0"), 16, now=0.0)
+        cache.put_scoped(rrset("203.0.113.2"), subnet("198.18.0.0"), 24, now=0.0)
+        hit = cache.get_scoped(NAME, RdataType.A, subnet("198.18.0.0"), now=1.0)
+        assert hit.scope == 24
+        assert hit.rrset.rdatas[0].address == "203.0.113.2"
+        # The sibling /24 only matches the /16 entry.
+        other = cache.get_scoped(NAME, RdataType.A, subnet("198.18.9.0"), now=1.0)
+        assert other.scope == 16
+
+    def test_less_specific_query_cannot_use_narrower_scope(self):
+        cache = Cache()
+        cache.put_scoped(rrset(), subnet("198.18.0.0"), 24, now=0.0)
+        assert cache.get_scoped(NAME, RdataType.A, subnet("198.18.0.0", 16), now=1.0) is None
+
+    def test_families_never_mix(self):
+        cache = Cache()
+        cache.put_scoped(rrset(), subnet("198.18.0.0"), 24, now=0.0)
+        v6 = ClientSubnet.from_ip("2001:db8::", 56)
+        assert cache.get_scoped(NAME, RdataType.A, v6, now=1.0) is None
+
+    def test_same_scope_same_network_replaces(self):
+        cache = Cache()
+        cache.put_scoped(rrset("203.0.113.1"), subnet("198.18.0.0"), 24, now=0.0)
+        cache.put_scoped(rrset("203.0.113.9"), subnet("198.18.0.0"), 24, now=0.0)
+        assert cache.ecs_scoped_len() == 1
+        hit = cache.get_scoped(NAME, RdataType.A, subnet("198.18.0.0"), now=1.0)
+        assert hit.rrset.rdatas[0].address == "203.0.113.9"
+
+    def test_entries_expire_with_their_ttl(self):
+        cache = Cache()
+        cache.put_scoped(rrset(ttl=60), subnet("198.18.0.0"), 24, now=0.0)
+        assert cache.get_scoped(NAME, RdataType.A, subnet("198.18.0.0"), now=59.0)
+        assert cache.get_scoped(NAME, RdataType.A, subnet("198.18.0.0"), now=60.0) is None
+
+    def test_aged_rrset_decrements_ttl(self):
+        cache = Cache()
+        cache.put_scoped(rrset(ttl=300), subnet("198.18.0.0"), 24, now=0.0)
+        hit = cache.get_scoped(NAME, RdataType.A, subnet("198.18.0.0"), now=120.0)
+        assert hit.aged_rrset(120.0).ttl == 180
+
+    def test_scope_zero_rejected(self):
+        cache = Cache()
+        with pytest.raises(ValueError, match="scope-0 answers belong in put"):
+            cache.put_scoped(rrset(), subnet("198.18.0.0"), 0, now=0.0)
+        with pytest.raises(ValueError):
+            cache.put_scoped(rrset(), subnet("198.18.0.0", 16), 24, now=0.0)
+
+    def test_clear_drops_the_overlay(self):
+        cache = Cache()
+        cache.put_scoped(rrset(), subnet("198.18.0.0"), 24, now=0.0)
+        cache.clear()
+        assert cache.ecs_scoped_len() == 0
+
+
+class TestEcsMetrics:
+    def test_instruments_appear_only_on_first_scoped_insert(self):
+        registry = MetricsRegistry()
+        cache = Cache(metrics=registry)
+        cache.put(rrset(), Credibility.AUTH_ANSWER, now=0.0)
+        cache.get(NAME, RdataType.A, now=1.0)
+        present = set(registry.snapshot().metrics)
+        assert "cache.ecs_scoped_entries" not in present
+        assert "ecs.scope_merges" not in present
+        cache.put_scoped(rrset(), subnet("198.18.0.0"), 24, now=0.0)
+        present = set(registry.snapshot().metrics)
+        assert "cache.ecs_scoped_entries" in present
+        assert "ecs.scope_merges" in present
+
+    def test_scope_merge_counts_cross_subnet_hits(self):
+        registry = MetricsRegistry()
+        cache = Cache(metrics=registry)
+        # A /16-scoped answer fetched by 198.18.0.0/24 …
+        cache.put_scoped(rrset(), subnet("198.18.0.0"), 16, now=0.0)
+        cache.get_scoped(NAME, RdataType.A, subnet("198.18.0.0"), now=1.0)
+        assert registry.snapshot().value("ecs.scope_merges") == 0
+        # … served to a different covered /24 is one merge.
+        cache.get_scoped(NAME, RdataType.A, subnet("198.18.7.0"), now=1.0)
+        assert registry.snapshot().value("ecs.scope_merges") == 1
+
+    def test_entries_gauge_tracks_high_watermark(self):
+        registry = MetricsRegistry()
+        cache = Cache(metrics=registry)
+        for third in range(5):
+            cache.put_scoped(
+                rrset(), subnet(f"198.18.{third}.0"), 24, now=0.0
+            )
+        assert registry.snapshot().value("cache.ecs_scoped_entries") == 5

@@ -1,0 +1,88 @@
+"""`repro serve --ecs`: the frontend's RFC 7871 client-subnet path.
+
+An ECS-armed frontend accepts client-subnet options from stubs, passes
+them through resolution, and echoes the subnet (with the resolved scope)
+on the response; an unarmed frontend must ignore the option entirely —
+same answer bytes as a query without it.
+"""
+
+import pytest
+
+from repro.dns.ecs import ClientSubnet, extract_client_subnet
+from repro.dns.message import Message, Rcode
+from repro.dns.rdtypes import RdataType
+from repro.serve.config import ServeConfig, build_frontend
+
+
+def query_wire(qname="www.domain1.nl.", id=1, subnet=None, options=None):
+    query = Message.make_query(qname, RdataType.A, id=id)
+    if options is not None:
+        query.use_edns(options=options)
+    elif subnet is not None:
+        query.use_edns(options=subnet.to_wire())
+    return query.to_wire()
+
+
+@pytest.fixture(scope="module")
+def ecs_frontend():
+    frontend, _registry = build_frontend(
+        ServeConfig(world="nl", ecs=True), wall_clock=lambda: 0.0
+    )
+    return frontend
+
+
+def test_config_default_is_off():
+    assert ServeConfig(world="nl").ecs is False
+
+
+def test_ecs_query_is_answered_and_echoed(ecs_frontend):
+    subnet = ClientSubnet.from_ip("198.51.100.0", 24)
+    result = ecs_frontend.handle_wire(
+        query_wire(id=21, subnet=subnet), client="10.0.0.1"
+    )
+    assert result.outcome == "answered"
+    response = Message.from_wire(result.wire)
+    assert response.rcode == Rcode.NOERROR
+    assert response.answer
+    echoed = extract_client_subnet(response.edns.options)
+    # The nl world's plain authoritatives never scope answers, so the
+    # echo declares the answer global (scope 0) per RFC 7871 §7.3.1.
+    assert echoed is not None
+    assert echoed.address == subnet.address
+    assert echoed.source_prefix == 24
+    assert echoed.scope_prefix == 0
+
+
+def test_malformed_ecs_is_formerr(ecs_frontend):
+    truncated = ClientSubnet.from_ip("198.51.100.0", 24).to_wire()[:-1]
+    result = ecs_frontend.handle_wire(
+        query_wire(id=22, options=truncated), client="10.0.0.1"
+    )
+    response = Message.from_wire(result.wire)
+    assert response.rcode == Rcode.FORMERR
+
+
+def test_plain_edns_still_works(ecs_frontend):
+    result = ecs_frontend.handle_wire(
+        query_wire(id=23, options=b""), client="10.0.0.1"
+    )
+    response = Message.from_wire(result.wire)
+    assert response.rcode == Rcode.NOERROR
+
+
+def test_unarmed_frontend_ignores_the_option():
+    """ECS off: a query carrying the option gets the same answer bytes
+    as one without it (modulo the echoed OPT, which carries no options
+    either way) — the byte-identity contract for disabled paths."""
+    frontend, _registry = build_frontend(
+        ServeConfig(world="nl"), wall_clock=lambda: 0.0
+    )
+    subnet = ClientSubnet.from_ip("198.51.100.0", 24)
+    with_ecs = frontend.handle_wire(
+        query_wire(id=31, subnet=subnet), client="10.0.0.1"
+    )
+    without = frontend.handle_wire(
+        query_wire(id=31, options=b""), client="10.0.0.1"
+    )
+    assert with_ecs.wire == without.wire
+    assert Message.from_wire(with_ecs.wire).edns.options == b""

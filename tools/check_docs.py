@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs-consistency check.
 
-Two invariants, enforced in CI (the ``docs`` job) and locally via
+Three invariants, enforced in CI (the ``docs`` job) and locally via
 ``make docs-check``:
 
 1. **Coverage** — every package under ``src/repro/`` (a directory with
@@ -11,6 +11,10 @@ Two invariants, enforced in CI (the ``docs`` job) and locally via
 2. **Link integrity** — every intra-repo markdown link in the top-level
    docs and ``docs/*.md`` resolves to a real file.  Anchors are not
    checked; external (``http``/``https``/``mailto``) links are skipped.
+3. **CLI-flag coverage** — every long ``--flag`` registered in
+   ``repro.cli`` appears somewhere in ``docs/API.md``, so a new knob
+   cannot land undocumented.  Intentional omissions go in
+   ``tools/check_docs_allowlist.txt`` (one flag per line, ``#`` comments).
 
 Exits 0 when clean, 1 with one line per violation otherwise.
 """
@@ -33,6 +37,12 @@ LINKED_DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
 
 EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
+#: ``add_argument("--flag", ...)`` in repro.cli — long options only;
+#: positionals and single-dash short options have no doc obligation.
+FLAG_RE = re.compile(r"""add_argument\(\s*["'](--[a-z][a-z0-9-]*)["']""")
+
+ALLOWLIST_PATH = "tools/check_docs_allowlist.txt"
 
 
 def repro_packages() -> list[str]:
@@ -69,10 +79,50 @@ def check_links(errors: list[str]) -> None:
                     errors.append(f"{rel}:{lineno}: broken link -> {target}")
 
 
+def cli_flags() -> list[str]:
+    """Every distinct long option repro.cli registers, sorted."""
+    text = (REPO / "src" / "repro" / "cli.py").read_text(encoding="utf-8")
+    return sorted(set(FLAG_RE.findall(text)))
+
+
+def allowlisted_flags() -> set[str]:
+    path = REPO / ALLOWLIST_PATH
+    if not path.is_file():
+        return set()
+    flags = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            flags.add(line)
+    return flags
+
+
+def check_cli_flags(errors: list[str]) -> int:
+    """Every CLI flag must appear in docs/API.md or the allowlist."""
+    api_text = (REPO / "docs" / "API.md").read_text(encoding="utf-8")
+    allowed = allowlisted_flags()
+    flags = cli_flags()
+    for flag in flags:
+        if flag in allowed:
+            continue
+        if flag not in api_text:
+            errors.append(
+                f"docs/API.md: CLI flag {flag} is undocumented "
+                f"(document it or add it to {ALLOWLIST_PATH})"
+            )
+    for stale in sorted(allowed - set(flags)):
+        errors.append(
+            f"{ALLOWLIST_PATH}: {stale} is allowlisted but no longer "
+            "registered in repro.cli"
+        )
+    return len(flags)
+
+
 def main() -> int:
     errors: list[str] = []
     check_coverage(errors)
     check_links(errors)
+    flag_count = check_cli_flags(errors)
     for error in errors:
         print(error, file=sys.stderr)
     if errors:
@@ -80,7 +130,7 @@ def main() -> int:
         return 1
     print(
         f"docs-check: {len(repro_packages())} packages covered, "
-        "all intra-repo links resolve"
+        f"all intra-repo links resolve, {flag_count} CLI flags documented"
     )
     return 0
 
