@@ -21,7 +21,7 @@ bench:
 # benchmarks/output/BENCH_perf.json, the machine-readable perf trajectory
 # PRs are compared against (git_rev + timestamp stamped per flush).
 bench-perf:
-	$(PYTEST) benchmarks/bench_perf_substrate.py benchmarks/bench_serve_throughput.py benchmarks/bench_serve_worker_scaling.py benchmarks/bench_ecs_cache_cardinality.py --benchmark-only
+	$(PYTEST) benchmarks/bench_perf_substrate.py benchmarks/bench_serve_throughput.py benchmarks/bench_serve_worker_scaling.py benchmarks/bench_ecs_cache_cardinality.py benchmarks/bench_push_vs_poll.py --benchmark-only
 
 # The CI perf-smoke gate: fresh bench-perf numbers must stay within 25%
 # of the checked-in baseline_perf.json floors.  campaign_large also runs

@@ -1,0 +1,54 @@
+"""Push-vs-poll bench (informational, not gated).
+
+Runs a compact ``scenario_push_vs_poll`` matrix — the renumbering plan
+at TTL 60 and 86400 for both update channels — and files the headline
+trade-off into ``BENCH_perf.json``: the authoritative-volume ratio
+between TTL-60 polling and long-TTL push, both channels' mean staleness
+windows, and the scenario's wall-clock cost.  Not gated by
+``check_perf.py``: the ratio is the *measured result* (the figure in
+``docs/push.md``), and the cells/s rate is the starting point for any
+future scenario-kernel optimisation.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_perf
+from repro.core.scenarios import scenario_push_vs_poll
+
+TTLS = (60, 86400)
+DURATION = 3600.0
+CHANGES = 6  # ~514 s apart: off the 60 s probe grid, as the tests pin
+
+
+def _drive():
+    return scenario_push_vs_poll(
+        seed=0, ttls=TTLS, plans=("renumbering",), duration=DURATION,
+        changes=CHANGES,
+    )
+
+
+def bench_push_vs_poll(benchmark):
+    run = benchmark.pedantic(_drive, rounds=1, iterations=1)
+    loud = run.cell("renumbering", "poll", 60)
+    quiet = run.cell("renumbering", "poll", 86400)
+    push = run.cell("renumbering", "push", 86400)
+    # The shape, not the exact values: push at a long TTL must post
+    # roughly TTL-86400-poll volume with sub-TTL-60-poll staleness.
+    assert push.auth_queries < loud.auth_queries / 10
+    assert push.mean_staleness_s <= loud.mean_staleness_s
+    assert push.mean_staleness_s < quiet.mean_staleness_s / 5
+    elapsed = benchmark.stats.stats.mean
+    cells = len(run.cells)
+    record_perf(
+        "push_vs_poll",
+        cells_per_s=round(cells / elapsed, 2),
+        sim_s_per_wall_s=round(cells * DURATION / elapsed, 1),
+        poll60_auth_queries=loud.auth_queries,
+        poll86400_auth_queries=quiet.auth_queries,
+        push86400_auth_queries=push.auth_queries,
+        auth_volume_ratio=round(loud.auth_queries / push.auth_queries, 2),
+        poll60_mean_staleness_s=round(loud.mean_staleness_s, 1),
+        poll86400_mean_staleness_s=round(quiet.mean_staleness_s, 1),
+        push86400_mean_staleness_s=round(push.mean_staleness_s, 1),
+        notifications=push.notifications,
+    )

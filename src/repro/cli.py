@@ -206,13 +206,13 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 #: Campaigns `repro run` can execute through repro.runner.
 _RUN_CAMPAIGNS = (
     "t2-uy", "t2-anicuy", "t2-googleco", "t10-controlled", "crawl", "ddos",
-    "prefetch", "ecs",
+    "prefetch", "ecs", "push",
 )
 
 #: Campaigns that accept a --faults schedule (the controlled-TTL and crawl
 #: campaigns build many isolated worlds whose endpoints a plan cannot
 #: meaningfully target, so they reject one instead of ignoring it).
-_FAULTABLE_CAMPAIGNS = ("t2-uy", "t2-anicuy", "t2-googleco", "ddos")
+_FAULTABLE_CAMPAIGNS = ("t2-uy", "t2-anicuy", "t2-googleco", "ddos", "push")
 
 #: Campaigns whose resolver populations can be armed with --predict
 #: (refresh-ahead + RFC 8767 serve-stale; see docs/prediction.md).
@@ -431,6 +431,27 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
                 f"{cell.hit_rate * 100:.1f}%", cell.auth_queries,
                 f"{cell.p50_ms:.2f}", f"{cell.p95_ms:.2f}",
                 f"{cell.local_site_rate * 100:.0f}%", cell.scoped_entries,
+            )
+        print(table.render())
+        _write_metrics(args, run.metrics)
+    elif args.campaign == "push":
+        from repro.core.scenarios import scenario_push_vs_poll
+
+        run = scenario_push_vs_poll(duration=args.duration, faults=faults,
+                                    **common)
+        table = Table(
+            ["plan", "TTL (s)", "mode", "answered", "stale", "staleness (s)",
+             "auth queries", "notifies", "resets"],
+            title="Push vs poll: staleness window and authoritative volume "
+                  "vs TTL",
+        )
+        for cell in run.cells:
+            table.add_row(
+                cell.plan, cell.ttl, cell.mode,
+                f"{cell.answered_rate * 100:.0f}%",
+                f"{cell.stale_rate * 100:.1f}%",
+                f"{cell.mean_staleness_s:.1f}",
+                cell.auth_queries, cell.notifications, cell.session_resets,
             )
         print(table.render())
         _write_metrics(args, run.metrics)

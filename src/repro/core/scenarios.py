@@ -38,6 +38,7 @@ from repro.core.worlds import (
     build_hotset_world,
     build_nl_world,
     build_outage_world,
+    build_push_world,
     build_uy_world,
 )
 from repro.dns.message import Message, Rcode, Section
@@ -1622,6 +1623,408 @@ def scenario_ecs_cdn(
         duration=duration,
         rate_qps=rate_qps,
         subnets=subnets,
+        cells=cells,
+        metrics=metrics,
+    )
+
+
+# ------------------------------------------------------- push vs TTL polling
+
+
+#: Fault families the push/poll comparison runs under.
+_PUSH_PLANS = ("renumbering", "ddos")
+#: Update channels under comparison.
+_PUSH_MODES = ("poll", "push")
+#: Analytic population rungs for the 1k -> 1M projection.
+PUSH_POPULATIONS = (1_000, 10_000, 100_000, 1_000_000)
+
+
+@dataclass(frozen=True)
+class PushCell:
+    """One (plan, mode, TTL) cell of the push-vs-poll matrix."""
+
+    plan: str
+    mode: str
+    ttl: int
+    seed: int
+    seats: int
+    #: Probes driven through the resolver seats (warm probes included).
+    probes: int
+    #: Probes answered NOERROR with an address.
+    answered: int
+    #: Answered probes carrying an outdated address (the record had
+    #: changed but the cached copy had not caught up).
+    stale_probes: int
+    #: Full DNS queries the child authoritative answered — cache-miss
+    #: refetches plus (in push mode) SUBSCRIBE exchanges.  Keepalives are
+    #: transport frames and deliberately excluded, as for a real DSO
+    #: session.
+    auth_queries: int
+    #: NOTIFY frames enqueued / coalesced away / sessions reset by a
+    #: doomed NOTIFY (push mode; all zero under polling).
+    notifications: int
+    coalesced: int
+    session_resets: int
+    #: Client-side session reconnects (push mode).
+    reconnects: int
+    #: Probe-observed staleness windows, seconds: per change and seat,
+    #: how long after the change the seat's answers kept showing the old
+    #: address (censored at the next change or end of run).
+    mean_staleness_s: float
+    p95_staleness_s: float
+    max_staleness_s: float
+    #: Measured per-seat authoritative query rate, queries/hour.
+    per_seat_auth_per_hour: float
+    #: ``(population, projected authoritative queries/s)``: the measured
+    #: per-seat rate scaled to resolver populations the simulation never
+    #: instantiates — the same aggregate treatment docs/ecs.md applies
+    #: with the Jung model.
+    projected_auth_qps: tuple[tuple[int, float], ...]
+    #: Jung et al. closed-form check: a poll-mode seat probing at
+    #: ``1/probe_interval`` misses at ``lambda/(1 + lambda*TTL)`` qps.
+    analytic_poll_miss_qps: float
+
+    @property
+    def answered_rate(self) -> float:
+        return self.answered / self.probes if self.probes else 0.0
+
+    @property
+    def stale_rate(self) -> float:
+        return self.stale_probes / self.answered if self.answered else 0.0
+
+
+@dataclass
+class PushVsPollRun:
+    """The push-vs-poll figure: staleness window and authoritative volume
+    across TTLs, for TTL polling vs pub/sub record updates, under a
+    renumbering plan and a DDoS plan.
+
+    The expected shape: polling trades the two axes against each other
+    (TTL 60 is fresh but loud, TTL 86400 quiet but stale for hours after
+    a renumbering), while push at a long TTL holds both — staleness
+    bounded by delivery latency, volume bounded by the change rate —
+    and under the DDoS plan keeps answering from the long-TTL cache
+    where short-TTL polling goes dark.
+    """
+
+    duration: float
+    probe_interval: float
+    changes: int
+    seats: int
+    cells: list[PushCell]
+    metrics: Optional[MetricsSnapshot] = None
+
+    def cell(self, plan: str, mode: str, ttl: int) -> PushCell:
+        for cell in self.cells:
+            if cell.plan == plan and cell.mode == mode and cell.ttl == ttl:
+                return cell
+        raise KeyError((plan, mode, ttl))
+
+    def staleness_profile(self, plan: str, mode: str) -> dict[int, float]:
+        return {
+            c.ttl: c.mean_staleness_s
+            for c in self.cells
+            if c.plan == plan and c.mode == mode
+        }
+
+    def volume_profile(self, plan: str, mode: str) -> dict[int, int]:
+        return {
+            c.ttl: c.auth_queries
+            for c in self.cells
+            if c.plan == plan and c.mode == mode
+        }
+
+
+def _push_staleness_lags(
+    change_log: list[tuple[float, str]],
+    observations: list[list[tuple[float, Optional[str]]]],
+    end: float,
+) -> list[float]:
+    """Per (change, seat) staleness windows from the probe record.
+
+    For each change, each seat's lag is the time from the change until
+    the seat first observed the new address — censored at the next
+    change (after which the old target is unobservable) or end of run.
+    Identical bookkeeping for both modes: the probe schedule is the
+    measurement instrument, the update channel is the treatment.
+    """
+    lags: list[float] = []
+    for index, (changed_at, address) in enumerate(change_log):
+        horizon = (
+            change_log[index + 1][0] if index + 1 < len(change_log) else end
+        )
+        for seat_obs in observations:
+            lag = horizon - changed_at
+            for at, seen in seat_obs:
+                if at < changed_at or seen is None:
+                    continue
+                if at >= horizon:
+                    break
+                if seen == address:
+                    lag = at - changed_at
+                    break
+            lags.append(lag)
+    return lags
+
+
+def _run_push_cell(
+    *,
+    plan: str,
+    mode: str,
+    ttl: int,
+    seed: int,
+    seats: int,
+    changes: int,
+    probe_interval: float,
+    duration: float,
+    fault_plan: Optional[dict] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> PushCell:
+    """Probe one update channel through one fault family at one TTL."""
+    from repro.analysis.hitrate import analytic_hit_rate
+    from repro.net.topology import Region
+    from repro.push import PushPolicy, attach_publisher
+    from repro.resolver.policy import ResolverPolicy
+    from repro.resolver.recursive import RecursiveResolver
+
+    testbed = build_push_world(ttl, seed)
+    world = testbed.world
+    if metrics is not None:
+        world.network.attach_metrics(metrics)
+
+    change_times = [
+        round(duration * (index + 1) / (changes + 1), 3)
+        for index in range(changes)
+    ]
+    specs = list(
+        FaultPlan.renumbering(testbed.content_name, change_times).faults
+    )
+    if plan == "ddos":
+        # A 20 %-of-run outage at the child authoritative, with one
+        # renumbering landing inside it: the update channel must survive
+        # the attack *and* catch up afterwards.
+        specs.append(
+            FaultSpec(
+                kind="server_outage",
+                start=round(duration * 0.45, 3),
+                duration=round(duration * 0.20, 3),
+                target=testbed.target_address,
+            )
+        )
+    plan_name = f"push-{plan}"
+    plan_seed = seed
+    if fault_plan is not None:
+        extra = FaultPlan.from_payload(fault_plan)
+        specs.extend(extra.faults)
+        plan_name = extra.name or plan_name
+        plan_seed = extra.seed
+    world.network.attach_faults(
+        FaultInjector(
+            FaultPlan(faults=tuple(specs), name=plan_name, seed=plan_seed),
+            seed=seed,
+        )
+    )
+    injector = world.network.faults
+
+    publisher = None
+    policy = ResolverPolicy.child_centric()
+    if mode == "push":
+        publisher = attach_publisher(testbed.server, world.network)
+        policy = ResolverPolicy.pushing(PushPolicy())
+
+    resolvers = [
+        RecursiveResolver(
+            endpoint=world.topology.endpoint_in_region(Region.EU, f"res{index}"),
+            network=world.network,
+            root_hints=world.hints,
+            policy=policy,
+        )
+        for index in range(seats)
+    ]
+
+    name = Name(testbed.content_name)
+    change_log: list[tuple[float, str]] = []
+    applied = 0
+
+    def apply_due(now: float) -> None:
+        # Fire due record_change events: mutate the zone at the scheduled
+        # instant and (push mode) publish the new RRset.  Both modes
+        # consume the same injector schedule — the change feed is part of
+        # the world, the update channel is the experimental treatment.
+        nonlocal applied
+        for spec in injector.take_record_changes(now):
+            address = testbed.apply_change(applied)
+            if publisher is not None:
+                publisher.publish(name, RdataType.A, spec.start)
+            change_log.append((spec.start, address))
+            applied += 1
+
+    observations: list[list[tuple[float, Optional[str]]]] = [
+        [] for _ in range(seats)
+    ]
+    probes = answered = 0
+    # Seats probe on a staggered cadence so cache expiries and pushed
+    # updates land between different seats' probes, not all at once.
+    offset = probe_interval / (seats + 1)
+
+    def probe(seat: int, at: float) -> None:
+        nonlocal probes, answered
+        apply_due(at)
+        out = resolvers[seat].resolve(name, RdataType.A, now=at)
+        address = None
+        if out.rcode == Rcode.NOERROR and out.answers:
+            address = getattr(out.answers[-1].rdatas[0], "address", None)
+        probes += 1
+        answered += address is not None
+        observations[seat].append((at, address))
+
+    for seat in range(seats):
+        probe(seat, seat * offset)
+    slots = int(duration // probe_interval)
+    for slot in range(1, slots + 1):
+        for seat in range(seats):
+            probe(seat, slot * probe_interval + seat * offset)
+
+    # Staleness and volume accounting -------------------------------------
+    stale = 0
+    for seat_obs in observations:
+        for at, seen in seat_obs:
+            if seen is None:
+                continue
+            truth = "203.0.113.10"
+            for changed_at, address in change_log:
+                if changed_at <= at:
+                    truth = address
+            stale += seen != truth
+    lags = sorted(_push_staleness_lags(change_log, observations, duration))
+    mean_lag = sum(lags) / len(lags) if lags else 0.0
+    p95_lag = lags[min(len(lags) - 1, int(0.95 * len(lags)))] if lags else 0.0
+
+    counter = lambda name_: 0  # noqa: E731
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        counter = lambda name_: (  # noqa: E731
+            int(snapshot.value(name_)) if name_ in snapshot.metrics else 0
+        )
+    auth_queries = testbed.server.queries_received
+    probe_rate = 1.0 / probe_interval
+    return PushCell(
+        plan=plan,
+        mode=mode,
+        ttl=ttl,
+        seed=seed,
+        seats=seats,
+        probes=probes,
+        answered=answered,
+        stale_probes=stale,
+        auth_queries=auth_queries,
+        notifications=counter("push.notifications"),
+        coalesced=counter("push.coalesced"),
+        session_resets=counter("push.session_resets"),
+        reconnects=counter("push.reconnects"),
+        mean_staleness_s=mean_lag,
+        p95_staleness_s=p95_lag,
+        max_staleness_s=lags[-1] if lags else 0.0,
+        per_seat_auth_per_hour=auth_queries / seats / (duration / 3600.0),
+        projected_auth_qps=tuple(
+            (population, auth_queries / seats / duration * population)
+            for population in PUSH_POPULATIONS
+        ),
+        analytic_poll_miss_qps=probe_rate
+        * (1.0 - analytic_hit_rate(probe_rate, ttl)),
+    )
+
+
+def scenario_push_vs_poll(
+    seed: int = 0,
+    ttls: tuple = (60, 3600, 86400),
+    plans: tuple = _PUSH_PLANS,
+    modes: tuple = _PUSH_MODES,
+    seats: int = 4,
+    changes: int = 6,
+    probe_interval: float = 60.0,
+    duration: float = 7200.0,
+    faults=None,
+    parallelism: Optional[int] = None,
+    run_dir: Optional[str] = None,
+    progress=None,
+    profile: Optional[str] = None,
+) -> PushVsPollRun:
+    """Staleness window vs authoritative volume: pub/sub updates against
+    TTL polling, under renumbering and DDoS fault plans.
+
+    Runs a (plan × mode × TTL) matrix of independent cells, each a fresh
+    :func:`build_push_world` whose ``record_change`` schedule renumbers
+    the probed answer mid-run.  Both modes consume the *same* seeded
+    schedule and the *same* probe cadence; only the update channel
+    differs.  With ``parallelism`` set the cells run as one shard each
+    through :mod:`repro.runner` — byte-identical to the serial path for
+    any worker count, push metrics included.  ``faults`` schedules extra
+    failures on top of every cell's own plan.
+    """
+    for plan in plans:
+        if plan not in _PUSH_PLANS:
+            raise ValueError(
+                f"unknown push plan {plan!r} (have: {', '.join(_PUSH_PLANS)})"
+            )
+    for mode in modes:
+        if mode not in _PUSH_MODES:
+            raise ValueError(
+                f"unknown push mode {mode!r} (have: {', '.join(_PUSH_MODES)})"
+            )
+    if not ttls or not plans or not modes:
+        raise ValueError("scenario_push_vs_poll needs >= 1 TTL, plan and mode")
+    fault_plan = _normalize_fault_plan(faults)
+    cell_params = [
+        {
+            "plan": plan,
+            "mode": mode,
+            "ttl": ttl,
+            "seed": seed + index,
+            "seats": seats,
+            "changes": changes,
+            "probe_interval": probe_interval,
+            "duration": duration,
+            "fault_plan": fault_plan,
+        }
+        for index, (plan, mode, ttl) in enumerate(
+            (p, m, t) for p in plans for m in modes for t in ttls
+        )
+    ]
+
+    if parallelism is None:
+        cells: list[PushCell] = []
+        snapshots: list[MetricsSnapshot] = []
+        for params in cell_params:
+            registry = MetricsRegistry()
+            cells.append(_run_push_cell(**params, metrics=registry))
+            snapshots.append(registry.snapshot())
+        metrics = merge_snapshots(snapshots)
+    else:
+        from repro.runner.campaigns import campaign_fingerprint, push_shard
+
+        fingerprint = campaign_fingerprint(
+            "push-vs-poll", seed=seed, cells=cell_params
+        )
+        outcomes, metrics = _run_sharded_campaign(
+            "push-vs-poll",
+            fingerprint,
+            push_shard,
+            {"cells": cell_params},
+            total_units=len(cell_params),
+            seed=seed,
+            parallelism=parallelism,
+            shards=len(cell_params),
+            run_dir=run_dir,
+            progress=progress,
+            profile=profile,
+        )
+        cells = [outcome.value["results"] for outcome in outcomes]
+    return PushVsPollRun(
+        duration=duration,
+        probe_interval=probe_interval,
+        changes=changes,
+        seats=seats,
         cells=cells,
         metrics=metrics,
     )

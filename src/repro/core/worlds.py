@@ -1038,3 +1038,105 @@ def build_ecs_cdn_world(ttl: int, seed: int = 0, subnets: int = 8) -> EcsCdnWorl
         isp_endpoints=isp_endpoints,
         egress_endpoints=egress_endpoints,
     )
+
+
+# ------------------------------------------------------------- push vs poll
+@dataclass
+class PushWorld:
+    """The push-vs-poll testbed: one renumbering-prone record.
+
+    Mirrors :class:`OutageWorld` — a realistic root delegation plus one
+    child zone behind one authoritative — but the interesting record is
+    the content answer itself, which the scenario renumbers on the fault
+    plan's ``record_change`` schedule.  :meth:`apply_change` is the one
+    mutation primitive; the scenario publishes through the attached
+    :class:`~repro.push.publisher.PushPublisher` (if any) right after.
+    """
+
+    world: World
+    zone: Zone
+    server: AuthoritativeServer
+    #: The record the scenario probes and renumbers.
+    content_name: str
+    #: TTL every child-zone record carries.
+    ttl: int
+
+    @property
+    def target_address(self) -> str:
+        """The address outage/``record_change`` faults should target."""
+        return self.server.endpoint.address
+
+    def content_address(self, change_index: int) -> str:
+        """The content record's address after change ``change_index``.
+
+        The record starts at ``203.0.113.10``; change ``k`` renumbers it
+        to ``203.0.113.(11 + k mod 200)`` — every change is visible.
+        """
+        return str(ipaddress.IPv4Address(0xCB007100 + 11 + change_index % 200))
+
+    def apply_change(self, change_index: int) -> str:
+        """Renumber the content record; returns the new address."""
+        address = self.content_address(change_index)
+        self.zone.replace(self.content_name, RdataType.A, A(address), ttl=self.ttl)
+        return address
+
+
+def build_push_world(ttl: int, seed: int = 0) -> PushWorld:
+    """Build the push-vs-poll world for one TTL cell.
+
+    Like :func:`build_outage_world`: the root delegation keeps its 2-day
+    TTL, the child zone — NS, glue, and the ``www`` content answer — all
+    carry ``ttl``, and the content record starts at change index 0's
+    predecessor (``203.0.113.10``).
+    """
+    topology = Topology(seed=seed)
+    network = Network(seed=seed)
+    clock = SimClock()
+
+    root_zone = Zone("", default_ttl=172800)
+    root_zone.add_soa("a.rootsrv.net.")
+    root_zone.add("", RdataType.NS, NS(Name("a.rootsrv.net.")), ttl=518400)
+    root_server = AuthoritativeServer(
+        topology.endpoint_in_region(Region.NA, "a.rootsrv.net"), [root_zone]
+    )
+    network.register(root_server)
+    root_zone.add("a.rootsrv.net.", RdataType.A, A(root_server.endpoint.address))
+
+    zone = Zone("pushed.example.", default_ttl=ttl)
+    zone.add_soa("ns1.pushed.example.")
+    zone.add("pushed.example.", RdataType.NS, NS(Name("ns1.pushed.example.")), ttl=ttl)
+    server = AuthoritativeServer(
+        topology.endpoint_in_region(Region.EU, "ns1.pushed.example"), [zone]
+    )
+    network.register(server)
+    zone.add("ns1.pushed.example.", RdataType.A, A(server.endpoint.address), ttl=ttl)
+    zone.add("www.pushed.example.", RdataType.A, A("203.0.113.10"), ttl=ttl)
+    root_zone.add(
+        "pushed.example.", RdataType.NS, NS(Name("ns1.pushed.example.")), ttl=172800
+    )
+    root_zone.add(
+        "ns1.pushed.example.", RdataType.A, A(server.endpoint.address), ttl=172800
+    )
+    hints = {Name("a.rootsrv.net."): root_server.endpoint.address}
+
+    world = World(
+        seed=seed,
+        topology=topology,
+        network=network,
+        clock=clock,
+        root_zone=root_zone,
+        hints=hints,
+    )
+    world.add_zone(root_zone)
+    world.add_zone(zone)
+    world.servers["a.rootsrv.net"] = root_server
+    world.servers["ns1.pushed.example"] = server
+    world._server_addresses["a.rootsrv.net"] = root_server.endpoint.address
+    world._server_addresses["ns1.pushed.example"] = server.endpoint.address
+    return PushWorld(
+        world=world,
+        zone=zone,
+        server=server,
+        content_name="www.pushed.example.",
+        ttl=ttl,
+    )

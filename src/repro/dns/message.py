@@ -25,6 +25,14 @@ class Opcode(enum.IntEnum):
     STATUS = 2
     NOTIFY = 4
     UPDATE = 5
+    #: Pub/sub session kinds (see :mod:`repro.push`): RFC 8490 DNS
+    #: Stateful Operations would carry these as DSO TLVs on one opcode;
+    #: the sim flattens them into dedicated opcodes in the reserved
+    #: range so framed session traffic stays a plain :class:`Message`.
+    #: ``NOTIFY`` (RFC 1996) is reused as the server->subscriber push.
+    SUBSCRIBE = 7
+    UNSUBSCRIBE = 8
+    KEEPALIVE = 9
 
 
 class Rcode(enum.IntEnum):

@@ -11,7 +11,10 @@ the recursive resolvers then consult it at well-defined hook points:
 - :meth:`intercept_server` — at the server, before the zone answers:
   SERVFAIL, truncation, rate-limit slips;
 - :meth:`take_restart` — at the resolver, per client query: one-shot
-  cache-wipe restarts.
+  cache-wipe restarts;
+- :meth:`take_record_changes` — at the world, per probe tick: one-shot
+  record renumbering events (the §4.2 schedule both polling and push
+  scenarios share).
 
 Every probabilistic choice draws from one :class:`random.Random` seeded by
 :func:`~repro.faults.plan.derive_fault_seed`, and all bookkeeping is keyed
@@ -108,6 +111,7 @@ class FaultInjector:
         self._server = [s for s in states if s.spec.kind in SERVER_KINDS]
         self._sites = [s for s in states if s.spec.kind == "anycast_site_down"]
         self._restarts = [s for s in states if s.spec.kind == "resolver_restart"]
+        self._changes = [s for s in states if s.spec.kind == "record_change"]
         self._watchlist: list[_FaultState] = []
         self._m_injected = NULL_COUNTER
         self._m_suppressed = NULL_COUNTER
@@ -284,6 +288,25 @@ class FaultInjector:
                 self._inject(state)
                 fired = True
         return fired
+
+    # ----------------------------------------------------------- world hooks
+    def take_record_changes(self, now: float) -> tuple[FaultSpec, ...]:
+        """Record-change events newly due at ``now``, in plan order.
+
+        Each ``record_change`` spec fires exactly once, when the virtual
+        clock first reaches its ``start``.  The caller (the world or the
+        scenario driving it) applies the renumbering to the zone; a push
+        publisher attached to the zone then fans the change out, while
+        polling resolvers stay stale until TTL expiry.
+        """
+        due: list[FaultSpec] = []
+        for state in self._changes:
+            spec = state.spec
+            if now >= spec.start and "*" not in state.fired:
+                state.fired.add("*")
+                self._inject(state)
+                due.append(spec)
+        return tuple(due)
 
     # ------------------------------------------------------------- recovery
     def note_delivery(self, src: str, dst: str, t: float) -> None:

@@ -26,6 +26,10 @@ kind                what breaks
 ``anycast_site_down``  one anycast site stops announcing; BGP reroutes
 ``resolver_restart``   a recursive resolver loses its cache (point event)
 ``upstream_storm``     a resolver's upstream queries all time out
+``record_change``      a zone record is renumbered at an instant (point
+                       event); the world applies the change, push
+                       publishers fan it out, pollers stay stale until
+                       TTL expiry
 ==================  =====================================================
 """
 
@@ -51,6 +55,7 @@ KINDS = (
     "anycast_site_down",
     "resolver_restart",
     "upstream_storm",
+    "record_change",
 )
 
 #: Kinds applied per transmission on the fabric (vs at the server or
@@ -193,6 +198,27 @@ class FaultPlan:
 
     # -- convenience builders ------------------------------------------------
     @classmethod
+    def renumbering(
+        cls,
+        target: str,
+        times: Iterable[float],
+        name: str = "renumbering",
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """The §4.2 scenario as a plan: ``target`` (a record owner name)
+        is renumbered at each instant in ``times``.  Both the polling and
+        the push scenarios consume this one deterministic schedule."""
+        return cls(
+            faults=tuple(
+                FaultSpec(kind="record_change", start=float(t), duration=0.0,
+                          target=target)
+                for t in times
+            ),
+            name=name,
+            seed=seed,
+        )
+
+    @classmethod
     def ddos(
         cls,
         target: str,
@@ -288,6 +314,11 @@ def _spec_errors(payload: Any, index: Optional[int]) -> list[str]:
         errors.append(f"{where}: anycast_site_down needs a site")
     if kind == "resolver_restart" and payload.get("duration") not in (0, 0.0):
         errors.append(f"{where}: resolver_restart is a point event (duration 0)")
+    if kind == "record_change":
+        if payload.get("duration") not in (0, 0.0):
+            errors.append(f"{where}: record_change is a point event (duration 0)")
+        if not payload.get("target"):
+            errors.append(f"{where}: record_change needs a target owner name")
     if kind != "anycast_site_down" and payload.get("site") is not None:
         errors.append(f"{where}: site is only valid for anycast_site_down")
     if kind not in TRANSPORT_KINDS and payload.get("src") is not None:

@@ -25,7 +25,14 @@ from repro.net.topology import (
     Region,
     Topology,
 )
-from repro.net.transport import LossModel, Network, NetworkTimeout, Server
+from repro.net.transport import (
+    LossModel,
+    Network,
+    NetworkTimeout,
+    Server,
+    SessionBroken,
+    TcpSession,
+)
 
 __all__ = [
     "AddressAllocator",
@@ -37,6 +44,8 @@ __all__ = [
     "NetworkTimeout",
     "Region",
     "Server",
+    "SessionBroken",
     "SimClock",
+    "TcpSession",
     "Topology",
 ]

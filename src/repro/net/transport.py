@@ -342,3 +342,218 @@ class Network:
             return response, elapsed
         self._m_timeouts.inc()
         raise NetworkTimeout(f"no response from {dst_address}", elapsed)
+
+    # -- sessions -------------------------------------------------------------
+    def open_session(self, client: Endpoint, dst_address: str) -> "TcpSession":
+        """A length-framed TCP session bound to this fabric.
+
+        The session is returned unconnected; call :meth:`TcpSession.connect`
+        on the sim clock.  Long-lived connections are what the
+        :mod:`repro.push` subscription layer rides.
+        """
+        return TcpSession(self, client, dst_address)
+
+
+class SessionBroken(Exception):
+    """A framed TCP session died mid-flight.
+
+    Raised when a fault window (blackhole, outage, storm, loss) dooms a
+    transmission on an established connection, or when the session is
+    used after a break.  ``elapsed`` carries the virtual time burned
+    before the break was noticed (the pending frame's timeout).
+    """
+
+    def __init__(self, message: str, elapsed: float = 0.0) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
+class TcpSession:
+    """One long-lived RFC 1035 §4.2.2 length-framed TCP connection.
+
+    The datagram fabric treats every query independently; a session
+    models the *connection* reuse that pub/sub subscriptions need: one
+    handshake up front, then any number of framed exchanges and
+    keepalives on the same five-tuple.
+
+    Fault and determinism semantics:
+
+    - RTTs draw from the fabric's latency model and RNG exactly like
+      datagram exchanges, so armed runs stay byte-identical serial vs
+      ``--parallel N``.
+    - The base :class:`LossModel`'s probabilistic datagram loss is
+      *absorbed* (TCP retransmits below this abstraction, at the cost of
+      delay the sim ignores); only hard conditions break a session: the
+      destination marked down, or an active fault window dooming the
+      transmission (``blackhole``/``server_outage``/``upstream_storm``,
+      or an unlucky ``loss`` draw — heavy loss storms do reset real TCP
+      connections).
+    - A ``delay`` fault window stretches the RTT; it never breaks the
+      session.
+    - Once broken, every call raises :class:`SessionBroken` until
+      :meth:`connect` succeeds again; reconnect pacing is the owner's
+      job (seeded :class:`BackoffPolicy`, see ``repro.push``).
+
+    Session activity lands in lazily-declared ``net.tcp.*`` instruments,
+    so runs that never open a session snapshot byte-identically to
+    pre-session builds.
+    """
+
+    __slots__ = (
+        "network", "client", "dst_address", "established", "opened_at",
+        "broken_at", "exchanges", "keepalives", "connects",
+    )
+
+    def __init__(self, network: Network, client: Endpoint, dst_address: str) -> None:
+        self.network = network
+        self.client = client
+        self.dst_address = dst_address
+        self.established = False
+        self.opened_at: Optional[float] = None
+        self.broken_at: Optional[float] = None
+        self.exchanges = 0
+        self.keepalives = 0
+        self.connects = 0
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return (
+            f"TcpSession({self.client.address} -> {self.dst_address}, {state}, "
+            f"{self.exchanges} exchanges)"
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self.established
+
+    # -- metrics (lazy: declared on first session activity) -------------------
+    def _count(self, name: str) -> None:
+        registry = self.network.metrics
+        if registry is not None:
+            registry.counter(name).inc()
+
+    # -- fate ----------------------------------------------------------------
+    def _fate(self, t: float) -> tuple[bool, float]:
+        """(doomed, extra_delay) for one framed transmission at ``t``."""
+        network = self.network
+        lost = (
+            network.server_at(self.dst_address) is None
+            or network.loss.is_down(self.dst_address)
+        )
+        extra = 0.0
+        if not lost and network.faults is not None:
+            lost, extra = network.faults.transmission_fate(
+                self.client.address, self.dst_address, t
+            )
+        return lost, extra
+
+    def _deliver_site(self, t: float) -> Optional[Endpoint]:
+        """The concrete endpoint frames reach, after anycast rerouting."""
+        network = self.network
+        server = network.server_at(self.dst_address)
+        if server is None:
+            return None
+        site = server.endpoint_for(self.client, network.latency)
+        if network.faults is not None:
+            site = network.faults.pick_site(
+                server, self.dst_address, self.client, network.latency, site, t
+            )
+        return site
+
+    def _mark_broken(self, t: float) -> None:
+        if self.established:
+            self.established = False
+            self.broken_at = t
+            self._count("net.tcp.breaks")
+
+    # -- lifecycle ------------------------------------------------------------
+    def connect(self, now: float, timeout: float = DEFAULT_TIMEOUT) -> float:
+        """Open (or reopen) the connection; returns the handshake RTT.
+
+        Raises :class:`NetworkTimeout` (carrying ``timeout`` as elapsed)
+        when the handshake is doomed — the caller schedules the retry.
+        """
+        lost, extra = self._fate(now)
+        site = None if lost else self._deliver_site(now)
+        if site is None:
+            self.established = False
+            self.broken_at = now
+            raise NetworkTimeout(f"connect to {self.dst_address} failed", timeout)
+        rtt = self.network.latency.rtt(self.client, site, self.network._rng) + extra
+        self.established = True
+        self.broken_at = None
+        self.opened_at = now + rtt
+        self.connects += 1
+        self._count("net.tcp.opens")
+        if self.network.faults is not None:
+            self.network.faults.note_delivery(
+                self.client.address, self.dst_address, now + rtt
+            )
+        return rtt
+
+    def close(self, now: float) -> None:
+        """Orderly shutdown; not counted as a break."""
+        self.established = False
+        self.broken_at = None
+
+    # -- framed traffic --------------------------------------------------------
+    def exchange(
+        self, query: Message, now: float, timeout: float = DEFAULT_TIMEOUT
+    ) -> tuple[Message, float]:
+        """One framed request/response on the established connection.
+
+        Returns ``(response, elapsed_seconds)``.  The server sees the
+        frame at ``now + rtt/2`` and its answer is counted under
+        ``auth.queries`` like any datagram exchange.  A doomed
+        transmission breaks the session and raises :class:`SessionBroken`
+        with ``elapsed=timeout`` (the reader gave up on the half-open
+        connection).
+        """
+        if not self.established:
+            raise SessionBroken(f"session to {self.dst_address} is not connected")
+        lost, extra = self._fate(now)
+        site = None if lost else self._deliver_site(now)
+        if site is None:
+            self._mark_broken(now)
+            raise SessionBroken(
+                f"session to {self.dst_address} broke mid-exchange", timeout
+            )
+        network = self.network
+        rtt = network.latency.rtt(self.client, site, network._rng) + extra
+        server = network.server_at(self.dst_address)
+        assert server is not None  # _fate checked
+        response = server.handle_query(query, self.client, now + rtt / 2.0)
+        self.exchanges += 1
+        self._count("net.tcp.exchanges")
+        network._m_server_queries.inc(str(site))
+        if network.faults is not None:
+            network.faults.note_delivery(
+                self.client.address, self.dst_address, now + rtt
+            )
+        return response, rtt
+
+    def keepalive(self, now: float, timeout: float = DEFAULT_TIMEOUT) -> float:
+        """A liveness probe on the connection; returns its RTT.
+
+        Keepalives are transport-level (no DNS message reaches the zone,
+        nothing lands in ``auth.queries``); a doomed probe is how an idle
+        subscriber discovers a broken session, raising
+        :class:`SessionBroken` with ``elapsed=timeout``.
+        """
+        if not self.established:
+            raise SessionBroken(f"session to {self.dst_address} is not connected")
+        lost, extra = self._fate(now)
+        site = None if lost else self._deliver_site(now)
+        if site is None:
+            self._mark_broken(now)
+            raise SessionBroken(
+                f"session to {self.dst_address} broke on keepalive", timeout
+            )
+        rtt = self.network.latency.rtt(self.client, site, self.network._rng) + extra
+        self.keepalives += 1
+        self._count("net.tcp.keepalives")
+        if self.network.faults is not None:
+            self.network.faults.note_delivery(
+                self.client.address, self.dst_address, now + rtt
+            )
+        return rtt

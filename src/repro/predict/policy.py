@@ -22,6 +22,7 @@ without hashing Python object identity.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,11 @@ class PredictPolicy:
     track_top_k: int = 256
     #: Arrivals before a key counts as hot (refresh-ahead eligible).
     min_hits: int = 2
+    #: Tracker aging window, seconds: every window the tracker halves all
+    #: counts and drops keys that reach zero, so yesterday's hot set ages
+    #: out instead of staying refresh-eligible forever.  ``None`` = never
+    #: decay (the pre-aging behaviour).
+    popularity_window_s: Optional[float] = None
     #: Refresh when remaining lifetime falls below this fraction of the
     #: original lifetime (mirrors the on-hit prefetch window).
     lead_fraction: float = 0.1
@@ -64,6 +70,10 @@ class PredictPolicy:
             raise ValueError(f"track_top_k must be >= 1, not {self.track_top_k}")
         if self.min_hits < 1:
             raise ValueError(f"min_hits must be >= 1, not {self.min_hits}")
+        if self.popularity_window_s is not None and self.popularity_window_s <= 0:
+            raise ValueError(
+                f"popularity_window_s must be > 0, not {self.popularity_window_s}"
+            )
         if not 0.0 < self.lead_fraction < 1.0:
             raise ValueError(
                 f"lead_fraction must be in (0, 1), not {self.lead_fraction}"
@@ -116,6 +126,8 @@ class PredictPolicy:
     def describe(self) -> str:
         """Short label used in experiment outputs."""
         parts = [f"top{self.track_top_k}", f"lead{self.lead_fraction:g}"]
+        if self.popularity_window_s is not None:
+            parts.append(f"win{self.popularity_window_s:g}s")
         if self.max_refresh_per_s:
             parts.append(f"budget{self.max_refresh_per_s:g}/s")
         if self.serve_stale_while_revalidate:

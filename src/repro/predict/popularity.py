@@ -9,12 +9,21 @@ on the key's true arrivals.  Hotness tests use the guaranteed count, so
 a one-hit wonder that inherited a large count is never mistaken for a
 hot name.
 
+With a ``window_s``, the tracker ages: every window boundary halves all
+counts and errors and drops keys that reach zero, so yesterday's hot set
+decays out instead of squatting in the sketch forever (exponential decay
+with a one-window half-life — the standard sliding-window treatment for
+space-saving sketches).  Aging only ever shrinks the tracked set; it
+never resurrects an evicted key or promotes a cold one.
+
 Everything is deterministic: ties break by admission order, no RNG, no
 wall clock — two trackers fed the same arrival sequence are equal, which
 is what the serial-vs-parallel byte-identity contract requires.  The
 count structure is a lazy min-heap in the style of the resolver cache's
-expiry heap: counts only grow, so a popped record whose count matches
-the live count *is* the minimum; stale records are discarded on pop.
+expiry heap: counts only grow *between agings*, so a popped record whose
+count matches the live count *is* the minimum; stale records are
+discarded on pop, and :meth:`age` rebuilds the heap wholesale (counts
+just shrank, which the lazy invariant cannot absorb incrementally).
 """
 
 from __future__ import annotations
@@ -29,13 +38,23 @@ _HEAP_SLACK = 8
 class PopularityTracker:
     """Space-saving top-K arrival counter."""
 
-    def __init__(self, capacity: int, min_hits: int = 2) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        min_hits: int = 2,
+        window_s: Optional[float] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, not {capacity}")
         if min_hits < 1:
             raise ValueError(f"min_hits must be >= 1, not {min_hits}")
+        if window_s is not None and window_s <= 0:
+            raise ValueError(f"window_s must be > 0, not {window_s}")
         self.capacity = capacity
         self.min_hits = min_hits
+        #: Aging window; ``None`` = never decay (counts accumulate forever).
+        self.window_s = window_s
+        self._window_started: Optional[float] = None
         self._counts: dict[Hashable, int] = {}
         self._errors: dict[Hashable, int] = {}
         self._first_seen: dict[Hashable, float] = {}
@@ -76,10 +95,49 @@ class PopularityTracker:
             del self._first_seen[key]
             return count
 
+    # -- aging ---------------------------------------------------------------
+    def age(self, now: float) -> int:
+        """Halve every count and error, dropping keys that reach zero.
+
+        Returns the number of keys dropped.  Called automatically from
+        :meth:`record` at window boundaries (``window_s``); callable
+        directly for trackers aged on an external schedule.  Only ever
+        removes or diminishes: a key absent before aging is absent after,
+        and no key's guaranteed count grows — so aging can never
+        resurrect an evicted key or promote a cold one to hot.
+        """
+        self._window_started = now
+        if not self._counts:
+            return 0
+        dropped = 0
+        for key in list(self._counts):
+            count = self._counts[key] // 2
+            if count <= 0:
+                del self._counts[key]
+                del self._errors[key]
+                del self._first_seen[key]
+                dropped += 1
+            else:
+                self._counts[key] = count
+                self._errors[key] = self._errors[key] // 2
+        # Counts just shrank, which the lazy heap's counts-only-grow
+        # invariant cannot absorb: rebuild from the survivors.
+        self._compact()
+        return dropped
+
+    def _maybe_age(self, now: float) -> None:
+        if self.window_s is None:
+            return
+        if self._window_started is None:
+            self._window_started = now
+        elif now - self._window_started >= self.window_s:
+            self.age(now)
+
     # -- recording -----------------------------------------------------------
     def record(self, key: Hashable, now: float) -> int:
         """Count one arrival of ``key`` at sim time ``now``; returns the
         key's (possibly overestimated) count."""
+        self._maybe_age(now)
         count = self._counts.get(key)
         if count is not None:
             count += 1
@@ -160,3 +218,4 @@ class PopularityTracker:
         self._first_seen.clear()
         self._heap.clear()
         self._seq = 0
+        self._window_started = None

@@ -1,0 +1,43 @@
+"""Push-based record updates: pub/sub vs. TTL polling.
+
+The paper's TTL trade-off — freshness versus query volume — exists
+because polling is the only update channel plain DNS has.  This package
+builds the alternative the paper's discussion gestures at: resolvers
+keep a long-lived session to push-capable authoritatives (RFC 8490 DSO
+flattened onto the sim's length-framed TCP transport), SUBSCRIBE to the
+records they resolve, and receive NOTIFY frames when zones change —
+update-in-place or invalidate, per policy.
+
+- :mod:`repro.push.policy` — the frozen :class:`PushPolicy` knob bundle.
+- :mod:`repro.push.publisher` — authoritative-side zone change feed with
+  coalescing per-subscriber queues and fault-aware fan-out.
+- :mod:`repro.push.subscriber` — resolver-side sessions, NOTIFY intake,
+  keepalives and seeded reconnect backoff.
+
+``scenario_push_vs_poll`` (:mod:`repro.core.scenarios`) runs the two
+models head to head under renumbering and DDoS fault plans.
+"""
+
+from repro.push.policy import PushPolicy
+from repro.push.publisher import (
+    PendingNotify,
+    PushKey,
+    PushPublisher,
+    attach_publisher,
+)
+from repro.push.subscriber import (
+    STALENESS_BUCKETS_S,
+    PushClient,
+    derive_client_seed,
+)
+
+__all__ = [
+    "PushPolicy",
+    "PushKey",
+    "PendingNotify",
+    "PushPublisher",
+    "attach_publisher",
+    "PushClient",
+    "derive_client_seed",
+    "STALENESS_BUCKETS_S",
+]

@@ -1,0 +1,94 @@
+"""Knobs for push-based record updates.
+
+A :class:`PushPolicy` bundles one resolver's subscription behaviour for
+:mod:`repro.push`: how often the long-lived session is probed
+(``keepalive_interval_s``), how many records it may subscribe to
+(``max_subscriptions``), whether a NOTIFY updates the cache in place or
+merely invalidates it (``update_in_place``), and the seeded reconnect
+backoff schedule (the ``reconnect_*`` knobs feed the fabric's
+:class:`~repro.net.transport.BackoffPolicy`).
+
+Like :class:`~repro.predict.policy.PredictPolicy`, the policy is frozen
+and round-trips through plain-JSON payloads so campaign fingerprints can
+include it without hashing Python object identity — and, like predict,
+it only enters a fingerprint when armed, so pre-push run directories
+still match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.net.transport import BackoffPolicy
+
+
+@dataclass(frozen=True)
+class PushPolicy:
+    """One resolver's push-subscription configuration."""
+
+    #: Idle-session probe interval; keepalives are how a subscriber
+    #: notices a dead session when no NOTIFYs are flowing.
+    keepalive_interval_s: float = 30.0
+    #: Client-side bound on the subscription table.
+    max_subscriptions: int = 1024
+    #: NOTIFY handling: ``True`` applies the pushed RRset in place
+    #: (freshness with zero refetch); ``False`` force-expires the cached
+    #: entry so the next query refetches (weaker, but never trusts
+    #: pushed payloads beyond "something changed").
+    update_in_place: bool = True
+    #: First reconnect wait after a session break; doubles per attempt.
+    reconnect_timeout_s: float = 1.0
+    #: Attempts after which the backoff wait plateaus (the subscriber
+    #: never gives up — it keeps retrying at the plateau).
+    reconnect_retries: int = 6
+    #: Multiplier applied per reconnect attempt.
+    reconnect_factor: float = 2.0
+    #: Fractional jitter on reconnect waits, drawn from the subscriber's
+    #: own seeded RNG (address-derived, so serial and parallel runs draw
+    #: identically).
+    reconnect_jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.keepalive_interval_s <= 0:
+            raise ValueError(
+                f"keepalive_interval_s must be > 0, not {self.keepalive_interval_s}"
+            )
+        if self.max_subscriptions < 1:
+            raise ValueError(
+                f"max_subscriptions must be >= 1, not {self.max_subscriptions}"
+            )
+        # BackoffPolicy re-validates the reconnect knobs; build it once
+        # here so a bad policy fails at construction, not first break.
+        self.backoff()
+
+    def backoff(self) -> BackoffPolicy:
+        """The reconnect schedule as a fabric :class:`BackoffPolicy`."""
+        return BackoffPolicy(
+            timeout=self.reconnect_timeout_s,
+            retries=self.reconnect_retries,
+            factor=self.reconnect_factor,
+            jitter=self.reconnect_jitter,
+        )
+
+    def with_(self, **overrides: object) -> "PushPolicy":
+        """A copy with fields replaced (dataclasses.replace shorthand)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+    # -- payload round-trip --------------------------------------------------
+    def to_payload(self) -> dict:
+        """Plain-JSON form, stable across processes (fingerprint-safe)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PushPolicy":
+        known = {field.name for field in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown PushPolicy fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    def describe(self) -> str:
+        """Short label used in experiment outputs."""
+        parts = [f"ka{self.keepalive_interval_s:g}s"]
+        parts.append("update" if self.update_in_place else "invalidate")
+        return "push(" + ",".join(parts) + ")"

@@ -244,6 +244,10 @@ class Cache:
         self._metrics_registry = metrics
         self._m_ecs_entries = None
         self._m_scope_merges = None
+        #: Push-invalidation instruments (repro.push): created on first
+        #: pushed update so non-push runs snapshot byte-identically.
+        self._m_push_updates = None
+        self._m_push_invalidations = None
         if metrics is not None:
             self._m_hits = metrics.counter("cache.hits")
             self._m_misses = metrics.counter("cache.misses")
@@ -745,6 +749,55 @@ class Cache:
             self._push(key, entry)
             if self.on_change is not None:
                 self.on_change(key[0])
+
+    # -- push invalidation (repro.push) ---------------------------------------
+    def _push_instruments(self) -> None:
+        if self._m_push_updates is not None:
+            return
+        registry = self._metrics_registry
+        if registry is not None:
+            self._m_push_updates = registry.counter("cache.push_updates")
+            self._m_push_invalidations = registry.counter("cache.push_invalidations")
+        else:
+            self._m_push_updates = NULL_COUNTER
+            self._m_push_invalidations = NULL_COUNTER
+
+    def push_update(self, rrset: RRset, now: float) -> bool:
+        """Apply a pushed record update in place (repro.push NOTIFY).
+
+        Pushed data is the authoritative answer by construction, so it
+        lands at :attr:`Credibility.AUTH_ANSWER` and replaces any live
+        unpinned entry; the lifetime restarts at the pushed TTL, exactly
+        as if the resolver had refetched at the instant of the change.
+        Returns whether the cache changed (pinned entries survive).
+        """
+        self._push_instruments()
+        changed = self.put(rrset, Credibility.AUTH_ANSWER, now)
+        if changed:
+            self._m_push_updates.inc()
+        return changed
+
+    def push_invalidate(
+        self,
+        name: Name,
+        rdtype: RdataType,
+        now: float,
+        rdclass: RdataClass = RdataClass.IN,
+    ) -> bool:
+        """Invalidate on push (NOTIFY in invalidate mode, or a removal).
+
+        The cached entry is force-expired so the next query refetches;
+        serve-stale policies may still hand the old value out, exactly as
+        they would for a naturally-expired record.  Returns whether an
+        entry was present to invalidate.
+        """
+        self._push_instruments()
+        key: CacheKey = (name, rdtype, rdclass)
+        if self._entries.get(key) is None:
+            return False
+        self.expire_now(key, now)
+        self._m_push_invalidations.inc()
+        return True
 
     def purge_expired(self, now: float) -> int:
         """Drop time-expired entries (counted as evictions); returns how

@@ -24,6 +24,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.predict.policy import PredictPolicy
+from repro.push.policy import PushPolicy
 
 
 @dataclass(frozen=True)
@@ -143,6 +144,11 @@ class ResolverPolicy:
     #: (the default) leaves every code path byte-identical to a build
     #: without ECS.
     ecs: Optional[EcsPolicy] = None
+    #: Push subscriptions (repro.push): subscribe to resolved records at
+    #: push-capable authoritatives and accept NOTIFY updates in place.
+    #: ``None`` (the default) leaves every code path byte-identical to a
+    #: build without push.
+    push: Optional[PushPolicy] = None
 
     def __post_init__(self) -> None:
         if self.ttl_cap is not None and self.ttl_cap < self.ttl_floor:
@@ -219,6 +225,8 @@ class ResolverPolicy:
             parts.append(self.predict.describe())
         if self.ecs is not None:
             parts.append(self.ecs.describe())
+        if self.push is not None:
+            parts.append(self.push.describe())
         return "+".join(parts)
 
     @classmethod
@@ -237,3 +245,10 @@ class ResolverPolicy:
         """Child-centric with the full repro.predict stack: popularity
         tracking, budgeted refresh-ahead, and RFC 8767 serve-stale."""
         return cls(predict=predict if predict is not None else PredictPolicy())
+
+    @classmethod
+    def pushing(cls, push: Optional[PushPolicy] = None) -> "ResolverPolicy":
+        """Child-centric with push subscriptions (repro.push): records
+        resolved at push-capable authoritatives are subscribed to and
+        updated in place on NOTIFY instead of re-polled on TTL expiry."""
+        return cls(push=push if push is not None else PushPolicy())

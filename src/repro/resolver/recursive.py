@@ -168,7 +168,9 @@ class RecursiveResolver:
         self._refreshed: dict[tuple[Name, RdataType], int] = {}
         if predict is not None:
             self._tracker = PopularityTracker(
-                capacity=predict.track_top_k, min_hits=predict.min_hits
+                capacity=predict.track_top_k,
+                min_hits=predict.min_hits,
+                window_s=predict.popularity_window_s,
             )
             self._scheduler = RefreshScheduler(
                 self._scheduled_refresh,
@@ -180,6 +182,16 @@ class RecursiveResolver:
             )
         elif self.policy.prefetch:
             self._scheduler = RefreshScheduler(self._scheduled_refresh, metrics=metrics)
+        # Push subscriptions (repro.push): armed policies get a client
+        # that subscribes to resolved records at push-capable servers and
+        # applies NOTIFY frames on the resolve/pump path.
+        self._push = None
+        if self.policy.push is not None:
+            from repro.push.subscriber import PushClient
+
+            self._push = PushClient(
+                endpoint, network, self.cache, self.policy.push
+            )
         if self._scheduler is not None and metrics is not None:
             self._m_refresh_hits = metrics.counter("predict.refresh_hits")
             self._m_stale_answered = metrics.counter("predict.stale_answered")
@@ -219,9 +231,10 @@ class RecursiveResolver:
         faults = getattr(self.network, "faults", None)
         if faults is not None and faults.take_restart(self.address, now):
             self.restart()
-        if self._scheduler is not None:
+        if self._scheduler is not None or self._push is not None:
             # Run maintenance *before* answering: due refreshes execute
-            # back-dated to their due time, off this client's latency.
+            # back-dated to their due time, off this client's latency,
+            # and delivered NOTIFY frames land before the cache probe.
             self.pump(now)
         self.client_queries += 1
         self._m_client_queries.inc()
@@ -284,6 +297,18 @@ class RecursiveResolver:
             result = self._resolve_with_cnames(name, qtype, now, depth=0)
             if subnet is not None:
                 result.ecs_scope = self._ecs_scope
+            if (
+                self._push is not None
+                and result.rcode is Rcode.NOERROR
+                and result.answers
+                and result.servers_contacted
+            ):
+                # Subscribe at the server that actually answered, stamped
+                # at the moment the answer arrived.
+                self._push.note_answer(
+                    name, qtype, result.servers_contacted[-1],
+                    now + result.elapsed,
+                )
             return result
         except ResolutionError as failure:
             stale = self._serve_stale(name, qtype)
@@ -313,7 +338,8 @@ class RecursiveResolver:
             self._tracker.record((qname, qtype), now)
 
     def pump(self, now: float) -> int:
-        """Run due predictive maintenance; returns refreshes executed.
+        """Run due background maintenance; returns refreshes plus
+        pushed updates applied.
 
         Called at the start of every :meth:`resolve` and, when serving
         live, from the frontend's background loop — never between a
@@ -322,9 +348,12 @@ class RecursiveResolver:
         refresh job even without a triggering hit), then executes every
         due job under the refresh budget.
         """
+        pumped = 0
+        if self._push is not None:
+            pumped = self._push.pump(now)
         scheduler = self._scheduler
         if scheduler is None:
-            return 0
+            return pumped
         predict = self._predict
         tracker = self._tracker
         if predict is not None and tracker is not None:
@@ -349,7 +378,7 @@ class RecursiveResolver:
                     due=max(now, entry.expires_at - lead),
                     expires_at=entry.expires_at,
                 )
-        return scheduler.pump(now)
+        return pumped + scheduler.pump(now)
 
     def restart(self) -> None:
         """Simulate a resolver process restart (crash, deploy, reboot).
@@ -366,6 +395,8 @@ class RecursiveResolver:
             self._scheduler.clear()
         if self._tracker is not None:
             self._tracker.clear()
+        if self._push is not None:
+            self._push.restart()
         self._refreshed.clear()
         self._m_restarts.inc()
 

@@ -32,6 +32,7 @@ __all__ = [
     "ddos_shard",
     "ecs_shard",
     "prefetch_shard",
+    "push_shard",
     "campaign_fingerprint",
     "SHARD_PAYLOAD_VERSION",
 ]
@@ -280,6 +281,31 @@ def ecs_shard(
     return encode_shard_payload(
         results=result,
         queries=result.queries,
+        metrics=registry.snapshot().to_payload(),
+    )
+
+
+# ------------------------------------------------------------- push-vs-poll
+
+
+def push_shard(
+    shard: Shard, *, cells: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Run one (plan, mode, TTL) cell of the push-vs-poll matrix.
+
+    ``cells[shard.index]`` carries exactly the arguments the serial
+    :func:`repro.core.scenarios._run_push_cell` receives, so the sharded
+    campaign reproduces the serial scenario verbatim — push session and
+    staleness metrics included.
+    """
+    from repro.core.scenarios import _run_push_cell
+    from repro.metrics.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    result = _run_push_cell(**cells[shard.index], metrics=registry)
+    return encode_shard_payload(
+        results=result,
+        queries=result.probes,
         metrics=registry.snapshot().to_payload(),
     )
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Optional
 
-from repro.dns.message import Message, Rcode
+from repro.dns.message import Message, Opcode, Rcode
 from repro.dns.name import Name
 from repro.dns.zone import Zone
 from repro.net.latency import LatencyModel
@@ -48,6 +48,9 @@ class AnycastCluster:
         self._catchment_cache: dict[str, Endpoint] = {}
         #: Set by ``Network.attach_faults``; consulted per query.
         self.faults: Optional["FaultInjector"] = None
+        #: Set by ``repro.push.attach_publisher``; SUBSCRIBE/UNSUBSCRIBE
+        #: frames dispatch to it (NOTIMP when absent).
+        self.push: Optional[object] = None
 
     def reset_runtime_state(self) -> None:
         """Forget everything query traffic produced (worldcache reuse).
@@ -59,6 +62,7 @@ class AnycastCluster:
         self.queries_received = 0
         self._catchment_cache.clear()
         self.faults = None
+        self.push = None
 
     def __repr__(self) -> str:
         return f"AnycastCluster({self.service_address}, {len(self._sites)} sites)"
@@ -156,6 +160,10 @@ class AnycastCluster:
             )
             if override is not None:
                 return override
+        if query.opcode in (Opcode.SUBSCRIBE, Opcode.UNSUBSCRIBE):
+            if self.push is None:
+                return query.make_response(rcode=Rcode.NOTIMP)
+            return self.push.handle_session_message(query, client, now)  # type: ignore[attr-defined]
         zone = self.best_zone_for(query.question.qname)
         if zone is None:
             return query.make_response(rcode=Rcode.REFUSED)

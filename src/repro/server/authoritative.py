@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Optional
 
-from repro.dns.message import Message, Rcode
+from repro.dns.message import Message, Opcode, Rcode
 from repro.dns.name import Name
 from repro.dns.zone import Zone
 from repro.net.latency import LatencyModel
@@ -41,16 +41,21 @@ class AuthoritativeServer:
         self.queries_received = 0
         #: Set by ``Network.attach_faults``; consulted per query.
         self.faults: Optional["FaultInjector"] = None
+        #: Set by ``repro.push.attach_publisher``; SUBSCRIBE/UNSUBSCRIBE
+        #: frames dispatch to it (NOTIMP when absent).
+        self.push: Optional[object] = None
 
     def reset_runtime_state(self) -> None:
         """Forget everything query traffic produced (worldcache reuse).
 
         Zones and the endpoint are structural and survive; the query log,
-        tally, and fault hook return to their just-constructed state.
+        tally, fault hook, and push publisher return to their
+        just-constructed state.
         """
         self.query_log = QueryLog() if self._log_queries else None
         self.queries_received = 0
         self.faults = None
+        self.push = None
 
     def __repr__(self) -> str:
         origins = ",".join(str(origin) for origin in self._zones)
@@ -113,6 +118,10 @@ class AuthoritativeServer:
             )
             if override is not None:
                 return override
+        if query.opcode in (Opcode.SUBSCRIBE, Opcode.UNSUBSCRIBE):
+            if self.push is None:
+                return query.make_response(rcode=Rcode.NOTIMP)
+            return self.push.handle_session_message(query, client, now)  # type: ignore[attr-defined]
         zone = self.best_zone_for(query.question.qname)
         if zone is None:
             return query.make_response(rcode=Rcode.REFUSED)

@@ -252,3 +252,36 @@ class TestEndToEndOutage:
         assert response.rcode == Rcode.NOERROR
         assert elapsed > 4.0  # two burned timeouts plus the live RTT
         assert metric(registry, "faults.recovered")["values"]["server_outage"] == 1
+
+
+class TestRecordChanges:
+    def test_each_spec_fires_exactly_once(self):
+        early = FaultSpec(kind="record_change", start=60.0, duration=0.0,
+                          target="www.a.example.")
+        late = FaultSpec(kind="record_change", start=120.0, duration=0.0,
+                         target="www.b.example.")
+        inj = injector(early, late)
+        assert inj.take_record_changes(30.0) == ()
+        assert inj.take_record_changes(60.0) == (early,)
+        assert inj.take_record_changes(61.0) == ()  # already fired
+        # A coarse probe tick that jumps past both starts drains the rest.
+        assert inj.take_record_changes(500.0) == (late,)
+        assert inj.take_record_changes(1000.0) == ()
+
+    def test_simultaneous_changes_fire_in_plan_order(self):
+        first = FaultSpec(kind="record_change", start=10.0, duration=0.0,
+                          target="a.example.")
+        second = FaultSpec(kind="record_change", start=10.0, duration=0.0,
+                           target="b.example.")
+        assert injector(first, second).take_record_changes(10.0) == (
+            first, second)
+
+    def test_fires_land_in_injected_metric(self):
+        registry = MetricsRegistry()
+        inj = injector(
+            FaultSpec(kind="record_change", start=0.0, duration=0.0,
+                      target="www.example."),
+            registry=registry,
+        )
+        inj.take_record_changes(0.0)
+        assert metric(registry, "faults.injected")["values"]["record_change"] == 1

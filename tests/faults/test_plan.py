@@ -106,9 +106,12 @@ class TestFaultPlan:
             "server_outage": dict(target="a"),
             "anycast_site_down": dict(site="s01"),
             "ratelimit": dict(rate=10.0, target="a"),
+            "record_change": dict(target="www.example."),
         }
         for kind in KINDS:
-            duration = 0.0 if kind == "resolver_restart" else 10.0
+            duration = (
+                0.0 if kind in ("resolver_restart", "record_change") else 10.0
+            )
             spec = FaultSpec(kind=kind, start=0.0, duration=duration,
                              **required.get(kind, {}))
             assert FaultSpec.from_payload(spec.to_payload()) == spec
@@ -139,3 +142,44 @@ class TestSeedDerivation:
     def test_shards_get_independent_streams(self):
         seeds = {derive_fault_seed(7, shard) for shard in range(64)}
         assert len(seeds) == 64
+
+
+class TestRecordChange:
+    def test_round_trips_through_payload(self):
+        spec = FaultSpec(kind="record_change", start=120.0, duration=0.0,
+                         target="www.pushed.example.")
+        assert FaultSpec.from_payload(spec.to_payload()) == spec
+        plan = FaultPlan(faults=(spec,), name="renum", seed=3)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_must_be_a_point_event(self):
+        payload = FaultPlan(
+            faults=(FaultSpec(kind="record_change", start=0.0, duration=0.0,
+                              target="www.example."),),
+        ).to_payload()
+        payload["faults"][0]["duration"] = 60.0
+        errors = validate_payload(payload)
+        assert errors and any("point event" in error for error in errors)
+
+    def test_requires_a_target_owner_name(self):
+        payload = FaultPlan(
+            faults=(FaultSpec(kind="record_change", start=0.0, duration=0.0,
+                              target="www.example."),),
+        ).to_payload()
+        payload["faults"][0]["target"] = None
+        errors = validate_payload(payload)
+        assert errors and any("target" in error for error in errors)
+
+    def test_renumbering_builder(self):
+        plan = FaultPlan.renumbering("www.pushed.example.", [600.0, 1200.0],
+                                     seed=5)
+        assert plan.name == "renumbering"
+        assert plan.seed == 5
+        assert len(plan.faults) == 2
+        for spec, start in zip(plan.faults, (600.0, 1200.0)):
+            assert spec.kind == "record_change"
+            assert spec.start == start
+            assert spec.duration == 0.0
+            assert spec.target == "www.pushed.example."
+        # Builders must emit plans that pass their own validation.
+        assert validate_payload(plan.to_payload()) == []

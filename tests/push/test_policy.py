@@ -1,0 +1,61 @@
+"""Tests for PushPolicy (validation, payload round-trip, backoff)."""
+
+import pytest
+
+from repro.push import PushPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = PushPolicy()
+        assert policy.keepalive_interval_s == 30.0
+        assert policy.update_in_place
+
+    def test_rejects_bad_keepalive(self):
+        with pytest.raises(ValueError):
+            PushPolicy(keepalive_interval_s=0.0)
+
+    def test_rejects_bad_subscription_bound(self):
+        with pytest.raises(ValueError):
+            PushPolicy(max_subscriptions=0)
+
+    def test_bad_backoff_fails_at_construction(self):
+        # BackoffPolicy validates the reconnect knobs; the policy must
+        # surface that on __init__, not on the first session break.
+        with pytest.raises(ValueError):
+            PushPolicy(reconnect_factor=0.5)
+        with pytest.raises(ValueError):
+            PushPolicy(reconnect_jitter=1.5)
+
+    def test_backoff_carries_the_reconnect_knobs(self):
+        policy = PushPolicy(
+            reconnect_timeout_s=2.0, reconnect_retries=4,
+            reconnect_factor=3.0, reconnect_jitter=0.0,
+        )
+        backoff = policy.backoff()
+        assert backoff.timeout == 2.0
+        assert backoff.retries == 4
+        assert backoff.factor == 3.0
+
+
+class TestPayload:
+    def test_round_trips(self):
+        policy = PushPolicy(keepalive_interval_s=15.0, update_in_place=False)
+        assert PushPolicy.from_payload(policy.to_payload()) == policy
+
+    def test_rejects_unknown_fields(self):
+        payload = PushPolicy().to_payload()
+        payload["mystery"] = 1
+        with pytest.raises(ValueError, match="mystery"):
+            PushPolicy.from_payload(payload)
+
+    def test_with_replaces_fields(self):
+        policy = PushPolicy().with_(update_in_place=False)
+        assert not policy.update_in_place
+        assert policy.keepalive_interval_s == 30.0
+
+
+class TestDescribe:
+    def test_names_the_notify_mode(self):
+        assert "update" in PushPolicy().describe()
+        assert "invalidate" in PushPolicy(update_in_place=False).describe()
